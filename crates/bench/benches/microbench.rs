@@ -1,0 +1,128 @@
+//! Real wall-clock micro-benchmarks (criterion) of the core data paths.
+//!
+//! The paper's tables are regenerated in *simulated* time by the `fig*`
+//! binaries; these benches instead measure what the implementation costs
+//! on the host today — cache hits, creates, the allocator, the
+//! capability cipher, and the block baseline — so regressions in the
+//! code itself are visible independent of the cost model.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use amoeba_cap::{check::CheckScheme, MacScheme, ObjNum, Port, Rights};
+use amoeba_sim::DetRng;
+use bullet_core::{BulletConfig, BulletServer, ExtentAllocator};
+use bytes::Bytes;
+use nfs_blockfs::BlockFs;
+
+fn bullet_server() -> BulletServer {
+    let mut cfg = BulletConfig::small_test();
+    cfg.disk_blocks = 65_536; // 32 MB
+    cfg.cache_capacity = 16 << 20;
+    cfg.rnode_slots = 4096;
+    cfg.min_inodes = 4096;
+    BulletServer::format(cfg, 2).expect("format")
+}
+
+fn bench_bullet_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bullet_read_warm");
+    for &size in &[1usize, 4096, 65_536, 1 << 20] {
+        let server = bullet_server();
+        let cap = server
+            .create(Bytes::from(vec![7u8; size]), 2)
+            .expect("create");
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| server.read(&cap).expect("read"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bullet_create_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bullet_create_delete");
+    for &size in &[1usize, 4096, 65_536] {
+        let server = bullet_server();
+        let data = Bytes::from(vec![7u8; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let cap = server.create(data.clone(), 2).expect("create");
+                server.delete(&cap).expect("delete");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_capability_schemes(c: &mut Criterion) {
+    let scheme = MacScheme::from_seed(7);
+    let port = Port::from_u64(1);
+    let obj = ObjNum::new(42).expect("small");
+    let cap = scheme.mint(port, obj, Rights::ALL, 0xfeed);
+    c.bench_function("cap_mint", |b| {
+        b.iter(|| scheme.mint(port, obj, Rights::READ, 0xfeed))
+    });
+    c.bench_function("cap_verify", |b| b.iter(|| scheme.verify(&cap, 0xfeed)));
+}
+
+fn bench_extent_allocator(c: &mut Criterion) {
+    c.bench_function("extent_alloc_free_churn", |b| {
+        b.iter_batched(
+            || ExtentAllocator::new(0, 1 << 20),
+            |mut alloc| {
+                let mut rng = DetRng::new(3);
+                let mut held = Vec::new();
+                for _ in 0..1000 {
+                    if held.len() < 100 || rng.next_f64() < 0.5 {
+                        let len = rng.next_below(64) + 1;
+                        if let Some(start) = alloc.alloc(len) {
+                            held.push((start, len));
+                        }
+                    } else {
+                        let i = rng.next_below(held.len() as u64) as usize;
+                        let (start, len) = held.swap_remove(i);
+                        alloc.free(start, len).expect("valid free");
+                    }
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_blockfs_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockfs_read");
+    for &size in &[4096usize, 65_536] {
+        let dev = Arc::new(amoeba_disk::RamDisk::new(8192, 8192));
+        let mut fs = BlockFs::format(dev, 64, 3 << 20, Some(1)).expect("format");
+        let (ino, generation) = fs.create_inode().expect("inode");
+        let data = vec![9u8; size];
+        for (i, chunk) in data.chunks(8192).enumerate() {
+            fs.write(ino, generation, (i * 8192) as u32, chunk)
+                .expect("write");
+        }
+        let fs = std::sync::Mutex::new(fs);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                fs.lock()
+                    .unwrap()
+                    .read(ino, generation, 0, size as u32)
+                    .expect("read")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bullet_read,
+    bench_bullet_create_delete,
+    bench_capability_schemes,
+    bench_extent_allocator,
+    bench_blockfs_io
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation ABL1 — the RAM cache: warm reads (the paper's Fig. 2 setting,
+//! "the test file will be completely in memory") against cold reads that
+//! must fetch the contiguous extent from disk.
+//!
+//! ```text
+//! cargo run -p bullet-bench --bin ablation_cache
+//! ```
+
+use bullet_bench::rig::BulletRig;
+use bullet_bench::table::{bandwidth_kb_s, size_label, SIZES};
+
+fn main() {
+    println!("ABL1 — Bullet READ delay, RAM cache hit vs cold (disk) read");
+    println!(
+        "  {:>12}  {:>14}  {:>14}  {:>10}",
+        "File Size", "warm (ms)", "cold (ms)", "cold/warm"
+    );
+    for &size in &SIZES {
+        let rig = BulletRig::paper_1989();
+        let warm = rig.measure_read(size);
+        let cold = rig.measure_cold_read(size);
+        println!(
+            "  {:>12}  {:>14.2}  {:>14.2}  {:>9.1}x",
+            size_label(size),
+            warm.as_ms_f64(),
+            cold.as_ms_f64(),
+            cold.as_ns() as f64 / warm.as_ns() as f64
+        );
+    }
+    println!();
+    println!("Cold bandwidth at 1 MB: {:.0} KB/s (disk-bound);", {
+        let rig = BulletRig::paper_1989();
+        bandwidth_kb_s(1 << 20, rig.measure_cold_read(1 << 20))
+    });
+    println!("the cache is what lets Fig. 2 ride the wire instead of the disk arm.");
+}

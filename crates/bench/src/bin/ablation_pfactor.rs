@@ -1,0 +1,34 @@
+//! Ablation ABL3 — the P-FACTOR durability dial of `BULLET.CREATE`:
+//! reply-from-cache (P=0) vs one disk (P=1) vs both disks (P=2).
+//!
+//! ```text
+//! cargo run -p bullet-bench --bin ablation_pfactor
+//! ```
+
+use bullet_bench::rig::BulletRig;
+use bullet_bench::table::{size_label, SIZES};
+
+fn main() {
+    println!("ABL3 — BULLET.CREATE delay (ms) by P-FACTOR");
+    println!(
+        "  {:>12}  {:>10}  {:>10}  {:>10}",
+        "File Size", "P=0", "P=1", "P=2"
+    );
+    for &size in &SIZES {
+        let mut cols = Vec::new();
+        for p in 0..=2 {
+            let rig = BulletRig::paper_1989();
+            cols.push(rig.measure_create(size, p));
+        }
+        println!(
+            "  {:>12}  {:>10.1}  {:>10.1}  {:>10.1}",
+            size_label(size),
+            cols[0].as_ms_f64(),
+            cols[1].as_ms_f64(),
+            cols[2].as_ms_f64()
+        );
+    }
+    println!();
+    println!("P=0 returns after the RAM-cache insert (fast, crash-vulnerable);");
+    println!("P=N returns after the file and inode are on N disks (§2.2).");
+}

@@ -1,0 +1,29 @@
+//! The benchmark harness: everything needed to regenerate the paper's
+//! tables and figures.
+//!
+//! * [`rig`] — assembled simulation stacks: a Bullet server on two
+//!   latency-modelled mirrored disks behind the simulated Ethernet, and
+//!   the NFS-like baseline on one disk behind the same Ethernet.
+//! * [`workload`] — the file-size distribution from the literature the
+//!   paper cites (median 1 KB, 99 % under 64 KB) and an operation-mix
+//!   generator (75 % whole-file reads).
+//! * [`table`] — measurement loops and the delay/bandwidth table
+//!   formatting used by every `fig*`/`ablation_*` binary, plus the §4
+//!   claim checks the `comparison` binary (and the integration tests)
+//!   evaluate.
+//!
+//! Binaries (see DESIGN.md's experiment index):
+//! `fig1_layout`, `fig2_bullet`, `fig3_nfs`, `comparison`,
+//! `ablation_cache`, `ablation_contiguity`, `ablation_pfactor`,
+//! `ablation_fragmentation`, `ablation_logserver`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rig;
+pub mod table;
+pub mod workload;
+
+pub use rig::{BulletRig, NfsRig};
+pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
+pub use workload::{SizeDistribution, WorkloadMix, WorkloadOp};

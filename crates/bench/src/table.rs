@@ -1,0 +1,198 @@
+//! Table generation and the §4 claim checks.
+
+use amoeba_sim::Nanos;
+
+use crate::rig::{BulletRig, NfsRig};
+
+/// The file-size column of Figs. 2 and 3.
+///
+/// The scraped paper text preserves six rows ("1 byte … 1 Mbyte") but
+/// lost the middle values; we use the canonical spread {1 B, 64 B,
+/// 512 B, 4 KB, 64 KB, 1 MB} (documented inference — see DESIGN.md §4).
+pub const SIZES: [usize; 6] = [1, 64, 512, 4096, 65_536, 1 << 20];
+
+/// Human label for a size row.
+pub fn size_label(size: usize) -> String {
+    match size {
+        s if s < 1024 => format!("{s} byte{}", if s == 1 { "" } else { "s" }),
+        s if s < (1 << 20) => format!("{} Kbytes", s / 1024),
+        s => format!("{} Mbyte", s / (1 << 20)),
+    }
+}
+
+/// Bandwidth in KB/s for `size` bytes moved in `dt`.
+pub fn bandwidth_kb_s(size: usize, dt: Nanos) -> f64 {
+    if dt == Nanos::ZERO {
+        return f64::INFINITY;
+    }
+    size as f64 / 1024.0 / dt.as_secs_f64()
+}
+
+/// One measured table row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// File size in bytes.
+    pub size: usize,
+    /// Delay of the first operation column (READ).
+    pub read: Nanos,
+    /// Delay of the second column (CREATE+DELETE for Bullet, CREATE for
+    /// NFS).
+    pub write: Nanos,
+}
+
+impl Row {
+    /// READ bandwidth in KB/s.
+    pub fn read_bw(&self) -> f64 {
+        bandwidth_kb_s(self.size, self.read)
+    }
+
+    /// Write-column bandwidth in KB/s.
+    pub fn write_bw(&self) -> f64 {
+        bandwidth_kb_s(self.size, self.write)
+    }
+}
+
+/// Measures Fig. 2: the Bullet table over all sizes.
+pub fn measure_bullet(rig: &BulletRig) -> Vec<Row> {
+    SIZES
+        .iter()
+        .map(|&size| Row {
+            size,
+            read: rig.measure_read(size),
+            write: rig.measure_create_delete(size),
+        })
+        .collect()
+}
+
+/// Measures Fig. 3: the NFS table over all sizes.
+pub fn measure_nfs(rig: &NfsRig) -> Vec<Row> {
+    SIZES
+        .iter()
+        .map(|&size| Row {
+            size,
+            read: rig.measure_read(size),
+            write: rig.measure_create(size),
+        })
+        .collect()
+}
+
+/// Prints a Fig. 2/3-style pair of tables (delay then bandwidth).
+pub fn print_tables(title: &str, col2: &str, rows: &[Row]) {
+    println!("{title}");
+    println!("  Delay (msec)");
+    println!("  {:>12}  {:>12}  {:>12}", "File Size", "READ", col2);
+    for r in rows {
+        println!(
+            "  {:>12}  {:>12.1}  {:>12.1}",
+            size_label(r.size),
+            r.read.as_ms_f64(),
+            r.write.as_ms_f64()
+        );
+    }
+    println!("  Bandwidth (Kbytes/sec)");
+    println!("  {:>12}  {:>12}  {:>12}", "File Size", "READ", col2);
+    for r in rows {
+        println!(
+            "  {:>12}  {:>12.1}  {:>12.1}",
+            size_label(r.size),
+            r.read_bw(),
+            r.write_bw()
+        );
+    }
+    println!();
+}
+
+/// The §4 comparison claims, evaluated from the two measured tables.
+#[derive(Debug, Clone)]
+pub struct Claims {
+    /// C1: per-size READ speedup Bullet over NFS (paper: 3–6× for all
+    /// sizes).
+    pub read_speedups: Vec<(usize, f64)>,
+    /// C2: the 1 MB READ bandwidth ratio (paper: ≈ 10×).
+    pub large_read_bw_ratio: f64,
+    /// C3: sizes (> 64 KB per the paper) where Bullet CREATE bandwidth
+    /// exceeds NFS READ bandwidth.
+    pub write_beats_read_at: Vec<usize>,
+    /// C4: NFS bandwidth at 1 MB is lower than at 64 KB (read, create).
+    pub nfs_dips_at_1mb: (bool, bool),
+}
+
+impl Claims {
+    /// Evaluates the claims from measured tables (same size column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables do not cover [`SIZES`].
+    pub fn evaluate(bullet: &[Row], nfs: &[Row]) -> Claims {
+        assert_eq!(bullet.len(), SIZES.len());
+        assert_eq!(nfs.len(), SIZES.len());
+        let read_speedups = bullet
+            .iter()
+            .zip(nfs)
+            .map(|(b, n)| (b.size, n.read.as_ns() as f64 / b.read.as_ns() as f64))
+            .collect();
+        let last = SIZES.len() - 1;
+        let k64 = SIZES.iter().position(|&s| s == 65_536).expect("64 KB row");
+        Claims {
+            read_speedups,
+            large_read_bw_ratio: bullet[last].read_bw() / nfs[last].read_bw(),
+            write_beats_read_at: bullet
+                .iter()
+                .zip(nfs)
+                .filter(|(b, n)| b.write_bw() > n.read_bw())
+                .map(|(b, _)| b.size)
+                .collect(),
+            nfs_dips_at_1mb: (
+                nfs[last].read_bw() < nfs[k64].read_bw(),
+                nfs[last].write_bw() < nfs[k64].write_bw(),
+            ),
+        }
+    }
+
+    /// Prints the claim scorecard.
+    pub fn print(&self) {
+        println!("Claim C1 — Bullet READ speedup over NFS (paper: 3-6x at all sizes):");
+        for (size, ratio) in &self.read_speedups {
+            println!("  {:>12}: {ratio:.1}x", size_label(*size));
+        }
+        println!(
+            "Claim C2 — 1 MB READ bandwidth ratio (paper: ~10x): {:.1}x",
+            self.large_read_bw_ratio
+        );
+        println!(
+            "Claim C3 — Bullet CREATE bandwidth beats NFS READ bandwidth at: {}",
+            if self.write_beats_read_at.is_empty() {
+                "never".to_string()
+            } else {
+                self.write_beats_read_at
+                    .iter()
+                    .map(|&s| size_label(s))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        );
+        let (read_dip, write_dip) = self.nfs_dips_at_1mb;
+        println!(
+            "Claim C4 — NFS 1 MB bandwidth below 64 KB bandwidth: read {read_dip}, create {write_dip}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(1), "1 byte");
+        assert_eq!(size_label(64), "64 bytes");
+        assert_eq!(size_label(4096), "4 Kbytes");
+        assert_eq!(size_label(1 << 20), "1 Mbyte");
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        assert!((bandwidth_kb_s(1024, Nanos::from_secs(1)) - 1.0).abs() < 1e-9);
+        assert!(bandwidth_kb_s(1, Nanos::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,282 @@
+//! The NFS client the paper's test harness models.
+//!
+//! "To disable local caching on the SUN 3/50, we have locked the file
+//! using the SUN UNIX `lockf` primitive.  The read test consisted of an
+//! `lseek` followed by a `read` system call.  The write test consisted of
+//! consecutively executing `creat`, `write`, and `close`." (§4)
+//!
+//! With client caching off, every block is one synchronous RPC — this
+//! loop *is* the reason the traditional server loses to whole-file
+//! transfer.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use amoeba_cap::{Capability, Port};
+use amoeba_rpc::{RpcClient, Status};
+use amoeba_sim::{SimClock, Stats};
+
+use crate::server::{nfs_commands, FileHandle, NfsProfile};
+
+/// A client of the NFS-like server with local caching disabled.
+#[derive(Debug, Clone)]
+pub struct NfsClient {
+    rpc: RpcClient,
+    server: Port,
+    transfer_size: u32,
+    profile: NfsProfile,
+    clock: SimClock,
+    stats: Stats,
+}
+
+impl NfsClient {
+    /// A client of the server at `server`, issuing `transfer_size`-byte
+    /// block operations.
+    pub fn new(
+        rpc: RpcClient,
+        server: Port,
+        transfer_size: u32,
+        profile: NfsProfile,
+        clock: SimClock,
+    ) -> NfsClient {
+        NfsClient {
+            rpc,
+            server,
+            transfer_size,
+            profile,
+            clock,
+            stats: Stats::new(),
+        }
+    }
+
+    fn service_cap(&self) -> Capability {
+        let mut cap = Capability::null();
+        cap.port = self.server;
+        cap
+    }
+
+    /// `creat` + `write` loop + `close`: stores `data` as a new file,
+    /// returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn create_file(&self, data: &[u8]) -> Result<FileHandle, Status> {
+        let reply = self.rpc.trans(
+            self.service_cap(),
+            nfs_commands::CREATE,
+            Bytes::new(),
+            Bytes::new(),
+        )?;
+        let fh = FileHandle::from_wire(&reply.params, 0)?;
+        let mut burst_packets = 0u64;
+        let mut offset = 0usize;
+        // A zero-byte file still did its creat+close; no writes.
+        while offset < data.len() {
+            let n = (self.transfer_size as usize).min(data.len() - offset);
+            let mut params = BytesMut::with_capacity(12);
+            params.put_slice(&fh.to_wire());
+            params.put_u32(offset as u32);
+            self.rpc.trans(
+                self.service_cap(),
+                nfs_commands::WRITE,
+                params.freeze(),
+                Bytes::copy_from_slice(&data[offset..offset + n]),
+            )?;
+            self.account_packets(&mut burst_packets, n as u64);
+            offset += n;
+        }
+        Ok(fh)
+    }
+
+    /// `lseek` + `read` loop: fetches the whole file block by block.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn read_file(&self, fh: FileHandle) -> Result<Vec<u8>, Status> {
+        let size = self.getattr(fh)? as usize;
+        let mut out = Vec::with_capacity(size);
+        let mut burst_packets = 0u64;
+        while out.len() < size {
+            let n = (self.transfer_size as usize).min(size - out.len());
+            let mut params = BytesMut::with_capacity(16);
+            params.put_slice(&fh.to_wire());
+            params.put_u32(out.len() as u32);
+            params.put_u32(n as u32);
+            let reply = self.rpc.trans(
+                self.service_cap(),
+                nfs_commands::READ,
+                params.freeze(),
+                Bytes::new(),
+            )?;
+            if reply.data.is_empty() {
+                return Err(Status::SysErr); // no progress: corrupt size
+            }
+            self.account_packets(&mut burst_packets, reply.data.len() as u64);
+            out.extend_from_slice(&reply.data);
+        }
+        Ok(out)
+    }
+
+    /// `GETATTR`: the file's size.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn getattr(&self, fh: FileHandle) -> Result<u32, Status> {
+        let mut params = BytesMut::with_capacity(8);
+        params.put_slice(&fh.to_wire());
+        let reply = self.rpc.trans(
+            self.service_cap(),
+            nfs_commands::GETATTR,
+            params.freeze(),
+            Bytes::new(),
+        )?;
+        reply
+            .params
+            .get(0..4)
+            .map(|raw| u32::from_be_bytes(raw.try_into().expect("4")))
+            .ok_or(Status::BadParam)
+    }
+
+    /// Removes the file.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn remove(&self, fh: FileHandle) -> Result<(), Status> {
+        let mut params = BytesMut::with_capacity(8);
+        params.put_slice(&fh.to_wire());
+        self.rpc.trans(
+            self.service_cap(),
+            nfs_commands::REMOVE,
+            params.freeze(),
+            Bytes::new(),
+        )?;
+        Ok(())
+    }
+
+    /// Client statistics: `nfs_retransmissions`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The fragment-loss model: after `retrans_every_packets` back-to-back
+    /// packets within one transfer, a fragment is lost and the client
+    /// stalls for a full retransmission timeout.
+    fn account_packets(&self, burst: &mut u64, bytes: u64) {
+        let every = self.profile.retrans_every_packets;
+        if every == 0 {
+            return;
+        }
+        *burst += bytes.div_ceil(self.profile.packet_payload as u64).max(1);
+        while *burst >= every {
+            *burst -= every;
+            self.clock.advance(self.profile.retrans_penalty);
+            self.stats.incr("nfs_retransmissions");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NfsServer, NfsServerConfig};
+    use amoeba_net::SimEthernet;
+    use amoeba_rpc::Dispatcher;
+    use amoeba_sim::{NetProfile, SimClock};
+    use std::sync::Arc;
+
+    fn stack(cfg: NfsServerConfig) -> (SimClock, NfsClient) {
+        let clock = cfg.clock.clone();
+        let server = Arc::new(NfsServer::format(cfg).unwrap());
+        let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        let dispatcher = Dispatcher::new(net);
+        let port = server.port();
+        let transfer = server.transfer_size();
+        let profile = server.profile();
+        dispatcher.register(server);
+        (
+            clock.clone(),
+            NfsClient::new(RpcClient::new(dispatcher), port, transfer, profile, clock),
+        )
+    }
+
+    #[test]
+    fn create_read_remove_round_trip() {
+        let (_clock, client) = stack(NfsServerConfig::small_test());
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 255) as u8).collect();
+        let fh = client.create_file(&data).unwrap();
+        assert_eq!(client.getattr(fh).unwrap(), 5000);
+        assert_eq!(client.read_file(fh).unwrap(), data);
+        client.remove(fh).unwrap();
+        assert_eq!(client.getattr(fh).unwrap_err(), Status::NotFound);
+    }
+
+    #[test]
+    fn zero_byte_file() {
+        let (_clock, client) = stack(NfsServerConfig::small_test());
+        let fh = client.create_file(&[]).unwrap();
+        assert_eq!(client.read_file(fh).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn one_rpc_per_block_not_per_file() {
+        let (_clock, client) = stack(NfsServerConfig::small_test());
+        let msgs0 = client.rpc.dispatcher().net().stats().get("net_messages");
+        let data = vec![3u8; 10 * 1024]; // 10 blocks of 1 KB
+        let fh = client.create_file(&data).unwrap();
+        let after_create = client.rpc.dispatcher().net().stats().get("net_messages");
+        // CREATE + 10 WRITEs, 2 messages each.
+        assert_eq!(after_create - msgs0, 22);
+        client.read_file(fh).unwrap();
+        let after_read = client.rpc.dispatcher().net().stats().get("net_messages");
+        // GETATTR + 10 READs.
+        assert_eq!(after_read - after_create, 22);
+    }
+
+    #[test]
+    fn retransmission_pathology_fires_on_large_transfers() {
+        let mut cfg = NfsServerConfig::small_test();
+        cfg.disk_blocks = 4096;
+        cfg.profile.retrans_every_packets = 16; // aggressively small for the test
+        let (clock, client) = stack(cfg);
+        let small = vec![1u8; 4 * 1024];
+        let _fh = client.create_file(&small).unwrap();
+        let retrans_after_small = client.stats().get("nfs_retransmissions");
+        assert_eq!(retrans_after_small, 0);
+
+        let t0 = clock.now();
+        let big = vec![2u8; 64 * 1024]; // 64 packets at 1480 B → several timeouts
+        client.create_file(&big).unwrap();
+        assert!(client.stats().get("nfs_retransmissions") >= 2);
+        assert!((clock.now() - t0).as_ms_f64() > 1000.0);
+    }
+
+    #[test]
+    fn bandwidth_dips_for_files_past_the_burst_threshold() {
+        // The paper's C4 claim: NFS bandwidth at 1 MB is *lower* than at
+        // 64 KB.  Scaled down: with the default 512-packet threshold a
+        // 1 MB transfer eats timeouts, a 64 KB one does not.
+        let mut cfg = NfsServerConfig::small_test();
+        cfg.block_size = 8192;
+        cfg.disk_blocks = 4096; // 32 MB device
+        cfg.cache_bytes = 3 << 20;
+        let (clock, client) = stack(cfg);
+
+        let bandwidth = |size: usize| {
+            let data = vec![7u8; size];
+            let t0 = clock.now();
+            let fh = client.create_file(&data).unwrap();
+            let dt = clock.now() - t0;
+            client.remove(fh).unwrap();
+            size as f64 / 1024.0 / dt.as_secs_f64()
+        };
+        let bw_64k = bandwidth(64 * 1024);
+        let bw_1m = bandwidth(1 << 20);
+        assert!(
+            bw_1m < bw_64k,
+            "1 MB bandwidth {bw_1m} must dip below 64 KB bandwidth {bw_64k}"
+        );
+    }
+}

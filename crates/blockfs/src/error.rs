@@ -1,0 +1,79 @@
+//! Error type for the block file system.
+
+use amoeba_disk::DiskError;
+use amoeba_rpc::Status;
+
+/// Errors produced by the block file system and NFS-like server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BlockFsError {
+    /// No free data blocks remain.
+    NoSpace,
+    /// No free inodes remain.
+    NoInodes,
+    /// The file handle does not name a live file (or is stale).
+    BadHandle,
+    /// A read touched beyond end-of-file.
+    OutOfRange,
+    /// The file would exceed the maximum mappable size.
+    TooBig,
+    /// The superblock is missing or damaged.
+    Corrupt(String),
+    /// The disk layer failed.
+    Disk(DiskError),
+}
+
+impl std::fmt::Display for BlockFsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockFsError::NoSpace => write!(f, "no free data blocks"),
+            BlockFsError::NoInodes => write!(f, "no free inodes"),
+            BlockFsError::BadHandle => write!(f, "stale or invalid file handle"),
+            BlockFsError::OutOfRange => write!(f, "read beyond end of file"),
+            BlockFsError::TooBig => write!(f, "file exceeds the maximum mappable size"),
+            BlockFsError::Corrupt(msg) => write!(f, "file system corrupt: {msg}"),
+            BlockFsError::Disk(e) => write!(f, "disk failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockFsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockFsError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DiskError> for BlockFsError {
+    fn from(e: DiskError) -> Self {
+        BlockFsError::Disk(e)
+    }
+}
+
+impl From<BlockFsError> for Status {
+    fn from(e: BlockFsError) -> Status {
+        match e {
+            BlockFsError::NoSpace | BlockFsError::NoInodes => Status::NoSpace,
+            BlockFsError::BadHandle => Status::NotFound,
+            BlockFsError::OutOfRange | BlockFsError::TooBig => Status::BadParam,
+            BlockFsError::Corrupt(_) | BlockFsError::Disk(_) => Status::SysErr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_and_display() {
+        assert_eq!(Status::from(BlockFsError::NoSpace), Status::NoSpace);
+        assert_eq!(Status::from(BlockFsError::BadHandle), Status::NotFound);
+        assert!(!BlockFsError::TooBig.to_string().is_empty());
+        assert!(BlockFsError::from(DiskError::DeviceFailed)
+            .to_string()
+            .contains("disk"));
+    }
+}

@@ -1,0 +1,727 @@
+//! The on-disk block file system: superblock, bitmap, indirect-block
+//! inodes — the design the Bullet paper's introduction describes (and
+//! replaces).
+
+use amoeba_disk::BlockDevice;
+use amoeba_sim::DetRng;
+
+use crate::buffer_cache::BufferCache;
+use crate::BlockFsError;
+
+/// Number of direct block pointers per inode (as in classic UNIX file
+/// systems; with 8 KB blocks this covers 80 KB before indirection).
+pub const NDIRECT: usize = 10;
+
+const INODE_BYTES: usize = 64;
+const MAGIC: u32 = 0x4e46_5331; // "NFS1"
+
+/// Where everything lives on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsGeometry {
+    /// File-system block size (also the NFS transfer size), bytes.
+    pub block_size: u32,
+    /// Total blocks on the device.
+    pub total_blocks: u64,
+    /// Number of inodes.
+    pub n_inodes: u32,
+    /// First bitmap block.
+    pub bitmap_start: u64,
+    /// Bitmap length in blocks.
+    pub bitmap_blocks: u64,
+    /// First inode-table block.
+    pub itable_start: u64,
+    /// Inode-table length in blocks.
+    pub itable_blocks: u64,
+    /// First data block.
+    pub data_start: u64,
+}
+
+impl FsGeometry {
+    fn compute(block_size: u32, total_blocks: u64, n_inodes: u32) -> FsGeometry {
+        let bs = block_size as u64;
+        let bitmap_start = 1;
+        let bitmap_blocks = total_blocks.div_ceil(bs * 8);
+        let itable_start = bitmap_start + bitmap_blocks;
+        let itable_blocks = (n_inodes as u64 * INODE_BYTES as u64).div_ceil(bs);
+        FsGeometry {
+            block_size,
+            total_blocks,
+            n_inodes,
+            bitmap_start,
+            bitmap_blocks,
+            itable_start,
+            itable_blocks,
+            data_start: itable_start + itable_blocks,
+        }
+    }
+
+    fn pointers_per_block(&self) -> u64 {
+        self.block_size as u64 / 4
+    }
+
+    /// Largest representable file in bytes (direct + indirect + double).
+    pub fn max_file_size(&self) -> u64 {
+        let ppb = self.pointers_per_block();
+        (NDIRECT as u64 + ppb + ppb * ppb) * self.block_size as u64
+    }
+}
+
+/// One in-memory inode (64 bytes on disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DiskInode {
+    /// 0 = free, 1 = live file.
+    mode: u32,
+    size: u32,
+    generation: u32,
+    direct: [u32; NDIRECT],
+    indirect: u32,
+    dindirect: u32,
+}
+
+impl DiskInode {
+    const FREE: DiskInode = DiskInode {
+        mode: 0,
+        size: 0,
+        generation: 0,
+        direct: [0; NDIRECT],
+        indirect: 0,
+        dindirect: 0,
+    };
+
+    fn encode(&self) -> [u8; INODE_BYTES] {
+        let mut out = [0u8; INODE_BYTES];
+        let mut w = |i: usize, v: u32| out[4 * i..4 * i + 4].copy_from_slice(&v.to_be_bytes());
+        w(0, self.mode);
+        w(1, self.size);
+        w(2, self.generation);
+        for (k, &d) in self.direct.iter().enumerate() {
+            w(3 + k, d);
+        }
+        w(3 + NDIRECT, self.indirect);
+        w(4 + NDIRECT, self.dindirect);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> DiskInode {
+        let r = |i: usize| u32::from_be_bytes(buf[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        let mut direct = [0u32; NDIRECT];
+        for (k, d) in direct.iter_mut().enumerate() {
+            *d = r(3 + k);
+        }
+        DiskInode {
+            mode: r(0),
+            size: r(1),
+            generation: r(2),
+            direct,
+            indirect: r(3 + NDIRECT),
+            dindirect: r(4 + NDIRECT),
+        }
+    }
+}
+
+/// The mounted block file system over a buffer-cached device.
+///
+/// All metadata I/O (superblock, bitmap, inode table, indirect blocks)
+/// and all data I/O go through the same write-through [`BufferCache`] —
+/// the traditional design where "a small part of the computer's little
+/// memory was used to keep parts of files in a RAM cache".
+pub struct BlockFs<D> {
+    cache: BufferCache<D>,
+    geo: FsGeometry,
+    /// When set, new blocks are allocated from pseudo-random bitmap
+    /// positions, modelling an *aged* file system whose free blocks are
+    /// scattered all over the disk (the paper's premise).  `None`
+    /// allocates first-free (a freshly formatted disk).
+    scatter: Option<DetRng>,
+}
+
+impl<D: BlockDevice> BlockFs<D> {
+    /// Formats `dev` and mounts the result.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors; [`BlockFsError::Corrupt`] for impossible geometry.
+    pub fn format(
+        dev: D,
+        n_inodes: u32,
+        cache_bytes: u64,
+        scatter_seed: Option<u64>,
+    ) -> Result<BlockFs<D>, BlockFsError> {
+        let geo = FsGeometry::compute(dev.block_size(), dev.num_blocks(), n_inodes);
+        if geo.data_start >= geo.total_blocks {
+            return Err(BlockFsError::Corrupt(
+                "device too small for bitmap and inode table".into(),
+            ));
+        }
+        let bs = geo.block_size as usize;
+        // Superblock.
+        let mut sb = vec![0u8; bs];
+        sb[0..4].copy_from_slice(&MAGIC.to_be_bytes());
+        sb[4..8].copy_from_slice(&geo.block_size.to_be_bytes());
+        sb[8..16].copy_from_slice(&geo.total_blocks.to_be_bytes());
+        sb[16..20].copy_from_slice(&geo.n_inodes.to_be_bytes());
+        dev.write_blocks(0, &sb)?;
+        // Zeroed bitmap and inode table; then mark the metadata region
+        // itself as allocated in the bitmap.
+        let zero = vec![0u8; bs];
+        for b in geo.bitmap_start..geo.data_start {
+            dev.write_blocks(b, &zero)?;
+        }
+        dev.sync()?;
+        let mut fs = BlockFs {
+            cache: BufferCache::new(dev, cache_bytes),
+            geo,
+            scatter: scatter_seed.map(DetRng::new),
+        };
+        for b in 0..geo.data_start {
+            fs.bitmap_set(b, true)?;
+        }
+        Ok(fs)
+    }
+
+    /// Mounts an already-formatted device.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockFsError::Corrupt`] if the superblock does not parse.
+    pub fn mount(
+        dev: D,
+        cache_bytes: u64,
+        scatter_seed: Option<u64>,
+    ) -> Result<BlockFs<D>, BlockFsError> {
+        let bs = dev.block_size() as usize;
+        let mut sb = vec![0u8; bs];
+        dev.read_blocks(0, &mut sb)?;
+        if u32::from_be_bytes(sb[0..4].try_into().expect("4")) != MAGIC {
+            return Err(BlockFsError::Corrupt("bad superblock magic".into()));
+        }
+        let block_size = u32::from_be_bytes(sb[4..8].try_into().expect("4"));
+        let total_blocks = u64::from_be_bytes(sb[8..16].try_into().expect("8"));
+        let n_inodes = u32::from_be_bytes(sb[16..20].try_into().expect("4"));
+        if block_size != dev.block_size() || total_blocks != dev.num_blocks() {
+            return Err(BlockFsError::Corrupt("superblock geometry mismatch".into()));
+        }
+        Ok(BlockFs {
+            geo: FsGeometry::compute(block_size, total_blocks, n_inodes),
+            cache: BufferCache::new(dev, cache_bytes),
+            scatter: scatter_seed.map(DetRng::new),
+        })
+    }
+
+    /// The mounted geometry.
+    pub fn geometry(&self) -> &FsGeometry {
+        &self.geo
+    }
+
+    /// The buffer cache (for statistics).
+    pub fn cache(&self) -> &BufferCache<D> {
+        &self.cache
+    }
+
+    /// Drops all cached blocks (used by benchmarks to measure cold reads).
+    pub fn drop_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Inode operations.
+    // ------------------------------------------------------------------
+
+    /// Allocates a fresh empty file; returns `(inode_number, generation)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockFsError::NoInodes`] when full; disk errors.
+    pub fn create_inode(&mut self) -> Result<(u32, u32), BlockFsError> {
+        for ino in 0..self.geo.n_inodes {
+            let node = self.read_inode(ino)?;
+            if node.mode == 0 {
+                let fresh = DiskInode {
+                    mode: 1,
+                    size: 0,
+                    generation: node.generation.wrapping_add(1),
+                    ..DiskInode::FREE
+                };
+                self.write_inode(ino, &fresh)?;
+                return Ok((ino, fresh.generation));
+            }
+        }
+        Err(BlockFsError::NoInodes)
+    }
+
+    /// The file's size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockFsError::BadHandle`] for a free inode or stale generation.
+    pub fn getattr(&mut self, ino: u32, generation: u32) -> Result<u32, BlockFsError> {
+        Ok(self.live_inode(ino, generation)?.size)
+    }
+
+    /// Writes `data` at `offset`, allocating blocks (and indirect blocks)
+    /// as needed, write-through.
+    ///
+    /// # Errors
+    ///
+    /// Handle, space, or disk errors.
+    pub fn write(
+        &mut self,
+        ino: u32,
+        generation: u32,
+        offset: u32,
+        data: &[u8],
+    ) -> Result<(), BlockFsError> {
+        let mut node = self.live_inode(ino, generation)?;
+        let end = offset as u64 + data.len() as u64;
+        if end > self.geo.max_file_size() || end > u32::MAX as u64 {
+            return Err(BlockFsError::TooBig);
+        }
+        let bs = self.geo.block_size as usize;
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset as usize + written;
+            let fblock = (pos / bs) as u64;
+            let in_block = pos % bs;
+            let n = (bs - in_block).min(data.len() - written);
+            let dblock = self.bmap(&mut node, fblock, true)?;
+            if n == bs {
+                self.cache
+                    .write_block(dblock, &data[written..written + n])?;
+            } else {
+                // Read-modify-write for partial blocks.
+                let mut block = self.cache.read_block(dblock)?.to_vec();
+                block[in_block..in_block + n].copy_from_slice(&data[written..written + n]);
+                self.cache.write_block(dblock, &block)?;
+            }
+            written += n;
+        }
+        if end as u32 > node.size {
+            node.size = end as u32;
+        }
+        self.write_inode(ino, &node)?;
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes at `offset`; short reads happen at EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockFsError::OutOfRange`] if `offset` is past EOF; handle or
+    /// disk errors.
+    pub fn read(
+        &mut self,
+        ino: u32,
+        generation: u32,
+        offset: u32,
+        len: u32,
+    ) -> Result<Vec<u8>, BlockFsError> {
+        let mut node = self.live_inode(ino, generation)?;
+        if offset > node.size {
+            return Err(BlockFsError::OutOfRange);
+        }
+        let end = (offset as u64 + len as u64).min(node.size as u64) as u32;
+        let bs = self.geo.block_size as usize;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset as usize;
+        while pos < end as usize {
+            let fblock = (pos / bs) as u64;
+            let in_block = pos % bs;
+            let n = (bs - in_block).min(end as usize - pos);
+            match self.bmap(&mut node, fblock, false)? {
+                0 => out.extend(std::iter::repeat_n(0u8, n)), // hole
+                dblock => {
+                    out.extend_from_slice(&self.cache.read_block(dblock)?[in_block..in_block + n])
+                }
+            }
+            pos += n;
+        }
+        Ok(out)
+    }
+
+    /// Removes a file, freeing its data and indirect blocks.
+    ///
+    /// # Errors
+    ///
+    /// Handle or disk errors.
+    pub fn remove(&mut self, ino: u32, generation: u32) -> Result<(), BlockFsError> {
+        let node = self.live_inode(ino, generation)?;
+        for &d in &node.direct {
+            if d != 0 {
+                self.free_block(d as u64)?;
+            }
+        }
+        if node.indirect != 0 {
+            self.free_indirect(node.indirect as u64, 1)?;
+        }
+        if node.dindirect != 0 {
+            self.free_indirect(node.dindirect as u64, 2)?;
+        }
+        self.write_inode(
+            ino,
+            &DiskInode {
+                generation: node.generation,
+                ..DiskInode::FREE
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Number of free data blocks (bitmap scan; used by tests).
+    ///
+    /// # Errors
+    ///
+    /// Disk errors.
+    pub fn free_blocks(&mut self) -> Result<u64, BlockFsError> {
+        let mut free = 0;
+        for b in self.geo.data_start..self.geo.total_blocks {
+            if !self.bitmap_get(b)? {
+                free += 1;
+            }
+        }
+        Ok(free)
+    }
+
+    // ------------------------------------------------------------------
+    // Block mapping (the indirect-block machinery the paper criticizes).
+    // ------------------------------------------------------------------
+
+    /// Maps a file block to a device block, optionally allocating.  A
+    /// return of 0 with `alloc = false` means a hole.
+    fn bmap(
+        &mut self,
+        node: &mut DiskInode,
+        fblock: u64,
+        alloc: bool,
+    ) -> Result<u64, BlockFsError> {
+        let ppb = self.geo.pointers_per_block();
+        if (fblock as usize) < NDIRECT {
+            let cur = node.direct[fblock as usize] as u64;
+            if cur != 0 || !alloc {
+                return Ok(cur);
+            }
+            let fresh = self.alloc_block()?;
+            node.direct[fblock as usize] = fresh as u32;
+            return Ok(fresh);
+        }
+        let fblock = fblock - NDIRECT as u64;
+        if fblock < ppb {
+            if node.indirect == 0 {
+                if !alloc {
+                    return Ok(0);
+                }
+                let blk = self.alloc_block()?;
+                self.zero_block(blk)?;
+                node.indirect = blk as u32;
+            }
+            return self.map_through(node.indirect as u64, &[fblock], alloc);
+        }
+        let fblock = fblock - ppb;
+        if fblock < ppb * ppb {
+            if node.dindirect == 0 {
+                if !alloc {
+                    return Ok(0);
+                }
+                let blk = self.alloc_block()?;
+                self.zero_block(blk)?;
+                node.dindirect = blk as u32;
+            }
+            return self.map_through(node.dindirect as u64, &[fblock / ppb, fblock % ppb], alloc);
+        }
+        Err(BlockFsError::TooBig)
+    }
+
+    /// Follows (and optionally builds) a chain of indirect blocks.
+    fn map_through(
+        &mut self,
+        mut table: u64,
+        path: &[u64],
+        alloc: bool,
+    ) -> Result<u64, BlockFsError> {
+        for (level, &slot) in path.iter().enumerate() {
+            let raw = self.cache.read_block(table)?;
+            let off = slot as usize * 4;
+            let mut ptr = u32::from_be_bytes(raw[off..off + 4].try_into().expect("4")) as u64;
+            if ptr == 0 {
+                if !alloc {
+                    return Ok(0);
+                }
+                ptr = self.alloc_block()?;
+                if level + 1 < path.len() {
+                    self.zero_block(ptr)?;
+                }
+                let mut block = self.cache.read_block(table)?.to_vec();
+                block[off..off + 4].copy_from_slice(&(ptr as u32).to_be_bytes());
+                self.cache.write_block(table, &block)?;
+            }
+            table = ptr;
+        }
+        Ok(table)
+    }
+
+    fn free_indirect(&mut self, table: u64, depth: u32) -> Result<(), BlockFsError> {
+        let ppb = self.geo.pointers_per_block() as usize;
+        let raw = self.cache.read_block(table)?.to_vec();
+        for slot in 0..ppb {
+            let ptr = u32::from_be_bytes(raw[slot * 4..slot * 4 + 4].try_into().expect("4")) as u64;
+            if ptr != 0 {
+                if depth > 1 {
+                    self.free_indirect(ptr, depth - 1)?;
+                } else {
+                    self.free_block(ptr)?;
+                }
+            }
+        }
+        self.free_block(table)
+    }
+
+    // ------------------------------------------------------------------
+    // Bitmap allocator.
+    // ------------------------------------------------------------------
+
+    fn alloc_block(&mut self) -> Result<u64, BlockFsError> {
+        let (start, end) = (self.geo.data_start, self.geo.total_blocks);
+        let span = end - start;
+        let origin = match &mut self.scatter {
+            Some(rng) => start + rng.next_below(span),
+            None => start,
+        };
+        // Scan from the origin, wrapping, for a free block.
+        for i in 0..span {
+            let b = start + (origin - start + i) % span;
+            if !self.bitmap_get(b)? {
+                self.bitmap_set(b, true)?;
+                return Ok(b);
+            }
+        }
+        Err(BlockFsError::NoSpace)
+    }
+
+    fn free_block(&mut self, block: u64) -> Result<(), BlockFsError> {
+        self.bitmap_set(block, false)?;
+        self.cache.invalidate(block);
+        Ok(())
+    }
+
+    fn bitmap_get(&mut self, block: u64) -> Result<bool, BlockFsError> {
+        let bits_per_block = self.geo.block_size as u64 * 8;
+        let bblock = self.geo.bitmap_start + block / bits_per_block;
+        let bit = (block % bits_per_block) as usize;
+        let raw = self.cache.read_block(bblock)?;
+        Ok(raw[bit / 8] & (1 << (bit % 8)) != 0)
+    }
+
+    fn bitmap_set(&mut self, block: u64, val: bool) -> Result<(), BlockFsError> {
+        let bits_per_block = self.geo.block_size as u64 * 8;
+        let bblock = self.geo.bitmap_start + block / bits_per_block;
+        let bit = (block % bits_per_block) as usize;
+        let mut raw = self.cache.read_block(bblock)?.to_vec();
+        if val {
+            raw[bit / 8] |= 1 << (bit % 8);
+        } else {
+            raw[bit / 8] &= !(1 << (bit % 8));
+        }
+        self.cache.write_block(bblock, &raw)?;
+        Ok(())
+    }
+
+    fn zero_block(&mut self, block: u64) -> Result<(), BlockFsError> {
+        self.cache
+            .write_block(block, &vec![0u8; self.geo.block_size as usize])
+    }
+
+    // ------------------------------------------------------------------
+    // Inode I/O.
+    // ------------------------------------------------------------------
+
+    fn live_inode(&mut self, ino: u32, generation: u32) -> Result<DiskInode, BlockFsError> {
+        if ino >= self.geo.n_inodes {
+            return Err(BlockFsError::BadHandle);
+        }
+        let node = self.read_inode(ino)?;
+        if node.mode == 0 || node.generation != generation {
+            return Err(BlockFsError::BadHandle);
+        }
+        Ok(node)
+    }
+
+    fn inode_location(&self, ino: u32) -> (u64, usize) {
+        let per_block = self.geo.block_size as usize / INODE_BYTES;
+        (
+            self.geo.itable_start + (ino as usize / per_block) as u64,
+            (ino as usize % per_block) * INODE_BYTES,
+        )
+    }
+
+    fn read_inode(&mut self, ino: u32) -> Result<DiskInode, BlockFsError> {
+        let (block, off) = self.inode_location(ino);
+        let raw = self.cache.read_block(block)?;
+        Ok(DiskInode::decode(&raw[off..off + INODE_BYTES]))
+    }
+
+    fn write_inode(&mut self, ino: u32, node: &DiskInode) -> Result<(), BlockFsError> {
+        let (block, off) = self.inode_location(ino);
+        let mut raw = self.cache.read_block(block)?.to_vec();
+        raw[off..off + INODE_BYTES].copy_from_slice(&node.encode());
+        self.cache.write_block(block, &raw)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_disk::RamDisk;
+
+    fn fs() -> BlockFs<RamDisk> {
+        // 1024-byte blocks keep indirect thresholds small for tests:
+        // direct = 10 KB, single indirect = +256 KB.
+        BlockFs::format(RamDisk::new(1024, 4096), 64, 64 * 1024, None).unwrap()
+    }
+
+    #[test]
+    fn inode_codec_roundtrip() {
+        let node = DiskInode {
+            mode: 1,
+            size: 12345,
+            generation: 7,
+            direct: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            indirect: 99,
+            dindirect: 100,
+        };
+        assert_eq!(DiskInode::decode(&node.encode()), node);
+    }
+
+    #[test]
+    fn create_write_read_small() {
+        let mut fs = fs();
+        let (ino, generation) = fs.create_inode().unwrap();
+        fs.write(ino, generation, 0, b"hello block world").unwrap();
+        assert_eq!(fs.getattr(ino, generation).unwrap(), 17);
+        assert_eq!(
+            fs.read(ino, generation, 0, 17).unwrap(),
+            b"hello block world"
+        );
+        assert_eq!(fs.read(ino, generation, 6, 5).unwrap(), b"block");
+        // Reads past EOF are short; offset beyond EOF errors.
+        assert_eq!(fs.read(ino, generation, 10, 100).unwrap().len(), 7);
+        assert!(matches!(
+            fs.read(ino, generation, 18, 1),
+            Err(BlockFsError::OutOfRange)
+        ));
+    }
+
+    #[test]
+    fn large_file_crosses_into_indirect_blocks() {
+        let mut fs = fs();
+        let (ino, generation) = fs.create_inode().unwrap();
+        // 40 KB > 10 KB direct coverage at 1 KB blocks.
+        let data: Vec<u8> = (0..40 * 1024u32).map(|i| (i % 251) as u8).collect();
+        for (i, chunk) in data.chunks(1024).enumerate() {
+            fs.write(ino, generation, (i * 1024) as u32, chunk).unwrap();
+        }
+        let back = fs.read(ino, generation, 0, data.len() as u32).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn very_large_file_uses_double_indirect() {
+        let mut fs = BlockFs::format(RamDisk::new(1024, 8192), 16, 256 * 1024, None).unwrap();
+        let (ino, generation) = fs.create_inode().unwrap();
+        // Single indirect covers 10 + 256 blocks = 266 KB; write past it.
+        let offset = 300 * 1024;
+        fs.write(ino, generation, offset, b"tail data").unwrap();
+        assert_eq!(fs.read(ino, generation, offset, 9).unwrap(), b"tail data");
+        // The hole in the middle reads as zeros.
+        assert_eq!(fs.read(ino, generation, 1024, 4).unwrap(), vec![0; 4]);
+        // Remove frees everything, including both indirect levels.
+        let free_before_format = fs.free_blocks().unwrap();
+        fs.remove(ino, generation).unwrap();
+        let free_after = fs.free_blocks().unwrap();
+        assert!(free_after > free_before_format);
+        assert!(matches!(
+            fs.getattr(ino, generation),
+            Err(BlockFsError::BadHandle)
+        ));
+    }
+
+    #[test]
+    fn generation_protects_against_stale_handles() {
+        let mut fs = fs();
+        let (ino, gen1) = fs.create_inode().unwrap();
+        fs.write(ino, gen1, 0, b"first").unwrap();
+        fs.remove(ino, gen1).unwrap();
+        let (ino2, gen2) = fs.create_inode().unwrap();
+        assert_eq!(ino2, ino, "inode slot is reused");
+        assert_ne!(gen2, gen1);
+        assert!(matches!(
+            fs.read(ino, gen1, 0, 5),
+            Err(BlockFsError::BadHandle)
+        ));
+    }
+
+    #[test]
+    fn remove_returns_blocks_to_the_pool() {
+        let mut fs = fs();
+        let free0 = fs.free_blocks().unwrap();
+        let (ino, generation) = fs.create_inode().unwrap();
+        fs.write(ino, generation, 0, &vec![7u8; 20 * 1024]).unwrap();
+        let free1 = fs.free_blocks().unwrap();
+        assert!(free1 < free0);
+        fs.remove(ino, generation).unwrap();
+        assert_eq!(fs.free_blocks().unwrap(), free0);
+    }
+
+    #[test]
+    fn mount_rereads_formatted_state() {
+        use std::sync::Arc;
+        let dev = Arc::new(RamDisk::new(1024, 2048));
+        let (ino, generation);
+        {
+            let mut fs = BlockFs::format(dev.clone(), 16, 32 * 1024, None).unwrap();
+            (ino, generation) = fs.create_inode().unwrap();
+            fs.write(ino, generation, 0, b"durable").unwrap();
+            // Write-through: dropping the fs loses nothing.
+        }
+        let mut fs2 = BlockFs::mount(dev.clone(), 32 * 1024, None).unwrap();
+        assert_eq!(fs2.read(ino, generation, 0, 7).unwrap(), b"durable");
+        // Wrong geometry is rejected.
+        assert!(BlockFs::mount(Arc::new(RamDisk::new(1024, 2048)), 1024, None).is_err());
+    }
+
+    #[test]
+    fn scattered_allocation_spreads_blocks() {
+        fn measure_spread(fs: &mut BlockFs<RamDisk>) -> u64 {
+            let (ino, generation) = fs.create_inode().unwrap();
+            fs.write(ino, generation, 0, &vec![1u8; 8 * 1024]).unwrap();
+            let node = fs.read_inode(ino).unwrap();
+            let blocks: Vec<u64> = node.direct.iter().take(8).map(|&b| b as u64).collect();
+            let min = *blocks.iter().min().unwrap();
+            let max = *blocks.iter().max().unwrap();
+            max - min
+        }
+        let mut fresh = fs();
+        let mut aged = BlockFs::format(RamDisk::new(1024, 4096), 64, 64 * 1024, Some(42)).unwrap();
+        let fresh_spread = measure_spread(&mut fresh);
+        let aged_spread = measure_spread(&mut aged);
+        assert!(fresh_spread <= 8, "fresh spread {fresh_spread}");
+        assert!(aged_spread > 64, "aged spread {aged_spread}");
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut small = BlockFs::format(RamDisk::new(1024, 16), 4, 8 * 1024, None).unwrap();
+        let (ino, generation) = small.create_inode().unwrap();
+        assert!(matches!(
+            small.write(ino, generation, 0, &vec![0u8; 32 * 1024]),
+            Err(BlockFsError::NoSpace)
+        ));
+        // Inode exhaustion.
+        let mut fs = fs();
+        let mut n = 0;
+        while fs.create_inode().is_ok() {
+            n += 1;
+            assert!(n <= 64);
+        }
+        assert_eq!(n, 64);
+    }
+}

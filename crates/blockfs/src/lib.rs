@@ -1,0 +1,46 @@
+//! The traditional block-based file server — the paper's comparison
+//! baseline (SUN NFS on SunOS 3.5).
+//!
+//! This crate implements, from scratch, exactly the architecture the
+//! paper's introduction criticizes: "files were split into fixed size
+//! blocks scattered all over the disk … each block had to be separately
+//! accessed … indirect blocks were necessary to administer the files and
+//! their blocks", with "a small part of memory … used to keep parts of
+//! files in a RAM cache".
+//!
+//! Pieces:
+//!
+//! * [`fs`] — the on-disk layout: superblock, block bitmap, an inode
+//!   table whose inodes hold 10 direct pointers plus single- and
+//!   double-indirect blocks, and a data area allocated block-at-a-time
+//!   (optionally *scattered*, modelling an aged file system).
+//! * [`buffer_cache`] — the server's write-through LRU buffer cache
+//!   (3 MB, matching the measured SUN 3/180).
+//! * [`server`] — the NFS-like RPC server: per-8 KB READ / WRITE
+//!   operations against file handles, plus GETATTR / CREATE / REMOVE.
+//! * [`client`] — the client that the paper's test harness used:
+//!   `lseek`+`read` loops and `creat`+`write`+`close` loops issuing one
+//!   synchronous RPC per block (client caching disabled, as the paper
+//!   did with `lockf`).
+//!
+//! The cost model ([`NfsProfile`]) charges the documented era costs: a
+//! fixed several-millisecond server CPU cost per NFS operation, extra
+//! per-byte copying in the mbuf/UDP path, and a retransmission timeout
+//! for sustained multi-fragment UDP bursts on a loaded Ethernet (the
+//! classic NFS large-transfer pathology; see EXPERIMENTS.md for the
+//! calibration discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer_cache;
+pub mod client;
+pub mod error;
+pub mod fs;
+pub mod server;
+
+pub use buffer_cache::BufferCache;
+pub use client::NfsClient;
+pub use error::BlockFsError;
+pub use fs::{BlockFs, FsGeometry};
+pub use server::{nfs_commands, FileHandle, NfsProfile, NfsServer, NfsServerConfig};

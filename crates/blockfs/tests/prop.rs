@@ -1,0 +1,119 @@
+//! Property tests for the block file system: arbitrary write/read
+//! patterns must agree with a flat byte-vector model, across indirect
+//! block boundaries and block reuse.
+
+use amoeba_disk::RamDisk;
+use nfs_blockfs::{BlockFs, BlockFsError};
+use proptest::prelude::*;
+
+const BS: u32 = 1024;
+
+fn fs() -> BlockFs<RamDisk> {
+    // 1 KB blocks: direct = 10 KB, indirect from there — small enough
+    // that random offsets cross the boundary constantly.
+    BlockFs::format(RamDisk::new(BS, 8192), 32, 128 * 1024, None).unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct WriteOp {
+    offset: u32,
+    data: Vec<u8>,
+}
+
+fn arb_write() -> impl Strategy<Value = WriteOp> {
+    (
+        0u32..64 * 1024,
+        proptest::collection::vec(any::<u8>(), 1..4000),
+    )
+        .prop_map(|(offset, data)| WriteOp { offset, data })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn writes_then_reads_match_a_flat_model(ops in proptest::collection::vec(arb_write(), 1..12)) {
+        let mut fs = fs();
+        let (ino, generation) = fs.create_inode().unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for op in &ops {
+            fs.write(ino, generation, op.offset, &op.data).unwrap();
+            let end = op.offset as usize + op.data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[op.offset as usize..end].copy_from_slice(&op.data);
+        }
+        prop_assert_eq!(fs.getattr(ino, generation).unwrap() as usize, model.len());
+        let back = fs.read(ino, generation, 0, model.len() as u32).unwrap();
+        prop_assert_eq!(back, model.clone());
+        // Partial reads agree with slices.
+        if !model.is_empty() {
+            let mid = model.len() / 2;
+            let part = fs.read(ino, generation, mid as u32, 700).unwrap();
+            let expected = &model[mid..(mid + 700).min(model.len())];
+            prop_assert_eq!(&part[..], expected);
+        }
+    }
+
+    #[test]
+    fn remove_frees_everything_it_allocated(ops in proptest::collection::vec(arb_write(), 1..8)) {
+        let mut fs = fs();
+        let free0 = fs.free_blocks().unwrap();
+        let (ino, generation) = fs.create_inode().unwrap();
+        for op in &ops {
+            fs.write(ino, generation, op.offset, &op.data).unwrap();
+        }
+        fs.remove(ino, generation).unwrap();
+        prop_assert_eq!(fs.free_blocks().unwrap(), free0);
+        prop_assert!(matches!(
+            fs.read(ino, generation, 0, 1),
+            Err(BlockFsError::BadHandle)
+        ));
+    }
+
+    #[test]
+    fn files_are_isolated(
+        a_ops in proptest::collection::vec(arb_write(), 1..6),
+        b_ops in proptest::collection::vec(arb_write(), 1..6),
+    ) {
+        let mut fs = fs();
+        let (a, ga) = fs.create_inode().unwrap();
+        let (b, gb) = fs.create_inode().unwrap();
+        let mut model_a: Vec<u8> = Vec::new();
+        let mut model_b: Vec<u8> = Vec::new();
+        // Interleave writes to the two files.
+        for (wa, wb) in a_ops.iter().zip(b_ops.iter().chain(std::iter::repeat(&b_ops[0]))) {
+            fs.write(a, ga, wa.offset, &wa.data).unwrap();
+            let end = wa.offset as usize + wa.data.len();
+            if model_a.len() < end { model_a.resize(end, 0); }
+            model_a[wa.offset as usize..end].copy_from_slice(&wa.data);
+
+            fs.write(b, gb, wb.offset, &wb.data).unwrap();
+            let end = wb.offset as usize + wb.data.len();
+            if model_b.len() < end { model_b.resize(end, 0); }
+            model_b[wb.offset as usize..end].copy_from_slice(&wb.data);
+        }
+        prop_assert_eq!(fs.read(a, ga, 0, model_a.len() as u32).unwrap(), model_a);
+        prop_assert_eq!(fs.read(b, gb, 0, model_b.len() as u32).unwrap(), model_b);
+    }
+
+    #[test]
+    fn scattered_and_fresh_layouts_read_identically(ops in proptest::collection::vec(arb_write(), 1..8)) {
+        // Allocation policy must never change contents, only placement.
+        let mut fresh = fs();
+        let mut aged = BlockFs::format(RamDisk::new(BS, 8192), 32, 128 * 1024, Some(99)).unwrap();
+        let (fi, fg) = fresh.create_inode().unwrap();
+        let (ai, ag) = aged.create_inode().unwrap();
+        for op in &ops {
+            fresh.write(fi, fg, op.offset, &op.data).unwrap();
+            aged.write(ai, ag, op.offset, &op.data).unwrap();
+        }
+        let n = fresh.getattr(fi, fg).unwrap();
+        prop_assert_eq!(aged.getattr(ai, ag).unwrap(), n);
+        prop_assert_eq!(
+            fresh.read(fi, fg, 0, n).unwrap(),
+            aged.read(ai, ag, 0, n).unwrap()
+        );
+    }
+}

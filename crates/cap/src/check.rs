@@ -1,0 +1,330 @@
+//! Check-field protection schemes.
+//!
+//! The paper (§2.1) describes check-field generation as "taking the rights
+//! and the random number from the inode, and encrypting both", and notes
+//! that "other schemes are described in \[12\]" (the sparse-capabilities
+//! paper).  Both are implemented here behind the [`CheckScheme`] trait so
+//! servers can choose.
+
+use crate::xtea::{self, Key};
+use crate::{mask48, CapError, Capability, Check, ObjNum, Port, Rights};
+use rand::Rng;
+
+/// The server-wide secret that keys check-field generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerKey(Key);
+
+impl ServerKey {
+    /// Derives a server key from a seed (deterministic; handy for tests and
+    /// for rebuilding the same key after restart from stable storage).
+    pub fn from_seed(seed: u64) -> Self {
+        ServerKey(Key::from_seed(seed))
+    }
+
+    /// Draws a fresh random server key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 16];
+        rng.fill(&mut bytes[..]);
+        ServerKey(Key::from_bytes(&bytes))
+    }
+}
+
+/// A capability protection scheme: how check fields are minted and verified
+/// against the per-object random number stored in the inode.
+///
+/// This trait is object-safe so servers can hold a `Box<dyn CheckScheme>`.
+pub trait CheckScheme: Send + Sync {
+    /// Mints a capability for `(port, object)` granting `rights`, where
+    /// `random` is the object's 48-bit random number from its inode.
+    fn mint(&self, port: Port, object: ObjNum, rights: Rights, random: u64) -> Capability;
+
+    /// Verifies a presented capability against the object's stored random
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::BadCheckField`] if the capability was forged or tampered
+    /// with.
+    fn verify(&self, cap: &Capability, random: u64) -> Result<(), CapError>;
+
+    /// Derives a capability with fewer rights from an existing one,
+    /// *without* access to the inode.  Returns `None` if the scheme cannot
+    /// do this client-side (the holder must then ask the server).
+    fn restrict(&self, cap: &Capability, mask: Rights) -> Option<Capability>;
+
+    /// Convenience: verify and additionally require `needed` rights.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::BadCheckField`] on forgery, or
+    /// [`CapError::InsufficientRights`] if genuine but under-privileged.
+    fn check_rights(&self, cap: &Capability, random: u64, needed: Rights) -> Result<(), CapError> {
+        self.verify(cap, random)?;
+        if cap.rights.contains(needed) {
+            Ok(())
+        } else {
+            Err(CapError::InsufficientRights)
+        }
+    }
+}
+
+/// The scheme sketched in the paper: `check = E_k(object ‖ rights ‖ random)`
+/// truncated to 48 bits, with `k` a server-wide secret.
+///
+/// Rights restriction requires a server round-trip (`restrict` returns
+/// `None`) because only the server can re-encrypt.
+#[derive(Debug, Clone, Copy)]
+pub struct MacScheme {
+    key: ServerKey,
+}
+
+impl MacScheme {
+    /// Creates the scheme from an existing server key.
+    pub fn new(key: ServerKey) -> Self {
+        MacScheme { key }
+    }
+
+    /// Creates the scheme from a deterministic seed.
+    pub fn from_seed(seed: u64) -> Self {
+        MacScheme::new(ServerKey::from_seed(seed))
+    }
+
+    fn tag(&self, object: ObjNum, rights: Rights, random: u64) -> Check {
+        // Two-block CBC-MAC-like chain over (object ‖ rights) and random.
+        let block1 = ((object.value() as u64) << 8) | rights.bits() as u64;
+        let c1 = xtea::encrypt_block(&self.key.0, block1);
+        let c2 = xtea::encrypt_block(&self.key.0, c1 ^ mask48(random));
+        mask48(c2)
+    }
+}
+
+impl CheckScheme for MacScheme {
+    fn mint(&self, port: Port, object: ObjNum, rights: Rights, random: u64) -> Capability {
+        Capability::new(port, object, rights, self.tag(object, rights, random))
+    }
+
+    fn verify(&self, cap: &Capability, random: u64) -> Result<(), CapError> {
+        if cap.check == self.tag(cap.object, cap.rights, random) {
+            Ok(())
+        } else {
+            Err(CapError::BadCheckField)
+        }
+    }
+
+    fn restrict(&self, _cap: &Capability, _mask: Rights) -> Option<Capability> {
+        None // only the key holder (the server) can re-mint
+    }
+}
+
+/// The published Amoeba scheme (sparse capabilities):
+///
+/// * the *owner* capability (rights == ALL) carries the raw random number as
+///   its check field;
+/// * a *restricted* capability carries `F(random ^ pad(rights))` where `F`
+///   is a public one-way function.
+///
+/// Anyone holding the owner capability can therefore restrict it locally,
+/// and the server can verify either form with one `F` evaluation — no
+/// secret key needed at all.
+#[derive(Debug, Clone, Copy)]
+pub struct AmoebaScheme {
+    /// Public one-way-function key (a published constant, not a secret).
+    f_key: Key,
+}
+
+impl Default for AmoebaScheme {
+    fn default() -> Self {
+        AmoebaScheme::new()
+    }
+}
+
+impl AmoebaScheme {
+    /// Creates the scheme with the standard public one-way function.
+    pub fn new() -> Self {
+        // Nothing-up-my-sleeve constants; the function must merely be
+        // one-way, not secret.
+        AmoebaScheme {
+            f_key: Key([0x243f_6a88, 0x85a3_08d3, 0x1319_8a2e, 0x0370_7344]),
+        }
+    }
+
+    fn pad(rights: Rights) -> u64 {
+        // Spread the 8 rights bits across the 48-bit field so that flipping
+        // any rights bit perturbs many positions even before F is applied.
+        let r = rights.bits() as u64;
+        mask48(r | (r << 8) | (r << 16) | (r << 24) | (r << 32) | (r << 40))
+    }
+
+    fn restricted_check(&self, random: u64, rights: Rights) -> Check {
+        mask48(xtea::one_way(
+            &self.f_key,
+            mask48(random) ^ Self::pad(rights),
+        ))
+    }
+}
+
+impl CheckScheme for AmoebaScheme {
+    fn mint(&self, port: Port, object: ObjNum, rights: Rights, random: u64) -> Capability {
+        let check = if rights == Rights::ALL {
+            mask48(random)
+        } else {
+            self.restricted_check(random, rights)
+        };
+        Capability::new(port, object, rights, check)
+    }
+
+    fn verify(&self, cap: &Capability, random: u64) -> Result<(), CapError> {
+        let expect = if cap.rights == Rights::ALL {
+            mask48(random)
+        } else {
+            self.restricted_check(random, cap.rights)
+        };
+        if cap.check == expect {
+            Ok(())
+        } else {
+            Err(CapError::BadCheckField)
+        }
+    }
+
+    fn restrict(&self, cap: &Capability, mask: Rights) -> Option<Capability> {
+        if cap.rights != Rights::ALL {
+            return None; // can only restrict starting from the owner cap
+        }
+        let rights = cap.rights.intersection(mask);
+        if rights == Rights::ALL {
+            return Some(*cap);
+        }
+        // cap.check IS the random number for an owner capability.
+        Some(Capability::new(
+            cap.port,
+            cap.object,
+            rights,
+            self.restricted_check(cap.check, rights),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> Port {
+        Port::from_bytes([9, 9, 9, 9, 9, 9])
+    }
+
+    fn obj(n: u32) -> ObjNum {
+        ObjNum::new(n).unwrap()
+    }
+
+    #[test]
+    fn mac_mint_verify() {
+        let s = MacScheme::from_seed(1);
+        let cap = s.mint(port(), obj(5), Rights::READ, 0xabcdef);
+        assert!(s.verify(&cap, 0xabcdef).is_ok());
+    }
+
+    #[test]
+    fn mac_rejects_wrong_random() {
+        let s = MacScheme::from_seed(1);
+        let cap = s.mint(port(), obj(5), Rights::READ, 0xabcdef);
+        assert_eq!(s.verify(&cap, 0xabcdee), Err(CapError::BadCheckField));
+    }
+
+    #[test]
+    fn mac_rejects_tampered_rights() {
+        let s = MacScheme::from_seed(1);
+        let mut cap = s.mint(port(), obj(5), Rights::READ, 0xabcdef);
+        cap.rights = Rights::ALL;
+        assert_eq!(s.verify(&cap, 0xabcdef), Err(CapError::BadCheckField));
+    }
+
+    #[test]
+    fn mac_rejects_transplanted_object() {
+        let s = MacScheme::from_seed(1);
+        let mut cap = s.mint(port(), obj(5), Rights::ALL, 0xabcdef);
+        cap.object = obj(6);
+        assert_eq!(s.verify(&cap, 0xabcdef), Err(CapError::BadCheckField));
+    }
+
+    #[test]
+    fn mac_cannot_restrict_client_side() {
+        let s = MacScheme::from_seed(1);
+        let cap = s.mint(port(), obj(5), Rights::ALL, 0xabcdef);
+        assert!(s.restrict(&cap, Rights::READ).is_none());
+    }
+
+    #[test]
+    fn mac_different_seeds_disagree() {
+        let a = MacScheme::from_seed(1);
+        let b = MacScheme::from_seed(2);
+        let cap = a.mint(port(), obj(5), Rights::READ, 0xabcdef);
+        assert!(b.verify(&cap, 0xabcdef).is_err());
+    }
+
+    #[test]
+    fn check_rights_distinguishes_forgery_from_privilege() {
+        let s = MacScheme::from_seed(3);
+        let cap = s.mint(port(), obj(1), Rights::READ, 7);
+        assert!(s.check_rights(&cap, 7, Rights::READ).is_ok());
+        assert_eq!(
+            s.check_rights(&cap, 7, Rights::DESTROY),
+            Err(CapError::InsufficientRights)
+        );
+        assert_eq!(
+            s.check_rights(&cap, 8, Rights::READ),
+            Err(CapError::BadCheckField)
+        );
+    }
+
+    #[test]
+    fn amoeba_owner_cap_carries_random() {
+        let s = AmoebaScheme::new();
+        let cap = s.mint(port(), obj(2), Rights::ALL, 0x1234_5678_9abc);
+        assert_eq!(cap.check, 0x1234_5678_9abc);
+        assert!(s.verify(&cap, 0x1234_5678_9abc).is_ok());
+    }
+
+    #[test]
+    fn amoeba_client_side_restrict_verifies() {
+        let s = AmoebaScheme::new();
+        let owner = s.mint(port(), obj(2), Rights::ALL, 0xfeed_beef);
+        let reader = s.restrict(&owner, Rights::READ).unwrap();
+        assert_eq!(reader.rights, Rights::READ);
+        assert!(s.verify(&reader, 0xfeed_beef).is_ok());
+        // The restricted cap no longer reveals the random number.
+        assert_ne!(reader.check, owner.check);
+    }
+
+    #[test]
+    fn amoeba_restricted_cannot_be_amplified() {
+        let s = AmoebaScheme::new();
+        let owner = s.mint(port(), obj(2), Rights::ALL, 0xfeed_beef);
+        let reader = s.restrict(&owner, Rights::READ).unwrap();
+        // A holder of the restricted cap tries to claim ALL rights by
+        // presenting the restricted check as the random number.
+        let forged = Capability::new(reader.port, reader.object, Rights::ALL, reader.check);
+        assert_eq!(s.verify(&forged, 0xfeed_beef), Err(CapError::BadCheckField));
+        // Restricting a non-owner cap is impossible client-side.
+        assert!(s.restrict(&reader, Rights::NONE).is_none());
+    }
+
+    #[test]
+    fn amoeba_restrict_to_all_is_identity() {
+        let s = AmoebaScheme::new();
+        let owner = s.mint(port(), obj(2), Rights::ALL, 0xfeed_beef);
+        assert_eq!(s.restrict(&owner, Rights::ALL).unwrap(), owner);
+    }
+
+    #[test]
+    fn schemes_work_as_trait_objects() {
+        let schemes: Vec<Box<dyn CheckScheme>> = vec![
+            Box::new(MacScheme::from_seed(7)),
+            Box::new(AmoebaScheme::new()),
+        ];
+        for s in &schemes {
+            let cap = s.mint(port(), obj(3), Rights::ALL, 42);
+            assert!(s.verify(&cap, 42).is_ok());
+            assert!(s.verify(&cap, 43).is_err());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for capability handling.
+
+/// Errors produced when constructing, decoding, or verifying capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CapError {
+    /// The presented check field does not match the object's protection
+    /// state: the capability was forged or tampered with.
+    BadCheckField,
+    /// The capability grants none of the rights required for the operation.
+    InsufficientRights,
+    /// An object number exceeded the 24-bit wire representation.
+    ObjectNumberTooLarge(u32),
+    /// A wire buffer was the wrong length for a capability.
+    BadWireLength(usize),
+}
+
+impl std::fmt::Display for CapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapError::BadCheckField => write!(f, "capability check field does not verify"),
+            CapError::InsufficientRights => {
+                write!(f, "capability does not grant the required rights")
+            }
+            CapError::ObjectNumberTooLarge(n) => {
+                write!(f, "object number {n} exceeds the 24-bit limit")
+            }
+            CapError::BadWireLength(n) => {
+                write!(f, "capability wire buffer has {n} bytes, expected 16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [
+            CapError::BadCheckField,
+            CapError::InsufficientRights,
+            CapError::ObjectNumberTooLarge(99),
+            CapError::BadWireLength(3),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the capability crate.
+
+use amoeba_cap::{
+    check::{AmoebaScheme, CheckScheme, MacScheme},
+    xtea::{self, Key},
+    Capability, ObjNum, Port, Rights,
+};
+use proptest::prelude::*;
+
+fn arb_port() -> impl Strategy<Value = Port> {
+    any::<[u8; 6]>().prop_map(Port::from_bytes)
+}
+
+fn arb_obj() -> impl Strategy<Value = ObjNum> {
+    (0u32..=ObjNum::MAX).prop_map(|n| ObjNum::new(n).unwrap())
+}
+
+fn arb_rights() -> impl Strategy<Value = Rights> {
+    any::<u8>().prop_map(Rights::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn xtea_roundtrips(key in any::<[u32; 4]>(), block in any::<u64>()) {
+        let key = Key(key);
+        prop_assert_eq!(xtea::decrypt_block(&key, xtea::encrypt_block(&key, block)), block);
+    }
+
+    #[test]
+    fn capability_wire_roundtrips(
+        port in arb_port(),
+        obj in arb_obj(),
+        rights in arb_rights(),
+        check in any::<u64>(),
+    ) {
+        let cap = Capability::new(port, obj, rights, check);
+        let decoded = Capability::from_wire(&cap.to_wire()).unwrap();
+        prop_assert_eq!(decoded, cap);
+    }
+
+    #[test]
+    fn mac_scheme_accepts_genuine_rejects_tampered(
+        seed in any::<u64>(),
+        port in arb_port(),
+        obj in arb_obj(),
+        rights in arb_rights(),
+        random in any::<u64>(),
+        flip in 0usize..128,
+    ) {
+        let s = MacScheme::from_seed(seed);
+        let cap = s.mint(port, obj, rights, random);
+        prop_assert!(s.verify(&cap, random).is_ok());
+
+        // Flip one bit somewhere in (object, rights, check) and require the
+        // verifier to notice.  Flips confined to the port are not the
+        // check field's job (the port routes the request; the server only
+        // sees caps addressed to itself).
+        let mut wire = cap.to_wire();
+        let bit = 48 + flip % 80; // skip the 6 port bytes
+        wire[bit / 8] ^= 1 << (bit % 8);
+        let tampered = Capability::from_wire(&wire).unwrap();
+        if tampered != cap {
+            prop_assert!(s.verify(&tampered, random).is_err());
+        }
+    }
+
+    #[test]
+    fn amoeba_restriction_monotone(
+        port in arb_port(),
+        obj in arb_obj(),
+        random in any::<u64>(),
+        mask in any::<u8>(),
+    ) {
+        let s = AmoebaScheme::new();
+        let owner = s.mint(port, obj, Rights::ALL, random);
+        let restricted = s.restrict(&owner, Rights::from_bits(mask)).unwrap();
+        // Restriction never adds rights and always verifies.
+        prop_assert!(Rights::ALL.contains(restricted.rights));
+        prop_assert_eq!(restricted.rights, Rights::from_bits(mask));
+        prop_assert!(s.verify(&restricted, random).is_ok());
+    }
+
+    #[test]
+    fn amoeba_wrong_rights_claim_fails(
+        port in arb_port(),
+        obj in arb_obj(),
+        random in any::<u64>(),
+        claimed in any::<u8>(),
+        actual in any::<u8>(),
+    ) {
+        prop_assume!(claimed != actual);
+        prop_assume!(Rights::from_bits(actual) != Rights::ALL);
+        let s = AmoebaScheme::new();
+        let owner = s.mint(port, obj, Rights::ALL, random);
+        let restricted = s.restrict(&owner, Rights::from_bits(actual)).unwrap();
+        // Re-labelling the rights byte without redoing the one-way function
+        // must fail verification.
+        let forged = Capability::new(port, obj, Rights::from_bits(claimed), restricted.check);
+        prop_assert!(s.verify(&forged, random).is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! The RAM file cache: rnodes, LRU aging, and memory compaction.
+//!
+//! "A separate table in RAM maintains the administration of the cached
+//! files … called rnodes.  An rnode contains: 1) the inode table index of
+//! the corresponding file; 2) a pointer to the file in RAM cache; 3) an
+//! age field to implement an LRU cache strategy." (§3)
+//!
+//! Files are cached *contiguously*: the cache arena is a single simulated
+//! address space managed by the same first-fit extent allocator as the
+//! disk, so cache memory suffers real external fragmentation and supports
+//! the paper's remedy ("compacting part or all of the RAM cache from time
+//! to time").
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use amoeba_sim::{DetRng, Stats};
+
+use crate::freelist::ExtentAllocator;
+use crate::BulletError;
+
+/// Which cached file is sacrificed when room is needed.
+///
+/// The paper's server uses LRU ("an age field to implement an LRU cache
+/// strategy"); the alternatives exist for the `ablation_eviction`
+/// benchmark that justifies that choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Least recently used (the paper's policy).
+    #[default]
+    Lru,
+    /// First in, first out: insertion order, ignoring later accesses.
+    Fifo,
+    /// A uniformly random victim (deterministic via the given seed).
+    Random(u64),
+}
+
+/// One cache entry.
+#[derive(Debug, Clone)]
+struct Rnode {
+    /// The inode-table index of the cached file.
+    inode_index: u32,
+    /// Byte offset of the file in the cache arena (the "pointer").
+    offset: u64,
+    /// The cached contents (length is the file size).
+    data: Bytes,
+    /// LRU age: larger is more recent.
+    age: u64,
+}
+
+/// Outcome of a successful [`FileCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The rnode slot the file landed in (for the inode's index field the
+    /// server stores `slot + 1`, keeping 0 as "not cached").
+    pub slot: u16,
+    /// Inode indices of files evicted to make room; the server must clear
+    /// their inode index fields.
+    pub evicted: Vec<u32>,
+    /// Bytes moved by an internal memory compaction (0 if none was
+    /// needed); the server charges memcpy time for them.
+    pub compaction_bytes: u64,
+}
+
+/// The Bullet server's RAM file cache.
+#[derive(Debug)]
+pub struct FileCache {
+    capacity: u64,
+    arena: ExtentAllocator,
+    rnodes: Vec<Option<Rnode>>,
+    free_slots: Vec<u16>,
+    by_inode: HashMap<u32, u16>,
+    age_counter: u64,
+    policy: EvictionPolicy,
+    rng: DetRng,
+    stats: Stats,
+}
+
+impl FileCache {
+    /// Maximum number of rnode slots (the inode's index field is 2 bytes,
+    /// with 0 reserved for "not cached").
+    pub const MAX_SLOTS: usize = u16::MAX as usize - 1;
+
+    /// Creates a cache of `capacity` bytes with at most `slots` rnodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is 0 or exceeds [`FileCache::MAX_SLOTS`].
+    pub fn new(capacity: u64, slots: usize) -> FileCache {
+        FileCache::with_policy(capacity, slots, EvictionPolicy::Lru)
+    }
+
+    /// Creates a cache with an explicit eviction policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is 0 or exceeds [`FileCache::MAX_SLOTS`].
+    pub fn with_policy(capacity: u64, slots: usize, policy: EvictionPolicy) -> FileCache {
+        assert!(
+            slots > 0 && slots <= Self::MAX_SLOTS,
+            "bad rnode slot count"
+        );
+        let seed = match policy {
+            EvictionPolicy::Random(seed) => seed,
+            _ => 0,
+        };
+        FileCache {
+            capacity,
+            arena: ExtentAllocator::new(0, capacity),
+            rnodes: vec![None; slots],
+            free_slots: (0..slots as u16).rev().collect(),
+            by_inode: HashMap::new(),
+            age_counter: 0,
+            policy,
+            rng: DetRng::new(seed),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Cache statistics: `cache_hits`, `cache_misses`, `cache_evictions`,
+    /// `cache_compactions`, `cache_inserts`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.capacity - self.arena.free_units()
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.by_inode.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_inode.is_empty()
+    }
+
+    /// Looks up a file, refreshing its age.  Counts a hit or miss.
+    pub fn get(&mut self, inode_index: u32) -> Option<Bytes> {
+        match self.by_inode.get(&inode_index) {
+            Some(&slot) => {
+                self.age_counter += 1;
+                let refresh = self.policy == EvictionPolicy::Lru;
+                let r = self.rnodes[slot as usize]
+                    .as_mut()
+                    .expect("by_inode points at a live rnode");
+                if refresh {
+                    r.age = self.age_counter;
+                }
+                self.stats.incr("cache_hits");
+                Some(r.data.clone())
+            }
+            None => {
+                self.stats.incr("cache_misses");
+                None
+            }
+        }
+    }
+
+    /// Looks up without touching age or counters (for inspection).
+    pub fn peek(&self, inode_index: u32) -> Option<Bytes> {
+        self.by_inode.get(&inode_index).map(|&slot| {
+            self.rnodes[slot as usize]
+                .as_ref()
+                .expect("live")
+                .data
+                .clone()
+        })
+    }
+
+    /// Inserts a file, evicting least-recently-used entries (and compacting
+    /// the arena if eviction alone cannot produce a contiguous hole).
+    /// Zero-length files occupy one byte of arena so that every cached file
+    /// has a distinct extent.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::TooLarge`] if the file exceeds the whole cache — the
+    /// architectural limit of §2 ("processors can only operate on files
+    /// that fit in their physical memory").
+    pub fn insert(&mut self, inode_index: u32, data: Bytes) -> Result<InsertOutcome, BulletError> {
+        let need = (data.len() as u64).max(1);
+        if need > self.capacity {
+            return Err(BulletError::TooLarge {
+                size: data.len() as u64,
+                cache_capacity: self.capacity,
+            });
+        }
+        // Re-inserting replaces the old copy.
+        self.remove(inode_index);
+
+        let mut evicted = Vec::new();
+        let mut compaction_bytes = 0;
+
+        // Evict by LRU until the allocation can succeed; if the free bytes
+        // suffice but no hole is contiguous enough, compact.
+        let offset = loop {
+            // A slot must exist too.
+            if self.free_slots.is_empty() {
+                evicted.push(
+                    self.evict_victim()
+                        .expect("no slots free implies entries exist"),
+                );
+                continue;
+            }
+            if let Some(off) = self.arena.alloc(need) {
+                break off;
+            }
+            if self.arena.free_units() >= need {
+                compaction_bytes += self.compact();
+                self.stats.incr("cache_compactions");
+                continue;
+            }
+            evicted.push(
+                self.evict_victim()
+                    .expect("free < need implies entries exist"),
+            );
+        };
+
+        let slot = self.free_slots.pop().expect("slot reserved above");
+        self.age_counter += 1;
+        self.rnodes[slot as usize] = Some(Rnode {
+            inode_index,
+            offset,
+            data,
+            age: self.age_counter,
+        });
+        self.by_inode.insert(inode_index, slot);
+        self.stats.incr("cache_inserts");
+        Ok(InsertOutcome {
+            slot,
+            evicted,
+            compaction_bytes,
+        })
+    }
+
+    /// Removes a file from the cache (file deletion, §3).  Returns the
+    /// freed slot if the file was cached.
+    pub fn remove(&mut self, inode_index: u32) -> Option<u16> {
+        let slot = self.by_inode.remove(&inode_index)?;
+        let r = self.rnodes[slot as usize].take().expect("live rnode");
+        self.arena
+            .free(r.offset, (r.data.len() as u64).max(1))
+            .expect("rnode extent is valid");
+        self.free_slots.push(slot);
+        Some(slot)
+    }
+
+    /// Drops everything (server crash: RAM contents are lost).
+    pub fn clear(&mut self) {
+        let slots = self.rnodes.len();
+        self.arena = ExtentAllocator::new(0, self.capacity);
+        self.rnodes = vec![None; slots];
+        self.free_slots = (0..slots as u16).rev().collect();
+        self.by_inode.clear();
+    }
+
+    /// Compacts the arena, packing all entries leftward.  Returns the
+    /// number of bytes moved.
+    pub fn compact(&mut self) -> u64 {
+        let mut live: Vec<u16> = self.by_inode.values().copied().collect();
+        live.sort_unstable_by_key(|&s| self.rnodes[s as usize].as_ref().expect("live").offset);
+        let mut cursor = 0u64;
+        let mut moved = 0u64;
+        for slot in live {
+            let r = self.rnodes[slot as usize].as_mut().expect("live");
+            let len = (r.data.len() as u64).max(1);
+            if r.offset != cursor {
+                moved += len;
+                r.offset = cursor;
+            }
+            cursor += len;
+        }
+        self.arena.rebuild_after_compaction(cursor);
+        moved
+    }
+
+    /// The arena fragmentation snapshot.
+    pub fn frag_report(&self) -> crate::FragReport {
+        self.arena.report()
+    }
+
+    fn evict_victim(&mut self) -> Option<u32> {
+        let victim = match self.policy {
+            // "The least recently accessed file is … found by checking the
+            // age fields in the rnodes." (§3).  FIFO reuses the same field
+            // because get() never refreshes it under that policy.
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => {
+                self.rnodes
+                    .iter()
+                    .flatten()
+                    .min_by_key(|r| r.age)?
+                    .inode_index
+            }
+            EvictionPolicy::Random(_) => {
+                let live: Vec<u32> = self
+                    .rnodes
+                    .iter()
+                    .flatten()
+                    .map(|r| r.inode_index)
+                    .collect();
+                if live.is_empty() {
+                    return None;
+                }
+                live[self.rng.next_below(live.len() as u64) as usize]
+            }
+        };
+        self.remove(victim);
+        self.stats.incr("cache_evictions");
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = FileCache::new(1000, 16);
+        let out = c.insert(5, bytes(100, 1)).unwrap();
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.get(5).unwrap(), bytes(100, 1));
+        assert_eq!(c.stats().get("cache_hits"), 1);
+        assert_eq!(c.remove(5), Some(out.slot));
+        assert!(c.get(5).is_none());
+        assert_eq!(c.stats().get("cache_misses"), 1);
+        assert_eq!(c.remove(5), None);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_untouched() {
+        let mut c = FileCache::new(300, 16);
+        c.insert(1, bytes(100, 1)).unwrap();
+        c.insert(2, bytes(100, 2)).unwrap();
+        c.insert(3, bytes(100, 3)).unwrap();
+        // Touch 1 so 2 becomes the LRU.
+        c.get(1);
+        let out = c.insert(4, bytes(100, 4)).unwrap();
+        assert_eq!(out.evicted, vec![2]);
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(1).is_some());
+        assert_eq!(c.stats().get("cache_evictions"), 1);
+    }
+
+    #[test]
+    fn eviction_cascades_until_fit() {
+        let mut c = FileCache::new(300, 16);
+        c.insert(1, bytes(100, 1)).unwrap();
+        c.insert(2, bytes(100, 2)).unwrap();
+        c.insert(3, bytes(100, 3)).unwrap();
+        let out = c.insert(4, bytes(250, 4)).unwrap();
+        assert_eq!(out.evicted, vec![1, 2, 3]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut c = FileCache::new(100, 4);
+        assert!(matches!(
+            c.insert(1, bytes(101, 0)),
+            Err(BulletError::TooLarge { size: 101, .. })
+        ));
+        // Exactly capacity fits.
+        assert!(c.insert(1, bytes(100, 0)).is_ok());
+    }
+
+    #[test]
+    fn fragmentation_triggers_compaction_not_eviction() {
+        let mut c = FileCache::new(300, 16);
+        c.insert(1, bytes(100, 1)).unwrap();
+        c.insert(2, bytes(100, 2)).unwrap();
+        c.insert(3, bytes(100, 3)).unwrap();
+        // Free the two outer extents: 200 bytes free but shattered.
+        c.remove(1);
+        c.remove(3);
+        let out = c.insert(4, bytes(150, 4)).unwrap();
+        assert!(out.evicted.is_empty(), "150 bytes fit after compaction");
+        assert!(out.compaction_bytes > 0);
+        assert_eq!(c.stats().get("cache_compactions"), 1);
+        assert_eq!(c.peek(2).unwrap(), bytes(100, 2));
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut c = FileCache::new(1000, 16);
+        c.insert(1, bytes(100, 1)).unwrap();
+        c.insert(1, bytes(50, 9)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).unwrap(), bytes(50, 9));
+        assert_eq!(c.used_bytes(), 50);
+    }
+
+    #[test]
+    fn slot_exhaustion_evicts() {
+        let mut c = FileCache::new(10_000, 2);
+        c.insert(1, bytes(10, 1)).unwrap();
+        c.insert(2, bytes(10, 2)).unwrap();
+        let out = c.insert(3, bytes(10, 3)).unwrap();
+        assert_eq!(out.evicted, vec![1]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_length_files_cacheable() {
+        let mut c = FileCache::new(100, 4);
+        let out = c.insert(1, Bytes::new()).unwrap();
+        assert_eq!(c.get(1).unwrap(), Bytes::new());
+        assert_eq!(c.used_bytes(), 1); // occupies one arena byte
+        assert_eq!(c.remove(1), Some(out.slot));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = FileCache::new(1000, 8);
+        c.insert(1, bytes(10, 1)).unwrap();
+        c.insert(2, bytes(10, 2)).unwrap();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.peek(1).is_none());
+        // Usable again after clear.
+        c.insert(3, bytes(10, 3)).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_later_touches() {
+        let mut c = FileCache::with_policy(300, 16, EvictionPolicy::Fifo);
+        c.insert(1, bytes(100, 1)).unwrap();
+        c.insert(2, bytes(100, 2)).unwrap();
+        c.insert(3, bytes(100, 3)).unwrap();
+        // Touch 1 — under FIFO this must NOT save it.
+        c.get(1);
+        let out = c.insert(4, bytes(100, 4)).unwrap();
+        assert_eq!(out.evicted, vec![1], "FIFO evicts the oldest insert");
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = FileCache::with_policy(300, 16, EvictionPolicy::Random(seed));
+            for i in 1..=3 {
+                c.insert(i, bytes(100, i as u8)).unwrap();
+            }
+            c.insert(4, bytes(100, 4)).unwrap().evicted
+        };
+        assert_eq!(run(7), run(7));
+        // Victims are among the live entries.
+        assert!(run(7).iter().all(|&v| (1..=3).contains(&v)));
+    }
+
+    #[test]
+    fn explicit_compact_packs_arena() {
+        let mut c = FileCache::new(300, 16);
+        c.insert(1, bytes(100, 1)).unwrap();
+        c.insert(2, bytes(100, 2)).unwrap();
+        c.remove(1);
+        let moved = c.compact();
+        assert_eq!(moved, 100);
+        let r = c.frag_report();
+        assert_eq!(r.hole_count, 1);
+        assert_eq!(r.largest_hole, 200);
+        // Data is intact after the move.
+        assert_eq!(c.peek(2).unwrap(), bytes(100, 2));
+    }
+}

@@ -1,0 +1,149 @@
+//! Error type for the Bullet server.
+
+use amoeba_cap::CapError;
+use amoeba_disk::DiskError;
+use amoeba_rpc::Status;
+
+/// Errors produced by Bullet server operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BulletError {
+    /// The presented capability is forged or stale.
+    CapBad,
+    /// The capability is genuine but lacks the required rights.
+    Denied,
+    /// The object number does not name a live file.
+    NotFound,
+    /// The data area has no hole large enough for the file.
+    NoSpace,
+    /// The inode table is full.
+    NoInodes,
+    /// The file does not fit in the server's RAM cache (files must fit in
+    /// memory, §2).
+    TooLarge {
+        /// The file size requested.
+        size: u64,
+        /// The cache capacity.
+        cache_capacity: u64,
+    },
+    /// A section request fell outside the file.
+    BadRange,
+    /// The requested P-FACTOR exceeds the number of disks: "this requires
+    /// the file server to have at least N disks available" (§2.2).
+    BadPFactor {
+        /// The P-FACTOR the client asked for.
+        requested: u32,
+        /// The number of disks the server has.
+        disks: u32,
+    },
+    /// The disk layer failed.
+    Disk(DiskError),
+    /// On-disk state failed a start-up consistency check.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for BulletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BulletError::CapBad => write!(f, "capability failed verification"),
+            BulletError::Denied => write!(f, "capability lacks the required rights"),
+            BulletError::NotFound => write!(f, "no such file"),
+            BulletError::NoSpace => write!(f, "no contiguous hole large enough on disk"),
+            BulletError::NoInodes => write!(f, "inode table is full"),
+            BulletError::TooLarge {
+                size,
+                cache_capacity,
+            } => write!(
+                f,
+                "file of {size} bytes cannot fit in the {cache_capacity}-byte RAM cache"
+            ),
+            BulletError::BadRange => write!(f, "requested range falls outside the file"),
+            BulletError::BadPFactor { requested, disks } => write!(
+                f,
+                "p-factor {requested} requires at least {requested} disks, server has {disks}"
+            ),
+            BulletError::Disk(e) => write!(f, "disk failure: {e}"),
+            BulletError::Corrupt(msg) => write!(f, "on-disk state corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BulletError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BulletError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DiskError> for BulletError {
+    fn from(e: DiskError) -> Self {
+        BulletError::Disk(e)
+    }
+}
+
+impl From<CapError> for BulletError {
+    fn from(e: CapError) -> Self {
+        match e {
+            CapError::InsufficientRights => BulletError::Denied,
+            _ => BulletError::CapBad,
+        }
+    }
+}
+
+impl From<BulletError> for Status {
+    fn from(e: BulletError) -> Status {
+        match e {
+            BulletError::CapBad => Status::CapBad,
+            BulletError::Denied => Status::Denied,
+            BulletError::NotFound => Status::NotFound,
+            BulletError::NoSpace => Status::NoSpace,
+            BulletError::NoInodes => Status::NoSpace,
+            BulletError::TooLarge { .. } => Status::NoMem,
+            BulletError::BadRange | BulletError::BadPFactor { .. } => Status::BadParam,
+            BulletError::Disk(_) | BulletError::Corrupt(_) => Status::SysErr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_map_sensibly() {
+        assert_eq!(Status::from(BulletError::CapBad), Status::CapBad);
+        assert_eq!(Status::from(BulletError::NoSpace), Status::NoSpace);
+        assert_eq!(
+            Status::from(BulletError::TooLarge {
+                size: 10,
+                cache_capacity: 5
+            }),
+            Status::NoMem
+        );
+        assert_eq!(
+            BulletError::from(CapError::InsufficientRights),
+            BulletError::Denied
+        );
+        assert_eq!(
+            BulletError::from(CapError::BadCheckField),
+            BulletError::CapBad
+        );
+        assert!(matches!(
+            BulletError::from(DiskError::DeviceFailed),
+            BulletError::Disk(_)
+        ));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            BulletError::CapBad,
+            BulletError::NoSpace,
+            BulletError::Corrupt("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

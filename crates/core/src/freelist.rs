@@ -1,0 +1,403 @@
+//! The contiguous-extent allocator for the data area.
+//!
+//! "By scanning the inodes it can figure out which parts of disk are free.
+//! It uses this information to build a free list in RAM. … For this we use
+//! a first fit strategy." (§3)
+//!
+//! The same allocator manages the RAM cache arena (with byte-sized units),
+//! so external fragmentation — the cost the paper consciously accepts — is
+//! real in both places, and compaction ("every morning at say 3 am") is
+//! implemented as a move plan over the live extents.
+
+use std::collections::BTreeMap;
+
+use crate::BulletError;
+
+/// A single relocation step of a compaction plan: copy `len` units from
+/// `from` to `to` (`to < from` always, so applying the moves in order is
+/// safe even for overlapping source/target ranges when done unit-wise
+/// front-to-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// Source start unit.
+    pub from: u64,
+    /// Destination start unit.
+    pub to: u64,
+    /// Length in units.
+    pub len: u64,
+}
+
+/// Fragmentation snapshot of an allocator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FragReport {
+    /// Units managed in total.
+    pub total: u64,
+    /// Units currently free.
+    pub free: u64,
+    /// Size of the largest free hole.
+    pub largest_hole: u64,
+    /// Number of distinct holes.
+    pub hole_count: u64,
+    /// External fragmentation: `1 - largest_hole / free` (0 when free
+    /// space is one hole; → 1 as free space shatters).
+    pub external_fragmentation: f64,
+}
+
+/// A first-fit extent allocator over the half-open unit range
+/// `[range_start, range_end)`.
+///
+/// Units are disk blocks for the data area and bytes for the RAM cache.
+#[derive(Debug, Clone)]
+pub struct ExtentAllocator {
+    range_start: u64,
+    range_end: u64,
+    /// Holes keyed by start unit → length.
+    holes: BTreeMap<u64, u64>,
+}
+
+impl ExtentAllocator {
+    /// An allocator whose whole range is one free hole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_end < range_start`.
+    pub fn new(range_start: u64, range_end: u64) -> ExtentAllocator {
+        assert!(range_end >= range_start, "inverted range");
+        let mut holes = BTreeMap::new();
+        if range_end > range_start {
+            holes.insert(range_start, range_end - range_start);
+        }
+        ExtentAllocator {
+            range_start,
+            range_end,
+            holes,
+        }
+    }
+
+    /// Rebuilds an allocator from the extents already in use (the start-up
+    /// scan of the inode table).
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::Corrupt`] if extents overlap or leave the range —
+    /// the paper's start-up consistency check ("to make sure that files do
+    /// not overlap").
+    pub fn from_used(
+        range_start: u64,
+        range_end: u64,
+        used: &[(u64, u64)],
+    ) -> Result<ExtentAllocator, BulletError> {
+        let mut sorted: Vec<(u64, u64)> = used.iter().copied().filter(|&(_, l)| l > 0).collect();
+        sorted.sort_unstable();
+        let mut alloc = ExtentAllocator {
+            range_start,
+            range_end,
+            holes: BTreeMap::new(),
+        };
+        let mut cursor = range_start;
+        for &(start, len) in &sorted {
+            let end = start.checked_add(len).ok_or_else(|| {
+                BulletError::Corrupt(format!("extent at {start} overflows the address space"))
+            })?;
+            if start < cursor {
+                return Err(BulletError::Corrupt(format!(
+                    "extent at {start} overlaps the previous extent or the control area"
+                )));
+            }
+            if end > range_end {
+                return Err(BulletError::Corrupt(format!(
+                    "extent [{start}, {end}) leaves the data area (end {range_end})"
+                )));
+            }
+            if start > cursor {
+                alloc.holes.insert(cursor, start - cursor);
+            }
+            cursor = end;
+        }
+        if cursor < range_end {
+            alloc.holes.insert(cursor, range_end - cursor);
+        }
+        Ok(alloc)
+    }
+
+    /// Allocates `len` contiguous units, first-fit.  Returns the start
+    /// unit, or `None` if no hole is large enough.
+    pub fn alloc(&mut self, len: u64) -> Option<u64> {
+        if len == 0 {
+            return None;
+        }
+        let (&start, &hole_len) = self.holes.iter().find(|&(_, &l)| l >= len)?;
+        self.holes.remove(&start);
+        if hole_len > len {
+            self.holes.insert(start + len, hole_len - len);
+        }
+        Some(start)
+    }
+
+    /// Frees the extent `[start, start + len)`, coalescing with adjacent
+    /// holes.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::Corrupt`] on double frees, overlaps, or frees
+    /// outside the managed range (these indicate server bugs or disk
+    /// corruption and must not be silently absorbed).
+    pub fn free(&mut self, start: u64, len: u64) -> Result<(), BulletError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = start
+            .checked_add(len)
+            .ok_or_else(|| BulletError::Corrupt("freed extent overflows".into()))?;
+        if start < self.range_start || end > self.range_end {
+            return Err(BulletError::Corrupt(format!(
+                "freed extent [{start}, {end}) outside managed range"
+            )));
+        }
+        // Check against the following hole.
+        if let Some((&nstart, _)) = self.holes.range(start..).next() {
+            if nstart < end {
+                return Err(BulletError::Corrupt(format!(
+                    "freed extent [{start}, {end}) overlaps hole at {nstart}"
+                )));
+            }
+        }
+        // Check against the preceding hole.
+        if let Some((&pstart, &plen)) = self.holes.range(..start).next_back() {
+            if pstart + plen > start {
+                return Err(BulletError::Corrupt(format!(
+                    "freed extent [{start}, {end}) overlaps hole at {pstart}"
+                )));
+            }
+        }
+        // Insert and coalesce.
+        let mut new_start = start;
+        let mut new_len = len;
+        if let Some((&pstart, &plen)) = self.holes.range(..start).next_back() {
+            if pstart + plen == start {
+                self.holes.remove(&pstart);
+                new_start = pstart;
+                new_len += plen;
+            }
+        }
+        if let Some(&nlen) = self.holes.get(&end) {
+            self.holes.remove(&end);
+            new_len += nlen;
+        }
+        self.holes.insert(new_start, new_len);
+        Ok(())
+    }
+
+    /// Units currently free.
+    pub fn free_units(&self) -> u64 {
+        self.holes.values().sum()
+    }
+
+    /// The managed range.
+    pub fn range(&self) -> (u64, u64) {
+        (self.range_start, self.range_end)
+    }
+
+    /// Fragmentation snapshot.
+    pub fn report(&self) -> FragReport {
+        let free = self.free_units();
+        let largest = self.holes.values().copied().max().unwrap_or(0);
+        FragReport {
+            total: self.range_end - self.range_start,
+            free,
+            largest_hole: largest,
+            hole_count: self.holes.len() as u64,
+            external_fragmentation: if free == 0 {
+                0.0
+            } else {
+                1.0 - largest as f64 / free as f64
+            },
+        }
+    }
+
+    /// Computes the moves that pack the given live extents leftward from
+    /// the start of the range (the "3 a.m." compaction).  `used` is
+    /// `(start, len)` pairs; the result pairs each with its destination.
+    /// Extents already in place produce no move.  The allocator itself is
+    /// *not* modified — apply the moves to storage, update the inodes, then
+    /// call [`rebuild_after_compaction`](Self::rebuild_after_compaction).
+    pub fn plan_compaction(&self, used: &[(u64, u64)]) -> Vec<Move> {
+        let mut sorted: Vec<(u64, u64)> = used.iter().copied().filter(|&(_, l)| l > 0).collect();
+        sorted.sort_unstable();
+        let mut cursor = self.range_start;
+        let mut moves = Vec::new();
+        for (start, len) in sorted {
+            if start != cursor {
+                moves.push(Move {
+                    from: start,
+                    to: cursor,
+                    len,
+                });
+            }
+            cursor += len;
+        }
+        moves
+    }
+
+    /// Resets the allocator to the packed layout produced by applying a
+    /// compaction plan over extents totalling `used_units`.
+    pub fn rebuild_after_compaction(&mut self, used_units: u64) {
+        self.holes.clear();
+        let free_start = self.range_start + used_units;
+        if free_start < self.range_end {
+            self.holes.insert(free_start, self.range_end - free_start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_first_fit_order() {
+        let mut a = ExtentAllocator::new(10, 110);
+        assert_eq!(a.alloc(10), Some(10));
+        assert_eq!(a.alloc(20), Some(20));
+        a.free(10, 10).unwrap();
+        // First fit: the freshly freed leading hole is chosen again.
+        assert_eq!(a.alloc(5), Some(10));
+        // A request too big for the leading hole skips to the tail hole.
+        assert_eq!(a.alloc(50), Some(40));
+    }
+
+    #[test]
+    fn alloc_zero_and_too_big() {
+        let mut a = ExtentAllocator::new(0, 10);
+        assert_eq!(a.alloc(0), None);
+        assert_eq!(a.alloc(11), None);
+        assert_eq!(a.alloc(10), Some(0));
+        assert_eq!(a.alloc(1), None);
+    }
+
+    #[test]
+    fn free_coalesces_both_sides() {
+        let mut a = ExtentAllocator::new(0, 100);
+        let x = a.alloc(10).unwrap();
+        let y = a.alloc(10).unwrap();
+        let z = a.alloc(10).unwrap();
+        assert_eq!((x, y, z), (0, 10, 20));
+        a.free(x, 10).unwrap();
+        a.free(z, 10).unwrap();
+        // [0,10) plus [20,100) (z coalesced with the tail hole).
+        assert_eq!(a.report().hole_count, 2);
+        a.free(y, 10).unwrap();
+        let r = a.report();
+        assert_eq!(r.hole_count, 1, "all holes must merge: {r:?}");
+        assert_eq!(r.free, 100);
+        assert_eq!(r.largest_hole, 100);
+        assert_eq!(r.external_fragmentation, 0.0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut a = ExtentAllocator::new(0, 100);
+        let x = a.alloc(10).unwrap();
+        a.free(x, 10).unwrap();
+        assert!(a.free(x, 10).is_err());
+        assert!(a.free(95, 10).is_err()); // leaves the range
+        assert!(a.free(x, 0).is_ok()); // zero-length free is a no-op
+    }
+
+    #[test]
+    fn from_used_builds_holes_between_files() {
+        let a = ExtentAllocator::from_used(10, 100, &[(20, 5), (40, 10)]).unwrap();
+        let r = a.report();
+        assert_eq!(r.free, 90 - 15);
+        assert_eq!(r.hole_count, 3); // [10,20) [25,40) [50,100)
+    }
+
+    #[test]
+    fn from_used_rejects_overlap_and_escape() {
+        assert!(ExtentAllocator::from_used(0, 100, &[(10, 10), (15, 10)]).is_err());
+        assert!(ExtentAllocator::from_used(10, 100, &[(5, 10)]).is_err());
+        assert!(ExtentAllocator::from_used(0, 100, &[(95, 10)]).is_err());
+        assert!(ExtentAllocator::from_used(0, 100, &[(u64::MAX, 2)]).is_err());
+    }
+
+    #[test]
+    fn fragmentation_report_tracks_shattering() {
+        let mut a = ExtentAllocator::new(0, 100);
+        let mut extents = Vec::new();
+        for _ in 0..10 {
+            extents.push(a.alloc(10).unwrap());
+        }
+        // Free every other extent: five 10-unit holes.
+        for &e in extents.iter().step_by(2) {
+            a.free(e, 10).unwrap();
+        }
+        let r = a.report();
+        assert_eq!(r.free, 50);
+        assert_eq!(r.largest_hole, 10);
+        assert_eq!(r.hole_count, 5);
+        assert!(r.external_fragmentation > 0.7);
+        // A 20-unit file no longer fits even though 50 units are free —
+        // exactly the failure compaction repairs.
+        assert_eq!(a.alloc(20), None);
+    }
+
+    #[test]
+    fn compaction_plan_packs_left() {
+        let mut a = ExtentAllocator::new(0, 100);
+        let x = a.alloc(10).unwrap();
+        let y = a.alloc(10).unwrap();
+        let z = a.alloc(10).unwrap();
+        a.free(x, 10).unwrap();
+        a.free(z, 10).unwrap();
+        // Only y (at 10) is live; plan moves it to 0.
+        let plan = a.plan_compaction(&[(y, 10)]);
+        assert_eq!(
+            plan,
+            vec![Move {
+                from: 10,
+                to: 0,
+                len: 10
+            }]
+        );
+        a.rebuild_after_compaction(10);
+        let r = a.report();
+        assert_eq!(r.hole_count, 1);
+        assert_eq!(r.largest_hole, 90);
+        assert_eq!(a.alloc(90), Some(10));
+    }
+
+    #[test]
+    fn compaction_plan_keeps_inplace_extents() {
+        let a = ExtentAllocator::from_used(0, 100, &[(0, 10), (50, 10)]).unwrap();
+        let plan = a.plan_compaction(&[(0, 10), (50, 10)]);
+        assert_eq!(
+            plan,
+            vec![Move {
+                from: 50,
+                to: 10,
+                len: 10
+            }]
+        );
+    }
+
+    #[test]
+    fn compaction_moves_never_overlap_destinations() {
+        let a = ExtentAllocator::from_used(0, 1000, &[(100, 50), (300, 50), (600, 100)]).unwrap();
+        let plan = a.plan_compaction(&[(100, 50), (300, 50), (600, 100)]);
+        // Destinations are monotone and moves go leftward.
+        let mut cursor = 0;
+        for m in &plan {
+            assert!(m.to >= cursor);
+            assert!(m.to < m.from);
+            cursor = m.to + m.len;
+        }
+    }
+
+    #[test]
+    fn empty_range_allocator() {
+        let mut a = ExtentAllocator::new(5, 5);
+        assert_eq!(a.alloc(1), None);
+        assert_eq!(a.free_units(), 0);
+        assert_eq!(a.report().external_fragmentation, 0.0);
+    }
+}

@@ -1,0 +1,1260 @@
+//! The Bullet server proper: operations, durability, recovery, compaction.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port, Rights};
+use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk};
+use amoeba_sim::{CpuProfile, DetRng, SimClock, Stats};
+
+use crate::cache::{EvictionPolicy, FileCache};
+use crate::freelist::ExtentAllocator;
+use crate::layout::Inode;
+use crate::table::{InodeTable, RepairPolicy};
+use crate::BulletError;
+
+/// Configuration of a Bullet server instance.
+#[derive(Debug, Clone)]
+pub struct BulletConfig {
+    /// The service port the server answers on.
+    pub port: Port,
+    /// Minimum number of inode slots to format.
+    pub min_inodes: u32,
+    /// RAM cache capacity in bytes ("all of the server's remaining memory
+    /// will be used for file caching").
+    pub cache_capacity: u64,
+    /// Number of rnode slots.
+    pub rnode_slots: usize,
+    /// Disk sector size (used by the convenience constructors that build
+    /// their own disks).
+    pub block_size: u32,
+    /// Blocks per disk (convenience constructors).
+    pub disk_blocks: u64,
+    /// The shared simulated clock work is charged to.
+    pub clock: SimClock,
+    /// CPU cost model for request service and memory copies.
+    pub cpu: CpuProfile,
+    /// Seed of the capability-protection key (stable across restarts, as
+    /// the real server's key lives on its disk).
+    pub scheme_seed: u64,
+    /// Which check-field protection scheme to run (see `amoeba_cap::check`).
+    pub scheme: SchemeKind,
+    /// Seed of the inode random-number generator.
+    pub rng_seed: u64,
+    /// What to do with inodes that fail the start-up consistency scan.
+    pub repair: RepairPolicy,
+    /// Initial age for the touch/age garbage-collection protocol: a file
+    /// survives this many [`BulletServer::age_all`] rounds without a
+    /// [`BulletServer::touch`] before expiring.
+    pub max_age: u32,
+    /// Cache eviction policy (LRU, as in the paper, by default).
+    pub eviction: EvictionPolicy,
+}
+
+impl BulletConfig {
+    /// A small configuration for unit tests and examples: 512-byte
+    /// blocks, a 2 MB disk, a 1 MB cache.
+    pub fn small_test() -> BulletConfig {
+        BulletConfig {
+            port: Port::from_u64(0xb1e7),
+            min_inodes: 256,
+            cache_capacity: 1 << 20,
+            rnode_slots: 256,
+            block_size: 512,
+            disk_blocks: 4096,
+            clock: SimClock::new(),
+            cpu: CpuProfile::mc68020(),
+            scheme_seed: 0x5eed,
+            scheme: SchemeKind::Mac,
+            rng_seed: 0x1a2b,
+            repair: RepairPolicy::Fail,
+            max_age: 8,
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+}
+
+/// The capability protection scheme a server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchemeKind {
+    /// The scheme the paper sketches: a server-secret MAC over
+    /// (object, rights, random).  Restriction needs a server round-trip.
+    #[default]
+    Mac,
+    /// The published Amoeba sparse-capabilities scheme: the owner
+    /// capability carries the raw random number, and anyone can restrict
+    /// it *client-side* through the public one-way function.
+    Amoeba,
+}
+
+impl SchemeKind {
+    fn build(self, seed: u64) -> Box<dyn CheckScheme> {
+        match self {
+            SchemeKind::Mac => Box::new(MacScheme::from_seed(seed)),
+            SchemeKind::Amoeba => Box::new(AmoebaScheme::new()),
+        }
+    }
+}
+
+struct State {
+    table: InodeTable,
+    alloc: ExtentAllocator,
+    cache: FileCache,
+    rng: DetRng,
+    /// Ages for the touch/age garbage-collection protocol, keyed by inode
+    /// index.  RAM-only: a restart resets every live file to `max_age`
+    /// (generous, as the original server was).
+    ages: std::collections::HashMap<u32, u32>,
+}
+
+/// One row of [`BulletServer::describe_layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutEntry {
+    /// Inode index (= object number).
+    pub inode: u32,
+    /// First block of the file's contiguous extent.
+    pub start_block: u32,
+    /// Extent length in blocks.
+    pub blocks: u64,
+    /// File size in bytes.
+    pub size_bytes: u32,
+    /// True if the file currently sits in the RAM cache.
+    pub cached: bool,
+}
+
+/// The Bullet file server.
+///
+/// Thread-safe: operations take `&self` and serialize on an internal lock,
+/// modelling the paper's single dedicated server machine.
+pub struct BulletServer {
+    cfg: BulletConfig,
+    scheme: Box<dyn CheckScheme>,
+    storage: MirroredDisk,
+    state: Mutex<State>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for BulletServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BulletServer")
+            .field("port", &self.cfg.port)
+            .field("files", &self.state.lock().table.live_count())
+            .finish()
+    }
+}
+
+impl BulletServer {
+    /// Formats `storage` as an empty Bullet disk and starts a server on
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors, or [`BulletError::Corrupt`] for impossible geometry.
+    pub fn format_on(
+        cfg: BulletConfig,
+        storage: MirroredDisk,
+    ) -> Result<BulletServer, BulletError> {
+        let table = InodeTable::format(&storage, cfg.min_inodes)?;
+        let desc = *table.descriptor();
+        let state = State {
+            table,
+            alloc: ExtentAllocator::new(desc.data_start(), desc.data_end()),
+            cache: FileCache::with_policy(cfg.cache_capacity, cfg.rnode_slots, cfg.eviction),
+            rng: DetRng::new(cfg.rng_seed),
+            ages: std::collections::HashMap::new(),
+        };
+        Ok(BulletServer {
+            scheme: cfg.scheme.build(cfg.scheme_seed),
+            cfg,
+            storage,
+            state: Mutex::new(state),
+            stats: Stats::new(),
+        })
+    }
+
+    /// Convenience: formats a fresh server on `replicas` plain RAM disks
+    /// sized from the configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`format_on`](Self::format_on).
+    pub fn format(cfg: BulletConfig, replicas: usize) -> Result<BulletServer, BulletError> {
+        let disks: Vec<Arc<dyn BlockDevice>> = (0..replicas.max(1))
+            .map(|_| {
+                Arc::new(RamDisk::new(cfg.block_size, cfg.disk_blocks)) as Arc<dyn BlockDevice>
+            })
+            .collect();
+        let storage = MirroredDisk::new(disks)?;
+        BulletServer::format_on(cfg, storage)
+    }
+
+    /// Starts a server on an already-formatted `storage`: reads the
+    /// complete inode table into RAM, scans it for consistency ("to make
+    /// sure that files do not overlap"), and rebuilds the free lists —
+    /// the paper's start-up sequence, also used for crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors; [`BulletError::Corrupt`] under [`RepairPolicy::Fail`]
+    /// if any inode is out of bounds or files overlap.
+    pub fn recover(cfg: BulletConfig, storage: MirroredDisk) -> Result<BulletServer, BulletError> {
+        let report = InodeTable::load(&storage, cfg.repair)?;
+        let mut table = report.table;
+        let desc = *table.descriptor();
+
+        // Overlap check: rebuild the allocator from the live extents; under
+        // ZeroBad, drop any inode that overlaps an earlier-accepted one.
+        let alloc = match ExtentAllocator::from_used(
+            desc.data_start(),
+            desc.data_end(),
+            &table.used_extents(),
+        ) {
+            Ok(a) => a,
+            Err(e) => match cfg.repair {
+                RepairPolicy::Fail => return Err(e),
+                RepairPolicy::ZeroBad => {
+                    let mut live: Vec<(u64, u64, u32)> = table
+                        .live()
+                        .map(|(i, inode)| {
+                            (inode.start_block as u64, inode.blocks(desc.block_size), i)
+                        })
+                        .collect();
+                    live.sort_unstable();
+                    let mut accepted = Vec::new();
+                    let mut cursor = desc.data_start();
+                    for (start, len, idx) in live {
+                        if start < cursor {
+                            table.clear(idx)?; // overlapping: zero it
+                        } else {
+                            accepted.push((start, len));
+                            cursor = start + len;
+                        }
+                    }
+                    ExtentAllocator::from_used(desc.data_start(), desc.data_end(), &accepted)?
+                }
+            },
+        };
+
+        let ages = table.live().map(|(i, _)| (i, cfg.max_age)).collect();
+        let state = State {
+            table,
+            alloc,
+            cache: FileCache::with_policy(cfg.cache_capacity, cfg.rnode_slots, cfg.eviction),
+            rng: DetRng::new(cfg.rng_seed),
+            ages,
+        };
+        let server = BulletServer {
+            scheme: cfg.scheme.build(cfg.scheme_seed),
+            cfg,
+            storage,
+            state: Mutex::new(state),
+            stats: Stats::new(),
+        };
+        server
+            .stats
+            .add("recovery_repaired_inodes", report.repaired as u64);
+        Ok(server)
+    }
+
+    /// Crashes the server: volatile state (RAM cache, queued background
+    /// disk writes) is lost; the disks survive.  Returns the storage so a
+    /// new server can [`recover`](Self::recover) on it.
+    pub fn crash(self) -> MirroredDisk {
+        self.storage.crash_volatile();
+        self.storage
+    }
+
+    /// Shuts the server down cleanly (flushes all background writes) and
+    /// returns the storage.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors during the final flush.
+    pub fn shutdown(self) -> Result<MirroredDisk, BulletError> {
+        self.storage.sync()?;
+        Ok(self.storage)
+    }
+
+    // ------------------------------------------------------------------
+    // The Bullet interface (§2.2).
+    // ------------------------------------------------------------------
+
+    /// `BULLET.CREATE(SERVER, DATA, SIZE, P-FACTOR) → CAPABILITY`.
+    ///
+    /// Stores `data` as a new immutable file.  With `p_factor = 0` the
+    /// call returns as soon as the file is in the RAM cache (fast, but a
+    /// crash shortly afterwards loses the file); with `p_factor = N` the
+    /// file and its inode are on `N` disks before the call returns.  The
+    /// remaining replicas are completed in the background either way
+    /// (write-through mirroring).
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::BadPFactor`] if `p_factor` exceeds the disk count;
+    /// [`BulletError::TooLarge`] if the file exceeds the RAM cache;
+    /// [`BulletError::NoSpace`] / [`BulletError::NoInodes`] when full;
+    /// disk errors (after which no partial state remains).
+    pub fn create(&self, data: Bytes, p_factor: u32) -> Result<Capability, BulletError> {
+        self.cfg.clock.advance(self.cfg.cpu.request());
+        if p_factor as usize > self.storage.replica_count() {
+            return Err(BulletError::BadPFactor {
+                requested: p_factor,
+                disks: self.storage.replica_count() as u32,
+            });
+        }
+        let size: u32 = data.len().try_into().map_err(|_| BulletError::TooLarge {
+            size: data.len() as u64,
+            cache_capacity: self.cfg.cache_capacity,
+        })?;
+        // Receiving the file into cache memory costs one copy.
+        self.cfg
+            .clock
+            .advance(self.cfg.cpu.memcpy(data.len() as u64));
+
+        let mut st = self.state.lock();
+        let block_size = st.table.descriptor().block_size;
+        let blocks = (size as u64).div_ceil(block_size as u64).max(1);
+
+        let start = st.alloc.alloc(blocks).ok_or(BulletError::NoSpace)?;
+        let random = loop {
+            let r = amoeba_cap::mask48(st.rng.next_u64());
+            if r != 0 {
+                break r;
+            }
+        };
+        let inode = Inode {
+            random,
+            index: 0,
+            start_block: start as u32,
+            size_bytes: size,
+        };
+        let idx = match st.table.alloc(inode) {
+            Ok(idx) => idx,
+            Err(e) => {
+                st.alloc.free(start, blocks).expect("just allocated");
+                return Err(e);
+            }
+        };
+
+        // Into the RAM cache (evictions clear the victims' index fields).
+        if let Err(e) = self.cache_insert(&mut st, idx, data.clone()) {
+            st.table.clear(idx).expect("just allocated");
+            st.alloc.free(start, blocks).expect("just allocated");
+            return Err(e);
+        }
+
+        let max_age = self.cfg.max_age;
+        st.ages.insert(idx, max_age);
+
+        // Write-through: file data, then the inode's whole block.
+        let mut padded = vec![0u8; (blocks * block_size as u64) as usize];
+        padded[..data.len()].copy_from_slice(&data);
+        let inode_block = st.table.block_of(idx);
+        let inode_image = st.table.block_image(inode_block);
+        drop(st);
+
+        let k = p_factor as usize;
+        let write = self
+            .storage
+            .write_sync_k(start, &padded, k)
+            .and_then(|_| self.storage.write_sync_k(inode_block, &inode_image, k));
+        if let Err(e) = write {
+            // Roll back so no half-created file remains.
+            let mut st = self.state.lock();
+            st.cache.remove(idx);
+            st.ages.remove(&idx);
+            let _ = st.table.clear(idx);
+            let _ = st.alloc.free(start, blocks);
+            return Err(e.into());
+        }
+
+        self.stats.incr("creates");
+        self.stats.add("bytes_created", size as u64);
+        Ok(self.scheme.mint(
+            self.cfg.port,
+            ObjNum::new(idx).expect("inode index fits 24 bits"),
+            Rights::ALL,
+            random,
+        ))
+    }
+
+    /// `BULLET.SIZE(CAPABILITY) → SIZE`.
+    ///
+    /// # Errors
+    ///
+    /// Capability or lookup failures.
+    pub fn size(&self, cap: &Capability) -> Result<u32, BulletError> {
+        self.cfg.clock.advance(self.cfg.cpu.request());
+        let st = self.state.lock();
+        let inode = self.verify(&st, cap, Rights::READ)?;
+        Ok(inode.size_bytes)
+    }
+
+    /// `BULLET.READ(CAPABILITY, &DATA)`: returns the whole file.
+    ///
+    /// A cached file is served straight from the contiguous RAM copy; a
+    /// miss loads the whole contiguous extent from disk in one I/O, after
+    /// making room by LRU eviction.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures, [`BulletError::TooLarge`] for a file bigger
+    /// than the cache, or disk errors.
+    pub fn read(&self, cap: &Capability) -> Result<Bytes, BulletError> {
+        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut st = self.state.lock();
+        let inode = *self.verify(&st, cap, Rights::READ)?;
+        let idx = cap.object.value();
+        if let Some(data) = st.cache.get(idx) {
+            self.stats.incr("reads");
+            return Ok(data);
+        }
+        let data = self.load_from_disk(&mut st, idx, &inode)?;
+        self.stats.incr("reads");
+        Ok(data)
+    }
+
+    /// Partial read (§5 extension, for "processors with small memories").
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::BadRange`] if `[offset, offset + len)` leaves the
+    /// file; otherwise as [`read`](Self::read).
+    pub fn read_section(
+        &self,
+        cap: &Capability,
+        offset: u32,
+        len: u32,
+    ) -> Result<Bytes, BulletError> {
+        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut st = self.state.lock();
+        let inode = *self.verify(&st, cap, Rights::READ)?;
+        let end = offset.checked_add(len).ok_or(BulletError::BadRange)?;
+        if end > inode.size_bytes {
+            return Err(BulletError::BadRange);
+        }
+        let idx = cap.object.value();
+        let data = match st.cache.get(idx) {
+            Some(d) => d,
+            None => self.load_from_disk(&mut st, idx, &inode)?,
+        };
+        self.stats.incr("section_reads");
+        Ok(data.slice(offset as usize..end as usize))
+    }
+
+    /// `BULLET.DELETE(CAPABILITY)`.
+    ///
+    /// Zeroes the inode, writes its block through to every disk, frees the
+    /// extent and the cache copy.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures or disk errors.
+    pub fn delete(&self, cap: &Capability) -> Result<(), BulletError> {
+        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut st = self.state.lock();
+        let inode = *self.verify(&st, cap, Rights::DESTROY)?;
+        let idx = cap.object.value();
+        let block_size = st.table.descriptor().block_size;
+
+        st.cache.remove(idx);
+        st.ages.remove(&idx);
+        st.table.clear(idx)?;
+        st.alloc
+            .free(inode.start_block as u64, inode.blocks(block_size))?;
+        let inode_block = st.table.block_of(idx);
+        let image = st.table.block_image(inode_block);
+        drop(st);
+        // Deletion is always written through to all disks.
+        self.storage
+            .write_sync_k(inode_block, &image, self.storage.replica_count())?;
+        self.stats.incr("deletes");
+        Ok(())
+    }
+
+    /// §5 extension: derives a **new** immutable file from an existing one
+    /// with `data` overlaid at `offset` (growing the file if needed),
+    /// entirely server-side — "for a small modification it is not
+    /// necessary any longer to transfer the whole file".
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Self::read) plus the create-path errors.
+    pub fn modify(
+        &self,
+        cap: &Capability,
+        offset: u32,
+        data: &[u8],
+        p_factor: u32,
+    ) -> Result<Capability, BulletError> {
+        let base = {
+            let mut st = self.state.lock();
+            let inode = *self.verify(&st, cap, Rights::READ | Rights::MODIFY)?;
+            let idx = cap.object.value();
+            match st.cache.get(idx) {
+                Some(d) => d,
+                None => self.load_from_disk(&mut st, idx, &inode)?,
+            }
+        };
+        let new_len = base.len().max(offset as usize + data.len());
+        let mut buf = vec![0u8; new_len];
+        buf[..base.len()].copy_from_slice(&base);
+        buf[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        // The extra server-side copy is charged inside create() as the
+        // usual reception copy; charge the read-side copy here.
+        self.cfg
+            .clock
+            .advance(self.cfg.cpu.memcpy(base.len() as u64));
+        self.stats.incr("modifies");
+        self.create(Bytes::from(buf), p_factor)
+    }
+
+    /// §5 extension: appends by deriving a new file (sugar over
+    /// [`modify`](Self::modify) at the old end).
+    ///
+    /// # Errors
+    ///
+    /// As [`modify`](Self::modify).
+    pub fn append(
+        &self,
+        cap: &Capability,
+        data: &[u8],
+        p_factor: u32,
+    ) -> Result<Capability, BulletError> {
+        let size = {
+            let st = self.state.lock();
+            self.verify(&st, cap, Rights::READ | Rights::MODIFY)?
+                .size_bytes
+        };
+        self.modify(cap, size, data, p_factor)
+    }
+
+    // ------------------------------------------------------------------
+    // Administration.
+    // ------------------------------------------------------------------
+
+    /// Completes all background replica writes and syncs the disks.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors.
+    pub fn sync(&self) -> Result<(), BulletError> {
+        self.storage.sync()?;
+        Ok(())
+    }
+
+    /// The "3 a.m." disk compaction: slides every file leftward so the
+    /// free space becomes one hole.  Files move via RAM (read whole
+    /// extent, write to the new location on every disk, update the
+    /// inode).  Returns the number of files moved.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors mid-plan leave already-moved files fully consistent
+    /// (each move updates the inode on disk before the next move starts).
+    pub fn compact_disk(&self) -> Result<u64, BulletError> {
+        let mut st = self.state.lock();
+        let block_size = st.table.descriptor().block_size;
+        // Map start block -> inode index for plan application.
+        let mut by_start: std::collections::HashMap<u64, u32> = st
+            .table
+            .live()
+            .map(|(i, inode)| (inode.start_block as u64, i))
+            .collect();
+        let used = st.table.used_extents();
+        let plan = st.alloc.plan_compaction(&used);
+        let mut moved = 0;
+        for m in &plan {
+            let idx = *by_start
+                .get(&m.from)
+                .expect("plan extents come from the table");
+            let mut buf = vec![0u8; (m.len * block_size as u64) as usize];
+            self.storage.read_blocks(m.from, &mut buf)?;
+            self.storage
+                .write_sync_k(m.to, &buf, self.storage.replica_count())?;
+            let inode = st.table.get_mut(idx)?;
+            inode.start_block = m.to as u32;
+            let iblock = st.table.block_of(idx);
+            let image = st.table.block_image(iblock);
+            self.storage
+                .write_sync_k(iblock, &image, self.storage.replica_count())?;
+            by_start.remove(&m.from);
+            by_start.insert(m.to, idx);
+            moved += 1;
+        }
+        let total_used: u64 = used.iter().map(|&(_, l)| l).sum();
+        st.alloc.rebuild_after_compaction(total_used);
+        self.stats.add("disk_compaction_moves", moved);
+        Ok(moved)
+    }
+
+    /// Compacts the RAM cache arena; returns bytes moved.
+    pub fn compact_memory(&self) -> u64 {
+        let mut st = self.state.lock();
+        let moved = st.cache.compact();
+        self.cfg.clock.advance(self.cfg.cpu.memcpy(moved));
+        moved
+    }
+
+    /// Fragmentation snapshot of the disk data area.
+    pub fn disk_frag_report(&self) -> crate::FragReport {
+        self.state.lock().alloc.report()
+    }
+
+    /// Fragmentation snapshot of the RAM cache arena.
+    pub fn cache_frag_report(&self) -> crate::FragReport {
+        self.state.lock().cache.frag_report()
+    }
+
+    /// Server operation counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Cache counters (`cache_hits`, `cache_misses`, …), snapshotted.
+    pub fn cache_stats(&self) -> Vec<(&'static str, u64)> {
+        self.state.lock().cache.stats().snapshot()
+    }
+
+    /// The mirrored storage (for failover tests and admin tooling).
+    pub fn storage(&self) -> &MirroredDisk {
+        &self.storage
+    }
+
+    /// The service port.
+    pub fn port(&self) -> Port {
+        self.cfg.port
+    }
+
+    /// Number of live files.
+    pub fn live_files(&self) -> usize {
+        self.state.lock().table.live_count()
+    }
+
+    /// Drops the whole RAM cache (admin/benchmark hook, modelling a flush
+    /// or reboot without touching the disks).
+    pub fn clear_cache(&self) {
+        let mut st = self.state.lock();
+        st.cache.clear();
+        let live: Vec<u32> = st.table.live().map(|(i, _)| i).collect();
+        for idx in live {
+            if let Ok(inode) = st.table.get_mut(idx) {
+                inode.index = 0;
+            }
+        }
+    }
+
+    /// A snapshot of the on-disk layout (Fig. 1 of the paper): the disk
+    /// descriptor plus every live file's `(inode, start_block, size,
+    /// cached)` row, sorted by start block.
+    pub fn describe_layout(&self) -> (crate::DiskDescriptor, Vec<LayoutEntry>) {
+        let st = self.state.lock();
+        let mut rows: Vec<LayoutEntry> = st
+            .table
+            .live()
+            .map(|(idx, inode)| LayoutEntry {
+                inode: idx,
+                start_block: inode.start_block,
+                blocks: inode.blocks(st.table.descriptor().block_size),
+                size_bytes: inode.size_bytes,
+                cached: inode.index != 0,
+            })
+            .collect();
+        rows.sort_unstable_by_key(|e| e.start_block);
+        (*st.table.descriptor(), rows)
+    }
+
+    /// Resets a file's garbage-collection age — the Amoeba touch/age
+    /// protocol: owners of long-lived objects (above all the directory
+    /// service, for every file it can still reach) periodically touch
+    /// them; everything else eventually expires.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures.
+    pub fn touch(&self, cap: &Capability) -> Result<(), BulletError> {
+        let mut st = self.state.lock();
+        self.verify(&st, cap, Rights::NONE)?;
+        let idx = cap.object.value();
+        let max_age = self.cfg.max_age;
+        st.ages.insert(idx, max_age);
+        Ok(())
+    }
+
+    /// One aging round: every live file's age drops by one, and files
+    /// whose age reaches zero are deleted (inode zeroed on every disk,
+    /// extent and cache freed).  Returns the number of files expired.
+    ///
+    /// The original Amoeba servers ran this periodically; untouched
+    /// objects — lost capabilities, debris from crashed clients — age out
+    /// without any global mark-and-sweep.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors while zeroing expired inodes.
+    pub fn age_all(&self) -> Result<u64, BulletError> {
+        let mut st = self.state.lock();
+        let mut expired = Vec::new();
+        for (&idx, age) in st.ages.iter_mut() {
+            *age = age.saturating_sub(1);
+            if *age == 0 {
+                expired.push(idx);
+            }
+        }
+        let block_size = st.table.descriptor().block_size;
+        let mut images = Vec::new();
+        for &idx in &expired {
+            let inode = *st.table.get(idx)?;
+            st.cache.remove(idx);
+            st.ages.remove(&idx);
+            st.table.clear(idx)?;
+            st.alloc
+                .free(inode.start_block as u64, inode.blocks(block_size))?;
+            let block = st.table.block_of(idx);
+            images.push((block, st.table.block_image(block)));
+        }
+        drop(st);
+        for (block, image) in images {
+            self.storage
+                .write_sync_k(block, &image, self.storage.replica_count())?;
+        }
+        self.stats.add("aged_out", expired.len() as u64);
+        Ok(expired.len() as u64)
+    }
+
+    /// Administrative enumeration: owner capabilities for every live file.
+    ///
+    /// This is the hook the directory service's garbage collector uses to
+    /// sweep unreachable files; it is not part of the client protocol.
+    pub fn list_live_caps(&self) -> Vec<Capability> {
+        let st = self.state.lock();
+        st.table
+            .live()
+            .map(|(idx, inode)| {
+                self.scheme.mint(
+                    self.cfg.port,
+                    ObjNum::new(idx).expect("inode index fits 24 bits"),
+                    Rights::ALL,
+                    inode.random,
+                )
+            })
+            .collect()
+    }
+
+    /// Restricts a capability server-side (the MAC scheme cannot do it
+    /// client-side): returns a capability for the same file with
+    /// `cap.rights ∩ mask`.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures.
+    pub fn restrict(&self, cap: &Capability, mask: Rights) -> Result<Capability, BulletError> {
+        let st = self.state.lock();
+        let inode = self.verify(&st, cap, Rights::NONE)?;
+        Ok(self.scheme.mint(
+            self.cfg.port,
+            cap.object,
+            cap.rights.intersection(mask),
+            inode.random,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn verify<'a>(
+        &self,
+        st: &'a State,
+        cap: &Capability,
+        needed: Rights,
+    ) -> Result<&'a Inode, BulletError> {
+        if cap.port != self.cfg.port {
+            return Err(BulletError::CapBad);
+        }
+        let inode = st.table.get(cap.object.value())?;
+        self.scheme.check_rights(cap, inode.random, needed)?;
+        Ok(inode)
+    }
+
+    /// Loads a file's extent from disk into the cache; returns the data.
+    fn load_from_disk(
+        &self,
+        st: &mut State,
+        idx: u32,
+        inode: &Inode,
+    ) -> Result<Bytes, BulletError> {
+        let block_size = st.table.descriptor().block_size;
+        let blocks = inode.blocks(block_size);
+        let mut buf = vec![0u8; (blocks * block_size as u64) as usize];
+        self.storage
+            .read_blocks(inode.start_block as u64, &mut buf)?;
+        buf.truncate(inode.size_bytes as usize);
+        let data = Bytes::from(buf);
+        self.cache_insert(st, idx, data.clone())?;
+        Ok(data)
+    }
+
+    /// Inserts into the cache, maintaining the inode index fields of the
+    /// inserted file and of any evicted victims, and charging compaction
+    /// copies.
+    fn cache_insert(&self, st: &mut State, idx: u32, data: Bytes) -> Result<(), BulletError> {
+        let outcome = st.cache.insert(idx, data)?;
+        if outcome.compaction_bytes > 0 {
+            self.cfg
+                .clock
+                .advance(self.cfg.cpu.memcpy(outcome.compaction_bytes));
+        }
+        for victim in &outcome.evicted {
+            if let Ok(inode) = st.table.get_mut(*victim) {
+                inode.index = 0;
+            }
+        }
+        st.table.get_mut(idx)?.index = outcome.slot + 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> BulletServer {
+        BulletServer::format(BulletConfig::small_test(), 2).unwrap()
+    }
+
+    fn payload(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn create_read_size_delete_cycle() {
+        let s = server();
+        let cap = s.create(payload(1000, 7), 2).unwrap();
+        assert_eq!(s.size(&cap).unwrap(), 1000);
+        assert_eq!(s.read(&cap).unwrap(), payload(1000, 7));
+        s.delete(&cap).unwrap();
+        assert_eq!(s.read(&cap).unwrap_err(), BulletError::NotFound);
+        assert_eq!(s.size(&cap).unwrap_err(), BulletError::NotFound);
+        assert_eq!(s.delete(&cap).unwrap_err(), BulletError::NotFound);
+    }
+
+    #[test]
+    fn files_are_immutable_distinct_objects() {
+        let s = server();
+        let a = s.create(payload(10, 1), 1).unwrap();
+        let b = s.create(payload(10, 2), 1).unwrap();
+        assert_ne!(a.object, b.object);
+        assert_eq!(s.read(&a).unwrap(), payload(10, 1));
+        assert_eq!(s.read(&b).unwrap(), payload(10, 2));
+    }
+
+    #[test]
+    fn zero_byte_file_works() {
+        let s = server();
+        let cap = s.create(Bytes::new(), 1).unwrap();
+        assert_eq!(s.size(&cap).unwrap(), 0);
+        assert_eq!(s.read(&cap).unwrap(), Bytes::new());
+        s.delete(&cap).unwrap();
+    }
+
+    #[test]
+    fn forged_capability_rejected() {
+        let s = server();
+        let cap = s.create(payload(10, 1), 1).unwrap();
+        let mut forged = cap;
+        forged.check ^= 1;
+        assert_eq!(s.read(&forged).unwrap_err(), BulletError::CapBad);
+        let mut wrong_port = cap;
+        wrong_port.port = Port::from_u64(123);
+        assert_eq!(s.read(&wrong_port).unwrap_err(), BulletError::CapBad);
+    }
+
+    #[test]
+    fn restricted_capability_enforces_rights() {
+        let s = server();
+        let owner = s.create(payload(10, 1), 1).unwrap();
+        let reader = s.restrict(&owner, Rights::READ).unwrap();
+        assert_eq!(s.read(&reader).unwrap(), payload(10, 1));
+        assert_eq!(s.delete(&reader).unwrap_err(), BulletError::Denied);
+        // Claiming more rights than minted fails verification.
+        let mut amplified = reader;
+        amplified.rights = Rights::ALL;
+        assert_eq!(s.delete(&amplified).unwrap_err(), BulletError::CapBad);
+    }
+
+    #[test]
+    fn read_section_and_ranges() {
+        let s = server();
+        let data: Bytes = Bytes::from((0u8..200).collect::<Vec<u8>>());
+        let cap = s.create(data.clone(), 1).unwrap();
+        assert_eq!(s.read_section(&cap, 10, 20).unwrap(), data.slice(10..30));
+        assert_eq!(s.read_section(&cap, 0, 200).unwrap(), data);
+        assert_eq!(s.read_section(&cap, 0, 0).unwrap(), Bytes::new());
+        assert_eq!(
+            s.read_section(&cap, 150, 51).unwrap_err(),
+            BulletError::BadRange
+        );
+        assert_eq!(
+            s.read_section(&cap, u32::MAX, 2).unwrap_err(),
+            BulletError::BadRange
+        );
+    }
+
+    #[test]
+    fn modify_creates_new_version_leaving_original() {
+        let s = server();
+        let v1 = s.create(Bytes::from_static(b"hello world"), 1).unwrap();
+        let v2 = s.modify(&v1, 6, b"earth", 1).unwrap();
+        assert_eq!(s.read(&v1).unwrap(), Bytes::from_static(b"hello world"));
+        assert_eq!(s.read(&v2).unwrap(), Bytes::from_static(b"hello earth"));
+        // Growing modification.
+        let v3 = s.modify(&v1, 6, b"wide world", 1).unwrap();
+        assert_eq!(
+            s.read(&v3).unwrap(),
+            Bytes::from_static(b"hello wide world")
+        );
+    }
+
+    #[test]
+    fn append_extends_into_new_version() {
+        let s = server();
+        let v1 = s.create(Bytes::from_static(b"log:"), 1).unwrap();
+        let v2 = s.append(&v1, b" entry1", 1).unwrap();
+        assert_eq!(s.read(&v2).unwrap(), Bytes::from_static(b"log: entry1"));
+        assert_eq!(s.read(&v1).unwrap(), Bytes::from_static(b"log:"));
+    }
+
+    #[test]
+    fn p_factor_validated_against_disk_count() {
+        let s = server();
+        assert!(matches!(
+            s.create(payload(10, 0), 3).unwrap_err(),
+            BulletError::BadPFactor {
+                requested: 3,
+                disks: 2
+            }
+        ));
+        for p in 0..=2 {
+            s.create(payload(10, 0), p).unwrap();
+        }
+    }
+
+    #[test]
+    fn pfactor_zero_is_volatile_until_sync() {
+        let s = server();
+        let cap = s.create(payload(100, 9), 0).unwrap();
+        assert!(s.storage().pending_background() > 0);
+        // Still readable from cache.
+        assert_eq!(s.read(&cap).unwrap(), payload(100, 9));
+        s.sync().unwrap();
+        assert_eq!(s.storage().pending_background(), 0);
+    }
+
+    #[test]
+    fn crash_with_pfactor_zero_loses_file_with_one_keeps_it() {
+        let cfg = BulletConfig::small_test();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let durable = s.create(payload(100, 1), 1).unwrap();
+        let volatile = s.create(payload(100, 2), 0).unwrap();
+
+        let storage = s.crash();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.read(&durable).unwrap(), payload(100, 1));
+        // The p=0 file's inode never reached disk: the capability is dead.
+        assert!(matches!(
+            s2.read(&volatile).unwrap_err(),
+            BulletError::NotFound | BulletError::CapBad
+        ));
+    }
+
+    #[test]
+    fn clean_shutdown_preserves_pfactor_zero_files() {
+        let cfg = BulletConfig::small_test();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let cap = s.create(payload(100, 2), 0).unwrap();
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.read(&cap).unwrap(), payload(100, 2));
+    }
+
+    #[test]
+    fn capabilities_survive_restart() {
+        let cfg = BulletConfig::small_test();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let cap = s.create(payload(5000, 3), 2).unwrap();
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.read(&cap).unwrap(), payload(5000, 3));
+        assert_eq!(s2.live_files(), 1);
+    }
+
+    #[test]
+    fn cache_hit_after_cold_read() {
+        let cfg = BulletConfig::small_test();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let cap = s.create(payload(1000, 4), 2).unwrap();
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        s2.read(&cap).unwrap(); // cold: disk
+        s2.read(&cap).unwrap(); // warm: cache
+        let stats: std::collections::HashMap<_, _> = s2.cache_stats().into_iter().collect();
+        assert_eq!(stats["cache_misses"], 1);
+        assert_eq!(stats["cache_hits"], 1);
+    }
+
+    #[test]
+    fn no_space_and_rollback() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.disk_blocks = 64; // tiny disk: 8 control blocks leave ~56 data blocks
+        cfg.cache_capacity = 1 << 20;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let big = payload(40 * 512, 1);
+        let cap = s.create(big, 1).unwrap();
+        // A second big file cannot fit.
+        assert_eq!(
+            s.create(payload(40 * 512, 2), 1).unwrap_err(),
+            BulletError::NoSpace
+        );
+        // The failure left no debris: deleting the first frees everything.
+        let files_before = s.live_files();
+        assert_eq!(files_before, 1);
+        s.delete(&cap).unwrap();
+        s.create(payload(40 * 512, 2), 1).unwrap();
+    }
+
+    #[test]
+    fn too_large_for_cache_rejected() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.cache_capacity = 4096;
+        cfg.rnode_slots = 8;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        assert!(matches!(
+            s.create(payload(8192, 0), 1).unwrap_err(),
+            BulletError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn disk_failover_is_transparent_to_clients() {
+        use amoeba_disk::FaultyDisk;
+        let cfg = BulletConfig::small_test();
+        let a = Arc::new(FaultyDisk::new(RamDisk::new(
+            cfg.block_size,
+            cfg.disk_blocks,
+        )));
+        let b = Arc::new(FaultyDisk::new(RamDisk::new(
+            cfg.block_size,
+            cfg.disk_blocks,
+        )));
+        let storage = MirroredDisk::new(vec![a.clone(), b.clone()]).unwrap();
+        let s = BulletServer::format_on(cfg.clone(), storage).unwrap();
+
+        let cap = s.create(payload(2000, 5), 2).unwrap();
+        a.fail_now();
+        // Reads (cold) and creates keep working on the surviving disk.
+        let cap2 = s.create(payload(100, 6), 1).unwrap();
+        assert_eq!(s.read(&cap2).unwrap(), payload(100, 6));
+        // Evict the cache by restarting, to force a disk read.
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.read(&cap).unwrap(), payload(2000, 5));
+    }
+
+    #[test]
+    fn compaction_closes_holes_and_preserves_files() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.disk_blocks = 256;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let caps: Vec<Capability> = (0..10)
+            .map(|i| s.create(payload(5 * 512, i as u8), 1).unwrap())
+            .collect();
+        // Delete every other file → shattered free space.
+        for cap in caps.iter().step_by(2) {
+            s.delete(cap).unwrap();
+        }
+        let before = s.disk_frag_report();
+        assert!(before.external_fragmentation > 0.0);
+        let moved = s.compact_disk().unwrap();
+        assert!(moved > 0);
+        let after = s.disk_frag_report();
+        assert_eq!(after.hole_count, 1);
+        assert_eq!(after.free, before.free);
+        // Survivors read back intact (bypassing the cache via restart).
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(BulletConfig::small_test(), storage).unwrap();
+        for (i, cap) in caps.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(s2.read(cap).unwrap(), payload(5 * 512, i as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_detects_overlap_corruption() {
+        let cfg = BulletConfig::small_test();
+        let s = BulletServer::format(cfg.clone(), 1).unwrap();
+        let a = s.create(payload(512, 1), 1).unwrap();
+        let _b = s.create(payload(512, 2), 1).unwrap();
+        let storage = s.shutdown().unwrap();
+
+        // Corrupt: rewrite inode b to overlap inode a's extent.
+        let report = InodeTable::load(&storage, RepairPolicy::Fail).unwrap();
+        let mut table = report.table;
+        let a_start = table.get(a.object.value()).unwrap().start_block;
+        let b_idx = table
+            .live()
+            .map(|(i, _)| i)
+            .find(|&i| i != a.object.value())
+            .unwrap();
+        table.get_mut(b_idx).unwrap().start_block = a_start;
+        let block = table.block_of(b_idx);
+        let image = table.block_image(block);
+        storage.write_blocks(block, &image).unwrap();
+
+        assert!(matches!(
+            BulletServer::recover(cfg.clone(), storage),
+            Err(BulletError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_repairs_overlap_with_zerobad() {
+        let mut cfg = BulletConfig::small_test();
+        let s = BulletServer::format(cfg.clone(), 1).unwrap();
+        let a = s.create(payload(512, 1), 1).unwrap();
+        let b = s.create(payload(512, 2), 1).unwrap();
+        let storage = s.shutdown().unwrap();
+
+        let report = InodeTable::load(&storage, RepairPolicy::Fail).unwrap();
+        let mut table = report.table;
+        let a_start = table.get(a.object.value()).unwrap().start_block;
+        table.get_mut(b.object.value()).unwrap().start_block = a_start;
+        let block = table.block_of(b.object.value());
+        let image = table.block_image(block);
+        storage.write_blocks(block, &image).unwrap();
+
+        cfg.repair = RepairPolicy::ZeroBad;
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        // One of the overlapping pair survives; the server is operational.
+        assert_eq!(s2.live_files(), 1);
+        s2.create(payload(100, 3), 1).unwrap();
+    }
+
+    #[test]
+    fn clear_cache_forces_disk_reads() {
+        let s = server();
+        let cap = s.create(payload(3000, 8), 2).unwrap();
+        s.clear_cache();
+        assert_eq!(s.read(&cap).unwrap(), payload(3000, 8));
+        let stats: std::collections::HashMap<_, _> = s.cache_stats().into_iter().collect();
+        assert_eq!(stats["cache_misses"], 1);
+    }
+
+    #[test]
+    fn layout_dump_matches_files() {
+        let s = server();
+        let a = s.create(payload(600, 1), 1).unwrap();
+        let b = s.create(payload(100, 2), 1).unwrap();
+        let (desc, rows) = s.describe_layout();
+        assert_eq!(desc.block_size, 512);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].inode, a.object.value());
+        assert_eq!(rows[0].blocks, 2);
+        assert_eq!(rows[1].inode, b.object.value());
+        assert!(rows.iter().all(|r| r.cached));
+        assert_eq!(rows[0].start_block as u64 + 2, rows[1].start_block as u64);
+        s.clear_cache();
+        let (_, rows) = s.describe_layout();
+        assert!(rows.iter().all(|r| !r.cached));
+    }
+
+    #[test]
+    fn untouched_files_age_out() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.max_age = 3;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let kept = s.create(payload(100, 1), 1).unwrap();
+        let doomed = s.create(payload(100, 2), 1).unwrap();
+        for round in 0..3 {
+            s.touch(&kept).unwrap();
+            let expired = s.age_all().unwrap();
+            assert_eq!(expired, u64::from(round == 2), "round {round}");
+        }
+        assert_eq!(s.read(&kept).unwrap(), payload(100, 1));
+        assert_eq!(s.read(&doomed).unwrap_err(), BulletError::NotFound);
+        assert_eq!(s.stats().get("aged_out"), 1);
+        // Expiry is durable: the inode was zeroed on disk.
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(BulletConfig::small_test(), storage).unwrap();
+        assert!(s2.read(&doomed).is_err());
+        assert!(s2.read(&kept).is_ok());
+    }
+
+    #[test]
+    fn touch_requires_a_genuine_capability() {
+        let s = server();
+        let cap = s.create(payload(10, 1), 1).unwrap();
+        let mut forged = cap;
+        forged.check ^= 2;
+        assert_eq!(s.touch(&forged).unwrap_err(), BulletError::CapBad);
+        s.touch(&cap).unwrap();
+    }
+
+    #[test]
+    fn recovery_resets_ages_generously() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.max_age = 2;
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let cap = s.create(payload(10, 1), 1).unwrap();
+        s.age_all().unwrap(); // age 1 remaining
+        let storage = s.shutdown().unwrap();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        // After recovery the file has a fresh max_age again.
+        s2.age_all().unwrap();
+        assert!(s2.read(&cap).is_ok(), "one round must not expire it");
+        s2.age_all().unwrap();
+        assert!(s2.read(&cap).is_err(), "two rounds without touch expire it");
+    }
+
+    #[test]
+    fn amoeba_scheme_allows_client_side_restriction() {
+        use amoeba_cap::AmoebaScheme;
+        let mut cfg = BulletConfig::small_test();
+        cfg.scheme = SchemeKind::Amoeba;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let owner = s.create(payload(50, 3), 1).unwrap();
+        // The client restricts WITHOUT talking to the server — the whole
+        // point of the sparse-capabilities scheme.
+        let reader = AmoebaScheme::new().restrict(&owner, Rights::READ).unwrap();
+        assert_eq!(s.read(&reader).unwrap(), payload(50, 3));
+        assert_eq!(s.delete(&reader).unwrap_err(), BulletError::Denied);
+        // Amplification still fails.
+        let mut amplified = reader;
+        amplified.rights = Rights::ALL;
+        assert_eq!(s.delete(&amplified).unwrap_err(), BulletError::CapBad);
+        s.delete(&owner).unwrap();
+    }
+
+    #[test]
+    fn operations_charge_simulated_time() {
+        let cfg = BulletConfig::small_test();
+        let clock = cfg.clock.clone();
+        let s = BulletServer::format(cfg, 2).unwrap();
+        clock.reset();
+        let cap = s.create(payload(10_000, 1), 2).unwrap();
+        // Plain RAM disks charge nothing, so this is CPU only: the fixed
+        // request cost plus one 10 KB reception copy (≈ 2.75 ms).
+        let create_time = clock.now();
+        assert!(
+            create_time.as_ms_f64() > 2.0,
+            "create charged {create_time}"
+        );
+        let before = clock.now();
+        s.read(&cap).unwrap(); // cache hit: cheap
+        let read_time = clock.now() - before;
+        assert!(read_time < create_time);
+    }
+}

@@ -1,0 +1,457 @@
+//! The in-RAM inode table.
+//!
+//! "When the file server starts up, it reads the complete inode table into
+//! the RAM inode table and keeps it there permanently." (§3)  Updates are
+//! written through by rewriting the whole disk block containing the inode
+//! — exactly what the server does on create and delete.
+
+use amoeba_disk::BlockDevice;
+
+use crate::layout::{DiskDescriptor, Inode, INODE_SIZE};
+use crate::BulletError;
+
+/// How [`InodeTable::load`] reacts to inodes that fail the start-up
+/// consistency scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Refuse to start: return [`BulletError::Corrupt`].
+    Fail,
+    /// Zero the offending inodes (losing those files) and continue; the
+    /// count is reported in [`LoadReport::repaired`].
+    ZeroBad,
+}
+
+/// Result of loading the table at start-up.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The loaded table.
+    pub table: InodeTable,
+    /// Number of inodes zeroed by [`RepairPolicy::ZeroBad`].
+    pub repaired: u32,
+}
+
+/// The complete inode table, resident in RAM.
+#[derive(Debug, Clone)]
+pub struct InodeTable {
+    desc: DiskDescriptor,
+    inodes: Vec<Inode>,
+    free: Vec<u32>,
+}
+
+impl InodeTable {
+    /// Formats `dev` with an empty Bullet layout: a disk descriptor sized
+    /// so the inode table holds at least `min_inodes` slots, zeroed
+    /// inodes, and all remaining blocks as the data area.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors, or [`BulletError::Corrupt`] if the device is too small
+    /// to hold the table plus at least one data block.
+    pub fn format(dev: &dyn BlockDevice, min_inodes: u32) -> Result<InodeTable, BulletError> {
+        let block_size = dev.block_size();
+        let per_block = block_size / INODE_SIZE as u32;
+        if per_block == 0 {
+            return Err(BulletError::Corrupt(format!(
+                "block size {block_size} cannot hold a {INODE_SIZE}-byte inode"
+            )));
+        }
+        // +1 for the descriptor in slot 0.
+        let control_blocks = (min_inodes + 1).div_ceil(per_block).max(1);
+        let total = dev.num_blocks();
+        if total <= control_blocks as u64 {
+            return Err(BulletError::Corrupt(format!(
+                "device of {total} blocks cannot hold {control_blocks} control blocks plus data"
+            )));
+        }
+        let desc = DiskDescriptor {
+            block_size,
+            control_blocks,
+            data_blocks: (total - control_blocks as u64)
+                .try_into()
+                .map_err(|_| BulletError::Corrupt("data area exceeds 32-bit blocks".into()))?,
+        };
+        let table = InodeTable::fresh(desc);
+        for b in 0..control_blocks as u64 {
+            dev.write_blocks(b, &table.block_image(b))?;
+        }
+        dev.sync()?;
+        Ok(table)
+    }
+
+    fn fresh(desc: DiskDescriptor) -> InodeTable {
+        let slots = desc.inode_slots();
+        InodeTable {
+            desc,
+            inodes: vec![Inode::default(); slots as usize],
+            // Descending so that low object numbers are handed out first.
+            free: (1..slots).rev().collect(),
+        }
+    }
+
+    /// Reads the complete inode table from a formatted device, performing
+    /// the start-up consistency scan (bounds; overlap detection is the
+    /// allocator's job via [`used_extents`](Self::used_extents)).
+    ///
+    /// # Errors
+    ///
+    /// Disk errors, a corrupt descriptor, or — under
+    /// [`RepairPolicy::Fail`] — any inode pointing outside the data area.
+    pub fn load(dev: &dyn BlockDevice, policy: RepairPolicy) -> Result<LoadReport, BulletError> {
+        let bs = dev.block_size() as usize;
+        let mut block0 = vec![0u8; bs];
+        dev.read_blocks(0, &mut block0)?;
+        let desc = DiskDescriptor::decode(
+            block0[..INODE_SIZE]
+                .try_into()
+                .expect("block holds an inode"),
+        )?;
+        if desc.block_size != dev.block_size() {
+            return Err(BulletError::Corrupt(format!(
+                "descriptor block size {} does not match device block size {}",
+                desc.block_size,
+                dev.block_size()
+            )));
+        }
+        if desc.data_end() > dev.num_blocks() {
+            return Err(BulletError::Corrupt(
+                "descriptor claims more blocks than the device has".into(),
+            ));
+        }
+
+        let mut raw = vec![0u8; desc.control_blocks as usize * bs];
+        dev.read_blocks(0, &mut raw)?;
+
+        let slots = desc.inode_slots() as usize;
+        let mut inodes = vec![Inode::default(); slots];
+        let mut repaired = 0;
+        for (i, inode) in inodes.iter_mut().enumerate().skip(1) {
+            let off = i * INODE_SIZE;
+            let mut parsed =
+                Inode::decode(raw[off..off + INODE_SIZE].try_into().expect("within table"));
+            // "The index has no significance on disk."
+            parsed.index = 0;
+            if !parsed.is_free() {
+                let start = parsed.start_block as u64;
+                let end = start + parsed.blocks(desc.block_size);
+                if start < desc.data_start() || end > desc.data_end() {
+                    match policy {
+                        RepairPolicy::Fail => {
+                            return Err(BulletError::Corrupt(format!(
+                                "inode {i} extent [{start}, {end}) outside data area"
+                            )))
+                        }
+                        RepairPolicy::ZeroBad => {
+                            repaired += 1;
+                            continue; // leave zeroed
+                        }
+                    }
+                }
+            }
+            *inode = parsed;
+        }
+
+        let free = (1..slots as u32)
+            .rev()
+            .filter(|&i| inodes[i as usize].is_free())
+            .collect();
+        Ok(LoadReport {
+            table: InodeTable { desc, inodes, free },
+            repaired,
+        })
+    }
+
+    /// The disk descriptor.
+    pub fn descriptor(&self) -> &DiskDescriptor {
+        &self.desc
+    }
+
+    /// Number of free inode slots.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of live files.
+    pub fn live_count(&self) -> usize {
+        self.inodes.len().saturating_sub(1) - self.free.len()
+    }
+
+    /// Allocates a slot for `inode`, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NoInodes`] when the table is full.
+    pub fn alloc(&mut self, inode: Inode) -> Result<u32, BulletError> {
+        debug_assert!(!inode.is_free(), "allocating a zero inode");
+        let idx = self.free.pop().ok_or(BulletError::NoInodes)?;
+        self.inodes[idx as usize] = inode;
+        Ok(idx)
+    }
+
+    /// Looks up a live inode.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NotFound`] for slot 0, out-of-range, or free slots.
+    pub fn get(&self, idx: u32) -> Result<&Inode, BulletError> {
+        match self.inodes.get(idx as usize) {
+            Some(inode) if idx != 0 && !inode.is_free() => Ok(inode),
+            _ => Err(BulletError::NotFound),
+        }
+    }
+
+    /// Mutable access to a live inode (cache-index updates).
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NotFound`] as for [`get`](Self::get).
+    pub fn get_mut(&mut self, idx: u32) -> Result<&mut Inode, BulletError> {
+        match self.inodes.get_mut(idx as usize) {
+            Some(inode) if idx != 0 && !inode.is_free() => Ok(inode),
+            _ => Err(BulletError::NotFound),
+        }
+    }
+
+    /// Zeroes a live inode (file deletion) and returns the freed slot to
+    /// the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NotFound`] if the slot is not live.
+    pub fn clear(&mut self, idx: u32) -> Result<(), BulletError> {
+        self.get(idx)?;
+        self.inodes[idx as usize] = Inode::default();
+        self.free.push(idx);
+        Ok(())
+    }
+
+    /// The control block containing inode `idx` (for write-through).
+    pub fn block_of(&self, idx: u32) -> u64 {
+        (idx / (self.desc.block_size / INODE_SIZE as u32)) as u64
+    }
+
+    /// Serializes control block `block` from the RAM table — "the whole
+    /// disk block containing the inode has to be written".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a control block.
+    pub fn block_image(&self, block: u64) -> Vec<u8> {
+        assert!(
+            block < self.desc.control_blocks as u64,
+            "not a control block"
+        );
+        let per_block = (self.desc.block_size / INODE_SIZE as u32) as usize;
+        let mut out = vec![0u8; self.desc.block_size as usize];
+        for i in 0..per_block {
+            let idx = block as usize * per_block + i;
+            let enc = if idx == 0 {
+                self.desc.encode()
+            } else if idx < self.inodes.len() {
+                self.inodes[idx].encode()
+            } else {
+                [0u8; INODE_SIZE]
+            };
+            out[i * INODE_SIZE..(i + 1) * INODE_SIZE].copy_from_slice(&enc);
+        }
+        out
+    }
+
+    /// All live `(start_block, blocks)` extents, for the allocator rebuild
+    /// and the overlap check.
+    pub fn used_extents(&self) -> Vec<(u64, u64)> {
+        self.inodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, inode)| !inode.is_free())
+            .map(|(_, inode)| (inode.start_block as u64, inode.blocks(self.desc.block_size)))
+            .collect()
+    }
+
+    /// Iterates over `(index, inode)` for all live files.
+    pub fn live(&self) -> impl Iterator<Item = (u32, &Inode)> {
+        self.inodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, inode)| !inode.is_free())
+            .map(|(i, inode)| (i as u32, inode))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_disk::RamDisk;
+
+    fn dev() -> RamDisk {
+        RamDisk::new(512, 256)
+    }
+
+    #[test]
+    fn format_and_reload_empty() {
+        let d = dev();
+        let t = InodeTable::format(&d, 100).unwrap();
+        assert!(t.descriptor().inode_slots() >= 101);
+        let r = InodeTable::load(&d, RepairPolicy::Fail).unwrap();
+        assert_eq!(r.repaired, 0);
+        assert_eq!(r.table.live_count(), 0);
+        assert_eq!(r.table.descriptor(), t.descriptor());
+    }
+
+    #[test]
+    fn format_rejects_tiny_device() {
+        let d = RamDisk::new(512, 1);
+        assert!(InodeTable::format(&d, 100).is_err());
+        let d2 = RamDisk::new(8, 16); // block too small for an inode
+        assert!(InodeTable::format(&d2, 4).is_err());
+    }
+
+    #[test]
+    fn alloc_get_clear() {
+        let d = dev();
+        let mut t = InodeTable::format(&d, 10).unwrap();
+        let idx = t
+            .alloc(Inode {
+                random: 42,
+                index: 0,
+                start_block: t.descriptor().data_start() as u32,
+                size_bytes: 100,
+            })
+            .unwrap();
+        assert_eq!(idx, 1, "low slots first");
+        assert_eq!(t.get(idx).unwrap().random, 42);
+        assert_eq!(t.live_count(), 1);
+        t.clear(idx).unwrap();
+        assert!(t.get(idx).is_err());
+        assert_eq!(t.live_count(), 0);
+        // Freed slot is reused.
+        let again = t
+            .alloc(Inode {
+                random: 1,
+                ..Inode::default()
+            })
+            .unwrap();
+        assert_eq!(again, idx);
+    }
+
+    #[test]
+    fn slot_zero_and_free_slots_not_gettable() {
+        let d = dev();
+        let t = InodeTable::format(&d, 10).unwrap();
+        assert!(t.get(0).is_err());
+        assert!(t.get(1).is_err());
+        assert!(t.get(9999).is_err());
+    }
+
+    #[test]
+    fn exhaustion_reports_noinodes() {
+        let d = dev();
+        // One control block of 512/16 = 32 slots, 31 usable.
+        let mut t = InodeTable::format(&d, 1).unwrap();
+        let slots = t.descriptor().inode_slots() - 1;
+        for _ in 0..slots {
+            t.alloc(Inode {
+                random: 1,
+                ..Inode::default()
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            t.alloc(Inode {
+                random: 1,
+                ..Inode::default()
+            })
+            .unwrap_err(),
+            BulletError::NoInodes
+        );
+    }
+
+    #[test]
+    fn write_back_and_reload_preserves_inodes() {
+        let d = dev();
+        let mut t = InodeTable::format(&d, 10).unwrap();
+        let data_start = t.descriptor().data_start() as u32;
+        let idx = t
+            .alloc(Inode {
+                random: 0xbeef,
+                index: 3, // in-RAM cache index; must NOT survive reload
+                start_block: data_start,
+                size_bytes: 512,
+            })
+            .unwrap();
+        d.write_blocks(t.block_of(idx), &t.block_image(t.block_of(idx)))
+            .unwrap();
+
+        let r = InodeTable::load(&d, RepairPolicy::Fail).unwrap();
+        let got = r.table.get(idx).unwrap();
+        assert_eq!(got.random, 0xbeef);
+        assert_eq!(got.index, 0, "cache index has no significance on disk");
+        assert_eq!(got.start_block, data_start);
+        assert_eq!(r.table.used_extents(), vec![(data_start as u64, 1)]);
+    }
+
+    #[test]
+    fn load_detects_out_of_area_extent() {
+        let d = dev();
+        let mut t = InodeTable::format(&d, 10).unwrap();
+        let idx = t
+            .alloc(Inode {
+                random: 7,
+                index: 0,
+                start_block: 0, // inside the control area: invalid
+                size_bytes: 512,
+            })
+            .unwrap();
+        d.write_blocks(t.block_of(idx), &t.block_image(t.block_of(idx)))
+            .unwrap();
+
+        assert!(matches!(
+            InodeTable::load(&d, RepairPolicy::Fail),
+            Err(BulletError::Corrupt(_))
+        ));
+        let r = InodeTable::load(&d, RepairPolicy::ZeroBad).unwrap();
+        assert_eq!(r.repaired, 1);
+        assert_eq!(r.table.live_count(), 0);
+    }
+
+    #[test]
+    fn load_rejects_foreign_disk() {
+        let d = dev();
+        assert!(matches!(
+            InodeTable::load(&d, RepairPolicy::Fail),
+            Err(BulletError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn block_of_maps_indices_to_blocks() {
+        let d = dev();
+        let t = InodeTable::format(&d, 100).unwrap();
+        let per_block = 512 / 16;
+        assert_eq!(t.block_of(0), 0);
+        assert_eq!(t.block_of(per_block - 1), 0);
+        assert_eq!(t.block_of(per_block), 1);
+    }
+
+    #[test]
+    fn live_iterates_only_live() {
+        let d = dev();
+        let mut t = InodeTable::format(&d, 10).unwrap();
+        let a = t
+            .alloc(Inode {
+                random: 1,
+                ..Inode::default()
+            })
+            .unwrap();
+        let b = t
+            .alloc(Inode {
+                random: 2,
+                ..Inode::default()
+            })
+            .unwrap();
+        t.clear(a).unwrap();
+        let live: Vec<u32> = t.live().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![b]);
+    }
+}

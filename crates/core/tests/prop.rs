@@ -1,0 +1,216 @@
+//! Model-based property tests: the Bullet server must behave like a map
+//! from capabilities to immutable byte strings, under any operation
+//! sequence, across compactions and restarts.
+
+use std::collections::HashMap;
+
+use amoeba_cap::Capability;
+use bullet_core::{BulletConfig, BulletError, BulletServer};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create a file of this size filled with this byte, at this p-factor.
+    Create { size: usize, fill: u8, p: u32 },
+    /// Read back the nth live file (mod live count).
+    Read(usize),
+    /// Delete the nth live file.
+    Delete(usize),
+    /// Derive a new version of the nth live file.
+    Modify { nth: usize, offset: u16, fill: u8 },
+    /// Read a random slice of the nth live file and compare to the model.
+    ReadSection { nth: usize, offset: u16, len: u16 },
+    /// Round-trip a restricted (read-only) capability of the nth file.
+    Restrict(usize),
+    /// Compact the disk.
+    CompactDisk,
+    /// Compact the cache arena.
+    CompactMemory,
+    /// Flush background writes.
+    Sync,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..6000, any::<u8>(), 0u32..=2).prop_map(|(size, fill, p)| Op::Create { size, fill, p }),
+        4 => any::<prop::sample::Index>().prop_map(|i| Op::Read(i.index(1 << 16))),
+        2 => any::<prop::sample::Index>().prop_map(|i| Op::Delete(i.index(1 << 16))),
+        2 => (any::<prop::sample::Index>(), any::<u16>(), any::<u8>())
+            .prop_map(|(i, offset, fill)| Op::Modify { nth: i.index(1 << 16), offset, fill }),
+        2 => (any::<prop::sample::Index>(), any::<u16>(), any::<u16>())
+            .prop_map(|(i, offset, len)| Op::ReadSection { nth: i.index(1 << 16), offset, len }),
+        1 => any::<prop::sample::Index>().prop_map(|i| Op::Restrict(i.index(1 << 16))),
+        1 => Just(Op::CompactDisk),
+        1 => Just(Op::CompactMemory),
+        1 => Just(Op::Sync),
+    ]
+}
+
+fn cfg() -> BulletConfig {
+    let mut cfg = BulletConfig::small_test();
+    // Small enough that eviction, NoSpace and fragmentation all actually
+    // happen during the walk.
+    cfg.cache_capacity = 64 * 1024;
+    cfg.rnode_slots = 64;
+    cfg.disk_blocks = 1024; // 512 KB per disk
+    cfg
+}
+
+fn run_model(ops: &[Op], server: &BulletServer) -> HashMap<u32, (Capability, Vec<u8>)> {
+    let mut model: HashMap<u32, (Capability, Vec<u8>)> = HashMap::new();
+    for op in ops {
+        let live: Vec<u32> = {
+            let mut v: Vec<u32> = model.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        match op {
+            Op::Create { size, fill, p } => {
+                let data = vec![*fill; *size];
+                match server.create(Bytes::from(data.clone()), *p) {
+                    Ok(cap) => {
+                        model.insert(cap.object.value(), (cap, data));
+                    }
+                    Err(BulletError::NoSpace | BulletError::NoInodes) => {
+                        // Legitimate: the tiny disk filled up.
+                    }
+                    Err(e) => panic!("unexpected create failure: {e}"),
+                }
+            }
+            Op::Read(nth) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let key = live[nth % live.len()];
+                let (cap, expect) = &model[&key];
+                let got = server.read(cap).expect("live file must read");
+                assert_eq!(&got[..], &expect[..], "read mismatch on object {key}");
+            }
+            Op::Delete(nth) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let key = live[nth % live.len()];
+                let (cap, _) = model.remove(&key).expect("chosen from model");
+                server.delete(&cap).expect("live file must delete");
+            }
+            Op::Modify { nth, offset, fill } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let key = live[nth % live.len()];
+                let (cap, base) = model[&key].clone();
+                let offset = (*offset as usize) % (base.len() + 1);
+                let patch = vec![*fill; 16];
+                match server.modify(&cap, offset as u32, &patch, 1) {
+                    Ok(new_cap) => {
+                        let mut expect = base;
+                        if expect.len() < offset + 16 {
+                            expect.resize(offset + 16, 0);
+                        }
+                        expect[offset..offset + 16].copy_from_slice(&patch);
+                        model.insert(new_cap.object.value(), (new_cap, expect));
+                    }
+                    Err(BulletError::NoSpace | BulletError::NoInodes) => {}
+                    Err(e) => panic!("unexpected modify failure: {e}"),
+                }
+            }
+            Op::ReadSection { nth, offset, len } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let key = live[nth % live.len()];
+                let (cap, expect) = &model[&key];
+                let offset = (*offset as usize) % (expect.len() + 1);
+                let len = (*len as usize) % 64;
+                let end = (offset + len).min(expect.len());
+                let got = server
+                    .read_section(cap, offset as u32, (end - offset) as u32)
+                    .expect("in-range section");
+                assert_eq!(&got[..], &expect[offset..end], "section mismatch on {key}");
+                // Out-of-range sections must be rejected, never truncated.
+                assert_eq!(
+                    server
+                        .read_section(cap, expect.len() as u32, 1)
+                        .unwrap_err(),
+                    BulletError::BadRange
+                );
+            }
+            Op::Restrict(nth) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let key = live[nth % live.len()];
+                let (cap, expect) = &model[&key];
+                let reader = server
+                    .restrict(cap, amoeba_cap::Rights::READ)
+                    .expect("restrict");
+                assert_eq!(&server.read(&reader).unwrap()[..], &expect[..]);
+                assert_eq!(
+                    server.delete(&reader).unwrap_err(),
+                    BulletError::Denied,
+                    "read-only cap must not delete"
+                );
+            }
+            Op::CompactDisk => {
+                server.compact_disk().expect("compaction must succeed");
+            }
+            Op::CompactMemory => {
+                server.compact_memory();
+            }
+            Op::Sync => server.sync().expect("sync must succeed"),
+        }
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn server_behaves_like_a_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let server = BulletServer::format(cfg(), 2).unwrap();
+        let model = run_model(&ops, &server);
+        // Final sweep: every surviving file reads back exactly.
+        prop_assert_eq!(server.live_files(), model.len());
+        for (cap, expect) in model.values() {
+            prop_assert_eq!(&server.read(cap).unwrap()[..], &expect[..]);
+        }
+        // Free-space accounting is consistent: allocator-free plus live
+        // blocks equals the whole data area.
+        let report = server.disk_frag_report();
+        prop_assert!(report.free <= report.total);
+    }
+
+    #[test]
+    fn synced_files_survive_crash_and_restart(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let configuration = cfg();
+        let server = BulletServer::format(configuration.clone(), 2).unwrap();
+        let model = run_model(&ops, &server);
+        server.sync().unwrap();
+        let storage = server.crash();
+        let server2 = BulletServer::recover(configuration, storage).unwrap();
+        prop_assert_eq!(server2.live_files(), model.len());
+        for (cap, expect) in model.values() {
+            prop_assert_eq!(&server2.read(cap).unwrap()[..], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn compaction_then_restart_preserves_everything(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let configuration = cfg();
+        let server = BulletServer::format(configuration.clone(), 2).unwrap();
+        let model = run_model(&ops, &server);
+        server.compact_disk().unwrap();
+        let report = server.disk_frag_report();
+        prop_assert!(report.hole_count <= 1, "compaction must leave one hole: {report:?}");
+        let storage = server.shutdown().unwrap();
+        let server2 = BulletServer::recover(configuration, storage).unwrap();
+        for (cap, expect) in model.values() {
+            prop_assert_eq!(&server2.read(cap).unwrap()[..], &expect[..]);
+        }
+    }
+}

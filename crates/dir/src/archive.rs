@@ -1,0 +1,260 @@
+//! Archiving version histories to write-once storage (§2).
+//!
+//! "It also presents the possibility of keeping versions on write-once
+//! storage such as optical disks."  Because Bullet files are immutable,
+//! archiving a version is a plain copy, and the archive needs no update
+//! machinery at all: an archive Bullet server runs on a write-once
+//! `WormDisk` (from `amoeba-disk`) whose exempt region covers the inode table
+//! (the "magnetic index" of a real optical jukebox) — its data area is
+//! burned exactly once per version.
+//!
+//! [`VersionArchiver`] walks a directory tree and copies every version of
+//! every file (current + history) to the archive server, writing a
+//! human-readable manifest as the final archive file.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use amoeba_cap::Capability;
+use bullet_core::BulletServer;
+
+use crate::{DirError, DirServer};
+
+/// One archived version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchivedVersion {
+    /// Path of the entry in the archived tree (e.g. `docs/report`).
+    pub path: String,
+    /// Version index: 0 = current, 1 = previous, …
+    pub version: usize,
+    /// Where the copy lives on the archive server.
+    pub archived: Capability,
+}
+
+/// The result of one archiving run.
+#[derive(Debug)]
+pub struct ArchiveRun {
+    /// Every version copied (or found already archived) this run.
+    pub versions: Vec<ArchivedVersion>,
+    /// How many were newly burned (the rest were already archived).
+    pub newly_archived: u64,
+    /// The manifest file on the archive server (one line per version).
+    pub manifest: Capability,
+}
+
+/// Copies version histories into an archive Bullet server.
+///
+/// The archiver deduplicates by source capability across runs, so nightly
+/// re-archiving burns only new versions — append-only, as WORM media
+/// demands.
+pub struct VersionArchiver {
+    archive: Arc<BulletServer>,
+    /// source (port, object) -> archived capability.
+    dedup: HashMap<(u64, u32), Capability>,
+}
+
+impl std::fmt::Debug for VersionArchiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionArchiver")
+            .field("archived_objects", &self.dedup.len())
+            .finish()
+    }
+}
+
+impl VersionArchiver {
+    /// An archiver writing to the given archive server.
+    pub fn new(archive: Arc<BulletServer>) -> VersionArchiver {
+        VersionArchiver {
+            archive,
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// Archives every version of every file reachable from `root` on
+    /// `dirs`, recursing into subdirectories.  Returns the run report,
+    /// whose manifest is itself a file on the archive server.
+    ///
+    /// # Errors
+    ///
+    /// Directory, source, or archive failures.  Already-archived versions
+    /// never fail (they are not rewritten).
+    pub fn archive_tree(
+        &mut self,
+        dirs: &DirServer,
+        root: &Capability,
+    ) -> Result<ArchiveRun, DirError> {
+        let mut versions = Vec::new();
+        let mut newly = 0;
+        self.walk(dirs, root, String::new(), &mut versions, &mut newly)?;
+
+        let mut manifest = String::new();
+        for v in &versions {
+            manifest.push_str(&format!(
+                "{} v{} -> obj {} ({} bytes)\n",
+                v.path,
+                v.version,
+                v.archived.object,
+                self.archive.size(&v.archived).map_err(DirError::Bullet)?
+            ));
+        }
+        let manifest_cap = self
+            .archive
+            .create(Bytes::from(manifest), 1)
+            .map_err(DirError::Bullet)?;
+        Ok(ArchiveRun {
+            versions,
+            newly_archived: newly,
+            manifest: manifest_cap,
+        })
+    }
+
+    fn walk(
+        &mut self,
+        dirs: &DirServer,
+        dir: &Capability,
+        prefix: String,
+        out: &mut Vec<ArchivedVersion>,
+        newly: &mut u64,
+    ) -> Result<(), DirError> {
+        for entry in dirs.list(dir)? {
+            let path = if prefix.is_empty() {
+                entry.name.clone()
+            } else {
+                format!("{prefix}/{}", entry.name)
+            };
+            // Subdirectory: recurse.
+            if entry.caps[0].port == dirs.port() {
+                self.walk(dirs, &entry.caps[0], path, out, newly)?;
+                continue;
+            }
+            for (version, cap) in entry.caps.iter().enumerate() {
+                let key = (cap.port.to_u64(), cap.object.value());
+                let archived = match self.dedup.get(&key) {
+                    Some(&already) => already,
+                    None => {
+                        let data = dirs.store().read(&[*cap])?;
+                        let copy = self.archive.create(data, 1).map_err(DirError::Bullet)?;
+                        self.dedup.insert(key, copy);
+                        *newly += 1;
+                        copy
+                    }
+                };
+                out.push(ArchivedVersion {
+                    path: path.clone(),
+                    version,
+                    archived,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::Port;
+    use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk, WormDisk};
+    use bullet_core::{BulletConfig, BulletError};
+
+    /// An archive Bullet server whose data area sits on WORM media.
+    fn worm_archive() -> Arc<BulletServer> {
+        let mut cfg = BulletConfig::small_test();
+        cfg.port = Port::from_u64(0x0a7c);
+        cfg.scheme_seed = 0x0a7c;
+        // Format once on a plain RAM disk to learn the control size, then
+        // wrap the SAME device in a WORM layer exempting the inode table.
+        let ram = Arc::new(RamDisk::new(cfg.block_size, cfg.disk_blocks));
+        let probe = BulletServer::format_on(
+            cfg.clone(),
+            MirroredDisk::new(vec![ram.clone() as Arc<dyn BlockDevice>]).unwrap(),
+        )
+        .unwrap();
+        let control = probe.describe_layout().0.control_blocks as u64;
+        drop(probe);
+        let worm: Arc<dyn BlockDevice> = Arc::new(WormDisk::new(ram, control));
+        Arc::new(BulletServer::recover(cfg, MirroredDisk::new(vec![worm]).unwrap()).unwrap())
+    }
+
+    fn source() -> (Arc<BulletServer>, DirServer) {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = DirServer::bootstrap(bullet.clone()).unwrap();
+        (bullet, dirs)
+    }
+
+    #[test]
+    fn archives_current_and_history_across_subdirs() {
+        let (bullet, dirs) = source();
+        let root = dirs.root();
+        let v1 = bullet.create(Bytes::from_static(b"v1"), 1).unwrap();
+        dirs.enter(&root, "doc", v1).unwrap();
+        let v2 = bullet.create(Bytes::from_static(b"v2"), 1).unwrap();
+        dirs.replace(&root, "doc", &v1, v2).unwrap();
+        let sub = dirs.create_dir().unwrap();
+        dirs.enter(&root, "sub", sub).unwrap();
+        let inner = bullet.create(Bytes::from_static(b"inner"), 1).unwrap();
+        dirs.enter(&sub, "inner", inner).unwrap();
+
+        let archive = worm_archive();
+        let mut archiver = VersionArchiver::new(archive.clone());
+        let run = archiver.archive_tree(&dirs, &root).unwrap();
+        assert_eq!(run.newly_archived, 3);
+        assert_eq!(run.versions.len(), 3);
+
+        // Every archived version reads back from the archive server.
+        for v in &run.versions {
+            let data = archive.read(&v.archived).unwrap();
+            match (v.path.as_str(), v.version) {
+                ("doc", 0) => assert_eq!(&data[..], b"v2"),
+                ("doc", 1) => assert_eq!(&data[..], b"v1"),
+                ("sub/inner", 0) => assert_eq!(&data[..], b"inner"),
+                other => panic!("unexpected version {other:?}"),
+            }
+        }
+        // The manifest names everything.
+        let manifest = String::from_utf8(archive.read(&run.manifest).unwrap().to_vec()).unwrap();
+        assert!(manifest.contains("doc v0"));
+        assert!(manifest.contains("doc v1"));
+        assert!(manifest.contains("sub/inner v0"));
+    }
+
+    #[test]
+    fn rearchiving_burns_only_new_versions() {
+        let (bullet, dirs) = source();
+        let root = dirs.root();
+        let v1 = bullet.create(Bytes::from_static(b"v1"), 1).unwrap();
+        dirs.enter(&root, "doc", v1).unwrap();
+
+        let archive = worm_archive();
+        let mut archiver = VersionArchiver::new(archive.clone());
+        let run1 = archiver.archive_tree(&dirs, &root).unwrap();
+        assert_eq!(run1.newly_archived, 1);
+
+        // A new version appears; the nightly run archives only it.
+        let v2 = bullet.create(Bytes::from_static(b"v2"), 1).unwrap();
+        dirs.replace(&root, "doc", &v1, v2).unwrap();
+        let run2 = archiver.archive_tree(&dirs, &root).unwrap();
+        assert_eq!(run2.newly_archived, 1);
+        assert_eq!(run2.versions.len(), 2);
+    }
+
+    #[test]
+    fn worm_archive_rejects_mutation_of_burned_data() {
+        let archive = worm_archive();
+        let cap = archive.create(Bytes::from(vec![7u8; 2048]), 1).unwrap();
+        // Deleting frees the extent; recreating would rewrite burned
+        // blocks and must fail at the device level.
+        archive.delete(&cap).unwrap();
+        let err = archive.create(Bytes::from(vec![8u8; 2048]), 1).unwrap_err();
+        assert!(
+            matches!(err, BulletError::Disk(_)),
+            "expected a write-once violation, got {err}"
+        );
+        // Creates into FRESH space keep working... after the failed slot
+        // is consumed the allocator moves on only via new extents, so an
+        // archive server simply must not delete; this test documents the
+        // failure mode honestly.
+    }
+}

@@ -1,0 +1,151 @@
+//! Client-side caching of immutable files (§5).
+//!
+//! "Client caching of immutable files is straightforward.  Checking if a
+//! cached copy of a file is still current is simply done by looking up
+//! its capability in the directory service, and comparing it to the
+//! capability on which the copy is based."
+//!
+//! Because Bullet files never change, a cached copy keyed by capability
+//! can never be stale — only the *name binding* moves.  Validation is one
+//! cheap directory lookup instead of a data transfer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use amoeba_cap::Capability;
+use amoeba_sim::Stats;
+use bullet_core::BulletServer;
+
+use crate::{DirError, DirServer};
+
+/// A workstation-side file cache validated through the directory service.
+pub struct ClientFileCache {
+    dirs: Arc<DirServer>,
+    bullet: Arc<BulletServer>,
+    /// Cached copies keyed by (directory object, name).
+    entries: Mutex<HashMap<(u32, String), (Capability, Bytes)>>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for ClientFileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientFileCache")
+            .field("entries", &self.entries.lock().len())
+            .finish()
+    }
+}
+
+impl ClientFileCache {
+    /// A cache for one client talking to the given services.
+    pub fn new(dirs: Arc<DirServer>, bullet: Arc<BulletServer>) -> ClientFileCache {
+        ClientFileCache {
+            dirs,
+            bullet,
+            entries: Mutex::new(HashMap::new()),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Reads `name` in `dir`, serving from the local cache when the
+    /// directory still binds the name to the same capability.
+    ///
+    /// # Errors
+    ///
+    /// Directory or Bullet failures.
+    pub fn read(&self, dir: &Capability, name: &str) -> Result<Bytes, DirError> {
+        // One cheap lookup validates the cached copy.
+        let current = self.dirs.lookup(dir, name)?;
+        let key = (dir.object.value(), name.to_string());
+        if let Some((cap, data)) = self.entries.lock().get(&key) {
+            if *cap == current {
+                self.stats.incr("client_cache_hits");
+                return Ok(data.clone());
+            }
+        }
+        self.stats.incr("client_cache_misses");
+        let data = self.bullet.read(&current)?;
+        self.entries.lock().insert(key, (current, data.clone()));
+        Ok(data)
+    }
+
+    /// Counters: `client_cache_hits`, `client_cache_misses`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Drops all cached copies.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_core::BulletConfig;
+
+    #[test]
+    fn hit_until_version_changes() {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        let root = dirs.root();
+        let v1 = bullet.create(Bytes::from_static(b"version 1"), 1).unwrap();
+        dirs.enter(&root, "doc", v1).unwrap();
+
+        let cache = ClientFileCache::new(dirs.clone(), bullet.clone());
+        assert_eq!(
+            cache.read(&root, "doc").unwrap(),
+            Bytes::from_static(b"version 1")
+        );
+        assert_eq!(
+            cache.read(&root, "doc").unwrap(),
+            Bytes::from_static(b"version 1")
+        );
+        assert_eq!(cache.stats().get("client_cache_hits"), 1);
+        assert_eq!(cache.stats().get("client_cache_misses"), 1);
+
+        // Publish a new version: the next read misses and refetches.
+        let v2 = bullet.create(Bytes::from_static(b"version 2"), 1).unwrap();
+        dirs.replace(&root, "doc", &v1, v2).unwrap();
+        assert_eq!(
+            cache.read(&root, "doc").unwrap(),
+            Bytes::from_static(b"version 2")
+        );
+        assert_eq!(cache.stats().get("client_cache_misses"), 2);
+    }
+
+    #[test]
+    fn validation_lookup_is_cheaper_than_transfer() {
+        // The whole point: a warm hit moves no file data over the wire.
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        let root = dirs.root();
+        let big = bullet.create(Bytes::from(vec![9u8; 200_000]), 1).unwrap();
+        dirs.enter(&root, "big", big).unwrap();
+
+        let cache = ClientFileCache::new(dirs, bullet.clone());
+        cache.read(&root, "big").unwrap(); // cold
+        let reads_before = bullet.stats().get("reads");
+        cache.read(&root, "big").unwrap(); // warm: only dir activity
+                                           // No additional whole-file read reached the Bullet server beyond
+                                           // the directory's own row fetch (which `lookup` performs).
+        assert_eq!(bullet.stats().get("reads") - reads_before, 1);
+    }
+
+    #[test]
+    fn clear_forces_refetch() {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        let root = dirs.root();
+        let f = bullet.create(Bytes::from_static(b"x"), 1).unwrap();
+        dirs.enter(&root, "f", f).unwrap();
+        let cache = ClientFileCache::new(dirs, bullet);
+        cache.read(&root, "f").unwrap();
+        cache.clear();
+        cache.read(&root, "f").unwrap();
+        assert_eq!(cache.stats().get("client_cache_misses"), 2);
+    }
+}

@@ -1,0 +1,349 @@
+//! Serialization of directory contents into immutable Bullet files.
+//!
+//! A directory is a "two-column table": names against capability *sets*
+//! (slot 0 is the current version; the bounded tail is version history).
+//! The whole table is rewritten into a fresh Bullet file on every
+//! mutation, so the format optimizes for simplicity, not in-place update.
+
+use amoeba_cap::{Capability, CAP_WIRE_LEN};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::DirError;
+
+/// Longest allowed entry name in bytes.
+pub const MAX_NAME: usize = 255;
+
+/// Most capabilities (current + history) per entry; older versions fall
+/// off the end and become garbage for the collector.
+pub const MAX_CAPSET: usize = 8;
+
+/// One directory row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// The human-chosen ASCII name.
+    pub name: String,
+    /// The capability set: `caps[0]` is current, the rest is history
+    /// (most recent first).
+    pub caps: Vec<Capability>,
+}
+
+/// A whole directory table, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirRows {
+    /// The rows, kept sorted by name.
+    pub rows: Vec<DirEntry>,
+}
+
+impl DirRows {
+    /// An empty table.
+    pub fn new() -> DirRows {
+        DirRows::default()
+    }
+
+    /// Finds a row by name.
+    pub fn find(&self, name: &str) -> Option<&DirEntry> {
+        self.rows
+            .binary_search_by(|r| r.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.rows[i])
+    }
+
+    /// Inserts a new row.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Exists`] if the name is taken, [`DirError::BadName`]
+    /// for an invalid name.
+    pub fn insert(&mut self, name: &str, cap: Capability) -> Result<(), DirError> {
+        validate_name(name)?;
+        match self.rows.binary_search_by(|r| r.name.as_str().cmp(name)) {
+            Ok(_) => Err(DirError::Exists),
+            Err(i) => {
+                self.rows.insert(
+                    i,
+                    DirEntry {
+                        name: name.to_string(),
+                        caps: vec![cap],
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Inserts a row with a whole capability set (replicas of one object;
+    /// `caps[0]` is preferred).
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Exists`] if the name is taken; [`DirError::BadName`]
+    /// for an invalid name or an empty/oversized set.
+    pub fn insert_set(&mut self, name: &str, caps: Vec<Capability>) -> Result<(), DirError> {
+        validate_name(name)?;
+        if caps.is_empty() || caps.len() > MAX_CAPSET {
+            return Err(DirError::BadName);
+        }
+        match self.rows.binary_search_by(|r| r.name.as_str().cmp(name)) {
+            Ok(_) => Err(DirError::Exists),
+            Err(i) => {
+                self.rows.insert(
+                    i,
+                    DirEntry {
+                        name: name.to_string(),
+                        caps,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a row, returning its capability set.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::NotFound`] if absent.
+    pub fn remove(&mut self, name: &str) -> Result<Vec<Capability>, DirError> {
+        match self.rows.binary_search_by(|r| r.name.as_str().cmp(name)) {
+            Ok(i) => Ok(self.rows.remove(i).caps),
+            Err(_) => Err(DirError::NotFound),
+        }
+    }
+
+    /// Replaces the current capability of `name`, pushing the old one into
+    /// history (bounded by [`MAX_CAPSET`]); the displaced tail capability,
+    /// if any, is returned so the caller can retire that version.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::NotFound`] if absent; [`DirError::Conflict`] if the
+    /// current capability is not `expected`.
+    pub fn replace(
+        &mut self,
+        name: &str,
+        expected: &Capability,
+        new: Capability,
+    ) -> Result<Option<Capability>, DirError> {
+        let i = self
+            .rows
+            .binary_search_by(|r| r.name.as_str().cmp(name))
+            .map_err(|_| DirError::NotFound)?;
+        let row = &mut self.rows[i];
+        if row.caps.first() != Some(expected) {
+            return Err(DirError::Conflict);
+        }
+        row.caps.insert(0, new);
+        Ok(if row.caps.len() > MAX_CAPSET {
+            row.caps.pop()
+        } else {
+            None
+        })
+    }
+
+    /// Serializes the table for storage in a Bullet file.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.rows.len() as u32);
+        for row in &self.rows {
+            buf.put_u8(row.name.len() as u8);
+            buf.put_slice(row.name.as_bytes());
+            buf.put_u8(row.caps.len() as u8);
+            for cap in &row.caps {
+                buf.put_slice(&cap.to_wire());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a stored table.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Corrupt`] on truncation or malformed rows.
+    pub fn decode(mut buf: Bytes) -> Result<DirRows, DirError> {
+        let corrupt = |what: &str| DirError::Corrupt(format!("directory file truncated at {what}"));
+        if buf.len() < 4 {
+            return Err(corrupt("row count"));
+        }
+        let n = buf.get_u32() as usize;
+        let mut rows = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            if buf.is_empty() {
+                return Err(corrupt("name length"));
+            }
+            let name_len = buf.get_u8() as usize;
+            if buf.len() < name_len + 1 {
+                return Err(corrupt("name"));
+            }
+            let name = String::from_utf8(buf.split_to(name_len).to_vec())
+                .map_err(|_| DirError::Corrupt("entry name is not UTF-8".into()))?;
+            let ncaps = buf.get_u8() as usize;
+            if ncaps == 0 || ncaps > MAX_CAPSET {
+                return Err(DirError::Corrupt(format!("capability set of {ncaps}")));
+            }
+            if buf.len() < ncaps * CAP_WIRE_LEN {
+                return Err(corrupt("capability set"));
+            }
+            let mut caps = Vec::with_capacity(ncaps);
+            for _ in 0..ncaps {
+                let raw = buf.split_to(CAP_WIRE_LEN);
+                caps.push(
+                    Capability::from_wire(&raw)
+                        .map_err(|e| DirError::Corrupt(format!("bad capability: {e}")))?,
+                );
+            }
+            rows.push(DirEntry { name, caps });
+        }
+        if !buf.is_empty() {
+            return Err(DirError::Corrupt("trailing bytes after last row".into()));
+        }
+        // Enforce the sorted invariant on load.
+        if !rows.windows(2).all(|w| w[0].name < w[1].name) {
+            return Err(DirError::Corrupt("rows out of order".into()));
+        }
+        Ok(DirRows { rows })
+    }
+}
+
+/// Checks a proposed entry name.
+///
+/// # Errors
+///
+/// [`DirError::BadName`] for empty names, names containing `/` or NUL,
+/// or names longer than [`MAX_NAME`].
+pub fn validate_name(name: &str) -> Result<(), DirError> {
+    if name.is_empty() || name.len() > MAX_NAME || name.contains('/') || name.contains('\0') {
+        return Err(DirError::BadName);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::{ObjNum, Port, Rights};
+
+    fn cap(n: u32) -> Capability {
+        Capability::new(
+            Port::from_u64(1),
+            ObjNum::new(n).unwrap(),
+            Rights::ALL,
+            n as u64,
+        )
+    }
+
+    #[test]
+    fn insert_find_remove() {
+        let mut rows = DirRows::new();
+        rows.insert("beta", cap(2)).unwrap();
+        rows.insert("alpha", cap(1)).unwrap();
+        assert_eq!(rows.find("alpha").unwrap().caps[0], cap(1));
+        assert!(rows.find("gamma").is_none());
+        assert_eq!(rows.insert("alpha", cap(9)).unwrap_err(), DirError::Exists);
+        assert_eq!(rows.remove("alpha").unwrap(), vec![cap(1)]);
+        assert_eq!(rows.remove("alpha").unwrap_err(), DirError::NotFound);
+    }
+
+    #[test]
+    fn rows_stay_sorted() {
+        let mut rows = DirRows::new();
+        for name in ["zeta", "alpha", "mid"] {
+            rows.insert(name, cap(1)).unwrap();
+        }
+        let names: Vec<&str> = rows.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn replace_cas_semantics_and_history() {
+        let mut rows = DirRows::new();
+        rows.insert("doc", cap(1)).unwrap();
+        assert_eq!(rows.replace("doc", &cap(1), cap(2)).unwrap(), None);
+        // Stale expected → conflict.
+        assert_eq!(
+            rows.replace("doc", &cap(1), cap(3)).unwrap_err(),
+            DirError::Conflict
+        );
+        let row = rows.find("doc").unwrap();
+        assert_eq!(row.caps, vec![cap(2), cap(1)]);
+        assert_eq!(
+            rows.replace("missing", &cap(1), cap(2)).unwrap_err(),
+            DirError::NotFound
+        );
+    }
+
+    #[test]
+    fn replace_history_is_bounded() {
+        let mut rows = DirRows::new();
+        rows.insert("doc", cap(0)).unwrap();
+        let mut displaced = Vec::new();
+        for v in 1..=MAX_CAPSET as u32 + 3 {
+            if let Some(old) = rows.replace("doc", &cap(v - 1), cap(v)).unwrap() {
+                displaced.push(old);
+            }
+        }
+        assert_eq!(rows.find("doc").unwrap().caps.len(), MAX_CAPSET);
+        assert_eq!(displaced, vec![cap(0), cap(1), cap(2), cap(3)]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rows = DirRows::new();
+        rows.insert("a", cap(1)).unwrap();
+        rows.insert("subdir", cap(2)).unwrap();
+        rows.replace("a", &cap(1), cap(3)).unwrap();
+        let decoded = DirRows::decode(rows.encode()).unwrap();
+        assert_eq!(decoded, rows);
+        // Empty table round-trips too.
+        assert_eq!(
+            DirRows::decode(DirRows::new().encode()).unwrap(),
+            DirRows::new()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut rows = DirRows::new();
+        rows.insert("abc", cap(1)).unwrap();
+        let wire = rows.encode();
+        assert!(DirRows::decode(wire.slice(..wire.len() - 3)).is_err());
+        assert!(DirRows::decode(Bytes::from_static(&[1])).is_err());
+        // Trailing junk.
+        let mut junk = wire.to_vec();
+        junk.push(0);
+        assert!(DirRows::decode(Bytes::from(junk)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unsorted() {
+        let rows = DirRows {
+            rows: vec![
+                DirEntry {
+                    name: "b".into(),
+                    caps: vec![cap(1)],
+                },
+                DirEntry {
+                    name: "a".into(),
+                    caps: vec![cap(2)],
+                },
+            ],
+        };
+        assert!(matches!(
+            DirRows::decode(rows.encode()),
+            Err(DirError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("fine-name.txt").is_ok());
+        assert_eq!(validate_name("").unwrap_err(), DirError::BadName);
+        assert_eq!(validate_name("a/b").unwrap_err(), DirError::BadName);
+        assert_eq!(validate_name("nul\0byte").unwrap_err(), DirError::BadName);
+        assert_eq!(
+            validate_name(&"x".repeat(MAX_NAME + 1)).unwrap_err(),
+            DirError::BadName
+        );
+        assert!(validate_name(&"x".repeat(MAX_NAME)).is_ok());
+    }
+}

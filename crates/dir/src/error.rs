@@ -1,0 +1,99 @@
+//! Error type for the directory service.
+
+use amoeba_rpc::Status;
+use bullet_core::BulletError;
+
+/// Errors produced by directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DirError {
+    /// The directory capability failed verification.
+    CapBad,
+    /// The capability lacks the rights for this operation.
+    Denied,
+    /// No such directory, or no entry under that name.
+    NotFound,
+    /// The name is already taken ([`crate::DirServer::enter`]).
+    Exists,
+    /// A compare-and-swap replace lost the race: the current capability is
+    /// not the expected one.
+    Conflict,
+    /// A directory must be empty before deletion.
+    NotEmpty,
+    /// A name is empty, contains `/`, or exceeds the wire limit.
+    BadName,
+    /// The underlying Bullet server failed.
+    Bullet(BulletError),
+    /// A stored directory file failed to parse.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirError::CapBad => write!(f, "directory capability failed verification"),
+            DirError::Denied => write!(f, "capability lacks the required rights"),
+            DirError::NotFound => write!(f, "no such directory or entry"),
+            DirError::Exists => write!(f, "name already exists in the directory"),
+            DirError::Conflict => write!(f, "replace conflict: entry changed concurrently"),
+            DirError::NotEmpty => write!(f, "directory is not empty"),
+            DirError::BadName => write!(f, "bad entry name"),
+            DirError::Bullet(e) => write!(f, "bullet server failure: {e}"),
+            DirError::Corrupt(msg) => write!(f, "stored directory corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DirError::Bullet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BulletError> for DirError {
+    fn from(e: BulletError) -> Self {
+        DirError::Bullet(e)
+    }
+}
+
+impl From<DirError> for Status {
+    fn from(e: DirError) -> Status {
+        match e {
+            DirError::CapBad => Status::CapBad,
+            DirError::Denied => Status::Denied,
+            DirError::NotFound => Status::NotFound,
+            DirError::Exists => Status::Exists,
+            DirError::Conflict => Status::NotNow,
+            DirError::NotEmpty => Status::Denied,
+            DirError::BadName => Status::BadParam,
+            DirError::Bullet(b) => b.into(),
+            DirError::Corrupt(_) => Status::SysErr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(Status::from(DirError::Exists), Status::Exists);
+        assert_eq!(Status::from(DirError::Conflict), Status::NotNow);
+        assert_eq!(
+            Status::from(DirError::Bullet(BulletError::NoSpace)),
+            Status::NoSpace
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!DirError::Conflict.to_string().is_empty());
+        assert!(DirError::Bullet(BulletError::NotFound)
+            .to_string()
+            .contains("bullet"));
+    }
+}

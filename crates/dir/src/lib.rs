@@ -1,0 +1,60 @@
+//! The Amoeba directory server, built on top of the Bullet file server.
+//!
+//! "The directory server is used in conjunction with the Bullet server.
+//! Its function is to handle naming and protection of Bullet server files
+//! and other objects in a simple, uniform way. … Directories are
+//! two-column tables, the first column containing names, and the second
+//! containing the corresponding capabilities.  Directories are objects
+//! themselves, and can be addressed by capabilities." (§2.1)
+//!
+//! Crucially for this reproduction, **directories are persisted as
+//! immutable Bullet files**: every mutation writes a brand-new file and
+//! retires the old one — files as "sequences of versions", with "version
+//! management … done by the directory service" (§2.2).  The entry for a
+//! name holds a *capability set*: slot 0 is the current version, the tail
+//! is bounded history, so [`DirServer::replace`] gives the atomic
+//! compare-and-swap that makes immutable-file updates safe, and §5's
+//! client-cache validation ("looking up its capability in the directory
+//! service, and comparing it") falls out naturally ([`client_cache`]).
+//!
+//! The module also implements a mark-and-sweep garbage collector
+//! ([`DirServer::collect_garbage`]) that removes Bullet files no longer
+//! reachable from the directory graph — the companion every
+//! immutable-file store needs.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use amoeba_dir::DirServer;
+//! use bullet_core::{BulletConfig, BulletServer};
+//! use bytes::Bytes;
+//!
+//! let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2)?);
+//! let dirs = DirServer::bootstrap(bullet.clone())?;
+//! let root = dirs.root();
+//!
+//! let file = bullet.create(Bytes::from_static(b"v1"), 1)?;
+//! dirs.enter(&root, "readme", file)?;
+//! assert_eq!(dirs.lookup(&root, "readme")?, file);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod client_cache;
+pub mod codec;
+pub mod error;
+pub mod rpc_iface;
+pub mod server;
+pub mod store;
+
+pub use archive::{ArchiveRun, ArchivedVersion, VersionArchiver};
+pub use client_cache::ClientFileCache;
+pub use codec::{DirEntry, DirRows};
+pub use error::DirError;
+pub use rpc_iface::{dir_commands, DirClient, DirRpcServer};
+pub use server::{DirServer, StableCell};
+pub use store::BulletStore;

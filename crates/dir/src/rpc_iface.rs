@@ -1,0 +1,462 @@
+//! RPC facade and client stubs for the directory service.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use amoeba_cap::{Capability, Port, Rights, CAP_WIRE_LEN};
+use amoeba_rpc::{Reply, Request, RpcClient, RpcServer, Status};
+
+use crate::codec::DirRows;
+use crate::server::DirServer;
+
+/// Command codes of the directory protocol.
+pub mod dir_commands {
+    /// Create a fresh empty directory → capability.
+    pub const CREATE_DIR: u32 = 1;
+    /// Look up one name → capability.
+    pub const LOOKUP: u32 = 2;
+    /// Enter (name, capability).
+    pub const ENTER: u32 = 3;
+    /// Delete an entry → its capability set.
+    pub const DELETE_ENTRY: u32 = 4;
+    /// Compare-and-swap replace.
+    pub const REPLACE: u32 = 5;
+    /// List all rows → encoded table.
+    pub const LIST: u32 = 6;
+    /// Version history of a name → capability list.
+    pub const HISTORY: u32 = 7;
+    /// Resolve a `/` path → capability.
+    pub const RESOLVE: u32 = 8;
+    /// Delete an empty directory.
+    pub const DELETE_DIR: u32 = 9;
+    /// Server-side rights restriction.
+    pub const RESTRICT: u32 = 10;
+    /// Run the garbage collector → files swept (u64).
+    pub const GC: u32 = 11;
+}
+
+/// RPC wrapper exposing a [`DirServer`] on its port.
+pub struct DirRpcServer {
+    server: Arc<DirServer>,
+}
+
+impl DirRpcServer {
+    /// Wraps a directory server for registration with a dispatcher.
+    pub fn new(server: Arc<DirServer>) -> Arc<DirRpcServer> {
+        Arc::new(DirRpcServer { server })
+    }
+}
+
+impl RpcServer for DirRpcServer {
+    fn port(&self) -> Port {
+        self.server.port()
+    }
+
+    fn handle(&self, req: Request) -> Reply {
+        use dir_commands as c;
+        let name = || String::from_utf8(req.data.to_vec()).map_err(|_| Status::BadParam);
+        let result: Result<Reply, Status> = (|| match req.command {
+            amoeba_rpc::std_commands::INFO => {
+                if req.cap.object.value() == 0 {
+                    return Ok(Reply::ok(
+                        Bytes::new(),
+                        Bytes::from(format!("directory server at {}", self.server.port())),
+                    ));
+                }
+                let rows = self.server.list(&req.cap).map_err(Status::from)?;
+                Ok(Reply::ok(
+                    Bytes::new(),
+                    Bytes::from(format!(
+                        "directory #{}: {} entries",
+                        req.cap.object,
+                        rows.len()
+                    )),
+                ))
+            }
+            amoeba_rpc::std_commands::STATUS => {
+                let mut out = String::new();
+                for (k, v) in self.server.stats().snapshot() {
+                    out.push_str(&format!("{k}={v}\n"));
+                }
+                Ok(Reply::ok(Bytes::new(), Bytes::from(out)))
+            }
+            c::CREATE_DIR => {
+                let cap = self.server.create_dir().map_err(Status::from)?;
+                Ok(Reply::ok(cap_bytes(&cap), Bytes::new()))
+            }
+            c::LOOKUP => {
+                let cap = self
+                    .server
+                    .lookup(&req.cap, &name()?)
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(cap_bytes(&cap), Bytes::new()))
+            }
+            c::ENTER => {
+                let target = cap_at(&req.params, 0)?;
+                self.server
+                    .enter(&req.cap, &name()?, target)
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(Bytes::new(), Bytes::new()))
+            }
+            c::DELETE_ENTRY => {
+                let caps = self
+                    .server
+                    .delete_entry(&req.cap, &name()?)
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(cap_list_bytes(&caps), Bytes::new()))
+            }
+            c::REPLACE => {
+                let expected = cap_at(&req.params, 0)?;
+                let new = cap_at(&req.params, CAP_WIRE_LEN)?;
+                self.server
+                    .replace(&req.cap, &name()?, &expected, new)
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(Bytes::new(), Bytes::new()))
+            }
+            c::LIST => {
+                let rows = self.server.list(&req.cap).map_err(Status::from)?;
+                Ok(Reply::ok(Bytes::new(), DirRows { rows }.encode()))
+            }
+            c::HISTORY => {
+                let caps = self
+                    .server
+                    .history(&req.cap, &name()?)
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(cap_list_bytes(&caps), Bytes::new()))
+            }
+            c::RESOLVE => {
+                let cap = self
+                    .server
+                    .resolve(&req.cap, &name()?)
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(cap_bytes(&cap), Bytes::new()))
+            }
+            c::DELETE_DIR => {
+                self.server.delete_dir(&req.cap).map_err(Status::from)?;
+                Ok(Reply::ok(Bytes::new(), Bytes::new()))
+            }
+            c::RESTRICT => {
+                let mask = *req.params.first().ok_or(Status::BadParam)?;
+                let cap = self
+                    .server
+                    .restrict(&req.cap, Rights::from_bits(mask))
+                    .map_err(Status::from)?;
+                Ok(Reply::ok(cap_bytes(&cap), Bytes::new()))
+            }
+            c::GC => {
+                let swept = self.server.collect_garbage().map_err(Status::from)?;
+                let mut params = BytesMut::with_capacity(8);
+                params.put_u64(swept);
+                Ok(Reply::ok(params.freeze(), Bytes::new()))
+            }
+            _ => Err(Status::ComBad),
+        })();
+        result.unwrap_or_else(Reply::error)
+    }
+}
+
+fn cap_bytes(cap: &Capability) -> Bytes {
+    Bytes::copy_from_slice(&cap.to_wire())
+}
+
+fn cap_list_bytes(caps: &[Capability]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(caps.len() * CAP_WIRE_LEN);
+    for cap in caps {
+        buf.put_slice(&cap.to_wire());
+    }
+    buf.freeze()
+}
+
+fn cap_at(params: &Bytes, at: usize) -> Result<Capability, Status> {
+    params
+        .get(at..at + CAP_WIRE_LEN)
+        .ok_or(Status::BadParam)
+        .and_then(|raw| Capability::from_wire(raw).map_err(|_| Status::BadParam))
+}
+
+fn cap_list_from(params: &Bytes) -> Result<Vec<Capability>, Status> {
+    if !params.len().is_multiple_of(CAP_WIRE_LEN) {
+        return Err(Status::BadParam);
+    }
+    (0..params.len() / CAP_WIRE_LEN)
+        .map(|i| cap_at(params, i * CAP_WIRE_LEN))
+        .collect()
+}
+
+/// Client stubs for the directory protocol.
+#[derive(Debug, Clone)]
+pub struct DirClient {
+    rpc: RpcClient,
+    server: Port,
+}
+
+impl DirClient {
+    /// A client of the directory service at `server`.
+    pub fn new(rpc: RpcClient, server: Port) -> DirClient {
+        DirClient { rpc, server }
+    }
+
+    fn service_cap(&self) -> Capability {
+        let mut cap = Capability::null();
+        cap.port = self.server;
+        cap
+    }
+
+    /// Creates a fresh empty directory.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn create_dir(&self) -> Result<Capability, Status> {
+        let reply = self.rpc.trans(
+            self.service_cap(),
+            dir_commands::CREATE_DIR,
+            Bytes::new(),
+            Bytes::new(),
+        )?;
+        cap_at(&reply.params, 0)
+    }
+
+    /// Looks up one name.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn lookup(&self, dir: &Capability, name: &str) -> Result<Capability, Status> {
+        let reply = self.rpc.trans(
+            *dir,
+            dir_commands::LOOKUP,
+            Bytes::new(),
+            Bytes::copy_from_slice(name.as_bytes()),
+        )?;
+        cap_at(&reply.params, 0)
+    }
+
+    /// Enters `cap` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn enter(&self, dir: &Capability, name: &str, cap: Capability) -> Result<(), Status> {
+        self.rpc.trans(
+            *dir,
+            dir_commands::ENTER,
+            cap_bytes(&cap),
+            Bytes::copy_from_slice(name.as_bytes()),
+        )?;
+        Ok(())
+    }
+
+    /// Deletes an entry, returning its capability set.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn delete_entry(&self, dir: &Capability, name: &str) -> Result<Vec<Capability>, Status> {
+        let reply = self.rpc.trans(
+            *dir,
+            dir_commands::DELETE_ENTRY,
+            Bytes::new(),
+            Bytes::copy_from_slice(name.as_bytes()),
+        )?;
+        cap_list_from(&reply.params)
+    }
+
+    /// Compare-and-swap replace of `name`'s current capability.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::NotNow`] on a lost race; other statuses on failure.
+    pub fn replace(
+        &self,
+        dir: &Capability,
+        name: &str,
+        expected: &Capability,
+        new: Capability,
+    ) -> Result<(), Status> {
+        let mut params = BytesMut::with_capacity(2 * CAP_WIRE_LEN);
+        params.put_slice(&expected.to_wire());
+        params.put_slice(&new.to_wire());
+        self.rpc.trans(
+            *dir,
+            dir_commands::REPLACE,
+            params.freeze(),
+            Bytes::copy_from_slice(name.as_bytes()),
+        )?;
+        Ok(())
+    }
+
+    /// Lists a directory's rows.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn list(&self, dir: &Capability) -> Result<DirRows, Status> {
+        let reply = self
+            .rpc
+            .trans(*dir, dir_commands::LIST, Bytes::new(), Bytes::new())?;
+        DirRows::decode(reply.data).map_err(|_| Status::BadParam)
+    }
+
+    /// Version history of `name` (current first).
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn history(&self, dir: &Capability, name: &str) -> Result<Vec<Capability>, Status> {
+        let reply = self.rpc.trans(
+            *dir,
+            dir_commands::HISTORY,
+            Bytes::new(),
+            Bytes::copy_from_slice(name.as_bytes()),
+        )?;
+        cap_list_from(&reply.params)
+    }
+
+    /// Resolves a `/`-separated path.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn resolve(&self, dir: &Capability, path: &str) -> Result<Capability, Status> {
+        let reply = self.rpc.trans(
+            *dir,
+            dir_commands::RESOLVE,
+            Bytes::new(),
+            Bytes::copy_from_slice(path.as_bytes()),
+        )?;
+        cap_at(&reply.params, 0)
+    }
+
+    /// Deletes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn delete_dir(&self, dir: &Capability) -> Result<(), Status> {
+        self.rpc
+            .trans(*dir, dir_commands::DELETE_DIR, Bytes::new(), Bytes::new())?;
+        Ok(())
+    }
+
+    /// Runs the garbage collector; returns files swept.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn collect_garbage(&self) -> Result<u64, Status> {
+        let reply = self.rpc.trans(
+            self.service_cap(),
+            dir_commands::GC,
+            Bytes::new(),
+            Bytes::new(),
+        )?;
+        reply
+            .params
+            .get(0..8)
+            .map(|mut s| s.get_u64())
+            .ok_or(Status::BadParam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_net::SimEthernet;
+    use amoeba_rpc::Dispatcher;
+    use amoeba_sim::{NetProfile, SimClock};
+    use bullet_core::{BulletConfig, BulletRpcServer, BulletServer};
+
+    fn stack() -> (DirClient, bullet_core::BulletClient, Capability) {
+        let clock = SimClock::new();
+        let mut cfg = BulletConfig::small_test();
+        cfg.clock = clock.clone();
+        let bullet = Arc::new(BulletServer::format(cfg, 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        let root = dirs.root();
+
+        let net = SimEthernet::new(clock, NetProfile::ethernet_10mbit());
+        let dispatcher = Dispatcher::new(net);
+        dispatcher.register(BulletRpcServer::new(bullet.clone()));
+        dispatcher.register(DirRpcServer::new(dirs.clone()));
+        let rpc = RpcClient::new(dispatcher);
+        (
+            DirClient::new(rpc.clone(), dirs.port()),
+            bullet_core::BulletClient::new(rpc, bullet.port()),
+            root,
+        )
+    }
+
+    #[test]
+    fn full_remote_workflow() {
+        let (dirs, bullet, root) = stack();
+        // A client creates a file and names it.
+        let v1 = bullet
+            .create(Bytes::from_static(b"contents v1"), 1)
+            .unwrap();
+        dirs.enter(&root, "report.txt", v1).unwrap();
+        assert_eq!(dirs.lookup(&root, "report.txt").unwrap(), v1);
+
+        // Update via the version mechanism.
+        let v2 = bullet
+            .create(Bytes::from_static(b"contents v2"), 1)
+            .unwrap();
+        dirs.replace(&root, "report.txt", &v1, v2).unwrap();
+        assert_eq!(
+            bullet
+                .read(&dirs.lookup(&root, "report.txt").unwrap())
+                .unwrap(),
+            Bytes::from_static(b"contents v2")
+        );
+        assert_eq!(dirs.history(&root, "report.txt").unwrap(), vec![v2, v1]);
+
+        // Subdirectories and path resolution.
+        let sub = dirs.create_dir().unwrap();
+        dirs.enter(&root, "archive", sub).unwrap();
+        dirs.enter(&sub, "old", v1).unwrap();
+        assert_eq!(dirs.resolve(&root, "archive/old").unwrap(), v1);
+
+        // Listing.
+        let rows = dirs.list(&root).unwrap();
+        let names: Vec<&str> = rows.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["archive", "report.txt"]);
+
+        // Deletion and GC.
+        dirs.delete_entry(&sub, "old").unwrap();
+        dirs.delete_entry(&root, "archive").unwrap();
+        // `sub` is now unreachable; GC reclaims it plus any loose files.
+        let swept = dirs.collect_garbage().unwrap();
+        assert!(swept >= 1);
+        assert_eq!(dirs.lookup(&root, "archive").unwrap_err(), Status::NotFound);
+    }
+
+    #[test]
+    fn replace_conflict_surfaces_as_notnow() {
+        let (dirs, bullet, root) = stack();
+        let v1 = bullet.create(Bytes::from_static(b"1"), 1).unwrap();
+        dirs.enter(&root, "f", v1).unwrap();
+        let v2 = bullet.create(Bytes::from_static(b"2"), 1).unwrap();
+        dirs.replace(&root, "f", &v1, v2).unwrap();
+        let v3 = bullet.create(Bytes::from_static(b"3"), 1).unwrap();
+        assert_eq!(
+            dirs.replace(&root, "f", &v1, v3).unwrap_err(),
+            Status::NotNow
+        );
+    }
+
+    #[test]
+    fn bad_utf8_name_rejected() {
+        let (dirs, _bullet, root) = stack();
+        let reply = dirs
+            .rpc
+            .trans(
+                root,
+                dir_commands::LOOKUP,
+                Bytes::new(),
+                Bytes::from_static(&[0xff, 0xfe]),
+            )
+            .unwrap_err();
+        assert_eq!(reply, Status::BadParam);
+    }
+}

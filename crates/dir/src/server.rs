@@ -1,0 +1,954 @@
+//! The directory server: naming, version chains, and garbage collection.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use amoeba_cap::{Capability, CheckScheme, MacScheme, ObjNum, Port, Rights, CAP_WIRE_LEN};
+use amoeba_sim::{DetRng, Stats};
+use bullet_core::BulletServer;
+
+use crate::codec::{validate_name, DirEntry, DirRows};
+use crate::store::BulletStore;
+use crate::DirError;
+
+/// A tiny piece of stable storage holding the directory server's bootstrap
+/// capability (the real server kept this at a fixed disk location).  The
+/// caller owns it, so it survives server crashes the way the disks do.
+#[derive(Debug, Clone, Default)]
+pub struct StableCell {
+    inner: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+impl StableCell {
+    /// An empty cell.
+    pub fn new() -> StableCell {
+        StableCell::default()
+    }
+
+    /// Stores bytes, replacing previous content.
+    pub fn set(&self, bytes: Vec<u8>) {
+        *self.inner.lock() = Some(bytes);
+    }
+
+    /// Reads the stored bytes.
+    pub fn get(&self) -> Option<Vec<u8>> {
+        self.inner.lock().clone()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DirRecord {
+    /// The protection random number of this directory object.
+    random: u64,
+    /// The Bullet file(s) currently holding the directory's rows — one
+    /// capability per store replica.
+    file: Vec<Capability>,
+}
+
+struct DirState {
+    dirs: HashMap<u32, DirRecord>,
+    next_obj: u32,
+    rng: DetRng,
+    root_obj: u32,
+    /// The Bullet file(s) holding the serialized `dirs` map itself (one
+    /// per store replica).
+    superfile: Vec<Capability>,
+}
+
+/// The directory server.
+///
+/// All durable state lives in immutable Bullet files: each directory's
+/// rows in one file (rewritten wholesale on every mutation — the version
+/// mechanism), and the server's own catalogue in a *superfile* whose
+/// capability sits in a [`StableCell`].
+pub struct DirServer {
+    port: Port,
+    store: BulletStore,
+    scheme: MacScheme,
+    cell: StableCell,
+    state: Mutex<DirState>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for DirServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirServer")
+            .field("port", &self.port)
+            .field("directories", &self.state.lock().dirs.len())
+            .finish()
+    }
+}
+
+impl DirServer {
+    /// Default service port.
+    pub fn default_port() -> Port {
+        Port::from_u64(0xd1d1)
+    }
+
+    /// Creates a brand-new directory service on `bullet` with a fresh
+    /// (empty) root directory and a fresh [`StableCell`].
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while writing the initial files.
+    pub fn bootstrap(bullet: Arc<BulletServer>) -> Result<DirServer, DirError> {
+        DirServer::bootstrap_with(bullet, Self::default_port(), 0xd1ce, StableCell::new())
+    }
+
+    /// Creates a directory service replicating every directory file (and
+    /// its own catalogue) across ALL the given Bullet servers — §5's
+    /// high-availability cooperation: the naming service survives the
+    /// loss of any single file server.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while writing the initial files.
+    pub fn bootstrap_replicated(
+        servers: Vec<Arc<BulletServer>>,
+        port: Port,
+        seed: u64,
+        cell: StableCell,
+    ) -> Result<DirServer, DirError> {
+        DirServer::bootstrap_on(BulletStore::replicated(servers), port, seed, cell)
+    }
+
+    /// [`bootstrap`](Self::bootstrap) with explicit port, seed, and cell.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while writing the initial files.
+    pub fn bootstrap_with(
+        bullet: Arc<BulletServer>,
+        port: Port,
+        seed: u64,
+        cell: StableCell,
+    ) -> Result<DirServer, DirError> {
+        DirServer::bootstrap_on(BulletStore::single(bullet), port, seed, cell)
+    }
+
+    /// [`bootstrap_with`](Self::bootstrap_with) over an explicit store.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while writing the initial files.
+    pub fn bootstrap_on(
+        store: BulletStore,
+        port: Port,
+        seed: u64,
+        cell: StableCell,
+    ) -> Result<DirServer, DirError> {
+        let mut rng = DetRng::new(seed);
+        let root_random = amoeba_cap::mask48(rng.next_u64()) | 1;
+        let root_file = store.create(DirRows::new().encode())?;
+        let mut dirs = HashMap::new();
+        dirs.insert(
+            1,
+            DirRecord {
+                random: root_random,
+                file: root_file,
+            },
+        );
+        let server = DirServer {
+            port,
+            store,
+            scheme: MacScheme::from_seed(seed ^ 0xd00f),
+            cell,
+            state: Mutex::new(DirState {
+                dirs,
+                next_obj: 2,
+                rng,
+                root_obj: 1,
+                superfile: Vec::new(),
+            }),
+            stats: Stats::new(),
+        };
+        {
+            let mut st = server.state.lock();
+            server.save_superfile(&mut st)?;
+        }
+        Ok(server)
+    }
+
+    /// Recovers a directory service from its stable cell after a crash:
+    /// reads the superfile capability, loads the catalogue, and resumes.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Corrupt`] if the cell is empty or the superfile is
+    /// damaged; Bullet failures.
+    pub fn recover(
+        bullet: Arc<BulletServer>,
+        port: Port,
+        seed: u64,
+        cell: StableCell,
+    ) -> Result<DirServer, DirError> {
+        DirServer::recover_on(BulletStore::single(bullet), port, seed, cell)
+    }
+
+    /// [`recover`](Self::recover) over an explicit (possibly replicated)
+    /// store: the stable cell holds one superfile capability per replica,
+    /// and any surviving replica suffices.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Corrupt`] if the cell is empty or damaged; Bullet
+    /// failures.
+    pub fn recover_on(
+        store: BulletStore,
+        port: Port,
+        seed: u64,
+        cell: StableCell,
+    ) -> Result<DirServer, DirError> {
+        let raw = cell
+            .get()
+            .ok_or_else(|| DirError::Corrupt("stable cell is empty".into()))?;
+        if raw.is_empty() || !raw.len().is_multiple_of(CAP_WIRE_LEN) {
+            return Err(DirError::Corrupt(
+                "stable cell holds no capability set".into(),
+            ));
+        }
+        let superfile: Vec<Capability> = raw
+            .chunks(CAP_WIRE_LEN)
+            .map(|chunk| {
+                Capability::from_wire(chunk)
+                    .map_err(|e| DirError::Corrupt(format!("stable cell capability: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let image = store.read(&superfile)?;
+        let (root_obj, next_obj, dirs) = decode_superfile(image)?;
+        Ok(DirServer {
+            port,
+            store,
+            scheme: MacScheme::from_seed(seed ^ 0xd00f),
+            cell,
+            state: Mutex::new(DirState {
+                dirs,
+                next_obj,
+                rng: DetRng::new(seed ^ 0x5eed_c0de),
+                root_obj,
+                superfile,
+            }),
+            stats: Stats::new(),
+        })
+    }
+
+    /// The capability of the root directory (full rights).
+    pub fn root(&self) -> Capability {
+        let st = self.state.lock();
+        let rec = &st.dirs[&st.root_obj];
+        self.scheme.mint(
+            self.port,
+            ObjNum::new(st.root_obj).expect("small"),
+            Rights::ALL,
+            rec.random,
+        )
+    }
+
+    /// The service port.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Operation counters: `dir_lookups`, `dir_mutations`, `gc_swept`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The stable cell (hold on to it to recover after a crash).
+    pub fn cell(&self) -> StableCell {
+        self.cell.clone()
+    }
+
+    /// The (possibly replicated) Bullet store this service persists on.
+    pub fn store(&self) -> &BulletStore {
+        &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Read operations.
+    // ------------------------------------------------------------------
+
+    /// Looks up `name`, returning the *current* capability.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures or [`DirError::NotFound`].
+    pub fn lookup(&self, dir: &Capability, name: &str) -> Result<Capability, DirError> {
+        self.stats.incr("dir_lookups");
+        let rows = self.load_rows(dir, Rights::READ)?;
+        rows.find(name)
+            .map(|row| row.caps[0])
+            .ok_or(DirError::NotFound)
+    }
+
+    /// Resolves a `/`-separated path of names starting at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// As [`lookup`](Self::lookup); intermediate components must be
+    /// directories on this server.
+    pub fn resolve(&self, dir: &Capability, path: &str) -> Result<Capability, DirError> {
+        let mut cur = *dir;
+        let mut components = path.split('/').filter(|c| !c.is_empty()).peekable();
+        while let Some(name) = components.next() {
+            let next = self.lookup(&cur, name)?;
+            if components.peek().is_some() && next.port != self.port {
+                return Err(DirError::NotFound);
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Lists all rows of a directory.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures.
+    pub fn list(&self, dir: &Capability) -> Result<Vec<DirEntry>, DirError> {
+        Ok(self.load_rows(dir, Rights::READ)?.rows)
+    }
+
+    /// The version history of `name` (current first).
+    ///
+    /// # Errors
+    ///
+    /// Capability failures or [`DirError::NotFound`].
+    pub fn history(&self, dir: &Capability, name: &str) -> Result<Vec<Capability>, DirError> {
+        let rows = self.load_rows(dir, Rights::READ)?;
+        rows.find(name)
+            .map(|row| row.caps.clone())
+            .ok_or(DirError::NotFound)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (each writes a new immutable directory file).
+    // ------------------------------------------------------------------
+
+    /// Enters `cap` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Exists`], name validation, capability failures.
+    pub fn enter(&self, dir: &Capability, name: &str, cap: Capability) -> Result<(), DirError> {
+        validate_name(name)?;
+        self.mutate(dir, Rights::CREATE, |rows| rows.insert(name, cap))
+    }
+
+    /// Enters a whole *capability set* under `name` — the replication use
+    /// of the two-column table (§2.1): the caps address replicas of the
+    /// same object (possibly on Bullet servers at different sites), and a
+    /// client tries them in order.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Exists`], [`DirError::BadName`] (also for an empty or
+    /// oversized set), capability failures.
+    pub fn enter_set(
+        &self,
+        dir: &Capability,
+        name: &str,
+        caps: Vec<Capability>,
+    ) -> Result<(), DirError> {
+        validate_name(name)?;
+        if caps.is_empty() || caps.len() > crate::codec::MAX_CAPSET {
+            return Err(DirError::BadName);
+        }
+        self.mutate(dir, Rights::CREATE, move |rows| rows.insert_set(name, caps))
+    }
+
+    /// The full capability set of `name` (replicas / versions, current
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Capability failures or [`DirError::NotFound`].
+    pub fn lookup_set(&self, dir: &Capability, name: &str) -> Result<Vec<Capability>, DirError> {
+        self.history(dir, name)
+    }
+
+    /// Removes the entry `name`, returning its capability set (current +
+    /// history).  The objects themselves are not deleted — that is the
+    /// garbage collector's job.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::NotFound`], capability failures.
+    pub fn delete_entry(&self, dir: &Capability, name: &str) -> Result<Vec<Capability>, DirError> {
+        self.mutate(dir, Rights::DESTROY, |rows| rows.remove(name))
+    }
+
+    /// Atomically replaces the current capability of `name` — the
+    /// compare-and-swap at the heart of the version mechanism: a client
+    /// that updated a file creates the new Bullet file first, then calls
+    /// `replace(dir, name, old_cap, new_cap)`; a concurrent updater loses
+    /// with [`DirError::Conflict`] and retries against the new version.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::Conflict`], [`DirError::NotFound`], capability
+    /// failures.
+    pub fn replace(
+        &self,
+        dir: &Capability,
+        name: &str,
+        expected: &Capability,
+        new: Capability,
+    ) -> Result<(), DirError> {
+        self.mutate(dir, Rights::MODIFY, |rows| {
+            rows.replace(name, expected, new).map(|_| ())
+        })
+    }
+
+    /// Creates a fresh empty directory object and returns its owner
+    /// capability (it is not entered anywhere yet).
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures.
+    pub fn create_dir(&self) -> Result<Capability, DirError> {
+        let file = self.store.create(DirRows::new().encode())?;
+        let mut st = self.state.lock();
+        let random = amoeba_cap::mask48(st.rng.next_u64()) | 1;
+        let obj = st.next_obj;
+        st.next_obj += 1;
+        st.dirs.insert(obj, DirRecord { random, file });
+        self.save_superfile(&mut st)?;
+        self.stats.incr("dir_mutations");
+        Ok(self.scheme.mint(
+            self.port,
+            ObjNum::new(obj).expect("sequential"),
+            Rights::ALL,
+            random,
+        ))
+    }
+
+    /// Deletes an empty directory object.
+    ///
+    /// # Errors
+    ///
+    /// [`DirError::NotEmpty`] if it still has rows; capability failures.
+    pub fn delete_dir(&self, dir: &Capability) -> Result<(), DirError> {
+        let rows = self.load_rows(dir, Rights::DESTROY)?;
+        let obj = dir.object.value();
+        if obj == self.state.lock().root_obj {
+            return Err(DirError::Denied);
+        }
+        if !rows.rows.is_empty() {
+            return Err(DirError::NotEmpty);
+        }
+        let mut st = self.state.lock();
+        let rec = st.dirs.remove(&obj).ok_or(DirError::NotFound)?;
+        self.save_superfile(&mut st)?;
+        drop(st);
+        self.store.delete(&rec.file);
+        self.stats.incr("dir_mutations");
+        Ok(())
+    }
+
+    /// Mints a capability for the same directory with `cap.rights ∩ mask`
+    /// (server-side restriction, e.g. a read-only view to hand out).
+    ///
+    /// # Errors
+    ///
+    /// Capability failures.
+    pub fn restrict(&self, cap: &Capability, mask: Rights) -> Result<Capability, DirError> {
+        let st = self.state.lock();
+        let rec = self.verify(&st, cap, Rights::NONE)?;
+        Ok(self.scheme.mint(
+            self.port,
+            cap.object,
+            cap.rights.intersection(mask),
+            rec.random,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection.
+    // ------------------------------------------------------------------
+
+    /// Mark-and-sweep over the Bullet store: every file reachable from the
+    /// root directory (through entries, version histories, subdirectory
+    /// files, and the superfile) is retained; everything else on the
+    /// Bullet server is deleted.  Unreachable directory *objects* are also
+    /// dropped from the catalogue.  Returns the number of Bullet files
+    /// swept.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while reading directories or sweeping.
+    pub fn collect_garbage(&self) -> Result<u64, DirError> {
+        let mut st = self.state.lock();
+        // Reachable Bullet objects keyed by (server port, object number),
+        // so a multi-server store is swept correctly.
+        let mut reachable: HashSet<(u64, u32)> = HashSet::new();
+        fn mark(set: &mut HashSet<(u64, u32)>, cap: &Capability) {
+            set.insert((cap.port.to_u64(), cap.object.value()));
+        }
+        for cap in &st.superfile {
+            mark(&mut reachable, cap);
+        }
+
+        // Walk the directory graph from the root.
+        let mut live_dirs: HashSet<u32> = HashSet::new();
+        let mut queue = VecDeque::from([st.root_obj]);
+        while let Some(obj) = queue.pop_front() {
+            if !live_dirs.insert(obj) {
+                continue;
+            }
+            let Some(rec) = st.dirs.get(&obj).cloned() else {
+                continue;
+            };
+            for cap in &rec.file {
+                mark(&mut reachable, cap);
+            }
+            let rows = DirRows::decode(self.store.read(&rec.file)?)
+                .map_err(|e| DirError::Corrupt(format!("directory {obj}: {e}")))?;
+            for row in rows.rows {
+                for cap in row.caps {
+                    if cap.port == self.port {
+                        queue.push_back(cap.object.value());
+                    } else if self.store.is_store_cap(&cap) {
+                        mark(&mut reachable, &cap);
+                    }
+                }
+            }
+        }
+
+        // Drop unreachable directory objects from the catalogue.
+        let before = st.dirs.len();
+        st.dirs.retain(|obj, _| live_dirs.contains(obj));
+        if st.dirs.len() != before {
+            self.save_superfile(&mut st)?;
+            // The superfile was rewritten: re-mark the new one.
+            for cap in &st.superfile {
+                mark(&mut reachable, cap);
+            }
+        }
+        drop(st);
+
+        // Sweep every store replica.
+        let mut swept = 0;
+        for cap in self.store.live_caps() {
+            if !reachable.contains(&(cap.port.to_u64(), cap.object.value())) {
+                self.store.delete(&[cap]);
+                swept += 1;
+            }
+        }
+        self.stats.add("gc_swept", swept);
+        Ok(swept)
+    }
+
+    /// The touch half of Amoeba's aging GC: walks the directory graph
+    /// from the root and touches every reachable Bullet file (entries,
+    /// version histories, directory backing files, the superfile), so a
+    /// subsequent [`BulletServer::age_all`] round only expires genuinely
+    /// unreachable objects.  Returns the number of files touched.
+    ///
+    /// [`BulletServer::age_all`]: bullet_core::BulletServer::age_all
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while reading directories or touching files.
+    pub fn touch_reachable(&self) -> Result<u64, DirError> {
+        let st = self.state.lock();
+        let superfile = st.superfile.clone();
+        let root_obj = st.root_obj;
+        let records: HashMap<u32, DirRecord> = st.dirs.clone();
+        drop(st);
+
+        let mut touched = 0;
+        self.store.touch(&superfile);
+        touched += 1;
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut queue = VecDeque::from([root_obj]);
+        while let Some(obj) = queue.pop_front() {
+            if !seen.insert(obj) {
+                continue;
+            }
+            let Some(rec) = records.get(&obj) else {
+                continue;
+            };
+            self.store.touch(&rec.file);
+            touched += 1;
+            let rows = DirRows::decode(self.store.read(&rec.file)?)
+                .map_err(|e| DirError::Corrupt(format!("directory {obj}: {e}")))?;
+            for row in rows.rows {
+                for cap in row.caps {
+                    if cap.port == self.port {
+                        queue.push_back(cap.object.value());
+                    } else if self.store.is_store_cap(&cap) {
+                        self.store.touch(&[cap]);
+                        touched += 1;
+                    }
+                }
+            }
+        }
+        self.stats.add("gc_touched", touched);
+        Ok(touched)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn verify(
+        &self,
+        st: &DirState,
+        cap: &Capability,
+        needed: Rights,
+    ) -> Result<DirRecord, DirError> {
+        if cap.port != self.port {
+            return Err(DirError::CapBad);
+        }
+        let rec = st
+            .dirs
+            .get(&cap.object.value())
+            .cloned()
+            .ok_or(DirError::NotFound)?;
+        self.scheme
+            .check_rights(cap, rec.random, needed)
+            .map_err(|e| match e {
+                amoeba_cap::CapError::InsufficientRights => DirError::Denied,
+                _ => DirError::CapBad,
+            })?;
+        Ok(rec)
+    }
+
+    fn load_rows(&self, dir: &Capability, needed: Rights) -> Result<DirRows, DirError> {
+        let rec = {
+            let st = self.state.lock();
+            self.verify(&st, dir, needed)?
+        };
+        let raw = self.store.read(&rec.file)?;
+        DirRows::decode(raw)
+    }
+
+    /// The mutation skeleton: load rows, apply, write a *new* Bullet file,
+    /// swing the record, persist the catalogue, retire the old file.
+    fn mutate<R>(
+        &self,
+        dir: &Capability,
+        needed: Rights,
+        f: impl FnOnce(&mut DirRows) -> Result<R, DirError>,
+    ) -> Result<R, DirError> {
+        let mut st = self.state.lock();
+        let rec = self.verify(&st, dir, needed)?;
+        let raw = self.store.read(&rec.file)?;
+        let mut rows = DirRows::decode(raw)?;
+        let out = f(&mut rows)?;
+        let new_file = self.store.create(rows.encode())?;
+        let obj = dir.object.value();
+        st.dirs.get_mut(&obj).expect("verified above").file = new_file;
+        self.save_superfile(&mut st)?;
+        drop(st);
+        // Retire the previous version of the directory file.
+        self.store.delete(&rec.file);
+        self.stats.incr("dir_mutations");
+        Ok(out)
+    }
+
+    /// Writes the catalogue to a fresh superfile, updates the stable cell,
+    /// and retires the old superfile.  Called with the state lock held.
+    fn save_superfile(&self, st: &mut DirState) -> Result<(), DirError> {
+        let image = encode_superfile(st);
+        let new = self.store.create(image)?;
+        let old = std::mem::replace(&mut st.superfile, new.clone());
+        let mut cell_bytes = Vec::with_capacity(new.len() * CAP_WIRE_LEN);
+        for cap in &new {
+            cell_bytes.extend_from_slice(&cap.to_wire());
+        }
+        self.cell.set(cell_bytes);
+        self.store.delete(&old);
+        Ok(())
+    }
+}
+
+fn encode_superfile(st: &DirState) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32(st.root_obj);
+    buf.put_u32(st.next_obj);
+    buf.put_u32(st.dirs.len() as u32);
+    let mut objs: Vec<u32> = st.dirs.keys().copied().collect();
+    objs.sort_unstable();
+    for obj in objs {
+        let rec = &st.dirs[&obj];
+        buf.put_u32(obj);
+        buf.put_u64(rec.random);
+        buf.put_u8(rec.file.len() as u8);
+        for cap in &rec.file {
+            buf.put_slice(&cap.to_wire());
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_superfile(mut buf: Bytes) -> Result<(u32, u32, HashMap<u32, DirRecord>), DirError> {
+    let corrupt = |what: &str| DirError::Corrupt(format!("superfile truncated at {what}"));
+    if buf.len() < 12 {
+        return Err(corrupt("header"));
+    }
+    let root_obj = buf.get_u32();
+    let next_obj = buf.get_u32();
+    let n = buf.get_u32() as usize;
+    let mut dirs = HashMap::with_capacity(n);
+    for _ in 0..n {
+        if buf.len() < 4 + 8 + 1 {
+            return Err(corrupt("record"));
+        }
+        let obj = buf.get_u32();
+        let random = buf.get_u64();
+        let nreplicas = buf.get_u8() as usize;
+        if nreplicas == 0 || buf.len() < nreplicas * CAP_WIRE_LEN {
+            return Err(corrupt("replica set"));
+        }
+        let mut file = Vec::with_capacity(nreplicas);
+        for _ in 0..nreplicas {
+            let raw = buf.split_to(CAP_WIRE_LEN);
+            file.push(
+                Capability::from_wire(&raw)
+                    .map_err(|e| DirError::Corrupt(format!("superfile capability: {e}")))?,
+            );
+        }
+        dirs.insert(obj, DirRecord { random, file });
+    }
+    if !dirs.contains_key(&root_obj) {
+        return Err(DirError::Corrupt(
+            "superfile lacks the root directory".into(),
+        ));
+    }
+    Ok((root_obj, next_obj, dirs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_core::BulletConfig;
+
+    fn stack() -> (Arc<BulletServer>, DirServer) {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = DirServer::bootstrap(bullet.clone()).unwrap();
+        (bullet, dirs)
+    }
+
+    fn file(bullet: &BulletServer, data: &'static [u8]) -> Capability {
+        bullet.create(Bytes::from_static(data), 1).unwrap()
+    }
+
+    #[test]
+    fn enter_lookup_delete_entry() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let f = file(&bullet, b"hello");
+        dirs.enter(&root, "hello.txt", f).unwrap();
+        assert_eq!(dirs.lookup(&root, "hello.txt").unwrap(), f);
+        assert_eq!(dirs.lookup(&root, "nope").unwrap_err(), DirError::NotFound);
+        assert_eq!(
+            dirs.enter(&root, "hello.txt", f).unwrap_err(),
+            DirError::Exists
+        );
+        let removed = dirs.delete_entry(&root, "hello.txt").unwrap();
+        assert_eq!(removed, vec![f]);
+        assert_eq!(
+            dirs.lookup(&root, "hello.txt").unwrap_err(),
+            DirError::NotFound
+        );
+    }
+
+    #[test]
+    fn nested_directories_and_resolve() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let home = dirs.create_dir().unwrap();
+        let user = dirs.create_dir().unwrap();
+        dirs.enter(&root, "home", home).unwrap();
+        dirs.enter(&home, "user", user).unwrap();
+        let f = file(&bullet, b"profile");
+        dirs.enter(&user, "profile", f).unwrap();
+
+        assert_eq!(dirs.resolve(&root, "home/user/profile").unwrap(), f);
+        assert_eq!(dirs.resolve(&root, "/home//user/profile").unwrap(), f);
+        assert_eq!(
+            dirs.resolve(&root, "home/missing/profile").unwrap_err(),
+            DirError::NotFound
+        );
+        // A file in the middle of a path cannot be traversed.
+        dirs.enter(&root, "plain", f).unwrap();
+        assert_eq!(
+            dirs.resolve(&root, "plain/deeper").unwrap_err(),
+            DirError::NotFound
+        );
+    }
+
+    #[test]
+    fn replace_builds_version_history() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let v1 = file(&bullet, b"v1");
+        dirs.enter(&root, "doc", v1).unwrap();
+        let v2 = file(&bullet, b"v2");
+        dirs.replace(&root, "doc", &v1, v2).unwrap();
+        assert_eq!(dirs.lookup(&root, "doc").unwrap(), v2);
+        assert_eq!(dirs.history(&root, "doc").unwrap(), vec![v2, v1]);
+        // Losing a race yields Conflict.
+        let v3 = file(&bullet, b"v3");
+        assert_eq!(
+            dirs.replace(&root, "doc", &v1, v3).unwrap_err(),
+            DirError::Conflict
+        );
+    }
+
+    #[test]
+    fn rights_are_enforced() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let f = file(&bullet, b"x");
+        dirs.enter(&root, "f", f).unwrap();
+
+        // Forged check field.
+        let mut forged = root;
+        forged.check ^= 1;
+        assert_eq!(dirs.lookup(&forged, "f").unwrap_err(), DirError::CapBad);
+
+        // A properly restricted read-only capability can look up but not
+        // mutate.
+        let read_only = dirs.restrict(&root, Rights::READ).unwrap();
+        assert_eq!(dirs.lookup(&read_only, "f").unwrap(), f);
+        assert_eq!(
+            dirs.enter(&read_only, "g", f).unwrap_err(),
+            DirError::Denied
+        );
+        assert_eq!(
+            dirs.delete_entry(&read_only, "f").unwrap_err(),
+            DirError::Denied
+        );
+        // Amplifying the rights byte by hand fails verification.
+        let amplified = Capability {
+            rights: Rights::ALL,
+            ..read_only
+        };
+        assert_eq!(
+            dirs.enter(&amplified, "g", f).unwrap_err(),
+            DirError::CapBad
+        );
+    }
+
+    #[test]
+    fn list_returns_sorted_rows() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        for name in ["zz", "aa", "mm"] {
+            dirs.enter(&root, name, file(&bullet, b"d")).unwrap();
+        }
+        let names: Vec<String> = dirs
+            .list(&root)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn delete_dir_requires_empty() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let sub = dirs.create_dir().unwrap();
+        dirs.enter(&root, "sub", sub).unwrap();
+        dirs.enter(&sub, "f", file(&bullet, b"x")).unwrap();
+        assert_eq!(dirs.delete_dir(&sub).unwrap_err(), DirError::NotEmpty);
+        dirs.delete_entry(&sub, "f").unwrap();
+        dirs.delete_dir(&sub).unwrap();
+        assert_eq!(dirs.lookup(&sub, "f").unwrap_err(), DirError::NotFound);
+        // The root itself can never be deleted.
+        assert_eq!(dirs.delete_dir(&dirs.root()).unwrap_err(), DirError::Denied);
+    }
+
+    #[test]
+    fn recovery_from_stable_cell() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let f = file(&bullet, b"persist me");
+        dirs.enter(&root, "keep", f).unwrap();
+        let sub = dirs.create_dir().unwrap();
+        dirs.enter(&root, "sub", sub).unwrap();
+        dirs.enter(&sub, "inner", file(&bullet, b"inner")).unwrap();
+        let cell = dirs.cell();
+        let port = dirs.port();
+        drop(dirs); // the server process dies
+
+        let revived = DirServer::recover(bullet.clone(), port, 0xd1ce, cell).unwrap();
+        assert_eq!(revived.lookup(&root, "keep").unwrap(), f);
+        let inner = revived.resolve(&root, "sub/inner").unwrap();
+        assert_eq!(bullet.read(&inner).unwrap(), Bytes::from_static(b"inner"));
+        // The recovered server keeps working and keeps minting valid caps.
+        assert_eq!(revived.root(), root);
+        revived
+            .enter(&root, "post-recovery", file(&bullet, b"new"))
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_sweeps_unreachable_files() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let kept = file(&bullet, b"kept");
+        dirs.enter(&root, "kept", kept).unwrap();
+        let orphan1 = file(&bullet, b"orphan");
+        let _orphan2 = file(&bullet, b"orphan2");
+
+        let live_before = bullet.list_live_caps().len();
+        let swept = dirs.collect_garbage().unwrap();
+        assert_eq!(swept, 2);
+        assert_eq!(bullet.list_live_caps().len(), live_before - 2);
+        assert_eq!(bullet.read(&kept).unwrap(), Bytes::from_static(b"kept"));
+        assert!(bullet.read(&orphan1).is_err());
+        // Idempotent.
+        assert_eq!(dirs.collect_garbage().unwrap(), 0);
+    }
+
+    #[test]
+    fn gc_keeps_version_history_and_unlinked_dirs_are_collected() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let v1 = file(&bullet, b"v1");
+        dirs.enter(&root, "doc", v1).unwrap();
+        let v2 = file(&bullet, b"v2");
+        dirs.replace(&root, "doc", &v1, v2).unwrap();
+
+        // A directory created but never linked in is unreachable.
+        let unlinked = dirs.create_dir().unwrap();
+        dirs.enter(&unlinked, "junk", file(&bullet, b"junk"))
+            .unwrap();
+
+        let swept = dirs.collect_garbage().unwrap();
+        // Swept: the unlinked dir's backing file and the junk file.
+        assert!(swept >= 2, "swept {swept}");
+        // History versions survive.
+        assert_eq!(bullet.read(&v1).unwrap(), Bytes::from_static(b"v1"));
+        assert_eq!(bullet.read(&v2).unwrap(), Bytes::from_static(b"v2"));
+        // The unlinked directory is gone from the catalogue.
+        assert_eq!(
+            dirs.lookup(&unlinked, "junk").unwrap_err(),
+            DirError::NotFound
+        );
+    }
+
+    #[test]
+    fn mutations_retire_old_directory_files() {
+        let (bullet, dirs) = stack();
+        let root = dirs.root();
+        let live0 = bullet.list_live_caps().len();
+        for i in 0..10 {
+            dirs.enter(&root, &format!("f{i}"), file(&bullet, b"data"))
+                .unwrap();
+        }
+        // Growth is one file per entry (the data files) — directory file
+        // and superfile rewrites retire their predecessors.
+        let live1 = bullet.list_live_caps().len();
+        assert_eq!(live1 - live0, 10);
+    }
+}

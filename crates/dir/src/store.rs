@@ -1,0 +1,227 @@
+//! The directory service's storage backend: one or several Bullet
+//! servers.
+//!
+//! §5 of the paper: "Currently we are investigating how the Bullet file
+//! server and the Amoeba directory service can cooperate in providing a
+//! general purpose storage system.  Goals of this research are high
+//! availability…"  This module implements that cooperation: the
+//! directory service can keep every directory file (and its own
+//! catalogue) on **N Bullet servers simultaneously**, so the naming
+//! service survives the loss of any single file server.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use amoeba_cap::Capability;
+use bullet_core::{BulletError, BulletServer};
+
+use crate::DirError;
+
+/// Durability used for each replica write.
+const STORE_PFACTOR: u32 = 1;
+
+/// A replicated file store over one or more Bullet servers.
+///
+/// Files created through the store exist once per server; the capability
+/// set (one per replica, in store order) travels together.  Reads fall
+/// over across replicas; deletes and touches are applied wherever the
+/// file still exists.
+#[derive(Clone)]
+pub struct BulletStore {
+    servers: Vec<Arc<BulletServer>>,
+}
+
+impl std::fmt::Debug for BulletStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BulletStore")
+            .field("replicas", &self.servers.len())
+            .finish()
+    }
+}
+
+impl BulletStore {
+    /// A store over a single Bullet server (the common configuration).
+    pub fn single(server: Arc<BulletServer>) -> BulletStore {
+        BulletStore {
+            servers: vec![server],
+        }
+    }
+
+    /// A store replicating across all the given servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn replicated(servers: Vec<Arc<BulletServer>>) -> BulletStore {
+        assert!(!servers.is_empty(), "a store needs at least one server");
+        BulletStore { servers }
+    }
+
+    /// Number of replica servers.
+    pub fn width(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The underlying servers.
+    pub fn servers(&self) -> &[Arc<BulletServer>] {
+        &self.servers
+    }
+
+    /// True if `cap` addresses one of this store's servers.
+    pub fn is_store_cap(&self, cap: &Capability) -> bool {
+        self.servers.iter().any(|s| s.port() == cap.port)
+    }
+
+    /// Creates `data` on every replica; returns one capability per
+    /// replica (store order).
+    ///
+    /// # Errors
+    ///
+    /// Fails if ANY replica cannot take the file (metadata must exist
+    /// everywhere); already-created replicas are rolled back.
+    pub fn create(&self, data: Bytes) -> Result<Vec<Capability>, DirError> {
+        let mut caps = Vec::with_capacity(self.servers.len());
+        for server in &self.servers {
+            match server.create(data.clone(), STORE_PFACTOR) {
+                Ok(cap) => caps.push(cap),
+                Err(e) => {
+                    self.delete(&caps);
+                    return Err(DirError::Bullet(e));
+                }
+            }
+        }
+        Ok(caps)
+    }
+
+    /// Reads from the first replica that answers.
+    ///
+    /// # Errors
+    ///
+    /// The last replica's error if all fail.
+    pub fn read(&self, caps: &[Capability]) -> Result<Bytes, DirError> {
+        let mut last: Option<BulletError> = None;
+        for cap in caps {
+            for server in &self.servers {
+                if server.port() != cap.port {
+                    continue;
+                }
+                match server.read(cap) {
+                    Ok(data) => return Ok(data),
+                    Err(e) => last = Some(e),
+                }
+            }
+        }
+        Err(match last {
+            Some(e) => DirError::Bullet(e),
+            None => DirError::NotFound,
+        })
+    }
+
+    /// Deletes every replica, best effort (a replica on a dead server is
+    /// left for its own garbage collection).
+    pub fn delete(&self, caps: &[Capability]) {
+        for cap in caps {
+            for server in &self.servers {
+                if server.port() == cap.port {
+                    let _ = server.delete(cap);
+                }
+            }
+        }
+    }
+
+    /// Touches every replica that still exists (the aging-GC protocol).
+    pub fn touch(&self, caps: &[Capability]) {
+        for cap in caps {
+            for server in &self.servers {
+                if server.port() == cap.port {
+                    let _ = server.touch(cap);
+                }
+            }
+        }
+    }
+
+    /// All live capabilities across every replica server (for the
+    /// mark-and-sweep collector).
+    pub fn live_caps(&self) -> Vec<Capability> {
+        self.servers
+            .iter()
+            .flat_map(|s| s.list_live_caps())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::Port;
+    use bullet_core::BulletConfig;
+
+    fn two_servers() -> (Arc<BulletServer>, Arc<BulletServer>, BulletStore) {
+        let mut cfg_a = BulletConfig::small_test();
+        cfg_a.port = Port::from_u64(0xaaaa);
+        let mut cfg_b = BulletConfig::small_test();
+        cfg_b.port = Port::from_u64(0xbbbb);
+        cfg_b.scheme_seed = 0xb;
+        let a = Arc::new(BulletServer::format(cfg_a, 1).unwrap());
+        let b = Arc::new(BulletServer::format(cfg_b, 1).unwrap());
+        let store = BulletStore::replicated(vec![a.clone(), b.clone()]);
+        (a, b, store)
+    }
+
+    #[test]
+    fn create_lands_on_every_replica() {
+        let (a, b, store) = two_servers();
+        let caps = store.create(Bytes::from_static(b"both")).unwrap();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0].port, a.port());
+        assert_eq!(caps[1].port, b.port());
+        assert_eq!(a.read(&caps[0]).unwrap(), Bytes::from_static(b"both"));
+        assert_eq!(b.read(&caps[1]).unwrap(), Bytes::from_static(b"both"));
+    }
+
+    #[test]
+    fn read_falls_over_to_surviving_replica() {
+        let (a, _b, store) = two_servers();
+        let caps = store.create(Bytes::from_static(b"survivor")).unwrap();
+        a.delete(&caps[0]).unwrap(); // first replica gone
+        assert_eq!(store.read(&caps).unwrap(), Bytes::from_static(b"survivor"));
+    }
+
+    #[test]
+    fn failed_create_rolls_back() {
+        let (a, b, store) = two_servers();
+        // Fill server B so the replicated create must fail there.
+        let mut hog = Vec::new();
+        while let Ok(cap) = b.create(Bytes::from(vec![0u8; 200 * 512]), 1) {
+            hog.push(cap);
+        }
+        let live_a_before = a.list_live_caps().len();
+        assert!(store.create(Bytes::from(vec![1u8; 200 * 512])).is_err());
+        assert_eq!(
+            a.list_live_caps().len(),
+            live_a_before,
+            "replica A rolled back"
+        );
+    }
+
+    #[test]
+    fn delete_and_touch_cover_all_replicas() {
+        let (a, b, store) = two_servers();
+        let caps = store.create(Bytes::from_static(b"x")).unwrap();
+        store.touch(&caps);
+        store.delete(&caps);
+        assert!(a.read(&caps[0]).is_err());
+        assert!(b.read(&caps[1]).is_err());
+        assert!(store.read(&caps).is_err());
+    }
+
+    #[test]
+    fn live_caps_spans_servers() {
+        let (_a, _b, store) = two_servers();
+        store.create(Bytes::from_static(b"1")).unwrap();
+        store.create(Bytes::from_static(b"2")).unwrap();
+        assert_eq!(store.live_caps().len(), 4);
+        assert_eq!(store.width(), 2);
+    }
+}

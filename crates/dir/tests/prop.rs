@@ -1,0 +1,139 @@
+//! Model-based property tests: the directory service must behave like a
+//! map from names to capability stacks, across any operation sequence,
+//! and its serialized form must always round-trip.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_cap::{Capability, ObjNum, Port, Rights};
+use amoeba_dir::{DirError, DirRows, DirServer};
+use bullet_core::{BulletConfig, BulletServer};
+use proptest::prelude::*;
+
+fn arb_cap() -> impl Strategy<Value = Capability> {
+    (1u32..1000, any::<u64>()).prop_map(|(obj, check)| {
+        Capability::new(
+            Port::from_u64(0xabcd),
+            ObjNum::new(obj).expect("bounded"),
+            Rights::ALL,
+            check,
+        )
+    })
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enter(String, Capability),
+    Delete(String),
+    Replace(String, Capability),
+    Lookup(String),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (arb_name(), arb_cap()).prop_map(|(n, c)| Op::Enter(n, c)),
+        1 => arb_name().prop_map(Op::Delete),
+        2 => (arb_name(), arb_cap()).prop_map(|(n, c)| Op::Replace(n, c)),
+        3 => arb_name().prop_map(Op::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dir_server_matches_a_map_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = DirServer::bootstrap(bullet).unwrap();
+        let root = dirs.root();
+        // name -> stack of caps (front = current), bounded like the server.
+        let mut model: HashMap<String, Vec<Capability>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Enter(name, cap) => {
+                    let expected = if model.contains_key(&name) {
+                        Err(DirError::Exists)
+                    } else {
+                        model.insert(name.clone(), vec![cap]);
+                        Ok(())
+                    };
+                    prop_assert_eq!(dirs.enter(&root, &name, cap), expected);
+                }
+                Op::Delete(name) => {
+                    let expected = model.remove(&name).ok_or(DirError::NotFound);
+                    prop_assert_eq!(dirs.delete_entry(&root, &name), expected);
+                }
+                Op::Replace(name, new) => {
+                    match model.get_mut(&name) {
+                        Some(stack) => {
+                            let current = stack[0];
+                            prop_assert_eq!(
+                                dirs.replace(&root, &name, &current, new),
+                                Ok(())
+                            );
+                            stack.insert(0, new);
+                            stack.truncate(amoeba_dir::codec::MAX_CAPSET);
+                            // A stale expected must conflict.
+                            if stack.len() > 1 {
+                                prop_assert_eq!(
+                                    dirs.replace(&root, &name, &current, new),
+                                    Err(DirError::Conflict)
+                                );
+                            }
+                        }
+                        None => {
+                            prop_assert_eq!(
+                                dirs.replace(&root, &name, &new, new),
+                                Err(DirError::NotFound)
+                            );
+                        }
+                    }
+                }
+                Op::Lookup(name) => {
+                    let expected = model.get(&name).map(|s| s[0]).ok_or(DirError::NotFound);
+                    prop_assert_eq!(dirs.lookup(&root, &name), expected);
+                }
+            }
+        }
+        // Final state: list matches the model exactly, sorted.
+        let rows = dirs.list(&root).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+        for row in rows {
+            prop_assert_eq!(&row.caps, model.get(&row.name).expect("model has it"));
+        }
+        // History equals the model stack for every surviving name.
+        for (name, stack) in &model {
+            prop_assert_eq!(&dirs.history(&root, name).unwrap(), stack);
+        }
+    }
+
+    #[test]
+    fn dir_rows_encoding_roundtrips(
+        names in proptest::collection::btree_set("[a-z0-9._-]{1,32}", 0..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rows = DirRows::new();
+        let mut n = seed;
+        for name in &names {
+            n = n.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cap = Capability::new(
+                Port::from_u64(n),
+                ObjNum::new((n >> 32) as u32 & ObjNum::MAX).unwrap(),
+                Rights::from_bits(n as u8),
+                n >> 8,
+            );
+            rows.insert(name, cap).unwrap();
+        }
+        prop_assert_eq!(DirRows::decode(rows.encode()).unwrap(), rows);
+    }
+
+    #[test]
+    fn dir_rows_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = DirRows::decode(bytes::Bytes::from(bytes));
+    }
+}

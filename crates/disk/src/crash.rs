@@ -1,0 +1,176 @@
+//! Volatile write buffering with explicit crash semantics.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::device::check_access;
+use crate::{BlockDevice, DiskError};
+
+/// Wraps a device with a volatile write-back buffer.
+///
+/// Writes land in RAM; [`sync`](BlockDevice::sync) commits them to the
+/// wrapped device; [`crash`](CrashDisk::crash) discards everything
+/// uncommitted, modelling a power failure.  Reads see the buffered data
+/// (read-your-writes).
+///
+/// This is the substrate for P-FACTOR durability tests: a create with
+/// P-FACTOR 0 returns before any disk write, so a crash "shortly
+/// afterwards" loses the file — exactly the trade-off §2.2 of the paper
+/// describes.
+#[derive(Debug)]
+pub struct CrashDisk<D> {
+    inner: D,
+    /// Dirty blocks not yet on stable storage, keyed by block number.
+    dirty: Mutex<BTreeMap<u64, Vec<u8>>>,
+}
+
+impl<D: BlockDevice> CrashDisk<D> {
+    /// Wraps `inner` with an empty volatile buffer.
+    pub fn new(inner: D) -> CrashDisk<D> {
+        CrashDisk {
+            inner,
+            dirty: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Discards all uncommitted writes, as a power failure would.
+    pub fn crash(&self) {
+        self.dirty.lock().clear();
+    }
+
+    /// Number of dirty (volatile) blocks.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty.lock().len()
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CrashDisk<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_blocks(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        let blocks = check_access(self.block_size(), self.num_blocks(), first_block, buf.len())?;
+        self.inner.read_blocks(first_block, buf)?;
+        // Overlay dirty blocks.
+        let bs = self.block_size() as usize;
+        let dirty = self.dirty.lock();
+        for i in 0..blocks {
+            if let Some(d) = dirty.get(&(first_block + i)) {
+                let off = i as usize * bs;
+                buf[off..off + bs].copy_from_slice(d);
+            }
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&self, first_block: u64, data: &[u8]) -> Result<(), DiskError> {
+        let blocks = check_access(
+            self.block_size(),
+            self.num_blocks(),
+            first_block,
+            data.len(),
+        )?;
+        let bs = self.block_size() as usize;
+        let mut dirty = self.dirty.lock();
+        for i in 0..blocks {
+            let off = i as usize * bs;
+            dirty.insert(first_block + i, data[off..off + bs].to_vec());
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        let mut dirty = self.dirty.lock();
+        // Coalesce runs of consecutive dirty blocks into single writes.
+        let blocks: Vec<(u64, Vec<u8>)> = std::mem::take(&mut *dirty).into_iter().collect();
+        drop(dirty);
+        let mut i = 0;
+        while i < blocks.len() {
+            let start = blocks[i].0;
+            let mut run = blocks[i].1.clone();
+            let mut j = i + 1;
+            while j < blocks.len() && blocks[j].0 == start + (j - i) as u64 {
+                run.extend_from_slice(&blocks[j].1);
+                j += 1;
+            }
+            self.inner.write_blocks(start, &run)?;
+            i = j;
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamDisk;
+
+    #[test]
+    fn read_your_writes_before_sync() {
+        let d = CrashDisk::new(RamDisk::new(512, 8));
+        d.write_blocks(3, &[9u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        d.read_blocks(3, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 512]);
+        assert_eq!(d.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn crash_loses_unsynced_writes() {
+        let d = CrashDisk::new(RamDisk::new(512, 8));
+        d.write_blocks(3, &[9u8; 512]).unwrap();
+        d.crash();
+        let mut buf = [1u8; 512];
+        d.read_blocks(3, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 512], "write must be lost");
+    }
+
+    #[test]
+    fn sync_makes_writes_durable() {
+        let d = CrashDisk::new(RamDisk::new(512, 8));
+        d.write_blocks(3, &[9u8; 512]).unwrap();
+        d.sync().unwrap();
+        assert_eq!(d.dirty_blocks(), 0);
+        d.crash();
+        let mut buf = [0u8; 512];
+        d.read_blocks(3, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 512]);
+    }
+
+    #[test]
+    fn sync_coalesces_consecutive_runs() {
+        // Behavioural check via the inner device contents.
+        let d = CrashDisk::new(RamDisk::new(512, 16));
+        d.write_blocks(2, &[1u8; 1024]).unwrap(); // blocks 2,3
+        d.write_blocks(7, &[2u8; 512]).unwrap(); // block 7
+        d.sync().unwrap();
+        let mut buf = [0u8; 512];
+        d.inner().read_blocks(3, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 512]);
+        d.inner().read_blocks(7, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 512]);
+    }
+
+    #[test]
+    fn partial_overlay_mixes_clean_and_dirty() {
+        let d = CrashDisk::new(RamDisk::new(512, 8));
+        // Block 0 clean on the inner disk, block 1 dirty in the buffer.
+        d.inner().write_blocks(0, &[5u8; 512]).unwrap();
+        d.write_blocks(1, &[6u8; 512]).unwrap();
+        let mut buf = [0u8; 1024];
+        d.read_blocks(0, &mut buf).unwrap();
+        assert_eq!(&buf[..512], &[5u8; 512][..]);
+        assert_eq!(&buf[512..], &[6u8; 512][..]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for block-device operations.
+
+/// Errors produced by block devices and their wrappers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiskError {
+    /// An access touched blocks beyond the end of the device.
+    OutOfRange {
+        /// First block of the attempted access.
+        first_block: u64,
+        /// Number of blocks in the attempted access.
+        blocks: u64,
+        /// Total blocks on the device.
+        device_blocks: u64,
+    },
+    /// A buffer length was not a multiple of the device block size.
+    UnalignedBuffer {
+        /// The offending buffer length.
+        len: usize,
+        /// The device block size.
+        block_size: u32,
+    },
+    /// The device has failed (injected fault or exhausted replica set).
+    DeviceFailed,
+    /// All replicas of a mirrored set have failed.
+    AllReplicasFailed,
+    /// Replicas with differing geometry were combined into a mirror.
+    GeometryMismatch,
+    /// A write-once block was written a second time (WORM media).
+    WriteOnceViolation {
+        /// The offending block.
+        block: u64,
+    },
+    /// An underlying host I/O error (file-backed devices).
+    Io(String),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::OutOfRange {
+                first_block,
+                blocks,
+                device_blocks,
+            } => write!(
+                f,
+                "access to blocks [{first_block}, {}) exceeds device of {device_blocks} blocks",
+                first_block + blocks
+            ),
+            DiskError::UnalignedBuffer { len, block_size } => write!(
+                f,
+                "buffer of {len} bytes is not a multiple of the {block_size}-byte block size"
+            ),
+            DiskError::DeviceFailed => write!(f, "device has failed"),
+            DiskError::AllReplicasFailed => write!(f, "all replicas have failed"),
+            DiskError::GeometryMismatch => {
+                write!(f, "mirrored replicas must share block size and block count")
+            }
+            DiskError::WriteOnceViolation { block } => {
+                write!(f, "block {block} on write-once media was already written")
+            }
+            DiskError::Io(msg) => write!(f, "host i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        DiskError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        // (io::Error::other is the modern constructor clippy suggests.)
+        let e = DiskError::OutOfRange {
+            first_block: 10,
+            blocks: 5,
+            device_blocks: 12,
+        };
+        assert!(e.to_string().contains("[10, 15)"));
+        assert!(DiskError::DeviceFailed.to_string().contains("failed"));
+        let io: DiskError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Fault injection: devices that fail.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::{BlockDevice, DiskError};
+
+/// Wraps a device and makes it fail — after a countdown of operations, or
+/// immediately on demand.  Once failed, every operation returns
+/// [`DiskError::DeviceFailed`] until [`repair`](FaultyDisk::repair).
+///
+/// Used to exercise the paper's failover story: "if the main disk fails,
+/// the file server can proceed uninterruptedly by using the other disk."
+#[derive(Debug)]
+pub struct FaultyDisk<D> {
+    inner: D,
+    failed: AtomicBool,
+    /// Operations remaining before spontaneous failure; `u64::MAX` means
+    /// never.
+    ops_left: AtomicU64,
+}
+
+impl<D: BlockDevice> FaultyDisk<D> {
+    /// Wraps `inner` with no scheduled failure.
+    pub fn new(inner: D) -> FaultyDisk<D> {
+        FaultyDisk {
+            inner,
+            failed: AtomicBool::new(false),
+            ops_left: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Schedules the device to fail after `n` more successful operations.
+    pub fn fail_after(&self, n: u64) {
+        self.ops_left.store(n, Ordering::SeqCst);
+    }
+
+    /// Fails the device immediately.
+    pub fn fail_now(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    /// Repairs the device (contents are whatever they were; resynchronizing
+    /// is the mirror's job).
+    pub fn repair(&self) {
+        self.failed.store(false, Ordering::SeqCst);
+        self.ops_left.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// True if the device is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn gate(&self) -> Result<(), DiskError> {
+        if self.failed.load(Ordering::SeqCst) {
+            return Err(DiskError::DeviceFailed);
+        }
+        let left = self.ops_left.load(Ordering::SeqCst);
+        if left != u64::MAX {
+            if left == 0 {
+                self.failed.store(true, Ordering::SeqCst);
+                return Err(DiskError::DeviceFailed);
+            }
+            self.ops_left.store(left - 1, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_blocks(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.gate()?;
+        self.inner.read_blocks(first_block, buf)
+    }
+
+    fn write_blocks(&self, first_block: u64, data: &[u8]) -> Result<(), DiskError> {
+        self.gate()?;
+        self.inner.write_blocks(first_block, data)
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        self.gate()?;
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamDisk;
+
+    #[test]
+    fn healthy_until_failed() {
+        let d = FaultyDisk::new(RamDisk::new(512, 4));
+        d.write_blocks(0, &[1u8; 512]).unwrap();
+        d.fail_now();
+        assert!(d.is_failed());
+        assert_eq!(d.write_blocks(0, &[1u8; 512]), Err(DiskError::DeviceFailed));
+        let mut buf = [0u8; 512];
+        assert_eq!(d.read_blocks(0, &mut buf), Err(DiskError::DeviceFailed));
+        assert_eq!(d.sync(), Err(DiskError::DeviceFailed));
+    }
+
+    #[test]
+    fn fail_after_countdown() {
+        let d = FaultyDisk::new(RamDisk::new(512, 4));
+        d.fail_after(2);
+        d.write_blocks(0, &[1u8; 512]).unwrap();
+        d.write_blocks(1, &[1u8; 512]).unwrap();
+        assert_eq!(d.write_blocks(2, &[1u8; 512]), Err(DiskError::DeviceFailed));
+        assert!(d.is_failed());
+    }
+
+    #[test]
+    fn repair_restores_service_and_contents_remain() {
+        let d = FaultyDisk::new(RamDisk::new(512, 4));
+        d.write_blocks(0, &[7u8; 512]).unwrap();
+        d.fail_now();
+        d.repair();
+        let mut buf = [0u8; 512];
+        d.read_blocks(0, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 512]);
+    }
+}

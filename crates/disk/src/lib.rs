@@ -1,0 +1,57 @@
+//! Block-device substrate for the Bullet file server reproduction.
+//!
+//! The paper's server owns two 800 MB SCSI drives used as identical
+//! replicas: writes go to both, reads come from the main disk, and if the
+//! main disk fails the server "can proceed uninterruptedly by using the
+//! other disk", recovering later "by copying the complete disk" (§3).
+//!
+//! This crate provides that storage layer, built from composable pieces:
+//!
+//! * [`BlockDevice`] — the sector-addressed device trait everything speaks;
+//! * [`RamDisk`] — a memory-backed device (the default substrate);
+//! * [`FileDisk`] — a host-file-backed device for persistence tests;
+//! * [`SimDisk`] — a wrapper charging seek/rotation/transfer time for a
+//!   late-80s drive to the shared [`amoeba_sim::SimClock`];
+//! * [`FaultyDisk`] — fault injection: fail a device after N operations or
+//!   on demand, to exercise failover;
+//! * [`CrashDisk`] — a volatile write-back buffer with an explicit
+//!   `sync`/`crash`, to exercise durability (P-FACTOR semantics);
+//! * [`MirroredDisk`] — the replica set, including partial-sync writes
+//!   (`write_sync_k`) and a background queue that models completing the
+//!   remaining replica writes after the client reply was already sent.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_disk::{BlockDevice, RamDisk};
+//!
+//! let disk = RamDisk::new(512, 128); // 128 sectors of 512 bytes
+//! disk.write_blocks(3, &[7u8; 1024])?; // sectors 3 and 4
+//! let mut buf = [0u8; 512];
+//! disk.read_blocks(4, &mut buf)?;
+//! assert_eq!(buf, [7u8; 512]);
+//! # Ok::<(), amoeba_disk::DiskError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crash;
+pub mod device;
+pub mod error;
+pub mod faulty;
+pub mod filedisk;
+pub mod mirror;
+pub mod ramdisk;
+pub mod simdisk;
+pub mod worm;
+
+pub use crash::CrashDisk;
+pub use device::BlockDevice;
+pub use error::DiskError;
+pub use faulty::FaultyDisk;
+pub use filedisk::FileDisk;
+pub use mirror::MirroredDisk;
+pub use ramdisk::RamDisk;
+pub use simdisk::SimDisk;
+pub use worm::WormDisk;

@@ -1,0 +1,462 @@
+//! The replicated disk set: write to all, read from the primary, fail over.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use amoeba_sim::Stats;
+
+use crate::{BlockDevice, DiskError};
+
+/// A set of identical disk replicas, as in §3 of the paper: "we have two
+/// disks that we use as identical replicas.  One of the disks is the main
+/// disk on which the file server reads.  Disk writes are performed on both
+/// disks."
+///
+/// Beyond plain mirrored [`BlockDevice`] behaviour the type supports the
+/// P-FACTOR protocol of `BULLET.CREATE`:
+///
+/// * [`write_sync_k`](MirroredDisk::write_sync_k) writes synchronously to
+///   the first `k` live replicas and queues the rest as *background* work
+///   (the reply to the client does not wait for them);
+/// * [`flush_background`](MirroredDisk::flush_background) completes the
+///   queued writes;
+/// * [`crash_volatile`](MirroredDisk::crash_volatile) discards the queue,
+///   modelling a server crash before the background writes finished.
+///
+/// A replica that returns an error is marked dead and skipped from then
+/// on; reads fail over to the next live replica.  A repaired replica
+/// rejoins via [`resync_replica`](MirroredDisk::resync_replica), which
+/// copies the complete disk from the current primary — the paper's
+/// recovery procedure.
+pub struct MirroredDisk {
+    replicas: Vec<Arc<dyn BlockDevice>>,
+    alive: Vec<AtomicBool>,
+    primary: AtomicUsize,
+    background: Mutex<VecDeque<(usize, u64, Vec<u8>)>>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for MirroredDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MirroredDisk")
+            .field("replicas", &self.replicas.len())
+            .field("alive", &self.alive_count())
+            .field("primary", &self.primary.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl MirroredDisk {
+    /// Builds a mirror over `replicas`.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::AllReplicasFailed`] for an empty set, or
+    /// [`DiskError::GeometryMismatch`] if the replicas differ in block size
+    /// or block count.
+    pub fn new(replicas: Vec<Arc<dyn BlockDevice>>) -> Result<MirroredDisk, DiskError> {
+        let first = replicas.first().ok_or(DiskError::AllReplicasFailed)?;
+        let (bs, nb) = (first.block_size(), first.num_blocks());
+        if replicas
+            .iter()
+            .any(|r| r.block_size() != bs || r.num_blocks() != nb)
+        {
+            return Err(DiskError::GeometryMismatch);
+        }
+        let alive = replicas.iter().map(|_| AtomicBool::new(true)).collect();
+        Ok(MirroredDisk {
+            replicas,
+            alive,
+            primary: AtomicUsize::new(0),
+            background: Mutex::new(VecDeque::new()),
+            stats: Stats::new(),
+        })
+    }
+
+    /// Number of replicas (live or dead).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of currently live replicas.
+    pub fn alive_count(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// True if replica `i` is live.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i].load(Ordering::SeqCst)
+    }
+
+    /// Direct access to replica `i` (tests use this to reach the fault
+    /// injectors wrapped inside).
+    pub fn replica(&self, i: usize) -> &Arc<dyn BlockDevice> {
+        &self.replicas[i]
+    }
+
+    /// Mirror statistics: `mirror_failovers`, `mirror_bg_queued`,
+    /// `mirror_bg_flushed`, `mirror_bg_dropped`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Writes to at most `k` live replicas synchronously; the remaining
+    /// live replicas are queued for background completion.  Returns how
+    /// many replicas were written synchronously.
+    ///
+    /// `k = 0` queues everything (P-FACTOR 0: reply before any disk I/O).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::AllReplicasFailed`] if no replica is live, or the
+    /// underlying device errors if every attempted replica fails.
+    pub fn write_sync_k(
+        &self,
+        first_block: u64,
+        data: &[u8],
+        k: usize,
+    ) -> Result<usize, DiskError> {
+        if self.alive_count() == 0 {
+            return Err(DiskError::AllReplicasFailed);
+        }
+        let mut synced = 0;
+        let mut last_err = None;
+        for i in 0..self.replicas.len() {
+            if !self.is_alive(i) {
+                continue;
+            }
+            if synced < k {
+                // Per-device FIFO: anything still queued for this replica
+                // must land before the new write, or a stale block image
+                // could later clobber this one.
+                self.drain_replica(i);
+                match self.replicas[i].write_blocks(first_block, data) {
+                    Ok(()) => synced += 1,
+                    Err(e) => {
+                        self.mark_dead(i);
+                        last_err = Some(e);
+                    }
+                }
+            } else {
+                self.background
+                    .lock()
+                    .push_back((i, first_block, data.to_vec()));
+                self.stats.incr("mirror_bg_queued");
+            }
+        }
+        if synced == 0 && k > 0 {
+            return Err(last_err.unwrap_or(DiskError::AllReplicasFailed));
+        }
+        Ok(synced)
+    }
+
+    /// Completes queued background writes, returning how many were applied.
+    /// Writes to replicas that died in the meantime are dropped (the
+    /// resync procedure will repair them wholesale).
+    pub fn flush_background(&self) -> usize {
+        let mut applied = 0;
+        loop {
+            let item = self.background.lock().pop_front();
+            let Some((i, first, data)) = item else { break };
+            if !self.is_alive(i) {
+                self.stats.incr("mirror_bg_dropped");
+                continue;
+            }
+            match self.replicas[i].write_blocks(first, &data) {
+                Ok(()) => {
+                    applied += 1;
+                    self.stats.incr("mirror_bg_flushed");
+                }
+                Err(_) => {
+                    self.mark_dead(i);
+                    self.stats.incr("mirror_bg_dropped");
+                }
+            }
+        }
+        applied
+    }
+
+    /// Number of queued background writes.
+    pub fn pending_background(&self) -> usize {
+        self.background.lock().len()
+    }
+
+    /// Discards all queued background writes, as a server crash would.
+    pub fn crash_volatile(&self) {
+        let dropped = self.background.lock().len() as u64;
+        self.background.lock().clear();
+        self.stats.add("mirror_bg_dropped", dropped);
+    }
+
+    /// Copies the complete disk from the current primary onto replica `i`
+    /// and marks it live — the paper's recovery-by-copy.  Copying proceeds
+    /// in `chunk_blocks` units so the simulated cost is realistic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors from the primary or write errors from the
+    /// rejoining replica.
+    pub fn resync_replica(&self, i: usize, chunk_blocks: u64) -> Result<(), DiskError> {
+        let src = self.pick_live().ok_or(DiskError::AllReplicasFailed)?;
+        if src == i {
+            self.alive[i].store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+        let bs = self.block_size() as usize;
+        let total = self.num_blocks();
+        let chunk = chunk_blocks.max(1);
+        let mut buf = vec![0u8; bs * chunk as usize];
+        let mut at = 0;
+        while at < total {
+            let n = chunk.min(total - at);
+            let slice = &mut buf[..bs * n as usize];
+            self.replicas[src].read_blocks(at, slice)?;
+            self.replicas[i].write_blocks(at, slice)?;
+            at += n;
+        }
+        self.replicas[i].sync()?;
+        self.alive[i].store(true, Ordering::SeqCst);
+        self.stats.incr("mirror_resyncs");
+        Ok(())
+    }
+
+    /// Applies all queued background writes destined for replica `i`, in
+    /// FIFO order, leaving other replicas' items queued.
+    fn drain_replica(&self, i: usize) {
+        let mine: Vec<(u64, Vec<u8>)> = {
+            let mut q = self.background.lock();
+            let mut mine = Vec::new();
+            q.retain(|(r, first, data)| {
+                if *r == i {
+                    mine.push((*first, data.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            mine
+        };
+        for (first, data) in mine {
+            if !self.is_alive(i) {
+                self.stats.incr("mirror_bg_dropped");
+                continue;
+            }
+            match self.replicas[i].write_blocks(first, &data) {
+                Ok(()) => self.stats.incr("mirror_bg_flushed"),
+                Err(_) => {
+                    self.mark_dead(i);
+                    self.stats.incr("mirror_bg_dropped");
+                }
+            }
+        }
+    }
+
+    fn mark_dead(&self, i: usize) {
+        if self.alive[i].swap(false, Ordering::SeqCst) {
+            self.stats.incr("mirror_failovers");
+        }
+    }
+
+    fn pick_live(&self) -> Option<usize> {
+        let start = self.primary.load(Ordering::SeqCst);
+        let n = self.replicas.len();
+        (0..n).map(|d| (start + d) % n).find(|&i| self.is_alive(i))
+    }
+}
+
+impl BlockDevice for MirroredDisk {
+    fn block_size(&self) -> u32 {
+        self.replicas[0].block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.replicas[0].num_blocks()
+    }
+
+    fn read_blocks(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        loop {
+            let Some(i) = self.pick_live() else {
+                return Err(DiskError::AllReplicasFailed);
+            };
+            // A read must see every write accepted so far, including those
+            // still queued for this replica.
+            self.drain_replica(i);
+            match self.replicas[i].read_blocks(first_block, buf) {
+                Ok(()) => {
+                    self.primary.store(i, Ordering::SeqCst);
+                    return Ok(());
+                }
+                Err(DiskError::OutOfRange { .. }) | Err(DiskError::UnalignedBuffer { .. }) => {
+                    // Caller error, not a device fault: do not fail over.
+                    return self.replicas[i].read_blocks(first_block, buf);
+                }
+                Err(_) => self.mark_dead(i),
+            }
+        }
+    }
+
+    fn write_blocks(&self, first_block: u64, data: &[u8]) -> Result<(), DiskError> {
+        // Plain writes are fully synchronous to every live replica.
+        self.write_sync_k(first_block, data, self.replicas.len())
+            .map(|_| ())
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        self.flush_background();
+        let mut any = false;
+        for i in 0..self.replicas.len() {
+            if self.is_alive(i) {
+                match self.replicas[i].sync() {
+                    Ok(()) => any = true,
+                    Err(_) => self.mark_dead(i),
+                }
+            }
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(DiskError::AllReplicasFailed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultyDisk, RamDisk};
+
+    fn mirror2() -> (
+        MirroredDisk,
+        Arc<FaultyDisk<RamDisk>>,
+        Arc<FaultyDisk<RamDisk>>,
+    ) {
+        let a = Arc::new(FaultyDisk::new(RamDisk::new(512, 64)));
+        let b = Arc::new(FaultyDisk::new(RamDisk::new(512, 64)));
+        let m = MirroredDisk::new(vec![a.clone(), b.clone()]).unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn writes_reach_both_replicas() {
+        let (m, a, b) = mirror2();
+        m.write_blocks(3, &[7u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        a.read_blocks(3, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 512]);
+        b.read_blocks(3, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 512]);
+    }
+
+    #[test]
+    fn read_fails_over_when_primary_dies() {
+        let (m, a, _b) = mirror2();
+        m.write_blocks(0, &[9u8; 512]).unwrap();
+        a.fail_now();
+        let mut buf = [0u8; 512];
+        m.read_blocks(0, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 512]);
+        assert_eq!(m.alive_count(), 1);
+        assert_eq!(m.stats().get("mirror_failovers"), 1);
+    }
+
+    #[test]
+    fn all_dead_reports_failure() {
+        let (m, a, b) = mirror2();
+        a.fail_now();
+        b.fail_now();
+        let mut buf = [0u8; 512];
+        assert_eq!(
+            m.read_blocks(0, &mut buf),
+            Err(DiskError::AllReplicasFailed)
+        );
+        assert!(m.write_blocks(0, &[0u8; 512]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_is_not_a_failover() {
+        let (m, _a, _b) = mirror2();
+        let mut buf = [0u8; 512];
+        assert!(matches!(
+            m.read_blocks(64, &mut buf),
+            Err(DiskError::OutOfRange { .. })
+        ));
+        assert_eq!(m.alive_count(), 2);
+    }
+
+    #[test]
+    fn write_sync_k_queues_the_rest() {
+        let (m, a, b) = mirror2();
+        assert_eq!(m.write_sync_k(2, &[5u8; 512], 1).unwrap(), 1);
+        assert_eq!(m.pending_background(), 1);
+        // Replica a has the data, b does not yet.
+        let mut buf = [0u8; 512];
+        a.read_blocks(2, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 512]);
+        b.read_blocks(2, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 512]);
+        // Flushing completes the mirror.
+        assert_eq!(m.flush_background(), 1);
+        b.read_blocks(2, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 512]);
+    }
+
+    #[test]
+    fn pfactor_zero_queues_everything() {
+        let (m, a, _b) = mirror2();
+        assert_eq!(m.write_sync_k(0, &[5u8; 512], 0).unwrap(), 0);
+        assert_eq!(m.pending_background(), 2);
+        let mut buf = [0u8; 512];
+        a.read_blocks(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 512]);
+        // A crash before the flush loses the write everywhere.
+        m.crash_volatile();
+        assert_eq!(m.pending_background(), 0);
+        assert_eq!(m.flush_background(), 0);
+    }
+
+    #[test]
+    fn sync_write_fails_over_to_second_replica() {
+        let (m, a, b) = mirror2();
+        a.fail_now();
+        assert_eq!(m.write_sync_k(1, &[3u8; 512], 1).unwrap(), 1);
+        let mut buf = [0u8; 512];
+        b.read_blocks(1, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 512]);
+    }
+
+    #[test]
+    fn resync_copies_complete_disk() {
+        let (m, _a, b) = mirror2();
+        m.write_blocks(0, &[1u8; 512]).unwrap();
+        b.fail_now();
+        // Updates while b is down go only to a.
+        m.write_blocks(1, &[2u8; 512]).unwrap();
+        assert_eq!(m.alive_count(), 1);
+        b.repair();
+        m.resync_replica(1, 16).unwrap();
+        assert_eq!(m.alive_count(), 2);
+        let mut buf = [0u8; 512];
+        b.read_blocks(1, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 512]);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let a: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(512, 64));
+        let b: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(512, 65));
+        assert!(matches!(
+            MirroredDisk::new(vec![a, b]),
+            Err(DiskError::GeometryMismatch)
+        ));
+        assert!(matches!(
+            MirroredDisk::new(vec![]),
+            Err(DiskError::AllReplicasFailed)
+        ));
+    }
+}

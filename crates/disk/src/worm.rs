@@ -1,0 +1,142 @@
+//! Write-once (WORM) storage: the optical disk of §2.
+//!
+//! "It also presents the possibility of keeping versions on write-once
+//! storage such as optical disks."  Immutable files never rewrite their
+//! data blocks, so a Bullet data area maps perfectly onto write-once
+//! media.  Metadata (the inode table) still needs rewriting, so a real
+//! archive pairs a small magnetic region with the optical platter — the
+//! [`WormDisk`] models exactly that: an *exempt* prefix of rewritable
+//! blocks, and write-once everything after it.
+
+use parking_lot::Mutex;
+
+use crate::{BlockDevice, DiskError};
+
+/// A write-once wrapper: blocks below `exempt_blocks` behave normally
+/// (the magnetic index region); every other block accepts exactly one
+/// write and then becomes read-only forever.
+#[derive(Debug)]
+pub struct WormDisk<D> {
+    inner: D,
+    exempt_blocks: u64,
+    written: Mutex<Vec<bool>>,
+}
+
+impl<D: BlockDevice> WormDisk<D> {
+    /// Wraps `inner`; blocks `[0, exempt_blocks)` stay rewritable.
+    pub fn new(inner: D, exempt_blocks: u64) -> WormDisk<D> {
+        let blocks = inner.num_blocks() as usize;
+        WormDisk {
+            inner,
+            exempt_blocks,
+            written: Mutex::new(vec![false; blocks]),
+        }
+    }
+
+    /// Number of write-once blocks already burned.
+    pub fn burned_blocks(&self) -> u64 {
+        self.written.lock().iter().filter(|&&w| w).count() as u64
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for WormDisk<D> {
+    fn block_size(&self) -> u32 {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_blocks(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.inner.read_blocks(first_block, buf)
+    }
+
+    fn write_blocks(&self, first_block: u64, data: &[u8]) -> Result<(), DiskError> {
+        let blocks = (data.len() / self.block_size().max(1) as usize) as u64;
+        {
+            let written = self.written.lock();
+            for b in first_block..first_block.saturating_add(blocks) {
+                if b >= self.exempt_blocks && written.get(b as usize).copied().unwrap_or(false) {
+                    return Err(DiskError::WriteOnceViolation { block: b });
+                }
+            }
+        }
+        self.inner.write_blocks(first_block, data)?;
+        let mut written = self.written.lock();
+        for b in first_block..first_block + blocks {
+            if b >= self.exempt_blocks {
+                if let Some(slot) = written.get_mut(b as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamDisk;
+
+    fn worm() -> WormDisk<RamDisk> {
+        WormDisk::new(RamDisk::new(512, 16), 4)
+    }
+
+    #[test]
+    fn data_blocks_burn_once() {
+        let d = worm();
+        d.write_blocks(8, &[1u8; 512]).unwrap();
+        assert_eq!(
+            d.write_blocks(8, &[2u8; 512]),
+            Err(DiskError::WriteOnceViolation { block: 8 })
+        );
+        // The original bytes survive.
+        let mut buf = [0u8; 512];
+        d.read_blocks(8, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 512]);
+        assert_eq!(d.burned_blocks(), 1);
+    }
+
+    #[test]
+    fn exempt_region_is_rewritable() {
+        let d = worm();
+        for _ in 0..5 {
+            d.write_blocks(0, &[7u8; 512]).unwrap();
+            d.write_blocks(3, &[8u8; 512]).unwrap();
+        }
+        assert_eq!(d.burned_blocks(), 0, "exempt writes are not burns");
+    }
+
+    #[test]
+    fn multi_block_write_rejected_if_any_block_burned() {
+        let d = worm();
+        d.write_blocks(9, &[1u8; 512]).unwrap();
+        // [8,10) overlaps the burned block 9: the whole write must fail
+        // without burning block 8.
+        assert!(matches!(
+            d.write_blocks(8, &[2u8; 1024]),
+            Err(DiskError::WriteOnceViolation { block: 9 })
+        ));
+        d.write_blocks(8, &[3u8; 512]).unwrap();
+    }
+
+    #[test]
+    fn reads_always_work() {
+        let d = worm();
+        d.write_blocks(8, &[1u8; 512]).unwrap();
+        let mut buf = [0u8; 512 * 2];
+        d.read_blocks(8, &mut buf).unwrap();
+        d.read_blocks(8, &mut buf).unwrap();
+    }
+}

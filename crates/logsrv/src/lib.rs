@@ -1,0 +1,729 @@
+//! The log server — the paper's companion service for append workloads.
+//!
+//! "For most applications this model works well, but there are some
+//! applications where different solutions will have to be found.  Each
+//! append to a log file, for example, would require the whole file to be
+//! copied. … For log files we have implemented a separate server." (§2)
+//!
+//! A log is a chain of immutable Bullet *segments* plus an open in-RAM
+//! tail.  Appends go to the tail in O(append) time; when the tail reaches
+//! the segment threshold (or on an explicit checkpoint) it is sealed into
+//! a fresh Bullet file.  Reading concatenates the segments and the tail.
+//! Old segments can be merged ([`LogServer::compact_segments`]) or
+//! dropped from the front ([`LogServer::truncate_prefix`]) — both produce
+//! new immutable files rather than updating anything in place, so the log
+//! server stays true to the Bullet storage model while sparing clients
+//! the whole-file copy per append.
+//!
+//! The ablation benchmark `ablation_logserver` contrasts this against the
+//! naive approach (`BULLET.APPEND`, which derives a whole new file per
+//! append): linear versus quadratic total cost in the log length.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use amoeba_log::LogServer;
+//! use bullet_core::{BulletConfig, BulletServer};
+//!
+//! let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2)?);
+//! let logs = LogServer::bootstrap(bullet)?;
+//! let log = logs.create_log()?;
+//! logs.append(&log, b"entry 1\n")?;
+//! logs.append(&log, b"entry 2\n")?;
+//! assert_eq!(&logs.read_all(&log)?[..], b"entry 1\nentry 2\n");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use amoeba_cap::{Capability, CheckScheme, MacScheme, ObjNum, Port, Rights, CAP_WIRE_LEN};
+use amoeba_rpc::Status;
+use amoeba_sim::{DetRng, Stats};
+use bullet_core::{BulletError, BulletServer};
+
+/// Errors produced by the log server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogError {
+    /// The log capability failed verification.
+    CapBad,
+    /// The capability lacks the rights for this operation.
+    Denied,
+    /// No such log.
+    NotFound,
+    /// A read offset lies beyond the end of the log.
+    BadRange,
+    /// The underlying Bullet server failed.
+    Bullet(BulletError),
+    /// Stored log state failed to parse.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::CapBad => write!(f, "log capability failed verification"),
+            LogError::Denied => write!(f, "capability lacks the required rights"),
+            LogError::NotFound => write!(f, "no such log"),
+            LogError::BadRange => write!(f, "offset beyond the end of the log"),
+            LogError::Bullet(e) => write!(f, "bullet server failure: {e}"),
+            LogError::Corrupt(msg) => write!(f, "stored log state corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<BulletError> for LogError {
+    fn from(e: BulletError) -> Self {
+        LogError::Bullet(e)
+    }
+}
+
+impl From<LogError> for Status {
+    fn from(e: LogError) -> Status {
+        match e {
+            LogError::CapBad => Status::CapBad,
+            LogError::Denied => Status::Denied,
+            LogError::NotFound => Status::NotFound,
+            LogError::BadRange => Status::BadParam,
+            LogError::Bullet(b) => b.into(),
+            LogError::Corrupt(_) => Status::SysErr,
+        }
+    }
+}
+
+/// One log object.
+#[derive(Debug, Clone)]
+struct LogRecord {
+    random: u64,
+    /// Sealed immutable segments, in order; each is `(capability, bytes)`.
+    segments: Vec<(Capability, u32)>,
+    /// Bytes logically discarded from the front by `truncate_prefix`
+    /// (reads are addressed in *logical* offsets that never shrink).
+    base_offset: u64,
+    /// The open tail, not yet sealed (volatile until checkpoint).
+    tail: Vec<u8>,
+}
+
+impl LogRecord {
+    fn sealed_len(&self) -> u64 {
+        self.segments.iter().map(|&(_, n)| n as u64).sum()
+    }
+
+    fn end_offset(&self) -> u64 {
+        self.base_offset + self.sealed_len() + self.tail.len() as u64
+    }
+}
+
+struct LogState {
+    logs: HashMap<u32, LogRecord>,
+    next_obj: u32,
+    rng: DetRng,
+    superfile: Capability,
+}
+
+/// The log server.
+pub struct LogServer {
+    port: Port,
+    bullet: Arc<BulletServer>,
+    scheme: MacScheme,
+    /// Tail bytes before a segment is sealed automatically.
+    segment_threshold: usize,
+    state: Mutex<LogState>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for LogServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogServer")
+            .field("port", &self.port)
+            .field("logs", &self.state.lock().logs.len())
+            .finish()
+    }
+}
+
+impl LogServer {
+    /// Default service port.
+    pub fn default_port() -> Port {
+        Port::from_u64(0x10f5)
+    }
+
+    /// Default segment threshold: 64 KB.
+    pub const DEFAULT_SEGMENT: usize = 64 * 1024;
+
+    /// Creates a log service on `bullet` with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures while writing the initial superfile.
+    pub fn bootstrap(bullet: Arc<BulletServer>) -> Result<LogServer, LogError> {
+        LogServer::bootstrap_with(bullet, Self::default_port(), 0x106, Self::DEFAULT_SEGMENT)
+    }
+
+    /// [`bootstrap`](Self::bootstrap) with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures; `segment_threshold` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_threshold` is zero.
+    pub fn bootstrap_with(
+        bullet: Arc<BulletServer>,
+        port: Port,
+        seed: u64,
+        segment_threshold: usize,
+    ) -> Result<LogServer, LogError> {
+        assert!(segment_threshold > 0, "segment threshold must be positive");
+        let server = LogServer {
+            port,
+            bullet,
+            scheme: MacScheme::from_seed(seed ^ 0x106f11e),
+            segment_threshold,
+            state: Mutex::new(LogState {
+                logs: HashMap::new(),
+                next_obj: 1,
+                rng: DetRng::new(seed),
+                superfile: Capability::null(),
+            }),
+            stats: Stats::new(),
+        };
+        {
+            let mut st = server.state.lock();
+            server.save_superfile(&mut st)?;
+        }
+        Ok(server)
+    }
+
+    /// Recovers the log service from its superfile capability (as stored
+    /// by the caller from [`superfile_cap`](Self::superfile_cap)).  Open
+    /// tails are volatile and therefore lost — exactly the durability
+    /// contract of a log with deferred checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures; [`LogError::Corrupt`] if the superfile is damaged.
+    pub fn recover(
+        bullet: Arc<BulletServer>,
+        port: Port,
+        seed: u64,
+        segment_threshold: usize,
+        superfile: Capability,
+    ) -> Result<LogServer, LogError> {
+        let image = bullet.read(&superfile)?;
+        let (next_obj, logs) = decode_superfile(image)?;
+        Ok(LogServer {
+            port,
+            bullet,
+            scheme: MacScheme::from_seed(seed ^ 0x106f11e),
+            segment_threshold,
+            state: Mutex::new(LogState {
+                logs,
+                next_obj,
+                rng: DetRng::new(seed ^ 0xfeed),
+                superfile,
+            }),
+            stats: Stats::new(),
+        })
+    }
+
+    /// The current superfile capability (persist this to recover).
+    pub fn superfile_cap(&self) -> Capability {
+        self.state.lock().superfile
+    }
+
+    /// The service port.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Counters: `log_appends`, `log_seals`, `log_reads`, `log_compactions`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Creates a new empty log and returns its owner capability.
+    ///
+    /// # Errors
+    ///
+    /// Bullet failures persisting the catalogue.
+    pub fn create_log(&self) -> Result<Capability, LogError> {
+        let mut st = self.state.lock();
+        let random = amoeba_cap::mask48(st.rng.next_u64()) | 1;
+        let obj = st.next_obj;
+        st.next_obj += 1;
+        st.logs.insert(
+            obj,
+            LogRecord {
+                random,
+                segments: Vec::new(),
+                base_offset: 0,
+                tail: Vec::new(),
+            },
+        );
+        self.save_superfile(&mut st)?;
+        Ok(self.scheme.mint(
+            self.port,
+            ObjNum::new(obj).expect("sequential"),
+            Rights::ALL,
+            random,
+        ))
+    }
+
+    /// Appends `data` to the log — O(len(data)), no whole-file copy.  The
+    /// bytes are volatile until the segment threshold seals them or
+    /// [`checkpoint`](Self::checkpoint) is called.
+    ///
+    /// # Errors
+    ///
+    /// Capability failures; Bullet failures when a seal triggers.
+    pub fn append(&self, log: &Capability, data: &[u8]) -> Result<(), LogError> {
+        let mut st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::CREATE)?;
+        let threshold = self.segment_threshold;
+        let rec = st.logs.get_mut(&obj).expect("verified");
+        rec.tail.extend_from_slice(data);
+        self.stats.incr("log_appends");
+        while st.logs[&obj].tail.len() >= threshold {
+            self.seal_one(&mut st, obj)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the open tail into an immutable segment and persists the
+    /// catalogue, making everything appended so far durable.
+    ///
+    /// # Errors
+    ///
+    /// Capability or Bullet failures.
+    pub fn checkpoint(&self, log: &Capability) -> Result<(), LogError> {
+        let mut st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::CREATE)?;
+        if !st.logs[&obj].tail.is_empty() {
+            self.seal_one(&mut st, obj)?;
+        } else {
+            self.save_superfile(&mut st)?;
+        }
+        Ok(())
+    }
+
+    /// Total logical length of the log in bytes (monotone; unaffected by
+    /// prefix truncation).
+    ///
+    /// # Errors
+    ///
+    /// Capability failures.
+    pub fn len(&self, log: &Capability) -> Result<u64, LogError> {
+        let st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::READ)?;
+        Ok(st.logs[&obj].end_offset())
+    }
+
+    /// Reads the whole retained log (from the truncation point to the
+    /// end, including the open tail).
+    ///
+    /// # Errors
+    ///
+    /// Capability or Bullet failures.
+    pub fn read_all(&self, log: &Capability) -> Result<Bytes, LogError> {
+        let st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::READ)?;
+        let rec = st.logs[&obj].clone();
+        drop(st);
+        self.stats.incr("log_reads");
+        let mut out = BytesMut::with_capacity((rec.sealed_len() + rec.tail.len() as u64) as usize);
+        for (seg, _) in &rec.segments {
+            out.put_slice(&self.bullet.read(seg)?);
+        }
+        out.put_slice(&rec.tail);
+        Ok(out.freeze())
+    }
+
+    /// Reads from logical offset `from` to the end.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::BadRange`] if `from` is beyond the end or before the
+    /// truncation point; capability or Bullet failures.
+    pub fn read_from(&self, log: &Capability, from: u64) -> Result<Bytes, LogError> {
+        let st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::READ)?;
+        let rec = st.logs[&obj].clone();
+        drop(st);
+        if from < rec.base_offset || from > rec.end_offset() {
+            return Err(LogError::BadRange);
+        }
+        let mut skip = from - rec.base_offset;
+        let mut out = BytesMut::new();
+        for (seg, n) in &rec.segments {
+            let n = *n as u64;
+            if skip >= n {
+                skip -= n;
+                continue;
+            }
+            let data = self.bullet.read(seg)?;
+            out.put_slice(&data[skip as usize..]);
+            skip = 0;
+        }
+        out.put_slice(&rec.tail[skip as usize..]);
+        self.stats.incr("log_reads");
+        Ok(out.freeze())
+    }
+
+    /// Merges all sealed segments into one Bullet file (fewer, larger
+    /// contiguous reads), retiring the old segments.  Returns the number
+    /// of segments merged.
+    ///
+    /// # Errors
+    ///
+    /// Capability or Bullet failures.
+    pub fn compact_segments(&self, log: &Capability) -> Result<usize, LogError> {
+        let st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::MODIFY)?;
+        let rec = st.logs[&obj].clone();
+        drop(st);
+        if rec.segments.len() <= 1 {
+            return Ok(0);
+        }
+        let mut merged = BytesMut::with_capacity(rec.sealed_len() as usize);
+        for (seg, _) in &rec.segments {
+            merged.put_slice(&self.bullet.read(seg)?);
+        }
+        let big = self.bullet.create(merged.freeze(), 1)?;
+        let mut st = self.state.lock();
+        let merged_count = {
+            let rec_now = st.logs.get_mut(&obj).ok_or(LogError::NotFound)?;
+            // Appends may have sealed more segments meanwhile; replace only
+            // the prefix we merged.
+            let n = rec.segments.len();
+            let tail_segments = rec_now.segments.split_off(n);
+            let old = std::mem::take(&mut rec_now.segments);
+            rec_now.segments.push((big, rec.sealed_len() as u32));
+            rec_now.segments.extend(tail_segments);
+            old
+        };
+        self.save_superfile(&mut st)?;
+        drop(st);
+        for (seg, _) in &merged_count {
+            self.bullet.delete(seg)?;
+        }
+        self.stats.incr("log_compactions");
+        Ok(merged_count.len())
+    }
+
+    /// Drops whole sealed segments that lie entirely before logical offset
+    /// `before` (log-rotation).  Returns the bytes reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Capability or Bullet failures.
+    pub fn truncate_prefix(&self, log: &Capability, before: u64) -> Result<u64, LogError> {
+        let mut st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::MODIFY)?;
+        let rec = st.logs.get_mut(&obj).expect("verified");
+        let mut reclaimed = 0u64;
+        let mut dropped = Vec::new();
+        while let Some(&(seg, n)) = rec.segments.first() {
+            if rec.base_offset + n as u64 > before {
+                break;
+            }
+            rec.segments.remove(0);
+            rec.base_offset += n as u64;
+            reclaimed += n as u64;
+            dropped.push(seg);
+        }
+        if !dropped.is_empty() {
+            self.save_superfile(&mut st)?;
+        }
+        drop(st);
+        for seg in dropped {
+            self.bullet.delete(&seg)?;
+        }
+        Ok(reclaimed)
+    }
+
+    /// Deletes a log and all its segments.
+    ///
+    /// # Errors
+    ///
+    /// Capability or Bullet failures.
+    pub fn delete_log(&self, log: &Capability) -> Result<(), LogError> {
+        let mut st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::DESTROY)?;
+        let rec = st.logs.remove(&obj).expect("verified");
+        self.save_superfile(&mut st)?;
+        drop(st);
+        for (seg, _) in rec.segments {
+            self.bullet.delete(&seg)?;
+        }
+        Ok(())
+    }
+
+    /// Number of sealed segments (for tests and the ablation bench).
+    ///
+    /// # Errors
+    ///
+    /// Capability failures.
+    pub fn segment_count(&self, log: &Capability) -> Result<usize, LogError> {
+        let st = self.state.lock();
+        let obj = self.verify(&st, log, Rights::READ)?;
+        Ok(st.logs[&obj].segments.len())
+    }
+
+    fn verify(&self, st: &LogState, cap: &Capability, needed: Rights) -> Result<u32, LogError> {
+        if cap.port != self.port {
+            return Err(LogError::CapBad);
+        }
+        let obj = cap.object.value();
+        let rec = st.logs.get(&obj).ok_or(LogError::NotFound)?;
+        self.scheme
+            .check_rights(cap, rec.random, needed)
+            .map_err(|e| match e {
+                amoeba_cap::CapError::InsufficientRights => LogError::Denied,
+                _ => LogError::CapBad,
+            })?;
+        Ok(obj)
+    }
+
+    /// Seals up to `segment_threshold` bytes of the tail into a segment.
+    fn seal_one(&self, st: &mut LogState, obj: u32) -> Result<(), LogError> {
+        let threshold = self.segment_threshold;
+        let rec = st.logs.get_mut(&obj).expect("caller verified");
+        let n = rec.tail.len().min(threshold);
+        let chunk: Vec<u8> = rec.tail.drain(..n).collect();
+        let seg = self.bullet.create(Bytes::from(chunk), 1)?;
+        st.logs
+            .get_mut(&obj)
+            .expect("still there")
+            .segments
+            .push((seg, n as u32));
+        self.save_superfile(st)?;
+        self.stats.incr("log_seals");
+        Ok(())
+    }
+
+    fn save_superfile(&self, st: &mut LogState) -> Result<(), LogError> {
+        let image = encode_superfile(st);
+        let new = self.bullet.create(image, 1)?;
+        let old = st.superfile;
+        st.superfile = new;
+        if !old.is_null() {
+            self.bullet.delete(&old)?;
+        }
+        Ok(())
+    }
+}
+
+fn encode_superfile(st: &LogState) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32(st.next_obj);
+    buf.put_u32(st.logs.len() as u32);
+    let mut objs: Vec<u32> = st.logs.keys().copied().collect();
+    objs.sort_unstable();
+    for obj in objs {
+        let rec = &st.logs[&obj];
+        buf.put_u32(obj);
+        buf.put_u64(rec.random);
+        buf.put_u64(rec.base_offset);
+        buf.put_u32(rec.segments.len() as u32);
+        for (seg, n) in &rec.segments {
+            buf.put_slice(&seg.to_wire());
+            buf.put_u32(*n);
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_superfile(mut buf: Bytes) -> Result<(u32, HashMap<u32, LogRecord>), LogError> {
+    let corrupt = |what: &str| LogError::Corrupt(format!("superfile truncated at {what}"));
+    if buf.len() < 8 {
+        return Err(corrupt("header"));
+    }
+    let next_obj = buf.get_u32();
+    let n = buf.get_u32() as usize;
+    let mut logs = HashMap::with_capacity(n);
+    for _ in 0..n {
+        if buf.len() < 4 + 8 + 8 + 4 {
+            return Err(corrupt("record"));
+        }
+        let obj = buf.get_u32();
+        let random = buf.get_u64();
+        let base_offset = buf.get_u64();
+        let nsegs = buf.get_u32() as usize;
+        let mut segments = Vec::with_capacity(nsegs);
+        for _ in 0..nsegs {
+            if buf.len() < CAP_WIRE_LEN + 4 {
+                return Err(corrupt("segment"));
+            }
+            let raw = buf.split_to(CAP_WIRE_LEN);
+            let cap = Capability::from_wire(&raw)
+                .map_err(|e| LogError::Corrupt(format!("segment capability: {e}")))?;
+            segments.push((cap, buf.get_u32()));
+        }
+        logs.insert(
+            obj,
+            LogRecord {
+                random,
+                segments,
+                base_offset,
+                tail: Vec::new(),
+            },
+        );
+    }
+    Ok((next_obj, logs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_core::BulletConfig;
+
+    fn stack(threshold: usize) -> (Arc<BulletServer>, LogServer) {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let logs =
+            LogServer::bootstrap_with(bullet.clone(), LogServer::default_port(), 7, threshold)
+                .unwrap();
+        (bullet, logs)
+    }
+
+    #[test]
+    fn append_and_read_across_segments() {
+        let (_bullet, logs) = stack(10);
+        let log = logs.create_log().unwrap();
+        for i in 0..10u8 {
+            logs.append(&log, &[b'a' + i; 4]).unwrap();
+        }
+        // 40 bytes with 10-byte segments → 4 sealed + empty tail.
+        assert_eq!(logs.segment_count(&log).unwrap(), 4);
+        let all = logs.read_all(&log).unwrap();
+        assert_eq!(all.len(), 40);
+        assert_eq!(&all[0..4], b"aaaa");
+        assert_eq!(&all[36..40], b"jjjj");
+        assert_eq!(logs.len(&log).unwrap(), 40);
+    }
+
+    #[test]
+    fn read_from_offsets() {
+        let (_bullet, logs) = stack(8);
+        let log = logs.create_log().unwrap();
+        logs.append(&log, b"0123456789abcdef").unwrap(); // two segments
+        logs.append(&log, b"TAIL").unwrap(); // open tail
+        assert_eq!(
+            &logs.read_from(&log, 0).unwrap()[..],
+            b"0123456789abcdefTAIL"
+        );
+        assert_eq!(&logs.read_from(&log, 10).unwrap()[..], b"abcdefTAIL");
+        assert_eq!(&logs.read_from(&log, 16).unwrap()[..], b"TAIL");
+        assert_eq!(&logs.read_from(&log, 20).unwrap()[..], b"");
+        assert_eq!(logs.read_from(&log, 21).unwrap_err(), LogError::BadRange);
+    }
+
+    #[test]
+    fn append_does_not_copy_the_log() {
+        // The whole point: appending to a long log costs O(append), i.e.
+        // the bullet server sees segment-sized creates, never a create of
+        // the whole log.
+        let (bullet, logs) = stack(1024);
+        let log = logs.create_log().unwrap();
+        for _ in 0..64 {
+            logs.append(&log, &[7u8; 1024]).unwrap();
+        }
+        // 64 KB of log; the largest single bullet file created must be
+        // one segment (1 KB) or the superfile, never 64 KB.
+        let biggest = bullet
+            .list_live_caps()
+            .iter()
+            .map(|c| bullet.size(c).unwrap())
+            .max()
+            .unwrap();
+        assert!(biggest <= 4096, "largest bullet object {biggest} bytes");
+    }
+
+    #[test]
+    fn checkpoint_makes_tail_durable() {
+        let (bullet, logs) = stack(1 << 20);
+        let log = logs.create_log().unwrap();
+        logs.append(&log, b"precious").unwrap();
+        assert_eq!(logs.segment_count(&log).unwrap(), 0);
+        logs.checkpoint(&log).unwrap();
+        assert_eq!(logs.segment_count(&log).unwrap(), 1);
+
+        // Recover from the superfile: sealed data survives.
+        let superfile = logs.superfile_cap();
+        drop(logs);
+        let revived =
+            LogServer::recover(bullet, LogServer::default_port(), 7, 1 << 20, superfile).unwrap();
+        assert_eq!(&revived.read_all(&log).unwrap()[..], b"precious");
+    }
+
+    #[test]
+    fn unsealed_tail_is_lost_on_recovery() {
+        let (bullet, logs) = stack(1 << 20);
+        let log = logs.create_log().unwrap();
+        logs.append(&log, b"durable").unwrap();
+        logs.checkpoint(&log).unwrap();
+        logs.append(&log, b" volatile").unwrap(); // never sealed
+        let superfile = logs.superfile_cap();
+        drop(logs);
+        let revived =
+            LogServer::recover(bullet, LogServer::default_port(), 7, 1 << 20, superfile).unwrap();
+        assert_eq!(&revived.read_all(&log).unwrap()[..], b"durable");
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_preserves_content() {
+        let (bullet, logs) = stack(4);
+        let log = logs.create_log().unwrap();
+        logs.append(&log, b"aaaabbbbccccdddd").unwrap();
+        assert_eq!(logs.segment_count(&log).unwrap(), 4);
+        let live_before = bullet.list_live_caps().len();
+        assert_eq!(logs.compact_segments(&log).unwrap(), 4);
+        assert_eq!(logs.segment_count(&log).unwrap(), 1);
+        assert!(bullet.list_live_caps().len() < live_before);
+        assert_eq!(&logs.read_all(&log).unwrap()[..], b"aaaabbbbccccdddd");
+        // Idempotent on a single segment.
+        assert_eq!(logs.compact_segments(&log).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncate_prefix_rotates_the_log() {
+        let (_bullet, logs) = stack(4);
+        let log = logs.create_log().unwrap();
+        logs.append(&log, b"aaaabbbbccccdddd").unwrap();
+        // Drop everything before logical offset 9: segments [0,4) and
+        // [4,8) go; [8,12) stays because it straddles... (9 < 8+4).
+        let reclaimed = logs.truncate_prefix(&log, 9).unwrap();
+        assert_eq!(reclaimed, 8);
+        assert_eq!(&logs.read_all(&log).unwrap()[..], b"ccccdddd");
+        // Logical offsets keep working.
+        assert_eq!(&logs.read_from(&log, 12).unwrap()[..], b"dddd");
+        assert_eq!(logs.read_from(&log, 7).unwrap_err(), LogError::BadRange);
+        assert_eq!(logs.len(&log).unwrap(), 16);
+    }
+
+    #[test]
+    fn rights_and_deletion() {
+        let (bullet, logs) = stack(16);
+        let log = logs.create_log().unwrap();
+        logs.append(&log, b"0123456789abcdefgh").unwrap();
+
+        let mut forged = log;
+        forged.check ^= 1;
+        assert_eq!(logs.append(&forged, b"x").unwrap_err(), LogError::CapBad);
+
+        let live_before = bullet.list_live_caps().len();
+        logs.delete_log(&log).unwrap();
+        assert_eq!(logs.read_all(&log).unwrap_err(), LogError::NotFound);
+        assert!(bullet.list_live_caps().len() < live_before);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: a log must behave like an append-only byte vector
+//! under any interleaving of appends, checkpoints, compactions, and
+//! prefix truncations.
+
+use std::sync::Arc;
+
+use amoeba_log::LogServer;
+use bullet_core::{BulletConfig, BulletServer};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append(Vec<u8>),
+    Checkpoint,
+    Compact,
+    /// Truncate before this fraction (in 1/8ths) of the current length.
+    Truncate(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => proptest::collection::vec(any::<u8>(), 1..200).prop_map(Op::Append),
+        2 => Just(Op::Checkpoint),
+        1 => Just(Op::Compact),
+        1 => (0u8..=8).prop_map(Op::Truncate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn log_behaves_like_an_append_only_vector(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        threshold in 16usize..256,
+    ) {
+        let mut cfg = BulletConfig::small_test();
+        cfg.disk_blocks = 8192;
+        cfg.cache_capacity = 2 << 20;
+        let bullet = Arc::new(BulletServer::format(cfg, 2).unwrap());
+        let logs = LogServer::bootstrap_with(bullet, LogServer::default_port(), 5, threshold)
+            .unwrap();
+        let log = logs.create_log().unwrap();
+
+        let mut model: Vec<u8> = Vec::new(); // the full logical log
+        let mut base: u64 = 0; // first retained logical offset
+
+        for op in ops {
+            match op {
+                Op::Append(data) => {
+                    logs.append(&log, &data).unwrap();
+                    model.extend_from_slice(&data);
+                }
+                Op::Checkpoint => logs.checkpoint(&log).unwrap(),
+                Op::Compact => {
+                    logs.compact_segments(&log).unwrap();
+                }
+                Op::Truncate(eighths) => {
+                    let before = base + (model.len() as u64 - base) * eighths as u64 / 8;
+                    let reclaimed = logs.truncate_prefix(&log, before).unwrap();
+                    base += reclaimed;
+                    prop_assert!(base <= before.max(base));
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(logs.len(&log).unwrap(), model.len() as u64);
+            let retained = logs.read_all(&log).unwrap();
+            prop_assert_eq!(&retained[..], &model[base as usize..]);
+        }
+
+        // Random-access reads agree with the model for valid offsets.
+        let len = model.len() as u64;
+        for offset in [base, base + (len - base) / 2, len] {
+            let got = logs.read_from(&log, offset).unwrap();
+            prop_assert_eq!(&got[..], &model[offset as usize..]);
+        }
+        if base > 0 {
+            prop_assert!(logs.read_from(&log, base - 1).is_err());
+        }
+    }
+}

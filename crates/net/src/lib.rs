@@ -1,0 +1,236 @@
+//! Simulated network for the Bullet reproduction.
+//!
+//! The paper measured over "a normally loaded Ethernet" at 10 Mbit/s.  This
+//! crate models that wire: every message charged to the shared
+//! [`SimEthernet`] costs a fixed per-message term, a per-packet term for
+//! each 1480-byte Ethernet frame, and a per-byte wire term, all taken from
+//! the calibrated [`amoeba_sim::NetProfile`].  A load factor scales the
+//! whole cost to model competing traffic.
+//!
+//! Two usage styles:
+//!
+//! * **Synchronous simulation** (the figure benchmarks): components call
+//!   [`SimEthernet::send`] inline; the simulated clock advances and the
+//!   "delivery" is the function returning.  Deterministic.
+//! * **Threaded channels** (concurrency tests): [`duplex`] builds a pair of
+//!   [`Chan`] endpoints over crossbeam channels whose sends charge the same
+//!   Ethernet, so multi-threaded runs still account simulated time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvError, SendError, Sender};
+
+use amoeba_sim::{Nanos, NetProfile, SimClock, Stats};
+
+/// The shared 10 Mbit/s Ethernet segment.
+///
+/// Cloning shares the same wire (and therefore the same clock and
+/// statistics).
+///
+/// # Example
+///
+/// ```
+/// use amoeba_net::SimEthernet;
+/// use amoeba_sim::{NetProfile, SimClock};
+///
+/// let clock = SimClock::new();
+/// let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+/// net.send(1024); // one 1 KB message, one way
+/// assert!(clock.now().as_us() > 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimEthernet {
+    clock: SimClock,
+    profile: NetProfile,
+    load_factor: f64,
+    stats: Stats,
+}
+
+impl SimEthernet {
+    /// A quiet Ethernet (load factor 1.0).
+    pub fn new(clock: SimClock, profile: NetProfile) -> SimEthernet {
+        SimEthernet::with_load(clock, profile, 1.0)
+    }
+
+    /// An Ethernet whose transmissions take `load_factor` times the quiet
+    /// cost; the paper's "normally loaded" segment is ≈ 1.1–1.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_factor < 1.0`.
+    pub fn with_load(clock: SimClock, profile: NetProfile, load_factor: f64) -> SimEthernet {
+        assert!(load_factor >= 1.0, "load factor must be >= 1.0");
+        SimEthernet {
+            clock,
+            profile,
+            load_factor,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Transmits one message of `bytes` payload one way, charging the
+    /// simulated clock.  Returns the simulated transmission time.
+    pub fn send(&self, bytes: u64) -> Nanos {
+        let base = self.profile.one_way(bytes);
+        let t = Nanos::from_ns((base.as_ns() as f64 * self.load_factor) as u64);
+        self.clock.advance(t);
+        self.stats.incr("net_messages");
+        self.stats.add("net_bytes", bytes);
+        self.stats.add("net_packets", self.profile.packets(bytes));
+        t
+    }
+
+    /// The wire's cost profile.
+    pub fn profile(&self) -> &NetProfile {
+        &self.profile
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Wire statistics: `net_messages`, `net_bytes`, `net_packets`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// One endpoint of a bidirectional, Ethernet-charged message channel.
+#[derive(Debug, Clone)]
+pub struct Chan {
+    net: SimEthernet,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+impl Chan {
+    /// Sends a message to the peer, charging the Ethernet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if the peer has hung up.
+    pub fn send(&self, msg: Bytes) -> Result<(), SendError<Bytes>> {
+        self.net.send(msg.len() as u64);
+        self.tx.send(msg)
+    }
+
+    /// Receives the next message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the peer has hung up and the queue is drained.
+    pub fn recv(&self) -> Result<Bytes, RecvError> {
+        self.rx.recv()
+    }
+
+    /// Receives without blocking; `None` if no message is waiting.
+    pub fn try_recv(&self) -> Option<Bytes> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Builds a connected pair of channel endpoints over `net`.
+pub fn duplex(net: &SimEthernet) -> (Chan, Chan) {
+    let (atx, brx) = unbounded();
+    let (btx, arx) = unbounded();
+    (
+        Chan {
+            net: net.clone(),
+            tx: atx,
+            rx: arx,
+        },
+        Chan {
+            net: net.clone(),
+            tx: btx,
+            rx: brx,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (SimClock, SimEthernet) {
+        let clock = SimClock::new();
+        let n = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        (clock, n)
+    }
+
+    #[test]
+    fn send_charges_clock_and_counts() {
+        let (clock, n) = net();
+        let t = n.send(1480);
+        assert_eq!(clock.now(), t);
+        assert_eq!(n.stats().get("net_messages"), 1);
+        assert_eq!(n.stats().get("net_bytes"), 1480);
+        assert_eq!(n.stats().get("net_packets"), 1);
+    }
+
+    #[test]
+    fn larger_messages_cost_more() {
+        let (_c, n) = net();
+        assert!(n.send(100_000) > n.send(100));
+    }
+
+    #[test]
+    fn load_factor_scales_cost() {
+        let clock = SimClock::new();
+        let quiet = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        let busy = SimEthernet::with_load(clock, NetProfile::ethernet_10mbit(), 2.0);
+        let a = quiet.send(10_000);
+        let b = busy.send(10_000);
+        assert_eq!(b.as_ns(), a.as_ns() * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor")]
+    fn sub_unity_load_rejected() {
+        SimEthernet::with_load(SimClock::new(), NetProfile::ethernet_10mbit(), 0.5);
+    }
+
+    #[test]
+    fn clones_share_wire() {
+        let (_c, n) = net();
+        let m = n.clone();
+        m.send(10);
+        assert_eq!(n.stats().get("net_messages"), 1);
+    }
+
+    #[test]
+    fn duplex_delivers_and_charges() {
+        let (clock, n) = net();
+        let (a, b) = duplex(&n);
+        a.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"ping"));
+        b.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(a.recv().unwrap(), Bytes::from_static(b"pong"));
+        assert_eq!(n.stats().get("net_messages"), 2);
+        assert!(clock.now().as_ns() > 0);
+    }
+
+    #[test]
+    fn duplex_across_threads() {
+        let (_c, n) = net();
+        let (a, b) = duplex(&n);
+        let t = std::thread::spawn(move || {
+            let req = b.recv().unwrap();
+            b.send(Bytes::from(vec![req.len() as u8])).unwrap();
+        });
+        a.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(a.recv().unwrap()[0], 5);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (_c, n) = net();
+        let (a, b) = duplex(&n);
+        assert!(b.try_recv().is_none());
+        a.send(Bytes::from_static(b"x")).unwrap();
+        assert!(b.try_recv().is_some());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the simulated Ethernet: cost accounting must be
+//! monotone, additive, and deterministic; channels must preserve order.
+
+use amoeba_net::{duplex, SimEthernet};
+use amoeba_sim::{NetProfile, SimClock};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn wire() -> (SimClock, SimEthernet) {
+    let clock = SimClock::new();
+    let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+    (clock, net)
+}
+
+proptest! {
+    #[test]
+    fn send_cost_is_monotone_in_size(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (small, large) = (a.min(b), a.max(b));
+        let (_c, net) = wire();
+        let t_small = net.send(small);
+        let t_large = net.send(large);
+        prop_assert!(t_small <= t_large, "{small}B cost {t_small}, {large}B cost {t_large}");
+    }
+
+    #[test]
+    fn clock_advances_by_exactly_the_sum(sizes in proptest::collection::vec(0u64..100_000, 1..20)) {
+        let (clock, net) = wire();
+        let mut expected = amoeba_sim::Nanos::ZERO;
+        for &size in &sizes {
+            expected += net.send(size);
+        }
+        prop_assert_eq!(clock.now(), expected);
+        prop_assert_eq!(net.stats().get("net_messages"), sizes.len() as u64);
+        prop_assert_eq!(net.stats().get("net_bytes"), sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn load_factor_scales_proportionally(size in 1u64..500_000, load in 1u32..=4) {
+        let quiet = {
+            let (_c, net) = wire();
+            net.send(size)
+        };
+        let busy = {
+            let clock = SimClock::new();
+            let net = SimEthernet::with_load(clock, NetProfile::ethernet_10mbit(), load as f64);
+            net.send(size)
+        };
+        prop_assert_eq!(busy.as_ns(), quiet.as_ns() * load as u64);
+    }
+
+    #[test]
+    fn packet_accounting_matches_mtu_math(size in 0u64..2_000_000) {
+        let profile = NetProfile::ethernet_10mbit();
+        let expected = if size == 0 { 1 } else { size.div_ceil(profile.mtu_payload as u64) };
+        prop_assert_eq!(profile.packets(size), expected);
+    }
+
+    #[test]
+    fn duplex_preserves_message_order(msgs in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..100), 1..20)) {
+        let (_c, net) = wire();
+        let (a, b) = duplex(&net);
+        for msg in &msgs {
+            a.send(Bytes::from(msg.clone())).unwrap();
+        }
+        for msg in &msgs {
+            prop_assert_eq!(&b.recv().unwrap()[..], &msg[..]);
+        }
+        prop_assert!(b.try_recv().is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! Client-side conveniences: a dispatcher handle and a threaded remote
+//! transport exercising the real wire codec.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use amoeba_cap::Capability;
+use amoeba_net::Chan;
+
+use crate::{Dispatcher, Reply, Request, RpcError, RpcServer, Status};
+
+/// A thin client handle over a [`Dispatcher`].
+#[derive(Debug, Clone)]
+pub struct RpcClient {
+    dispatcher: Arc<Dispatcher>,
+}
+
+impl RpcClient {
+    /// Creates a client on the given fabric.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> RpcClient {
+        RpcClient { dispatcher }
+    }
+
+    /// Performs a transaction, mapping transport failures and error
+    /// statuses both into [`Status`] (transport failure → `NotFound`,
+    /// matching how Amoeba clients see a crashed server).
+    ///
+    /// # Errors
+    ///
+    /// The reply's error status, or [`Status::NotFound`] if the server
+    /// cannot be located.
+    pub fn trans(
+        &self,
+        cap: Capability,
+        command: u32,
+        params: Bytes,
+        data: Bytes,
+    ) -> Result<Reply, Status> {
+        match self.dispatcher.trans(Request {
+            cap,
+            command,
+            params,
+            data,
+        }) {
+            Ok(reply) => reply.into_result(),
+            Err(RpcError::UnknownPort(_)) => Err(Status::NotFound),
+        }
+    }
+
+    /// The underlying fabric.
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// `STD_INFO`: one line about the addressed object.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn std_info(&self, cap: Capability) -> Result<String, Status> {
+        let reply = self.trans(
+            cap,
+            crate::wire::std_commands::INFO,
+            Bytes::new(),
+            Bytes::new(),
+        )?;
+        String::from_utf8(reply.data.to_vec()).map_err(|_| Status::BadParam)
+    }
+
+    /// `STD_STATUS`: the server's counters dump.
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn std_status(&self, cap: Capability) -> Result<String, Status> {
+        let reply = self.trans(
+            cap,
+            crate::wire::std_commands::STATUS,
+            Bytes::new(),
+            Bytes::new(),
+        )?;
+        String::from_utf8(reply.data.to_vec()).map_err(|_| Status::BadParam)
+    }
+}
+
+/// A client speaking the binary wire protocol over a channel to a server
+/// thread started with [`serve_chan`].
+#[derive(Debug)]
+pub struct RemoteClient {
+    chan: Chan,
+}
+
+impl RemoteClient {
+    /// Wraps one end of a duplex channel.
+    pub fn new(chan: Chan) -> RemoteClient {
+        RemoteClient { chan }
+    }
+
+    /// Performs a transaction over the wire.
+    ///
+    /// # Errors
+    ///
+    /// The reply's error status, [`Status::BadParam`] on a garbled reply,
+    /// or [`Status::NotFound`] if the server hung up.
+    pub fn trans(
+        &self,
+        cap: Capability,
+        command: u32,
+        params: Bytes,
+        data: Bytes,
+    ) -> Result<Reply, Status> {
+        let req = Request {
+            cap,
+            command,
+            params,
+            data,
+        };
+        self.chan.send(req.encode()).map_err(|_| Status::NotFound)?;
+        let raw = self.chan.recv().map_err(|_| Status::NotFound)?;
+        Reply::decode(raw)?.into_result()
+    }
+}
+
+/// Runs a server loop on the current thread: decode request, handle,
+/// encode reply — until the peer hangs up.  Spawn it on a thread to get a
+/// live remote server:
+///
+/// ```
+/// use std::sync::Arc;
+/// use amoeba_cap::{Capability, Port};
+/// use amoeba_net::{duplex, SimEthernet};
+/// use amoeba_rpc::{client::{serve_chan, RemoteClient}, Reply, Request, RpcServer};
+/// use amoeba_sim::{NetProfile, SimClock};
+/// use bytes::Bytes;
+///
+/// struct Nop(Port);
+/// impl RpcServer for Nop {
+///     fn port(&self) -> Port { self.0 }
+///     fn handle(&self, _req: Request) -> Reply { Reply::ok(Bytes::new(), Bytes::new()) }
+/// }
+///
+/// let net = SimEthernet::new(SimClock::new(), NetProfile::ethernet_10mbit());
+/// let (client_end, server_end) = duplex(&net);
+/// let server = Arc::new(Nop(Port::from_u64(1)));
+/// let t = std::thread::spawn(move || serve_chan(server_end, server));
+/// let client = RemoteClient::new(client_end);
+/// let mut cap = Capability::null();
+/// cap.port = Port::from_u64(1);
+/// assert!(client.trans(cap, 0, Bytes::new(), Bytes::new()).is_ok());
+/// drop(client); // hang up so the server loop ends
+/// t.join().unwrap();
+/// ```
+pub fn serve_chan(chan: Chan, server: Arc<dyn RpcServer>) {
+    while let Ok(raw) = chan.recv() {
+        let reply = match Request::decode(raw) {
+            Ok(req) => server.handle(req),
+            Err(status) => Reply::error(status),
+        };
+        if chan.send(reply.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::Port;
+    use amoeba_net::{duplex, SimEthernet};
+    use amoeba_sim::{NetProfile, SimClock};
+
+    struct Doubler(Port);
+
+    impl RpcServer for Doubler {
+        fn port(&self) -> Port {
+            self.0
+        }
+
+        fn handle(&self, req: Request) -> Reply {
+            if req.command != 1 {
+                return Reply::error(Status::ComBad);
+            }
+            let doubled: Vec<u8> = req.data.iter().flat_map(|&b| [b, b]).collect();
+            Reply::ok(Bytes::new(), Bytes::from(doubled))
+        }
+    }
+
+    fn net() -> SimEthernet {
+        SimEthernet::new(SimClock::new(), NetProfile::ethernet_10mbit())
+    }
+
+    fn cap_on(port: Port) -> Capability {
+        let mut cap = Capability::null();
+        cap.port = port;
+        cap
+    }
+
+    #[test]
+    fn rpc_client_maps_errors_to_status() {
+        let d = Dispatcher::new(net());
+        let port = Port::from_u64(5);
+        d.register(Arc::new(Doubler(port)));
+        let client = RpcClient::new(d);
+
+        let ok = client
+            .trans(cap_on(port), 1, Bytes::new(), Bytes::from_static(b"ab"))
+            .unwrap();
+        assert_eq!(ok.data, Bytes::from_static(b"aabb"));
+
+        assert_eq!(
+            client
+                .trans(cap_on(port), 99, Bytes::new(), Bytes::new())
+                .unwrap_err(),
+            Status::ComBad
+        );
+        assert_eq!(
+            client
+                .trans(cap_on(Port::from_u64(404)), 1, Bytes::new(), Bytes::new())
+                .unwrap_err(),
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn remote_client_over_threaded_channel() {
+        let n = net();
+        let (client_end, server_end) = duplex(&n);
+        let port = Port::from_u64(5);
+        let server: Arc<dyn RpcServer> = Arc::new(Doubler(port));
+        let t = std::thread::spawn(move || serve_chan(server_end, server));
+
+        let client = RemoteClient::new(client_end);
+        for _ in 0..10 {
+            let reply = client
+                .trans(cap_on(port), 1, Bytes::new(), Bytes::from_static(b"xyz"))
+                .unwrap();
+            assert_eq!(reply.data, Bytes::from_static(b"xxyyzz"));
+        }
+        assert_eq!(
+            client
+                .trans(cap_on(port), 0, Bytes::new(), Bytes::new())
+                .unwrap_err(),
+            Status::ComBad
+        );
+        drop(client);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn garbled_request_gets_badparam_not_hang() {
+        let n = net();
+        let (client_end, server_end) = duplex(&n);
+        let server: Arc<dyn RpcServer> = Arc::new(Doubler(Port::from_u64(1)));
+        let t = std::thread::spawn(move || serve_chan(server_end, server));
+        client_end.send(Bytes::from_static(&[1, 2, 3])).unwrap();
+        let reply = Reply::decode(client_end.recv().unwrap()).unwrap();
+        assert_eq!(reply.status, Status::BadParam);
+        drop(client_end);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! The server trait and the locate-and-transact dispatcher.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use amoeba_cap::Port;
+use amoeba_net::SimEthernet;
+use amoeba_sim::Nanos;
+
+use crate::{Reply, Request};
+
+/// An Amoeba object server: owns a port and handles requests addressed to
+/// it.
+pub trait RpcServer: Send + Sync {
+    /// The port this server listens on.
+    fn port(&self) -> Port;
+
+    /// Services one request.  Implementations charge their own CPU and
+    /// disk time to the shared simulated clock.
+    fn handle(&self, req: Request) -> Reply;
+}
+
+/// Errors at the RPC transport layer (server-side failures travel inside
+/// [`Reply::status`] instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RpcError {
+    /// No server is registered on the addressed port.
+    UnknownPort(Port),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::UnknownPort(p) => write!(f, "no server located at port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// The RPC fabric: servers register their ports; clients transact.
+///
+/// `trans` models one Amoeba transaction: the request travels one way over
+/// the simulated Ethernet, the server computes, and the reply travels
+/// back.  The first transaction to a port additionally pays a *locate*
+/// broadcast (ports are location-independent, so they must be found once);
+/// later transactions hit the locate cache, as in Amoeba.
+pub struct Dispatcher {
+    net: SimEthernet,
+    servers: RwLock<HashMap<Port, Arc<dyn RpcServer>>>,
+    located: RwLock<HashSet<Port>>,
+    locate_cost: Nanos,
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("servers", &self.servers.read().len())
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher over the given wire with the default 4 ms
+    /// locate broadcast cost.
+    pub fn new(net: SimEthernet) -> Arc<Dispatcher> {
+        Dispatcher::with_locate_cost(net, Nanos::from_ms(4))
+    }
+
+    /// Creates a dispatcher with an explicit locate cost.
+    pub fn with_locate_cost(net: SimEthernet, locate_cost: Nanos) -> Arc<Dispatcher> {
+        Arc::new(Dispatcher {
+            net,
+            servers: RwLock::new(HashMap::new()),
+            located: RwLock::new(HashSet::new()),
+            locate_cost,
+        })
+    }
+
+    /// Registers a server under its own port, replacing any previous
+    /// holder of that port.
+    pub fn register(&self, server: Arc<dyn RpcServer>) {
+        self.servers.write().insert(server.port(), server);
+    }
+
+    /// Removes the server at `port` (it "crashes"); subsequent transactions
+    /// fail to locate it.
+    pub fn unregister(&self, port: Port) {
+        self.servers.write().remove(&port);
+        self.located.write().remove(&port);
+    }
+
+    /// The shared wire (to reach its statistics and clock).
+    pub fn net(&self) -> &SimEthernet {
+        &self.net
+    }
+
+    /// Performs one transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::UnknownPort`] if no server is registered on the
+    /// request's port.  Server-side failures come back as an error
+    /// [`crate::Status`] inside the reply.
+    pub fn trans(&self, req: Request) -> Result<Reply, RpcError> {
+        let port = req.cap.port;
+        let server = self
+            .servers
+            .read()
+            .get(&port)
+            .cloned()
+            .ok_or(RpcError::UnknownPort(port))?;
+        if self.located.read().contains(&port) {
+            // cached locate: free
+        } else {
+            self.net.clock().advance(self.locate_cost);
+            self.located.write().insert(port);
+        }
+        self.net.send(req.wire_size());
+        let reply = server.handle(req);
+        self.net.send(reply.wire_size());
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Status;
+    use amoeba_cap::Capability;
+    use amoeba_sim::{NetProfile, SimClock};
+    use bytes::Bytes;
+
+    struct Upper(Port);
+
+    impl RpcServer for Upper {
+        fn port(&self) -> Port {
+            self.0
+        }
+
+        fn handle(&self, req: Request) -> Reply {
+            let up: Vec<u8> = req.data.iter().map(|b| b.to_ascii_uppercase()).collect();
+            Reply::ok(Bytes::new(), Bytes::from(up))
+        }
+    }
+
+    fn setup() -> (SimClock, Arc<Dispatcher>, Capability) {
+        let clock = SimClock::new();
+        let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        let d = Dispatcher::new(net);
+        let port = Port::from_u64(7);
+        d.register(Arc::new(Upper(port)));
+        let mut cap = Capability::null();
+        cap.port = port;
+        (clock, d, cap)
+    }
+
+    #[test]
+    fn transact_round_trip() {
+        let (_clock, d, cap) = setup();
+        let reply = d
+            .trans(Request {
+                cap,
+                command: 0,
+                params: Bytes::new(),
+                data: Bytes::from_static(b"bullet"),
+            })
+            .unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        assert_eq!(reply.data, Bytes::from_static(b"BULLET"));
+    }
+
+    #[test]
+    fn unknown_port_fails() {
+        let (_clock, d, _cap) = setup();
+        let mut cap = Capability::null();
+        cap.port = Port::from_u64(999);
+        assert_eq!(
+            d.trans(Request::simple(cap, 0)).unwrap_err(),
+            RpcError::UnknownPort(Port::from_u64(999))
+        );
+    }
+
+    #[test]
+    fn locate_charged_once() {
+        let (clock, d, cap) = setup();
+        d.trans(Request::simple(cap, 0)).unwrap();
+        let first = clock.now();
+        d.trans(Request::simple(cap, 0)).unwrap();
+        let second = clock.now() - first;
+        assert!(
+            second < first,
+            "locate should be cached: {second} vs {first}"
+        );
+        // The difference is exactly the locate cost.
+        assert_eq!(first - second, Nanos::from_ms(4));
+    }
+
+    #[test]
+    fn unregister_breaks_service() {
+        let (_clock, d, cap) = setup();
+        d.trans(Request::simple(cap, 0)).unwrap();
+        d.unregister(cap.port);
+        assert!(d.trans(Request::simple(cap, 0)).is_err());
+    }
+
+    #[test]
+    fn wire_charged_both_ways() {
+        let (_clock, d, cap) = setup();
+        d.trans(Request {
+            cap,
+            command: 0,
+            params: Bytes::new(),
+            data: Bytes::from_static(b"x"),
+        })
+        .unwrap();
+        assert_eq!(d.net().stats().get("net_messages"), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Amoeba-style RPC for the Bullet reproduction.
+//!
+//! Amoeba is "based on the object model: an object is an abstract data
+//! type, and operations on it are invoked through remote procedure calls"
+//! (§2.1).  A request addresses an object by [`amoeba_cap::Capability`],
+//! names a command, and carries marshalled parameters plus bulk data; the
+//! reply carries a standard status code plus results.  Whole files travel
+//! as the `data` part of a single request or reply — the paper's
+//! whole-file-transfer model.
+//!
+//! Pieces:
+//!
+//! * [`Request`] / [`Reply`] / [`Status`] — the messages and the standard
+//!   Amoeba-style error codes, with a fixed binary wire codec ([`wire`]);
+//! * [`RpcServer`] — the object-server trait;
+//! * [`Dispatcher`] — the locate-and-transact fabric: servers register
+//!   their ports, clients call [`Dispatcher::trans`], the shared simulated
+//!   Ethernet is charged for both directions (plus a one-time locate cost
+//!   per port);
+//! * [`client`] — a thin client handle and a threaded transport that
+//!   exercises the real wire codec over channels.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use amoeba_cap::{Capability, Port};
+//! use amoeba_net::SimEthernet;
+//! use amoeba_rpc::{Dispatcher, Reply, Request, RpcServer, Status};
+//! use amoeba_sim::{NetProfile, SimClock};
+//! use bytes::Bytes;
+//!
+//! struct Echo(Port);
+//! impl RpcServer for Echo {
+//!     fn port(&self) -> Port { self.0 }
+//!     fn handle(&self, req: Request) -> Reply {
+//!         Reply { status: Status::Ok, params: Bytes::new(), data: req.data }
+//!     }
+//! }
+//!
+//! let net = SimEthernet::new(SimClock::new(), NetProfile::ethernet_10mbit());
+//! let dispatcher = Dispatcher::new(net);
+//! let port = Port::from_u64(42);
+//! dispatcher.register(Arc::new(Echo(port)));
+//!
+//! let mut cap = Capability::null();
+//! cap.port = port;
+//! let req = Request { cap, command: 1, params: Bytes::new(), data: Bytes::from_static(b"hi") };
+//! let reply = dispatcher.trans(req)?;
+//! assert_eq!(reply.data, Bytes::from_static(b"hi"));
+//! # Ok::<(), amoeba_rpc::RpcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dispatch;
+pub mod gateway;
+pub mod wire;
+
+pub use client::{RemoteClient, RpcClient};
+pub use dispatch::{Dispatcher, RpcError, RpcServer};
+pub use gateway::Gateway;
+pub use wire::{std_commands, Reply, Request, Status};

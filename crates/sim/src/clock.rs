@@ -1,0 +1,259 @@
+//! Simulated time: durations and the shared clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A simulated duration / instant in nanoseconds.
+///
+/// One type serves both roles (an instant is a duration since simulation
+/// start), mirroring how the harness uses it: subtract two clock readings
+/// to get the simulated latency of an operation.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// From whole nanoseconds.
+    pub fn from_ns(ns: u64) -> Nanos {
+        Nanos(ns)
+    }
+
+    /// From whole microseconds.
+    pub fn from_us(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    pub fn from_ms(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// From fractional microseconds (rounded to the nearest nanosecond);
+    /// cost models produce these when multiplying per-byte rates.
+    pub fn from_us_f64(us: f64) -> Nanos {
+        Nanos((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds as a float, the unit of the paper's delay tables.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Add for Nanos {
+    type Output = Nanos;
+
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Nanos {
+    type Output = Nanos;
+
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for Nanos {
+    type Output = Nanos;
+
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Nanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The shared simulated clock all substrates charge their work to.
+///
+/// Cloning is cheap and clones share the same underlying time (the struct
+/// wraps an `Arc`), so a server, its disks, and the network all advance one
+/// clock.  The clock is thread-safe; concurrent charges serialize, which
+/// models the single-CPU dedicated file-server machine of the paper.
+///
+/// # Example
+///
+/// ```
+/// use amoeba_sim::{Nanos, SimClock};
+///
+/// let clock = SimClock::new();
+/// let disk_view = clock.clone();
+/// disk_view.advance(Nanos::from_ms(20)); // a seek
+/// assert_eq!(clock.now(), Nanos::from_ms(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        Nanos(self.ns.load(Ordering::Relaxed))
+    }
+
+    /// Charges `d` of simulated work, returning the new time.
+    pub fn advance(&self, d: Nanos) -> Nanos {
+        Nanos(self.ns.fetch_add(d.0, Ordering::Relaxed) + d.0)
+    }
+
+    /// Resets to time zero (between benchmark runs).
+    pub fn reset(&self) {
+        self.ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Runs `f` and returns `(result, simulated elapsed time)`.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, Nanos) {
+        let start = self.now();
+        let out = f();
+        (out, self.now().saturating_sub(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Nanos::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(Nanos::from_us(5).as_ns(), 5_000);
+        assert_eq!(Nanos::from_secs(1).as_ms_f64(), 1000.0);
+        assert_eq!(Nanos::from_us_f64(1.5).as_ns(), 1_500);
+        assert_eq!(Nanos::from_us_f64(-3.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_us(10);
+        let b = Nanos::from_us(4);
+        assert_eq!(a + b, Nanos::from_us(14));
+        assert_eq!(a - b, Nanos::from_us(6));
+        assert_eq!(b * 3, Nanos::from_us(12));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        let total: Nanos = [a, b, b].into_iter().sum();
+        assert_eq!(total, Nanos::from_us(18));
+    }
+
+    #[test]
+    fn display_scales_unit() {
+        assert_eq!(Nanos(500).to_string(), "500ns");
+        assert_eq!(Nanos::from_us(2).to_string(), "2.000us");
+        assert_eq!(Nanos::from_ms(3).to_string(), "3.000ms");
+        assert_eq!(Nanos::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let c = SimClock::new();
+        let d = c.clone();
+        d.advance(Nanos::from_ms(7));
+        assert_eq!(c.now(), Nanos::from_ms(7));
+        c.reset();
+        assert_eq!(d.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn time_measures_elapsed() {
+        let c = SimClock::new();
+        let (v, dt) = c.time(|| {
+            c.advance(Nanos::from_us(123));
+            "done"
+        });
+        assert_eq!(v, "done");
+        assert_eq!(dt, Nanos::from_us(123));
+    }
+
+    #[test]
+    fn advance_returns_new_time() {
+        let c = SimClock::new();
+        assert_eq!(c.advance(Nanos::from_us(3)), Nanos::from_us(3));
+        assert_eq!(c.advance(Nanos::from_us(4)), Nanos::from_us(7));
+    }
+
+    #[test]
+    fn concurrent_charges_accumulate() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(Nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), Nanos(4000));
+    }
+}

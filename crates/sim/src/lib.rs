@@ -1,0 +1,42 @@
+//! Deterministic simulation substrate for the Bullet reproduction.
+//!
+//! The paper measured a 16.7 MHz MC68020 file server on a 10 Mbit/s
+//! Ethernet with two 800 MB SCSI drives — hardware we cannot run.  Instead,
+//! every substrate in this workspace (disk, network, RPC, servers) charges
+//! the *work it would have done on that hardware* to a shared
+//! [`SimClock`], using the cost constants in an [`HwProfile`].  Benchmarks
+//! then read delays and bandwidths off the clock in deterministic simulated
+//! milliseconds, reproducing the *structure* of the paper's tables (fixed
+//! overhead vs per-byte terms, who wins, where crossovers fall) without
+//! pretending to reproduce 1989 absolute numbers on 2026 silicon.
+//!
+//! The crate also provides:
+//!
+//! * [`DetRng`] — a tiny deterministic xorshift RNG so simulations are
+//!   reproducible independent of external crate versions,
+//! * [`Stats`] — cheap named counters every component exports,
+//! * [`Histogram`] — a power-of-two latency histogram for the harness.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_sim::{Nanos, SimClock};
+//!
+//! let clock = SimClock::new();
+//! clock.advance(Nanos::from_ms(3));
+//! clock.advance(Nanos::from_us(500));
+//! assert_eq!(clock.now().as_us(), 3_500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod hw;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Nanos, SimClock};
+pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
+pub use rng::DetRng;
+pub use stats::{Histogram, Stats};

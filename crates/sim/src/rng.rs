@@ -1,0 +1,169 @@
+//! A tiny deterministic RNG (xorshift64*) for reproducible simulations.
+//!
+//! Simulations and workload generators in this workspace must be
+//! reproducible bit-for-bit across runs and across versions of external
+//! crates, so they use this self-contained generator instead of `rand`'s
+//! (which documents no cross-version stability for its RNGs).
+
+/// A deterministic xorshift64* pseudo-random generator.
+///
+/// Not cryptographic — object protection uses the XTEA-based schemes in
+/// `amoeba-cap`, never this.
+///
+/// # Example
+///
+/// ```
+/// use amoeba_sim::DetRng;
+///
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed (any value; zero is remapped).
+    pub fn new(seed: u64) -> DetRng {
+        DetRng {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling; bias is negligible for the
+        // simulation bounds used here (all far below 2^48).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard-normal deviate (Box–Muller on two uniforms).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Forks an independent generator whose stream does not overlap this
+    /// one's in practice (reseeded through the output function).
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.next_u64() ^ 0xdead_beef_cafe_f00d)
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = DetRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut r = DetRng::new(42);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        DetRng::new(1).next_below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut r = DetRng::new(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = a.fork();
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::new(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = DetRng::new(77);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.next_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Lightweight named counters and latency histograms.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::clock::Nanos;
+
+/// A set of named monotonically increasing counters.
+///
+/// Every substrate (disk, cache, network, servers) exposes a `Stats` so
+/// benchmarks and tests can assert on behaviour ("this read hit the cache",
+/// "that create wrote two disks") instead of guessing from timing.
+///
+/// Cloning shares the underlying counters.
+///
+/// # Example
+///
+/// ```
+/// use amoeba_sim::Stats;
+///
+/// let stats = Stats::new();
+/// stats.add("cache_hit", 1);
+/// stats.add("cache_hit", 1);
+/// assert_eq!(stats.get("cache_hit"), 2);
+/// assert_eq!(stats.get("cache_miss"), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: Arc<Mutex<BTreeMap<&'static str, u64>>>,
+}
+
+impl Stats {
+    /// Creates an empty counter set.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds `n` to the counter `name` (creating it at zero first).
+    pub fn add(&self, name: &'static str, n: u64) {
+        *self.counters.lock().entry(name).or_insert(0) += n;
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        if snap.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (i, (k, v)) in snap.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A power-of-two latency histogram for simulated durations.
+///
+/// Buckets are `[2^k, 2^(k+1))` microseconds; the harness uses it to report
+/// latency distributions for mixed workloads.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<Mutex<HistInner>>,
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [u64; 40],
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: [0; 40],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Nanos) {
+        let mut h = self.inner.lock();
+        let us = d.as_us();
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(39);
+        h.buckets[bucket] += 1;
+        h.count += 1;
+        h.total_ns += d.as_ns() as u128;
+        h.max_ns = h.max_ns.max(d.as_ns());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Mean of the recorded durations.
+    pub fn mean(&self) -> Nanos {
+        let h = self.inner.lock();
+        if h.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos((h.total_ns / h.count as u128) as u64)
+        }
+    }
+
+    /// Maximum recorded duration.
+    pub fn max(&self) -> Nanos {
+        Nanos(self.inner.lock().max_ns)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (upper bound of the bucket the
+    /// quantile falls in).
+    pub fn quantile(&self, q: f64) -> Nanos {
+        let h = self.inner.lock();
+        if h.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * h.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (k, &c) in h.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                // Bucket upper bound, clamped so a quantile never exceeds
+                // the observed maximum.
+                return Nanos::from_us(1u64 << (k + 1)).min(Nanos(h.max_ns));
+            }
+        }
+        Nanos(h.max_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = Stats::new();
+        s.incr("a");
+        s.add("a", 4);
+        s.add("b", 2);
+        assert_eq!(s.get("a"), 5);
+        assert_eq!(s.get("b"), 2);
+        assert_eq!(s.get("c"), 0);
+        assert_eq!(s.snapshot(), vec![("a", 5), ("b", 2)]);
+        s.reset();
+        assert_eq!(s.get("a"), 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = Stats::new();
+        let t = s.clone();
+        t.incr("x");
+        assert_eq!(s.get("x"), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = Stats::new();
+        assert_eq!(s.to_string(), "(no counters)");
+        s.add("io", 3);
+        assert_eq!(s.to_string(), "io=3");
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let h = Histogram::new();
+        h.record(Nanos::from_us(100));
+        h.record(Nanos::from_us(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Nanos::from_us(200));
+        assert_eq!(h.max(), Nanos::from_us(300));
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Nanos::from_us(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p50 >= Nanos::from_us(256)); // 500 falls in [512,1024) bucket upper bound 1024; lower bound sanity
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_maximum() {
+        let h = Histogram::new();
+        h.record(Nanos::from_us(19_400)); // lands in the [16384, 32768) bucket
+        h.record(Nanos::from_us(100));
+        assert!(h.quantile(0.99) <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.quantile(0.5), Nanos::ZERO);
+        assert_eq!(h.max(), Nanos::ZERO);
+    }
+}

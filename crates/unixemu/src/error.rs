@@ -1,0 +1,101 @@
+//! Error type for the UNIX emulation.
+
+use amoeba_dir::DirError;
+use bullet_core::BulletError;
+
+/// Errors produced by the UNIX emulation layer (the analogue of `errno`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UnixError {
+    /// `ENOENT`: no such file or directory.
+    NotFound,
+    /// `EEXIST`: the path already exists (`O_CREAT | O_EXCL`, `mkdir`).
+    Exists,
+    /// `EISDIR`: the operation needs a file but found a directory.
+    IsDir,
+    /// `ENOTDIR`: a path component is not a directory.
+    NotDir,
+    /// `ENOTEMPTY`: `rmdir` of a non-empty directory.
+    NotEmpty,
+    /// `EBADF`: the descriptor is not open (or not open for this mode).
+    BadFd,
+    /// `EINVAL`: malformed path or seek.
+    BadArg,
+    /// The file changed under us: publish-time compare-and-swap lost
+    /// (only under [`crate::WritePolicy::FailOnConflict`]).
+    Conflict,
+    /// Underlying directory-service failure.
+    Dir(DirError),
+    /// Underlying Bullet failure.
+    Bullet(BulletError),
+}
+
+impl std::fmt::Display for UnixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnixError::NotFound => write!(f, "no such file or directory"),
+            UnixError::Exists => write!(f, "file exists"),
+            UnixError::IsDir => write!(f, "is a directory"),
+            UnixError::NotDir => write!(f, "not a directory"),
+            UnixError::NotEmpty => write!(f, "directory not empty"),
+            UnixError::BadFd => write!(f, "bad file descriptor"),
+            UnixError::BadArg => write!(f, "invalid argument"),
+            UnixError::Conflict => write!(f, "file version changed concurrently"),
+            UnixError::Dir(e) => write!(f, "directory service: {e}"),
+            UnixError::Bullet(e) => write!(f, "bullet server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UnixError::Dir(e) => Some(e),
+            UnixError::Bullet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DirError> for UnixError {
+    fn from(e: DirError) -> Self {
+        match e {
+            DirError::NotFound => UnixError::NotFound,
+            DirError::Exists => UnixError::Exists,
+            DirError::NotEmpty => UnixError::NotEmpty,
+            DirError::Conflict => UnixError::Conflict,
+            other => UnixError::Dir(other),
+        }
+    }
+}
+
+impl From<BulletError> for UnixError {
+    fn from(e: BulletError) -> Self {
+        match e {
+            BulletError::NotFound => UnixError::NotFound,
+            other => UnixError::Bullet(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_error_folding() {
+        assert_eq!(UnixError::from(DirError::NotFound), UnixError::NotFound);
+        assert_eq!(UnixError::from(DirError::Exists), UnixError::Exists);
+        assert_eq!(UnixError::from(DirError::Conflict), UnixError::Conflict);
+        assert!(matches!(
+            UnixError::from(DirError::CapBad),
+            UnixError::Dir(_)
+        ));
+        assert_eq!(UnixError::from(BulletError::NotFound), UnixError::NotFound);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!UnixError::BadFd.to_string().is_empty());
+    }
+}

@@ -1,0 +1,807 @@
+//! The POSIX-flavoured file system facade.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use amoeba_cap::Capability;
+use amoeba_dir::{DirError, DirServer};
+use bullet_core::BulletServer;
+
+use crate::UnixError;
+
+/// An open-file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(usize);
+
+/// `open(2)` flags (a deliberate, typed subset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing (a new version is published on close).
+    pub write: bool,
+    /// Create the file if absent.
+    pub create: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+    /// Start positioned at the end, and keep writes at the end.
+    pub append: bool,
+    /// With `create`: fail if the file already exists.
+    pub exclusive: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn read_only() -> OpenFlags {
+        OpenFlags {
+            read: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_WRONLY | O_CREAT | O_TRUNC` — the classic `creat`.
+    pub fn create_truncate() -> OpenFlags {
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_RDWR`.
+    pub fn read_write() -> OpenFlags {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_WRONLY | O_CREAT | O_APPEND`.
+    pub fn append() -> OpenFlags {
+        OpenFlags {
+            write: true,
+            create: true,
+            append: true,
+            ..OpenFlags::default()
+        }
+    }
+}
+
+/// `lseek(2)` origins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekFrom {
+    /// From the start of the file.
+    Start(u64),
+    /// Relative to the current position.
+    Current(i64),
+    /// Relative to the end of the file.
+    End(i64),
+}
+
+/// What `close` does when the directory entry changed while the file was
+/// open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Report [`UnixError::Conflict`]; the buffered data stays in the
+    /// descriptor so the caller can retry or discard.
+    #[default]
+    FailOnConflict,
+    /// Re-read the current version capability and swap anyway (last
+    /// writer wins).
+    LastWriterWins,
+}
+
+/// `stat(2)` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// True for directories.
+    pub is_dir: bool,
+}
+
+#[derive(Debug)]
+struct OpenFile {
+    dir: Capability,
+    name: String,
+    /// The version this buffer is based on (`None` for a brand-new file).
+    base: Option<Capability>,
+    buf: Vec<u8>,
+    pos: usize,
+    dirty: bool,
+    flags: OpenFlags,
+}
+
+/// The UNIX emulation facade over one Bullet server and one directory
+/// service.
+pub struct UnixFs {
+    dirs: Arc<DirServer>,
+    bullet: Arc<BulletServer>,
+    policy: WritePolicy,
+    fds: Mutex<Vec<Option<OpenFile>>>,
+}
+
+impl std::fmt::Debug for UnixFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnixFs")
+            .field("open_files", &self.fds.lock().iter().flatten().count())
+            .finish()
+    }
+}
+
+impl UnixFs {
+    /// Creates the facade with the default conflict policy.
+    pub fn new(dirs: Arc<DirServer>, bullet: Arc<BulletServer>) -> UnixFs {
+        UnixFs::with_policy(dirs, bullet, WritePolicy::default())
+    }
+
+    /// Creates the facade with an explicit conflict policy.
+    pub fn with_policy(
+        dirs: Arc<DirServer>,
+        bullet: Arc<BulletServer>,
+        policy: WritePolicy,
+    ) -> UnixFs {
+        UnixFs {
+            dirs,
+            bullet,
+            policy,
+            fds: Mutex::new(Vec::new()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Path plumbing.
+    // ------------------------------------------------------------------
+
+    /// Splits `/a/b/c` into (parent components, leaf name).
+    fn split_path(path: &str) -> Result<(Vec<&str>, &str), UnixError> {
+        let parts: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        match parts.split_last() {
+            Some((leaf, parents)) => Ok((parents.to_vec(), leaf)),
+            None => Err(UnixError::BadArg), // "" or "/"
+        }
+    }
+
+    /// Walks to the directory holding the leaf of `path`.
+    fn parent_of(&self, path: &str) -> Result<(Capability, String), UnixError> {
+        let (parents, leaf) = Self::split_path(path)?;
+        let mut cur = self.dirs.root();
+        for comp in parents {
+            let next = self.dirs.lookup(&cur, comp)?;
+            if next.port != self.dirs.port() {
+                return Err(UnixError::NotDir);
+            }
+            cur = next;
+        }
+        Ok((cur, leaf.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // File operations.
+    // ------------------------------------------------------------------
+
+    /// `open(2)`.
+    ///
+    /// # Errors
+    ///
+    /// The usual `errno` analogues ([`UnixError`]).
+    pub fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd, UnixError> {
+        if !flags.read && !flags.write {
+            return Err(UnixError::BadArg);
+        }
+        let (dir, name) = self.parent_of(path)?;
+        let existing = match self.dirs.lookup(&dir, &name) {
+            Ok(cap) => {
+                if cap.port == self.dirs.port() {
+                    return Err(UnixError::IsDir);
+                }
+                Some(cap)
+            }
+            Err(DirError::NotFound) => None,
+            Err(e) => return Err(e.into()),
+        };
+
+        let (base, buf) = match existing {
+            Some(cap) => {
+                if flags.create && flags.exclusive {
+                    return Err(UnixError::Exists);
+                }
+                let data = if flags.truncate {
+                    Vec::new()
+                } else {
+                    // Whole file transfer into the process buffer.
+                    self.bullet.read(&cap)?.to_vec()
+                };
+                (Some(cap), data)
+            }
+            None => {
+                if !flags.create {
+                    return Err(UnixError::NotFound);
+                }
+                (None, Vec::new())
+            }
+        };
+
+        let pos = if flags.append { buf.len() } else { 0 };
+        let file = OpenFile {
+            dir,
+            name,
+            base,
+            buf,
+            pos,
+            dirty: false,
+            flags,
+        };
+        let mut fds = self.fds.lock();
+        let slot = fds.iter().position(Option::is_none).unwrap_or_else(|| {
+            fds.push(None);
+            fds.len() - 1
+        });
+        fds[slot] = Some(file);
+        Ok(Fd(slot))
+    }
+
+    /// `read(2)`: reads up to `buf.len()` bytes, returning the count (0 at
+    /// EOF).
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::BadFd`] for closed or write-only descriptors.
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> Result<usize, UnixError> {
+        let mut fds = self.fds.lock();
+        let file = fds
+            .get_mut(fd.0)
+            .and_then(Option::as_mut)
+            .ok_or(UnixError::BadFd)?;
+        if !file.flags.read {
+            return Err(UnixError::BadFd);
+        }
+        let n = buf.len().min(file.buf.len().saturating_sub(file.pos));
+        buf[..n].copy_from_slice(&file.buf[file.pos..file.pos + n]);
+        file.pos += n;
+        Ok(n)
+    }
+
+    /// `write(2)`: writes the whole slice at the current position
+    /// (extending the file as needed), returning the count.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::BadFd`] for closed or read-only descriptors.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> Result<usize, UnixError> {
+        let mut fds = self.fds.lock();
+        let file = fds
+            .get_mut(fd.0)
+            .and_then(Option::as_mut)
+            .ok_or(UnixError::BadFd)?;
+        if !file.flags.write {
+            return Err(UnixError::BadFd);
+        }
+        if file.flags.append {
+            file.pos = file.buf.len();
+        }
+        let end = file.pos + data.len();
+        if end > file.buf.len() {
+            file.buf.resize(end, 0);
+        }
+        file.buf[file.pos..end].copy_from_slice(data);
+        file.pos = end;
+        file.dirty = true;
+        Ok(data.len())
+    }
+
+    /// `lseek(2)`: returns the new position.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::BadArg`] for seeks before the start.
+    pub fn lseek(&self, fd: Fd, whence: SeekFrom) -> Result<u64, UnixError> {
+        let mut fds = self.fds.lock();
+        let file = fds
+            .get_mut(fd.0)
+            .and_then(Option::as_mut)
+            .ok_or(UnixError::BadFd)?;
+        let new = match whence {
+            SeekFrom::Start(o) => o as i128,
+            SeekFrom::Current(d) => file.pos as i128 + d as i128,
+            SeekFrom::End(d) => file.buf.len() as i128 + d as i128,
+        };
+        if new < 0 || new > u32::MAX as i128 {
+            return Err(UnixError::BadArg);
+        }
+        file.pos = new as usize;
+        Ok(file.pos as u64)
+    }
+
+    /// `fsync(2)`: publishes the current buffer as a new immutable version
+    /// without closing; the descriptor's base moves to the new version.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::Conflict`] under the default policy if the entry
+    /// changed; service failures.
+    pub fn fsync(&self, fd: Fd) -> Result<(), UnixError> {
+        let mut fds = self.fds.lock();
+        let file = fds
+            .get_mut(fd.0)
+            .and_then(Option::as_mut)
+            .ok_or(UnixError::BadFd)?;
+        if file.dirty {
+            let new_base = self.publish(file)?;
+            file.base = Some(new_base);
+            file.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// `close(2)`: publishes (if written) and releases the descriptor.  On
+    /// [`UnixError::Conflict`] the descriptor stays open so the caller can
+    /// decide.
+    ///
+    /// # Errors
+    ///
+    /// As [`fsync`](Self::fsync), plus [`UnixError::BadFd`].
+    pub fn close(&self, fd: Fd) -> Result<(), UnixError> {
+        let mut fds = self.fds.lock();
+        let file = fds
+            .get_mut(fd.0)
+            .and_then(Option::as_mut)
+            .ok_or(UnixError::BadFd)?;
+        if file.dirty {
+            self.publish(file)?;
+        }
+        fds[fd.0] = None;
+        Ok(())
+    }
+
+    /// Publishes an open file's buffer as a new Bullet file and swings the
+    /// directory entry.  Returns the new capability.
+    fn publish(&self, file: &mut OpenFile) -> Result<Capability, UnixError> {
+        let new = self
+            .bullet
+            .create(Bytes::from(file.buf.clone()), 1)
+            .map_err(UnixError::from)?;
+        match file.base {
+            None => match self.dirs.enter(&file.dir, &file.name, new) {
+                Ok(()) => Ok(new),
+                Err(DirError::Exists) => {
+                    // Someone created the name since we opened; treat like a
+                    // replace conflict.
+                    self.swing(file, new)
+                }
+                Err(e) => Err(e.into()),
+            },
+            Some(_) => self.swing(file, new),
+        }
+    }
+
+    fn swing(&self, file: &mut OpenFile, new: Capability) -> Result<Capability, UnixError> {
+        let expected = match file.base {
+            Some(base) => base,
+            None => self.dirs.lookup(&file.dir, &file.name)?,
+        };
+        match self.dirs.replace(&file.dir, &file.name, &expected, new) {
+            Ok(()) => Ok(new),
+            Err(DirError::Conflict) => match self.policy {
+                WritePolicy::FailOnConflict => {
+                    // Clean up the orphan version we just created.
+                    let _ = self.bullet.delete(&new);
+                    Err(UnixError::Conflict)
+                }
+                WritePolicy::LastWriterWins => {
+                    let current = self.dirs.lookup(&file.dir, &file.name)?;
+                    self.dirs
+                        .replace(&file.dir, &file.name, &current, new)
+                        .map_err(UnixError::from)?;
+                    Ok(new)
+                }
+            },
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Path operations.
+    // ------------------------------------------------------------------
+
+    /// `stat(2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::NotFound`] and friends.
+    pub fn stat(&self, path: &str) -> Result<Metadata, UnixError> {
+        if path.split('/').all(|c| c.is_empty()) {
+            return Ok(Metadata {
+                size: 0,
+                is_dir: true,
+            });
+        }
+        let (dir, name) = self.parent_of(path)?;
+        let cap = self.dirs.lookup(&dir, &name)?;
+        if cap.port == self.dirs.port() {
+            Ok(Metadata {
+                size: 0,
+                is_dir: true,
+            })
+        } else {
+            Ok(Metadata {
+                size: self.bullet.size(&cap)? as u64,
+                is_dir: false,
+            })
+        }
+    }
+
+    /// `unlink(2)`: removes a file name (the storage is reclaimed by the
+    /// directory service's garbage collector).
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::IsDir`] for directories; lookup failures.
+    pub fn unlink(&self, path: &str) -> Result<(), UnixError> {
+        let (dir, name) = self.parent_of(path)?;
+        let cap = self.dirs.lookup(&dir, &name)?;
+        if cap.port == self.dirs.port() {
+            return Err(UnixError::IsDir);
+        }
+        self.dirs.delete_entry(&dir, &name)?;
+        Ok(())
+    }
+
+    /// `mkdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::Exists`] and friends.
+    pub fn mkdir(&self, path: &str) -> Result<(), UnixError> {
+        let (dir, name) = self.parent_of(path)?;
+        if self.dirs.lookup(&dir, &name).is_ok() {
+            return Err(UnixError::Exists);
+        }
+        let sub = self.dirs.create_dir()?;
+        self.dirs.enter(&dir, &name, sub)?;
+        Ok(())
+    }
+
+    /// `rmdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::NotEmpty`], [`UnixError::NotDir`], lookup failures.
+    pub fn rmdir(&self, path: &str) -> Result<(), UnixError> {
+        let (dir, name) = self.parent_of(path)?;
+        let cap = self.dirs.lookup(&dir, &name)?;
+        if cap.port != self.dirs.port() {
+            return Err(UnixError::NotDir);
+        }
+        self.dirs.delete_dir(&cap)?;
+        self.dirs.delete_entry(&dir, &name)?;
+        Ok(())
+    }
+
+    /// `readdir(3)`: the sorted names in a directory (`"/"` for the root).
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::NotDir`], lookup failures.
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, UnixError> {
+        let dir = if path.split('/').all(|c| c.is_empty()) {
+            self.dirs.root()
+        } else {
+            let (parent, name) = self.parent_of(path)?;
+            let cap = self.dirs.lookup(&parent, &name)?;
+            if cap.port != self.dirs.port() {
+                return Err(UnixError::NotDir);
+            }
+            cap
+        };
+        Ok(self.dirs.list(&dir)?.into_iter().map(|e| e.name).collect())
+    }
+
+    /// `rename(2)`: moves a name (file or directory) to a new path,
+    /// replacing nothing (fails if the target exists).
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::Exists`] if the target is taken; lookup failures.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), UnixError> {
+        let (from_dir, from_name) = self.parent_of(from)?;
+        let (to_dir, to_name) = self.parent_of(to)?;
+        let cap = self.dirs.lookup(&from_dir, &from_name)?;
+        self.dirs.enter(&to_dir, &to_name, cap)?;
+        self.dirs.delete_entry(&from_dir, &from_name)?;
+        Ok(())
+    }
+
+    /// `truncate(2)`: cuts or zero-extends a file to `len` bytes — which
+    /// on immutable storage means publishing a new version of that
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::IsDir`], lookup and publish failures.
+    pub fn truncate(&self, path: &str, len: u64) -> Result<(), UnixError> {
+        let fd = self.open(path, OpenFlags::read_write())?;
+        {
+            let mut fds = self.fds.lock();
+            let file = fds
+                .get_mut(fd.0)
+                .and_then(Option::as_mut)
+                .ok_or(UnixError::BadFd)?;
+            if len > u32::MAX as u64 {
+                fds[fd.0] = None;
+                return Err(UnixError::BadArg);
+            }
+            file.buf.resize(len as usize, 0);
+            file.dirty = true;
+        }
+        self.close(fd)
+    }
+
+    /// `cp`: copies a file's current contents to a new path (the copy is
+    /// an independent file; later versions do not affect it).
+    ///
+    /// # Errors
+    ///
+    /// [`UnixError::Exists`] if the target exists; read/publish failures.
+    pub fn copy(&self, from: &str, to: &str) -> Result<(), UnixError> {
+        let data = self.read_file(from)?;
+        let (dir, name) = self.parent_of(to)?;
+        if self.dirs.lookup(&dir, &name).is_ok() {
+            return Err(UnixError::Exists);
+        }
+        let cap = self
+            .bullet
+            .create(Bytes::from(data), 1)
+            .map_err(UnixError::from)?;
+        self.dirs.enter(&dir, &name, cap)?;
+        Ok(())
+    }
+
+    /// Convenience: reads a whole file by path.
+    ///
+    /// # Errors
+    ///
+    /// As `open` + `read`.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, UnixError> {
+        let fd = self.open(path, OpenFlags::read_only())?;
+        let size = {
+            let fds = self.fds.lock();
+            fds[fd.0].as_ref().expect("just opened").buf.len()
+        };
+        let mut out = vec![0u8; size];
+        let n = self.read(fd, &mut out)?;
+        out.truncate(n);
+        self.close(fd)?;
+        Ok(out)
+    }
+
+    /// Convenience: writes a whole file by path (`creat` semantics).
+    ///
+    /// # Errors
+    ///
+    /// As `open` + `write` + `close`.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> Result<(), UnixError> {
+        let fd = self.open(path, OpenFlags::create_truncate())?;
+        self.write(fd, data)?;
+        self.close(fd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullet_core::BulletConfig;
+
+    fn fs() -> UnixFs {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        UnixFs::new(dirs, bullet)
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let fs = fs();
+        fs.write_file("/notes.txt", b"remember the milk").unwrap();
+        assert_eq!(fs.read_file("/notes.txt").unwrap(), b"remember the milk");
+        let meta = fs.stat("/notes.txt").unwrap();
+        assert_eq!(meta.size, 17);
+        assert!(!meta.is_dir);
+    }
+
+    #[test]
+    fn read_write_positioning() {
+        let fs = fs();
+        fs.write_file("/f", b"0123456789").unwrap();
+        let fd = fs.open("/f", OpenFlags::read_write()).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"0123");
+        assert_eq!(fs.lseek(fd, SeekFrom::Current(2)).unwrap(), 6);
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"6789");
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 0, "EOF");
+        // Overwrite in the middle, extending past the end.
+        fs.lseek(fd, SeekFrom::End(-2)).unwrap();
+        fs.write(fd, b"XYZ!").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"01234567XYZ!");
+    }
+
+    #[test]
+    fn sparse_extension_zero_fills() {
+        let fs = fs();
+        let fd = fs.open("/sparse", OpenFlags::create_truncate()).unwrap();
+        fs.lseek(fd, SeekFrom::Start(5)).unwrap();
+        fs.write(fd, b"end").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read_file("/sparse").unwrap(), b"\0\0\0\0\0end");
+    }
+
+    #[test]
+    fn append_mode() {
+        let fs = fs();
+        fs.write_file("/log", b"line1\n").unwrap();
+        let fd = fs.open("/log", OpenFlags::append()).unwrap();
+        // Appends ignore seeks.
+        fs.lseek(fd, SeekFrom::Start(0)).unwrap();
+        fs.write(fd, b"line2\n").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read_file("/log").unwrap(), b"line1\nline2\n");
+    }
+
+    #[test]
+    fn open_flags_semantics() {
+        let fs = fs();
+        assert_eq!(
+            fs.open("/missing", OpenFlags::read_only()).unwrap_err(),
+            UnixError::NotFound
+        );
+        fs.write_file("/f", b"x").unwrap();
+        let excl = OpenFlags {
+            exclusive: true,
+            ..OpenFlags::create_truncate()
+        };
+        assert_eq!(fs.open("/f", excl).unwrap_err(), UnixError::Exists);
+        assert_eq!(
+            fs.open("/f", OpenFlags::default()).unwrap_err(),
+            UnixError::BadArg
+        );
+        // Truncate really truncates.
+        fs.write_file("/f", b"").unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 0);
+    }
+
+    #[test]
+    fn directories_and_paths() {
+        let fs = fs();
+        fs.mkdir("/home").unwrap();
+        fs.mkdir("/home/user").unwrap();
+        fs.write_file("/home/user/doc", b"deep").unwrap();
+        assert_eq!(fs.read_file("/home/user/doc").unwrap(), b"deep");
+        assert_eq!(fs.readdir("/home").unwrap(), vec!["user"]);
+        assert_eq!(fs.readdir("/").unwrap(), vec!["home"]);
+        assert!(fs.stat("/home").unwrap().is_dir);
+        assert_eq!(fs.mkdir("/home").unwrap_err(), UnixError::Exists);
+        assert_eq!(fs.readdir("/home/user/doc").unwrap_err(), UnixError::NotDir);
+        assert_eq!(fs.read_file("/home/user").unwrap_err(), UnixError::IsDir);
+        // rmdir refuses non-empty.
+        assert_eq!(fs.rmdir("/home").unwrap_err(), UnixError::NotEmpty);
+        fs.unlink("/home/user/doc").unwrap();
+        fs.rmdir("/home/user").unwrap();
+        fs.rmdir("/home").unwrap();
+        assert!(fs.readdir("/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unlink_and_rename() {
+        let fs = fs();
+        fs.write_file("/a", b"data").unwrap();
+        fs.mkdir("/dir").unwrap();
+        fs.rename("/a", "/dir/b").unwrap();
+        assert_eq!(fs.read_file("/dir/b").unwrap(), b"data");
+        assert_eq!(fs.read_file("/a").unwrap_err(), UnixError::NotFound);
+        // Renaming onto an existing name fails.
+        fs.write_file("/c", b"other").unwrap();
+        assert_eq!(fs.rename("/c", "/dir/b").unwrap_err(), UnixError::Exists);
+        assert_eq!(fs.unlink("/dir").unwrap_err(), UnixError::IsDir);
+        fs.unlink("/dir/b").unwrap();
+    }
+
+    #[test]
+    fn close_publishes_a_new_version() {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        let fs = UnixFs::new(dirs.clone(), bullet.clone());
+        fs.write_file("/doc", b"v1").unwrap();
+        let root = dirs.root();
+        let v1 = dirs.lookup(&root, "doc").unwrap();
+        fs.write_file("/doc", b"v2").unwrap();
+        let v2 = dirs.lookup(&root, "doc").unwrap();
+        assert_ne!(v1, v2, "a new immutable file per rewrite");
+        assert_eq!(dirs.history(&root, "doc").unwrap(), vec![v2, v1]);
+        // The old version still exists (until GC) and still reads as v1.
+        assert_eq!(bullet.read(&v1).unwrap(), Bytes::from_static(b"v1"));
+    }
+
+    #[test]
+    fn conflicting_writers_default_policy() {
+        let fs = fs();
+        fs.write_file("/shared", b"base").unwrap();
+        let a = fs.open("/shared", OpenFlags::read_write()).unwrap();
+        let b = fs.open("/shared", OpenFlags::read_write()).unwrap();
+        fs.write(a, b"from A").unwrap();
+        fs.write(b, b"from B").unwrap();
+        fs.close(a).unwrap();
+        assert_eq!(fs.close(b).unwrap_err(), UnixError::Conflict);
+        assert_eq!(fs.read_file("/shared").unwrap(), b"from A");
+        // The loser can still close after giving up (discard by reopening).
+        // Its descriptor remained open:
+        fs.lseek(b, SeekFrom::Start(0)).unwrap();
+    }
+
+    #[test]
+    fn conflicting_writers_last_writer_wins() {
+        let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2).unwrap());
+        let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+        let fs = UnixFs::with_policy(dirs, bullet, WritePolicy::LastWriterWins);
+        fs.write_file("/shared", b"base").unwrap();
+        let a = fs.open("/shared", OpenFlags::read_write()).unwrap();
+        let b = fs.open("/shared", OpenFlags::read_write()).unwrap();
+        fs.write(a, b"from A").unwrap();
+        fs.write(b, b"from B").unwrap();
+        fs.close(a).unwrap();
+        fs.close(b).unwrap();
+        assert_eq!(fs.read_file("/shared").unwrap(), b"from B");
+    }
+
+    #[test]
+    fn fsync_moves_the_base_forward() {
+        let fs = fs();
+        let fd = fs.open("/j", OpenFlags::create_truncate()).unwrap();
+        fs.write(fd, b"first").unwrap();
+        fs.fsync(fd).unwrap();
+        assert_eq!(fs.read_file("/j").unwrap(), b"first");
+        fs.write(fd, b" second").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read_file("/j").unwrap(), b"first second");
+    }
+
+    #[test]
+    fn truncate_cuts_and_extends() {
+        let fs = fs();
+        fs.write_file("/t", b"0123456789").unwrap();
+        fs.truncate("/t", 4).unwrap();
+        assert_eq!(fs.read_file("/t").unwrap(), b"0123");
+        fs.truncate("/t", 8).unwrap();
+        assert_eq!(fs.read_file("/t").unwrap(), b"0123\0\0\0\0");
+        assert_eq!(fs.truncate("/missing", 1).unwrap_err(), UnixError::NotFound);
+    }
+
+    #[test]
+    fn copy_is_an_independent_snapshot() {
+        let fs = fs();
+        fs.write_file("/orig", b"v1").unwrap();
+        fs.copy("/orig", "/backup").unwrap();
+        fs.write_file("/orig", b"v2").unwrap();
+        assert_eq!(fs.read_file("/orig").unwrap(), b"v2");
+        assert_eq!(fs.read_file("/backup").unwrap(), b"v1");
+        assert_eq!(fs.copy("/orig", "/backup").unwrap_err(), UnixError::Exists);
+    }
+
+    #[test]
+    fn bad_fds_rejected() {
+        let fs = fs();
+        let mut buf = [0u8; 1];
+        assert_eq!(fs.read(Fd(0), &mut buf).unwrap_err(), UnixError::BadFd);
+        fs.write_file("/f", b"x").unwrap();
+        let fd = fs.open("/f", OpenFlags::read_only()).unwrap();
+        assert_eq!(fs.write(fd, b"y").unwrap_err(), UnixError::BadFd);
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read(fd, &mut buf).unwrap_err(), UnixError::BadFd);
+        assert_eq!(fs.close(fd).unwrap_err(), UnixError::BadFd);
+    }
+}

@@ -1,0 +1,30 @@
+//! UNIX emulation over the Bullet + directory services.
+//!
+//! "Recently we have implemented a UNIX emulation on top of the Bullet
+//! service supporting a wealth of existing software." (§5)
+//!
+//! The emulation maps mutable POSIX-style files onto immutable Bullet
+//! files the obvious way:
+//!
+//! * `open` resolves the path through the directory service and (for
+//!   reading) fetches the whole file into a process-local buffer — whole
+//!   file transfer, as §2 dictates;
+//! * `read`/`write`/`lseek` operate on the buffer;
+//! * `close` (or `fsync`) of a written file **creates a new immutable
+//!   Bullet file** and atomically swings the directory entry to it with
+//!   the compare-and-swap `replace`, building the version chain;
+//! * concurrent writers are detected at publish time: the default policy
+//!   reports the conflict ([`UnixError::Conflict`]), the alternative
+//!   last-writer-wins policy retries the swap.
+//!
+//! Directories map one-to-one onto directory-server objects, so `mkdir`,
+//! `readdir`, `rename`, and `unlink` are thin wrappers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fs;
+
+pub use error::UnixError;
+pub use fs::{Fd, Metadata, OpenFlags, SeekFrom, UnixFs, WritePolicy};

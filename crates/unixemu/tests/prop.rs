@@ -1,0 +1,148 @@
+//! Model-based property tests: the UNIX emulation must behave like an
+//! in-memory map of paths to byte strings under any sequence of
+//! open/read/write/seek/close operations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_dir::DirServer;
+use amoeba_unix::{OpenFlags, SeekFrom, UnixError, UnixFs};
+use bullet_core::{BulletConfig, BulletServer};
+use proptest::prelude::*;
+
+fn fresh_fs() -> UnixFs {
+    let mut cfg = BulletConfig::small_test();
+    cfg.disk_blocks = 8192;
+    cfg.cache_capacity = 2 << 20;
+    let bullet = Arc::new(BulletServer::format(cfg, 2).unwrap());
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    UnixFs::new(dirs, bullet)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    WriteFile {
+        name: u8,
+        data: Vec<u8>,
+    },
+    AppendFile {
+        name: u8,
+        data: Vec<u8>,
+    },
+    OverwriteAt {
+        name: u8,
+        offset: u16,
+        data: Vec<u8>,
+    },
+    Unlink {
+        name: u8,
+    },
+    ReadBack {
+        name: u8,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let small = proptest::collection::vec(any::<u8>(), 0..300);
+    prop_oneof![
+        3 => (0u8..6, small.clone()).prop_map(|(name, data)| Op::WriteFile { name, data }),
+        2 => (0u8..6, small.clone()).prop_map(|(name, data)| Op::AppendFile { name, data }),
+        2 => (0u8..6, any::<u16>(), small).prop_map(|(name, offset, data)| Op::OverwriteAt {
+            name,
+            offset,
+            data
+        }),
+        1 => (0u8..6).prop_map(|name| Op::Unlink { name }),
+        3 => (0u8..6).prop_map(|name| Op::ReadBack { name }),
+    ]
+}
+
+fn path(name: u8) -> String {
+    format!("/file-{name}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unix_layer_matches_a_map_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let fs = fresh_fs();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::WriteFile { name, data } => {
+                    fs.write_file(&path(name), &data).unwrap();
+                    model.insert(name, data);
+                }
+                Op::AppendFile { name, data } => {
+                    let fd = fs.open(&path(name), OpenFlags::append()).unwrap();
+                    fs.write(fd, &data).unwrap();
+                    fs.close(fd).unwrap();
+                    model.entry(name).or_default().extend_from_slice(&data);
+                }
+                Op::OverwriteAt { name, offset, data } => {
+                    if !model.contains_key(&name) {
+                        prop_assert_eq!(
+                            fs.open(&path(name), OpenFlags::read_write()).unwrap_err(),
+                            UnixError::NotFound
+                        );
+                        continue;
+                    }
+                    let entry = model.get_mut(&name).expect("checked");
+                    let offset = (offset as usize) % (entry.len() + 1);
+                    let fd = fs.open(&path(name), OpenFlags::read_write()).unwrap();
+                    fs.lseek(fd, SeekFrom::Start(offset as u64)).unwrap();
+                    fs.write(fd, &data).unwrap();
+                    fs.close(fd).unwrap();
+                    if entry.len() < offset + data.len() {
+                        entry.resize(offset + data.len(), 0);
+                    }
+                    entry[offset..offset + data.len()].copy_from_slice(&data);
+                }
+                Op::Unlink { name } => {
+                    let expected = if model.remove(&name).is_some() {
+                        Ok(())
+                    } else {
+                        Err(UnixError::NotFound)
+                    };
+                    prop_assert_eq!(fs.unlink(&path(name)), expected);
+                }
+                Op::ReadBack { name } => match model.get(&name) {
+                    Some(data) => prop_assert_eq!(&fs.read_file(&path(name)).unwrap(), data),
+                    None => prop_assert_eq!(
+                        fs.read_file(&path(name)).unwrap_err(),
+                        UnixError::NotFound
+                    ),
+                },
+            }
+        }
+        // Final sweep: directory listing matches, and every file reads
+        // back exactly.
+        let mut expected_names: Vec<String> = model.keys().map(|&n| format!("file-{n}")).collect();
+        expected_names.sort();
+        prop_assert_eq!(fs.readdir("/").unwrap(), expected_names);
+        for (&name, data) in &model {
+            prop_assert_eq!(&fs.read_file(&path(name)).unwrap(), data);
+            prop_assert_eq!(fs.stat(&path(name)).unwrap().size, data.len() as u64);
+        }
+    }
+
+    #[test]
+    fn seeks_and_partial_reads_agree_with_slices(
+        data in proptest::collection::vec(any::<u8>(), 1..500),
+        offset in any::<prop::sample::Index>(),
+        len in 1usize..64,
+    ) {
+        let fs = fresh_fs();
+        fs.write_file("/f", &data).unwrap();
+        let offset = offset.index(data.len());
+        let fd = fs.open("/f", OpenFlags::read_only()).unwrap();
+        fs.lseek(fd, SeekFrom::Start(offset as u64)).unwrap();
+        let mut buf = vec![0u8; len];
+        let n = fs.read(fd, &mut buf).unwrap();
+        fs.close(fd).unwrap();
+        let expected = &data[offset..(offset + len).min(data.len())];
+        prop_assert_eq!(&buf[..n], expected);
+    }
+}

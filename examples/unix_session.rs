@@ -1,0 +1,76 @@
+//! A UNIX-feeling shell session on top of immutable storage — the §5
+//! emulation layer ("supporting a wealth of existing software").
+//!
+//! ```text
+//! cargo run --example unix_session
+//! ```
+
+use std::sync::Arc;
+
+use amoeba_bullet::bullet::{BulletConfig, BulletServer};
+use amoeba_bullet::dir::DirServer;
+use amoeba_bullet::unix::{OpenFlags, SeekFrom, UnixError, UnixFs};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bullet = Arc::new(BulletServer::format(BulletConfig::small_test(), 2)?);
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone())?);
+    let fs = UnixFs::new(dirs.clone(), bullet.clone());
+
+    // mkdir -p /home/user && echo ... > /home/user/.profile
+    fs.mkdir("/home")?;
+    fs.mkdir("/home/user")?;
+    fs.write_file("/home/user/.profile", b"export EDITOR=ed\n")?;
+    println!("$ ls /home/user\n{}", fs.readdir("/home/user")?.join("\n"));
+
+    // Appending to a shell history file.
+    for cmd in ["make", "make test", "make install"] {
+        let fd = fs.open("/home/user/.history", OpenFlags::append())?;
+        fs.write(fd, format!("{cmd}\n").as_bytes())?;
+        fs.close(fd)?;
+    }
+    print!(
+        "$ cat /home/user/.history\n{}",
+        String::from_utf8(fs.read_file("/home/user/.history")?)?
+    );
+
+    // Random access through lseek, like any UNIX program expects.
+    let fd = fs.open("/home/user/.history", OpenFlags::read_only())?;
+    fs.lseek(fd, SeekFrom::End(-13))?;
+    let mut buf = [0u8; 12];
+    fs.read(fd, &mut buf)?;
+    fs.close(fd)?;
+    println!("$ tail -c 13 .history\n{}", std::str::from_utf8(&buf)?);
+
+    // mv and rm.
+    fs.rename("/home/user/.profile", "/home/user/profile.bak")?;
+    fs.unlink("/home/user/profile.bak")?;
+
+    // Underneath, every rewrite of .history became a new immutable file
+    // with the old versions retained as history:
+    let root = dirs.root();
+    let user_dir = dirs.resolve(&root, "home/user")?;
+    let versions = dirs.history(&user_dir, ".history")?;
+    println!(
+        "(underneath: .history accumulated {} immutable versions)",
+        versions.len()
+    );
+
+    // Two writers, one file: the default policy surfaces the conflict.
+    fs.write_file("/shared.txt", b"base")?;
+    let a = fs.open("/shared.txt", OpenFlags::read_write())?;
+    let b = fs.open("/shared.txt", OpenFlags::read_write())?;
+    fs.write(a, b"alice was here")?;
+    fs.write(b, b"bob was here")?;
+    fs.close(a)?;
+    match fs.close(b) {
+        Err(UnixError::Conflict) => {
+            println!("concurrent close detected a conflict — no silent lost update")
+        }
+        other => panic!("expected a conflict, got {other:?}"),
+    }
+    println!(
+        "$ cat /shared.txt\n{}",
+        String::from_utf8(fs.read_file("/shared.txt")?)?
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! One file service across international borders (§2.1): two sites, each
+//! with its own Bullet server and Ethernet, joined by a gateway over a
+//! 64 kbit/s leased line — "multiple Bullet file servers … providing one
+//! single large file service".
+//!
+//! A single directory tree (at the Amsterdam site) names files living on
+//! either server; cross-site replication uses capability sets.
+//!
+//! ```text
+//! cargo run --example wide_area
+//! ```
+
+use std::sync::Arc;
+
+use amoeba_bullet::bullet::{BulletClient, BulletConfig, BulletRpcServer, BulletServer};
+use amoeba_bullet::cap::Port;
+use amoeba_bullet::dir::DirServer;
+use amoeba_bullet::net::SimEthernet;
+use amoeba_bullet::rpc::{gateway::wan_64kbit, Dispatcher, Gateway, RpcClient};
+use amoeba_bullet::sim::{NetProfile, SimClock};
+use bytes::Bytes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = SimClock::new();
+
+    // Site 1: Amsterdam — Bullet server + the (global) directory service.
+    let mut ams_cfg = BulletConfig::small_test();
+    ams_cfg.clock = clock.clone();
+    ams_cfg.port = Port::from_u64(0xa57e);
+    let ams_bullet = Arc::new(BulletServer::format(ams_cfg, 2)?);
+    let dirs = Arc::new(DirServer::bootstrap(ams_bullet.clone())?);
+    let amsterdam = Dispatcher::new(SimEthernet::new(
+        clock.clone(),
+        NetProfile::ethernet_10mbit(),
+    ));
+    amsterdam.register(BulletRpcServer::new(ams_bullet.clone()));
+
+    // Site 2: London — its own Bullet server on its own Ethernet.
+    let mut lon_cfg = BulletConfig::small_test();
+    lon_cfg.clock = clock.clone();
+    lon_cfg.port = Port::from_u64(0x10d0);
+    lon_cfg.scheme_seed = 0x0705;
+    let lon_bullet = Arc::new(BulletServer::format(lon_cfg, 2)?);
+    let london = Dispatcher::new(SimEthernet::new(
+        clock.clone(),
+        NetProfile::ethernet_10mbit(),
+    ));
+    london.register(BulletRpcServer::new(lon_bullet.clone()));
+
+    // The gateway: a 64 kbit/s international line.
+    let wan = SimEthernet::new(clock.clone(), wan_64kbit());
+    let gateway = Gateway::new(amsterdam.clone(), london.clone(), wan);
+    gateway.export_to_local(lon_bullet.port());
+    println!("linked Amsterdam and London over a 64 kbit/s line");
+
+    // An Amsterdam workstation holds ONE client stack; port routing makes
+    // the London server reachable through the same fabric.
+    let rpc = RpcClient::new(amsterdam.clone());
+    let local_files = BulletClient::new(rpc.clone(), ams_bullet.port());
+    let remote_files = BulletClient::new(rpc, lon_bullet.port());
+
+    let payload = Bytes::from(vec![0x42; 4096]);
+    let (local_cap, dt_local) = {
+        let t0 = clock.now();
+        let cap = local_files.create(payload.clone(), 2)?;
+        (cap, clock.now() - t0)
+    };
+    let (remote_cap, dt_remote) = {
+        let t0 = clock.now();
+        let cap = remote_files.create(payload.clone(), 2)?;
+        (cap, clock.now() - t0)
+    };
+    println!("create 4 KB locally : {dt_local}");
+    println!("create 4 KB abroad  : {dt_remote}  (the ocean is expensive)");
+
+    // One namespace for both: the directory doesn't care where a
+    // capability points.
+    let root = dirs.root();
+    dirs.enter(&root, "local-report", local_cap)?;
+    dirs.enter(&root, "london-report", remote_cap)?;
+
+    // Cross-site replication via a capability set: the same bytes on
+    // both servers, preferred replica first.
+    let replica = remote_files.read(&remote_cap)?; // fetch from London
+    let local_copy = local_files.create(replica, 2)?;
+    dirs.enter_set(&root, "replicated-report", vec![local_copy, remote_cap])?;
+    println!("entered 'replicated-report' with replicas on both sites");
+
+    // A reader prefers the first (local) replica, failing over if needed.
+    let caps = dirs.lookup_set(&root, "replicated-report")?;
+    let read_any = |caps: &[amoeba_bullet::cap::Capability]| {
+        for cap in caps {
+            let client = if cap.port == ams_bullet.port() {
+                &local_files
+            } else {
+                &remote_files
+            };
+            if let Ok(data) = client.read(cap) {
+                return Some((*cap, data));
+            }
+        }
+        None
+    };
+    let t0 = clock.now();
+    let (used, data) = read_any(&caps).expect("some replica answers");
+    println!(
+        "read replicated file from {} replica in {} ({} bytes)",
+        if used.port == ams_bullet.port() {
+            "the LOCAL"
+        } else {
+            "the REMOTE"
+        },
+        clock.now() - t0,
+        data.len()
+    );
+
+    // The local Bullet server dies: the reader transparently falls over
+    // to the London replica.
+    amsterdam.unregister(ams_bullet.port());
+    let t0 = clock.now();
+    let (used, _) = read_any(&caps).expect("the remote replica answers");
+    println!(
+        "after the local server crashed: served by {} replica in {}",
+        if used.port == ams_bullet.port() {
+            "the LOCAL"
+        } else {
+            "the REMOTE"
+        },
+        clock.now() - t0
+    );
+    println!(
+        "WAN totals: {} messages, {} bytes",
+        gateway.wan().stats().get("net_messages"),
+        gateway.wan().stats().get("net_bytes"),
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # amoeba-bullet — a full reproduction of the Bullet file server
+//!
+//! This umbrella crate re-exports the whole stack built for the
+//! reproduction of van Renesse, Tanenbaum & Wilschut, *The Design of a
+//! High-Performance File Server* (ICDCS 1989):
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`cap`] | `amoeba-cap` | capabilities, rights, check-field crypto |
+//! | [`sim`] | `amoeba-sim` | simulated clock, 1989 hardware cost model |
+//! | [`disk`] | `amoeba-disk` | block devices, mirroring, fault injection |
+//! | [`net`] | `amoeba-net` | the simulated 10 Mbit/s Ethernet |
+//! | [`rpc`] | `amoeba-rpc` | Amoeba-style RPC fabric |
+//! | [`bullet`] | `bullet-core` | **the Bullet server** (the paper's contribution) |
+//! | [`dir`] | `amoeba-dir` | directory service, versions, GC |
+//! | [`blockfs`] | `nfs-blockfs` | the traditional block-server baseline |
+//! | [`log`] | `amoeba-log` | the append-optimized log server |
+//! | [`unix`] | `amoeba-unix` | the UNIX emulation layer |
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! the `bullet-bench` crate for the harness that regenerates every table
+//! and figure of the paper.
+//!
+//! # Quick start
+//!
+//! ```
+//! use amoeba_bullet::bullet::{BulletConfig, BulletServer};
+//! use bytes::Bytes;
+//!
+//! let server = BulletServer::format(BulletConfig::small_test(), 2)?;
+//! let cap = server.create(Bytes::from_static(b"immutable"), 2)?;
+//! assert_eq!(server.read(&cap)?, Bytes::from_static(b"immutable"));
+//! # Ok::<(), amoeba_bullet::bullet::BulletError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use amoeba_cap as cap;
+pub use amoeba_dir as dir;
+pub use amoeba_disk as disk;
+pub use amoeba_log as log;
+pub use amoeba_net as net;
+pub use amoeba_rpc as rpc;
+pub use amoeba_sim as sim;
+pub use amoeba_unix as unix;
+pub use bullet_core as bullet;
+pub use nfs_blockfs as blockfs;

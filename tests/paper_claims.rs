@@ -1,0 +1,105 @@
+//! The headline reproduction, as a test: regenerate Fig. 2 and Fig. 3 on
+//! the simulated 1989 testbed and assert the paper's §4 comparison
+//! claims hold in *shape* (who wins, by roughly what factor, where the
+//! crossovers fall).  EXPERIMENTS.md records the measured values.
+
+use bullet_bench::rig::{BulletRig, NfsRig};
+use bullet_bench::table::{measure_bullet, measure_nfs, Claims, SIZES};
+
+fn tables() -> (Vec<bullet_bench::Row>, Vec<bullet_bench::Row>) {
+    (
+        measure_bullet(&BulletRig::paper_1989()),
+        measure_nfs(&NfsRig::paper_1989()),
+    )
+}
+
+#[test]
+fn c1_bullet_reads_are_three_to_six_times_faster() {
+    let (bullet, nfs) = tables();
+    let claims = Claims::evaluate(&bullet, &nfs);
+    for &(size, ratio) in &claims.read_speedups {
+        // "three to six times better … for all file sizes"; the 1 MB row
+        // runs ahead of that band (see C2 — the paper itself reports ~10x
+        // there).
+        if size < 1 << 20 {
+            assert!(
+                (3.0..=6.5).contains(&ratio),
+                "read speedup at {size} B = {ratio:.2}, outside the paper's band"
+            );
+        } else {
+            assert!(
+                ratio > 6.0,
+                "1 MB speedup {ratio:.2} should exceed the band"
+            );
+        }
+    }
+}
+
+#[test]
+fn c2_large_file_bandwidth_ratio_approaches_ten() {
+    let (bullet, nfs) = tables();
+    let claims = Claims::evaluate(&bullet, &nfs);
+    assert!(
+        claims.large_read_bw_ratio >= 6.0,
+        "1 MB read bandwidth ratio {:.1} too small for the paper's ~10x",
+        claims.large_read_bw_ratio
+    );
+}
+
+#[test]
+fn c3_bullet_writes_beat_nfs_reads_for_large_files() {
+    let (bullet, nfs) = tables();
+    let claims = Claims::evaluate(&bullet, &nfs);
+    // "For very large files (> 64 Kbytes) the Bullet server even achieves
+    // a higher bandwidth for writing than SUN NFS achieves for reading."
+    assert!(
+        claims.write_beats_read_at.contains(&(1 << 20)),
+        "expected the 1 MB crossover; got {:?}",
+        claims.write_beats_read_at
+    );
+    // And never for tiny files (writes hit two disks).
+    assert!(!claims.write_beats_read_at.contains(&1));
+}
+
+#[test]
+fn c4_nfs_bandwidth_dips_at_one_megabyte() {
+    let (_bullet, nfs) = tables();
+    let claims = Claims::evaluate(&measure_bullet(&BulletRig::paper_1989()), &nfs);
+    let (read_dip, create_dip) = claims.nfs_dips_at_1mb;
+    assert!(read_dip, "NFS 1 MB read bandwidth must dip below 64 KB");
+    assert!(create_dip, "NFS 1 MB create bandwidth must dip below 64 KB");
+}
+
+#[test]
+fn bullet_bandwidth_rises_monotonically_with_size() {
+    let rows = measure_bullet(&BulletRig::paper_1989());
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].read_bw() > pair[0].read_bw(),
+            "bullet read bandwidth must grow with file size"
+        );
+        assert!(
+            pair[1].write_bw() > pair[0].write_bw(),
+            "bullet create bandwidth must grow with file size"
+        );
+    }
+    // And the top end rides the wire: several hundred KB/s.
+    assert!(rows.last().unwrap().read_bw() > 500.0);
+}
+
+#[test]
+fn tables_cover_the_papers_size_column_deterministically() {
+    let (bullet, nfs) = tables();
+    assert_eq!(bullet.len(), SIZES.len());
+    assert_eq!(nfs.len(), SIZES.len());
+    // Rerunning reproduces the numbers exactly (simulated time).
+    let (bullet2, nfs2) = tables();
+    for (a, b) in bullet.iter().zip(&bullet2) {
+        assert_eq!(a.read, b.read);
+        assert_eq!(a.write, b.write);
+    }
+    for (a, b) in nfs.iter().zip(&nfs2) {
+        assert_eq!(a.read, b.read);
+        assert_eq!(a.write, b.write);
+    }
+}

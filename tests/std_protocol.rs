@@ -1,0 +1,80 @@
+//! The Amoeba standard server protocol: every server in the system
+//! answers `STD_INFO` and `STD_STATUS`, so one generic client can probe
+//! any object or service by capability alone.
+
+use std::sync::Arc;
+
+use amoeba_bullet::bullet::{BulletConfig, BulletRpcServer, BulletServer};
+use amoeba_bullet::cap::Capability;
+use amoeba_bullet::dir::{DirRpcServer, DirServer};
+use amoeba_bullet::net::SimEthernet;
+use amoeba_bullet::rpc::{Dispatcher, RpcClient, Status};
+use amoeba_bullet::sim::{NetProfile, SimClock};
+use bytes::Bytes;
+use nfs_blockfs::{NfsServer, NfsServerConfig};
+
+fn stack() -> (RpcClient, Arc<BulletServer>, Arc<DirServer>, Arc<NfsServer>) {
+    let clock = SimClock::new();
+    let mut cfg = BulletConfig::small_test();
+    cfg.clock = clock.clone();
+    let bullet = Arc::new(BulletServer::format(cfg, 2).unwrap());
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let mut nfs_cfg = NfsServerConfig::small_test();
+    nfs_cfg.clock = clock.clone();
+    let nfs = Arc::new(NfsServer::format(nfs_cfg).unwrap());
+    let dispatcher = Dispatcher::new(SimEthernet::new(clock, NetProfile::ethernet_10mbit()));
+    dispatcher.register(BulletRpcServer::new(bullet.clone()));
+    dispatcher.register(DirRpcServer::new(dirs.clone()));
+    dispatcher.register(nfs.clone());
+    (RpcClient::new(dispatcher), bullet, dirs, nfs)
+}
+
+fn service_cap(port: amoeba_bullet::cap::Port) -> Capability {
+    let mut cap = Capability::null();
+    cap.port = port;
+    cap
+}
+
+#[test]
+fn every_server_answers_std_info() {
+    let (rpc, bullet, dirs, nfs) = stack();
+    let info = rpc.std_info(service_cap(bullet.port())).unwrap();
+    assert!(info.contains("bullet file server"), "{info}");
+    let info = rpc.std_info(service_cap(dirs.port())).unwrap();
+    assert!(info.contains("directory server"), "{info}");
+    let info = rpc.std_info(service_cap(nfs.port())).unwrap();
+    assert!(info.contains("block server"), "{info}");
+}
+
+#[test]
+fn object_info_describes_the_object() {
+    let (rpc, bullet, dirs, _nfs) = stack();
+    let cap = bullet.create(Bytes::from(vec![7u8; 321]), 1).unwrap();
+    let info = rpc.std_info(cap).unwrap();
+    assert!(info.contains("321 bytes"), "{info}");
+
+    let root = dirs.root();
+    dirs.enter(&root, "a", cap).unwrap();
+    dirs.enter(&root, "b", cap).unwrap();
+    let info = rpc.std_info(root).unwrap();
+    assert!(info.contains("2 entries"), "{info}");
+
+    // A forged capability gets no information.
+    let mut forged = cap;
+    forged.check ^= 1;
+    assert_eq!(rpc.std_info(forged).unwrap_err(), Status::CapBad);
+}
+
+#[test]
+fn status_reports_live_counters() {
+    let (rpc, bullet, _dirs, nfs) = stack();
+    let cap = bullet.create(Bytes::from_static(b"x"), 1).unwrap();
+    bullet.read(&cap).unwrap();
+    let status = rpc.std_status(service_cap(bullet.port())).unwrap();
+    assert!(status.contains("creates="), "{status}");
+    assert!(status.contains("cache_"), "{status}");
+    assert!(status.contains("disk_free_blocks="), "{status}");
+
+    let status = rpc.std_status(service_cap(nfs.port())).unwrap();
+    assert!(status.contains("nfs_ops="), "{status}");
+}

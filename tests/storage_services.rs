@@ -1,0 +1,181 @@
+//! Cross-service integration: version chains, garbage collection, the
+//! log server, and the UNIX layer interacting over one Bullet store.
+
+use std::sync::Arc;
+
+use amoeba_bullet::bullet::{BulletConfig, BulletServer};
+use amoeba_bullet::dir::{ClientFileCache, DirServer};
+use amoeba_bullet::log::LogServer;
+use amoeba_bullet::unix::{OpenFlags, UnixFs};
+use bytes::Bytes;
+
+fn bullet() -> Arc<BulletServer> {
+    let mut cfg = BulletConfig::small_test();
+    cfg.disk_blocks = 16_384;
+    cfg.cache_capacity = 4 << 20;
+    cfg.min_inodes = 1024;
+    cfg.rnode_slots = 1024;
+    Arc::new(BulletServer::format(cfg, 2).unwrap())
+}
+
+#[test]
+fn unix_edits_build_history_and_gc_prunes_beyond_it() {
+    let bullet = bullet();
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let fs = UnixFs::new(dirs.clone(), bullet.clone());
+
+    // Ten rewrites: MAX_CAPSET (8) stay as history, the rest fall off.
+    for i in 0..10 {
+        fs.write_file("/doc", format!("revision {i}").as_bytes())
+            .unwrap();
+    }
+    let root = dirs.root();
+    let history = dirs.history(&root, "doc").unwrap();
+    assert_eq!(history.len(), 8);
+    assert_eq!(
+        bullet.read(&history[0]).unwrap(),
+        Bytes::from_static(b"revision 9")
+    );
+
+    // GC keeps exactly the history, sweeps the two displaced revisions.
+    let live_before = bullet.list_live_caps().len();
+    let swept = dirs.collect_garbage().unwrap();
+    assert_eq!(swept, 2, "revisions 0 and 1 were displaced from history");
+    assert_eq!(bullet.list_live_caps().len(), live_before - 2);
+    for cap in &history {
+        assert!(bullet.read(cap).is_ok(), "history versions survive GC");
+    }
+}
+
+#[test]
+fn logs_and_files_coexist_on_one_store() {
+    let bullet = bullet();
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let logs =
+        LogServer::bootstrap_with(bullet.clone(), LogServer::default_port(), 3, 128).unwrap();
+    let fs = UnixFs::new(dirs.clone(), bullet.clone());
+
+    // An application writes data files and an audit log side by side.
+    let audit = logs.create_log().unwrap();
+    for i in 0..20 {
+        fs.write_file(&format!("/data-{i}"), &vec![i as u8; 700])
+            .unwrap();
+        logs.append(&audit, format!("wrote data-{i}\n").as_bytes())
+            .unwrap();
+    }
+    logs.checkpoint(&audit).unwrap();
+
+    let tail = logs
+        .read_from(&audit, logs.len(&audit).unwrap() - 14)
+        .unwrap();
+    assert_eq!(&tail[..], b"wrote data-19\n");
+    assert_eq!(fs.read_file("/data-7").unwrap(), vec![7u8; 700]);
+
+    // Log rotation reclaims whole early segments without touching files.
+    let reclaimed = logs.truncate_prefix(&audit, 200).unwrap();
+    assert!((128..=200).contains(&reclaimed), "reclaimed {reclaimed}");
+    // Logical offsets still address the retained suffix.
+    let rest = logs.read_from(&audit, reclaimed).unwrap();
+    assert!(rest.len() as u64 == logs.len(&audit).unwrap() - reclaimed);
+    assert_eq!(fs.read_file("/data-0").unwrap(), vec![0u8; 700]);
+}
+
+#[test]
+fn client_cache_sees_unix_layer_updates() {
+    let bullet = bullet();
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let fs = UnixFs::new(dirs.clone(), bullet.clone());
+    let cache = ClientFileCache::new(dirs.clone(), bullet.clone());
+    let root = dirs.root();
+
+    fs.write_file("/config", b"mode=fast").unwrap();
+    assert_eq!(&cache.read(&root, "config").unwrap()[..], b"mode=fast");
+    assert_eq!(&cache.read(&root, "config").unwrap()[..], b"mode=fast");
+    assert_eq!(cache.stats().get("client_cache_hits"), 1);
+
+    // An edit through the UNIX layer invalidates the cache naturally.
+    let fd = fs.open("/config", OpenFlags::read_write()).unwrap();
+    fs.write(fd, b"mode=safe").unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(&cache.read(&root, "config").unwrap()[..], b"mode=safe");
+    assert_eq!(cache.stats().get("client_cache_misses"), 2);
+}
+
+#[test]
+fn compaction_under_live_services() {
+    // Fragment the store through the UNIX layer, then run the 3 a.m.
+    // compaction and verify every service still reads correctly.
+    let bullet = bullet();
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let fs = UnixFs::new(dirs.clone(), bullet.clone());
+    for i in 0..30 {
+        fs.write_file(&format!("/f{i}"), &vec![i as u8; 2048])
+            .unwrap();
+    }
+    for i in (0..30).step_by(2) {
+        fs.unlink(&format!("/f{i}")).unwrap();
+    }
+    dirs.collect_garbage().unwrap();
+
+    let before = bullet.disk_frag_report();
+    assert!(before.hole_count > 1, "churn should fragment: {before:?}");
+    let moved = bullet.compact_disk().unwrap();
+    assert!(moved > 0);
+    bullet.clear_cache(); // force post-compaction disk reads
+    for i in (1..30).step_by(2) {
+        assert_eq!(
+            fs.read_file(&format!("/f{i}")).unwrap(),
+            vec![i as u8; 2048]
+        );
+    }
+    assert_eq!(bullet.disk_frag_report().hole_count, 1);
+}
+
+#[test]
+fn aging_gc_protocol_across_services() {
+    // The alternative to mark-and-sweep: the directory service touches
+    // everything it can reach; an aging round at the Bullet server then
+    // expires only the orphans.
+    let mut cfg = BulletConfig::small_test();
+    cfg.max_age = 2;
+    let bullet = Arc::new(BulletServer::format(cfg, 2).unwrap());
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let root = dirs.root();
+
+    let named = bullet.create(Bytes::from_static(b"named"), 1).unwrap();
+    dirs.enter(&root, "named", named).unwrap();
+    let orphan = bullet.create(Bytes::from_static(b"orphan"), 1).unwrap();
+
+    // Two touch+age rounds: the orphan's age runs out, reachable files
+    // (including the directory's own backing files) are refreshed.
+    for _ in 0..2 {
+        dirs.touch_reachable().unwrap();
+        bullet.age_all().unwrap();
+    }
+    assert!(bullet.read(&orphan).is_err(), "orphan must age out");
+    assert_eq!(bullet.read(&named).unwrap(), Bytes::from_static(b"named"));
+    // The directory service itself still works (its files were touched).
+    assert_eq!(dirs.lookup(&root, "named").unwrap(), named);
+    dirs.enter(&root, "after-gc", named).unwrap();
+}
+
+#[test]
+fn store_wide_accounting_is_consistent() {
+    // Every file any service creates is enumerable, and sizes sum up.
+    let bullet = bullet();
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let fs = UnixFs::new(dirs.clone(), bullet.clone());
+    fs.write_file("/a", &[1u8; 100]).unwrap();
+    fs.write_file("/b", &[2u8; 200]).unwrap();
+
+    let caps = bullet.list_live_caps();
+    let total: u64 = caps.iter().map(|c| bullet.size(c).unwrap() as u64).sum();
+    // a + b + root-dir file + superfile (sizes vary); at least 300 bytes
+    // of payload plus metadata files.
+    assert!(caps.len() >= 4);
+    assert!(total >= 300);
+    // Everything the enumeration lists is readable with the minted cap.
+    for cap in caps {
+        bullet.read(&cap).unwrap();
+    }
+}

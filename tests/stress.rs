@@ -1,0 +1,165 @@
+//! Concurrency stress: many client threads hammering one server while
+//! faults are injected — the server must stay consistent throughout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use amoeba_bullet::bullet::{BulletConfig, BulletServer};
+use amoeba_bullet::cap::Capability;
+use amoeba_bullet::dir::DirServer;
+use amoeba_bullet::disk::{BlockDevice, FaultyDisk, MirroredDisk, RamDisk};
+use amoeba_bullet::sim::DetRng;
+use amoeba_bullet::unix::{UnixFs, WritePolicy};
+use bytes::Bytes;
+use crossbeam::channel::unbounded;
+
+fn big_config() -> BulletConfig {
+    let mut cfg = BulletConfig::small_test();
+    cfg.disk_blocks = 32_768;
+    cfg.cache_capacity = 8 << 20;
+    cfg.min_inodes = 4096;
+    cfg.rnode_slots = 4096;
+    cfg
+}
+
+#[test]
+fn many_threads_create_read_delete_consistently() {
+    let server = Arc::new(BulletServer::format(big_config(), 2).unwrap());
+    let threads = 8;
+    let per_thread = 50;
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut rng = DetRng::new(t as u64 + 1);
+                let mut live: Vec<(Capability, Vec<u8>)> = Vec::new();
+                for i in 0..per_thread {
+                    let size = (rng.next_below(4000) + 1) as usize;
+                    let fill = (t * 31 + i) as u8;
+                    let data = vec![fill; size];
+                    let cap = server.create(Bytes::from(data.clone()), 1).unwrap();
+                    live.push((cap, data));
+                    // Read a random live file back.
+                    let (cap, expect) = &live[rng.next_below(live.len() as u64) as usize];
+                    assert_eq!(&server.read(cap).unwrap()[..], &expect[..]);
+                    // Occasionally delete one.
+                    if rng.next_f64() < 0.3 {
+                        let i = rng.next_below(live.len() as u64) as usize;
+                        let (cap, _) = live.swap_remove(i);
+                        server.delete(&cap).unwrap();
+                    }
+                }
+                live
+            })
+        })
+        .collect();
+
+    let mut total_live = 0;
+    for handle in handles {
+        let live = handle.join().unwrap();
+        // Every thread's survivors read back exactly.
+        for (cap, expect) in &live {
+            assert_eq!(&server.read(cap).unwrap()[..], &expect[..]);
+        }
+        total_live += live.len();
+    }
+    assert_eq!(server.live_files(), total_live);
+    // Storage accounting survived the contention.
+    let frag = server.disk_frag_report();
+    assert!(frag.free <= frag.total);
+    server.sync().unwrap();
+}
+
+#[test]
+fn disk_dies_mid_stress_and_nobody_notices() {
+    let cfg = big_config();
+    let a = Arc::new(FaultyDisk::new(RamDisk::new(
+        cfg.block_size,
+        cfg.disk_blocks,
+    )));
+    let b = Arc::new(FaultyDisk::new(RamDisk::new(
+        cfg.block_size,
+        cfg.disk_blocks,
+    )));
+    let storage = MirroredDisk::new(vec![
+        a.clone() as Arc<dyn BlockDevice>,
+        b.clone() as Arc<dyn BlockDevice>,
+    ])
+    .unwrap();
+    let server = Arc::new(BulletServer::format_on(cfg, storage).unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (err_tx, err_rx) = unbounded::<String>();
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let server = server.clone();
+            let stop = stop.clone();
+            let err_tx = err_tx.clone();
+            std::thread::spawn(move || {
+                let mut rng = DetRng::new(100 + t);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let data = vec![t as u8; (rng.next_below(2000) + 1) as usize];
+                    match server.create(Bytes::from(data.clone()), 1) {
+                        Ok(cap) => {
+                            if server.read(&cap).map(|d| d.to_vec()) != Ok(data) {
+                                let _ = err_tx.send(format!("thread {t}: read mismatch"));
+                            }
+                            if server.delete(&cap).is_err() {
+                                let _ = err_tx.send(format!("thread {t}: delete failed"));
+                            }
+                        }
+                        Err(e) => {
+                            let _ = err_tx.send(format!("thread {t}: create failed: {e}"));
+                        }
+                    }
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    // Let the workers run, kill a disk under them, let them keep running.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    a.fail_now();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let total_ops: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    drop(err_tx);
+    let errors: Vec<String> = err_rx.into_iter().collect();
+    assert!(errors.is_empty(), "worker errors: {errors:?}");
+    assert!(total_ops > 100, "only {total_ops} ops completed");
+    assert_eq!(server.storage().alive_count(), 1);
+    assert_eq!(server.live_files(), 0);
+}
+
+#[test]
+fn unix_layer_concurrent_distinct_files() {
+    let bullet = Arc::new(BulletServer::format(big_config(), 2).unwrap());
+    let dirs = Arc::new(DirServer::bootstrap(bullet.clone()).unwrap());
+    let fs = Arc::new(UnixFs::with_policy(
+        dirs,
+        bullet,
+        WritePolicy::LastWriterWins,
+    ));
+    std::thread::scope(|scope| {
+        for t in 0..6u8 {
+            let fs = fs.clone();
+            scope.spawn(move || {
+                let dir = format!("/worker-{t}");
+                fs.mkdir(&dir).unwrap();
+                for i in 0..15u8 {
+                    let path = format!("{dir}/file-{i}");
+                    fs.write_file(&path, &vec![t ^ i; 512]).unwrap();
+                    assert_eq!(fs.read_file(&path).unwrap(), vec![t ^ i; 512]);
+                }
+            });
+        }
+    });
+    assert_eq!(fs.readdir("/").unwrap().len(), 6);
+    for t in 0..6u8 {
+        assert_eq!(fs.readdir(&format!("/worker-{t}")).unwrap().len(), 15);
+    }
+}

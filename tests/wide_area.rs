@@ -1,0 +1,149 @@
+//! Wide-area integration: two complete sites joined by a gateway form one
+//! file service — §2.1's geographic-scalability story.
+
+use std::sync::Arc;
+
+use amoeba_bullet::bullet::{BulletClient, BulletConfig, BulletRpcServer, BulletServer};
+use amoeba_bullet::cap::Port;
+use amoeba_bullet::dir::{DirRpcServer, DirServer};
+use amoeba_bullet::net::SimEthernet;
+use amoeba_bullet::rpc::{gateway::wan_64kbit, Dispatcher, Gateway, RpcClient, Status};
+use amoeba_bullet::sim::{NetProfile, SimClock};
+use bytes::Bytes;
+
+struct TwoSites {
+    clock: SimClock,
+    ams: Arc<Dispatcher>,
+    lon: Arc<Dispatcher>,
+    ams_bullet: Arc<BulletServer>,
+    lon_bullet: Arc<BulletServer>,
+    dirs: Arc<DirServer>,
+    gateway: Gateway,
+}
+
+fn two_sites() -> TwoSites {
+    let clock = SimClock::new();
+    let mut ams_cfg = BulletConfig::small_test();
+    ams_cfg.clock = clock.clone();
+    ams_cfg.port = Port::from_u64(0xa57e);
+    let ams_bullet = Arc::new(BulletServer::format(ams_cfg, 2).unwrap());
+    let dirs = Arc::new(DirServer::bootstrap(ams_bullet.clone()).unwrap());
+    let ams = Dispatcher::new(SimEthernet::new(
+        clock.clone(),
+        NetProfile::ethernet_10mbit(),
+    ));
+    ams.register(BulletRpcServer::new(ams_bullet.clone()));
+    ams.register(DirRpcServer::new(dirs.clone()));
+
+    let mut lon_cfg = BulletConfig::small_test();
+    lon_cfg.clock = clock.clone();
+    lon_cfg.port = Port::from_u64(0x10d0);
+    lon_cfg.scheme_seed = 0x0705;
+    let lon_bullet = Arc::new(BulletServer::format(lon_cfg, 2).unwrap());
+    let lon = Dispatcher::new(SimEthernet::new(
+        clock.clone(),
+        NetProfile::ethernet_10mbit(),
+    ));
+    lon.register(BulletRpcServer::new(lon_bullet.clone()));
+
+    let wan = SimEthernet::new(clock.clone(), wan_64kbit());
+    let gateway = Gateway::new(ams.clone(), lon.clone(), wan);
+    gateway.export_to_local(lon_bullet.port());
+    // The directory service is visible from London, too.
+    gateway.export_to_remote(dirs.port());
+
+    TwoSites {
+        clock,
+        ams,
+        lon,
+        ams_bullet,
+        lon_bullet,
+        dirs,
+        gateway,
+    }
+}
+
+#[test]
+fn one_namespace_spans_both_sites() {
+    let s = two_sites();
+    let rpc = RpcClient::new(s.ams.clone());
+    let local = BulletClient::new(rpc.clone(), s.ams_bullet.port());
+    let remote = BulletClient::new(rpc, s.lon_bullet.port());
+    let root = s.dirs.root();
+
+    let here = local
+        .create(Bytes::from_static(b"amsterdam bytes"), 2)
+        .unwrap();
+    let there = remote
+        .create(Bytes::from_static(b"london bytes"), 2)
+        .unwrap();
+    s.dirs.enter(&root, "here", here).unwrap();
+    s.dirs.enter(&root, "there", there).unwrap();
+
+    // Looking up "there" yields a capability whose PORT routes abroad;
+    // the client needs no location knowledge at all.
+    let found = s.dirs.lookup(&root, "there").unwrap();
+    assert_eq!(found.port, s.lon_bullet.port());
+    assert_eq!(
+        remote.read(&found).unwrap(),
+        Bytes::from_static(b"london bytes")
+    );
+}
+
+#[test]
+fn remote_operations_cost_wan_time() {
+    let s = two_sites();
+    let rpc = RpcClient::new(s.ams.clone());
+    let remote = BulletClient::new(rpc, s.lon_bullet.port());
+    let cap = remote.create(Bytes::from_static(b"x"), 1).unwrap();
+    let t0 = s.clock.now();
+    remote.read(&cap).unwrap();
+    let dt = s.clock.now() - t0;
+    assert!(dt.as_ms_f64() > 300.0, "WAN read cost only {dt}");
+    assert!(s.gateway.wan().stats().get("net_messages") >= 2);
+}
+
+#[test]
+fn replica_set_fails_over_across_the_ocean() {
+    let s = two_sites();
+    let rpc = RpcClient::new(s.ams.clone());
+    let local = BulletClient::new(rpc.clone(), s.ams_bullet.port());
+    let remote = BulletClient::new(rpc, s.lon_bullet.port());
+    let root = s.dirs.root();
+
+    let data = Bytes::from(vec![9u8; 2000]);
+    let local_cap = local.create(data.clone(), 2).unwrap();
+    let remote_cap = remote.create(data.clone(), 2).unwrap();
+    s.dirs
+        .enter_set(&root, "mirrored", vec![local_cap, remote_cap])
+        .unwrap();
+
+    let caps = s.dirs.lookup_set(&root, "mirrored").unwrap();
+    assert_eq!(caps, vec![local_cap, remote_cap]);
+
+    // Local first.
+    assert_eq!(local.read(&caps[0]).unwrap(), data);
+    // The local server vanishes; the second replica still serves.
+    s.ams.unregister(s.ams_bullet.port());
+    assert_eq!(local.read(&caps[0]).unwrap_err(), Status::NotFound);
+    assert_eq!(remote.read(&caps[1]).unwrap(), data);
+}
+
+#[test]
+fn london_client_uses_the_amsterdam_directory() {
+    // A client at the London site reaches the (Amsterdam) directory
+    // service through the gateway: one global naming space (§2.1).
+    let s = two_sites();
+    let rpc = RpcClient::new(s.lon.clone());
+    let names = amoeba_bullet::dir::DirClient::new(rpc, s.dirs.port());
+    let root = s.dirs.root();
+    let cap = s
+        .ams_bullet
+        .create(Bytes::from_static(b"global"), 1)
+        .unwrap();
+    let t0 = s.clock.now();
+    names.enter(&root, "global-name", cap).unwrap();
+    assert_eq!(names.lookup(&root, "global-name").unwrap(), cap);
+    // Both operations crossed the ocean.
+    assert!((s.clock.now() - t0).as_ms_f64() > 600.0);
+}
