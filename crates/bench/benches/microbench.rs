@@ -56,6 +56,45 @@ fn bench_bullet_create_delete(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cache-hit reads fanned out over real threads: with the sharded locks a
+/// hit takes only shared `table`/`cache` read locks, so per-read cost
+/// should stay roughly flat as the thread count grows instead of
+/// degrading the way a single global mutex would.
+fn bench_bullet_read_concurrent(c: &mut Criterion) {
+    const READS_PER_THREAD: usize = 64;
+    let mut group = c.benchmark_group("bullet_read_concurrent");
+    for &threads in &[1usize, 2, 4, 8] {
+        let server = bullet_server();
+        let caps: Vec<_> = (0..16)
+            .map(|i| {
+                server
+                    .create(Bytes::from(vec![i as u8; 4096]), 2)
+                    .expect("create")
+            })
+            .collect();
+        for cap in &caps {
+            server.read(cap).expect("warm-up");
+        }
+        group.throughput(Throughput::Elements((threads * READS_PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for n in 0..t {
+                        let server = &server;
+                        let caps = &caps;
+                        s.spawn(move || {
+                            for i in 0..READS_PER_THREAD {
+                                server.read(&caps[(n + i) % caps.len()]).expect("read");
+                            }
+                        });
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_capability_schemes(c: &mut Criterion) {
     let scheme = MacScheme::from_seed(7);
     let port = Port::from_u64(1);
@@ -120,6 +159,7 @@ fn bench_blockfs_io(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bullet_read,
+    bench_bullet_read_concurrent,
     bench_bullet_create_delete,
     bench_capability_schemes,
     bench_extent_allocator,

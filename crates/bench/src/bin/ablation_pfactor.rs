@@ -30,5 +30,7 @@ fn main() {
     }
     println!();
     println!("P=0 returns after the RAM-cache insert (fast, crash-vulnerable);");
-    println!("P=N returns after the file and inode are on N disks (§2.2).");
+    println!("P=N returns after the file and inode are on N disks (§2.2).  The N");
+    println!("replica writes run in parallel, so P=2 costs what the slowest disk");
+    println!("costs — the same as P=1 on identical spindles.");
 }

@@ -114,6 +114,28 @@ fn main() -> std::io::Result<()> {
         })
         .collect();
     let _ = writeln!(out, "* P-FACTOR (ABL3), 1 MB create: {}.", p.join(", "));
+    let _ = writeln!(out);
+
+    // Server-side counters from the ablation rig above: the cache's
+    // hit/miss/eviction tallies and the per-lock acquisition counters
+    // introduced with the sharded locking (contended = the uncontended
+    // fast path failed and the caller had to block).
+    let _ = writeln!(out, "### Server counters (ablation rig)\n");
+    let _ = writeln!(out, "| Counter | Value |");
+    let _ = writeln!(out, "|---|---|");
+    for (k, v) in rig.server.cache_stats() {
+        let _ = writeln!(out, "| {k} | {v} |");
+    }
+    for (k, v) in rig.server.lock_stats() {
+        let _ = writeln!(out, "| {k} | {v} |");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Multi-client scaling of the sharded locks is measured separately by\n\
+         `cargo run -p bullet-bench --bin ablation_concurrency`\n\
+         (`results/ablation_concurrency.txt`)."
+    );
 
     std::fs::create_dir_all("results")?;
     std::fs::write("results/REPORT.md", &out)?;

@@ -12,6 +12,7 @@
 //! to time").
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 
@@ -37,7 +38,7 @@ pub enum EvictionPolicy {
 }
 
 /// One cache entry.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Rnode {
     /// The inode-table index of the cached file.
     inode_index: u32,
@@ -45,8 +46,10 @@ struct Rnode {
     offset: u64,
     /// The cached contents (length is the file size).
     data: Bytes,
-    /// LRU age: larger is more recent.
-    age: u64,
+    /// LRU age: larger is more recent.  Atomic so that concurrent
+    /// cache-hit lookups can refresh it through a shared reference —
+    /// the server serves hits under a read lock.
+    age: AtomicU64,
 }
 
 /// Outcome of a successful [`FileCache::insert`].
@@ -71,7 +74,7 @@ pub struct FileCache {
     rnodes: Vec<Option<Rnode>>,
     free_slots: Vec<u16>,
     by_inode: HashMap<u32, u16>,
-    age_counter: u64,
+    age_counter: AtomicU64,
     policy: EvictionPolicy,
     rng: DetRng,
     stats: Stats,
@@ -108,10 +111,10 @@ impl FileCache {
         FileCache {
             capacity,
             arena: ExtentAllocator::new(0, capacity),
-            rnodes: vec![None; slots],
+            rnodes: (0..slots).map(|_| None).collect(),
             free_slots: (0..slots as u16).rev().collect(),
             by_inode: HashMap::new(),
-            age_counter: 0,
+            age_counter: AtomicU64::new(0),
             policy,
             rng: DetRng::new(seed),
             stats: Stats::new(),
@@ -145,25 +148,43 @@ impl FileCache {
     }
 
     /// Looks up a file, refreshing its age.  Counts a hit or miss.
-    pub fn get(&mut self, inode_index: u32) -> Option<Bytes> {
-        match self.by_inode.get(&inode_index) {
-            Some(&slot) => {
-                self.age_counter += 1;
-                let refresh = self.policy == EvictionPolicy::Lru;
-                let r = self.rnodes[slot as usize]
-                    .as_mut()
-                    .expect("by_inode points at a live rnode");
-                if refresh {
-                    r.age = self.age_counter;
-                }
+    ///
+    /// Takes `&self`: age refresh and the hit counter go through atomics,
+    /// so concurrent cache-hit reads need no exclusive lock — the heart
+    /// of the server's concurrent read path.
+    pub fn get(&self, inode_index: u32) -> Option<Bytes> {
+        match self.lookup(inode_index) {
+            Some(data) => {
                 self.stats.incr("cache_hits");
-                Some(r.data.clone())
+                Some(data)
             }
             None => {
                 self.stats.incr("cache_misses");
                 None
             }
         }
+    }
+
+    /// Re-probe after a counted miss: counts a hit if another request
+    /// filled the cache meanwhile, but never double-counts the miss.  The
+    /// server's miss path uses this after taking the per-inode in-flight
+    /// guard.
+    pub fn recheck(&self, inode_index: u32) -> Option<Bytes> {
+        let data = self.lookup(inode_index)?;
+        self.stats.incr("cache_hits");
+        Some(data)
+    }
+
+    fn lookup(&self, inode_index: u32) -> Option<Bytes> {
+        let &slot = self.by_inode.get(&inode_index)?;
+        let r = self.rnodes[slot as usize]
+            .as_ref()
+            .expect("by_inode points at a live rnode");
+        if self.policy == EvictionPolicy::Lru {
+            let age = self.age_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            r.age.store(age, Ordering::Relaxed);
+        }
+        Some(r.data.clone())
     }
 
     /// Looks up without touching age or counters (for inspection).
@@ -227,12 +248,12 @@ impl FileCache {
         };
 
         let slot = self.free_slots.pop().expect("slot reserved above");
-        self.age_counter += 1;
+        let age = self.age_counter.fetch_add(1, Ordering::Relaxed) + 1;
         self.rnodes[slot as usize] = Some(Rnode {
             inode_index,
             offset,
             data,
-            age: self.age_counter,
+            age: AtomicU64::new(age),
         });
         self.by_inode.insert(inode_index, slot);
         self.stats.incr("cache_inserts");
@@ -259,7 +280,7 @@ impl FileCache {
     pub fn clear(&mut self) {
         let slots = self.rnodes.len();
         self.arena = ExtentAllocator::new(0, self.capacity);
-        self.rnodes = vec![None; slots];
+        self.rnodes = (0..slots).map(|_| None).collect();
         self.free_slots = (0..slots as u16).rev().collect();
         self.by_inode.clear();
     }
@@ -298,7 +319,7 @@ impl FileCache {
                 self.rnodes
                     .iter()
                     .flatten()
-                    .min_by_key(|r| r.age)?
+                    .min_by_key(|r| r.age.load(Ordering::Relaxed))?
                     .inode_index
             }
             EvictionPolicy::Random(_) => {

@@ -85,6 +85,9 @@ impl BulletRpcServer {
         for (k, v) in self.server.cache_stats() {
             out.push_str(&format!("{k}={v}\n"));
         }
+        for (k, v) in self.server.lock_stats() {
+            out.push_str(&format!("{k}={v}\n"));
+        }
         let frag = self.server.disk_frag_report();
         out.push_str(&format!(
             "disk_free_blocks={} disk_holes={} disk_frag={:.3}\n",

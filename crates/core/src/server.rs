@@ -1,9 +1,41 @@
 //! The Bullet server proper: operations, durability, recovery, compaction.
+//!
+//! # Concurrency model
+//!
+//! The server state is split into independently locked components so that
+//! overlapping requests from many client threads make progress together
+//! (see `DESIGN.md`, "Concurrency model"):
+//!
+//! * `table: RwLock<InodeTable>` — inode lookups (capability verification,
+//!   reads) take the shared guard; only create/delete/cache-index updates
+//!   take the exclusive one.
+//! * `alloc: Mutex<AllocState>` — the disk extent free list and the inode
+//!   random-number generator, held only for the few-microsecond reserve /
+//!   free operations, never across I/O.
+//! * `cache: RwLock<FileCache>` — cache-hit reads run under the *read*
+//!   guard: [`FileCache::get`] refreshes LRU ages and hit counters through
+//!   atomics, so the hot path takes no exclusive lock at all.
+//! * `ages: Mutex<HashMap<..>>` — the touch/age garbage-collection state.
+//! * `inflight` — a per-inode busy table.  All disk I/O for a file
+//!   (create write-through, miss loads, delete/expiry inode zeroing,
+//!   compaction moves) happens under that file's in-flight guard *only*,
+//!   keeping create/delete/read/compaction of the same file serialized
+//!   while different files overlap freely.
+//! * `maintenance: RwLock<()>` — compaction takes the exclusive guard;
+//!   create/delete/expiry take the shared one; reads never touch it.
+//!
+//! Lock order (outer to inner): `maintenance` → `inflight` → `table` →
+//! `alloc` → `cache` → `ages`, with `inode_io` taken only around inode
+//! block write-through (acquiring `table.read` inside).  A path may skip
+//! levels but never acquires a lock while holding one further in.  Every
+//! acquisition is counted in [`BulletServer::lock_stats`], with
+//! `lock_contended_*` counters for acquisitions that had to wait.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port, Rights};
 use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk};
@@ -11,7 +43,7 @@ use amoeba_sim::{CpuProfile, DetRng, SimClock, Stats};
 
 use crate::cache::{EvictionPolicy, FileCache};
 use crate::freelist::ExtentAllocator;
-use crate::layout::Inode;
+use crate::layout::{DiskDescriptor, Inode};
 use crate::table::{InodeTable, RepairPolicy};
 use crate::BulletError;
 
@@ -98,15 +130,64 @@ impl SchemeKind {
     }
 }
 
-struct State {
-    table: InodeTable,
-    alloc: ExtentAllocator,
-    cache: FileCache,
+/// Disk-space allocation state: the extent free list plus the inode
+/// random-number generator, both consumed by every create.  One small
+/// mutex; never held across I/O.
+struct AllocState {
+    extents: ExtentAllocator,
     rng: DetRng,
-    /// Ages for the touch/age garbage-collection protocol, keyed by inode
-    /// index.  RAM-only: a restart resets every live file to `max_age`
-    /// (generous, as the original server was).
-    ages: std::collections::HashMap<u32, u32>,
+}
+
+/// The per-inode in-flight table: at most one request at a time may be in
+/// its disk phase for any given inode.  Waiters block on a condition
+/// variable; guards release and wake on drop (also on panic).
+struct InflightTable {
+    busy: std::sync::Mutex<std::collections::HashSet<u32>>,
+    cv: std::sync::Condvar,
+}
+
+impl InflightTable {
+    fn new() -> InflightTable {
+        InflightTable {
+            busy: std::sync::Mutex::new(std::collections::HashSet::new()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until `idx` is free, then marks it busy.  Returns the guard
+    /// and whether the caller had to wait (for the contention counters).
+    fn acquire(&self, idx: u32) -> (InflightGuard<'_>, bool) {
+        let mut busy = self
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut waited = false;
+        while busy.contains(&idx) {
+            waited = true;
+            busy = self
+                .cv
+                .wait(busy)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        busy.insert(idx);
+        (InflightGuard { table: self, idx }, waited)
+    }
+}
+
+struct InflightGuard<'a> {
+    table: &'a InflightTable,
+    idx: u32,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.table
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&self.idx);
+        self.table.cv.notify_all();
+    }
 }
 
 /// One row of [`BulletServer::describe_layout`].
@@ -126,21 +207,40 @@ pub struct LayoutEntry {
 
 /// The Bullet file server.
 ///
-/// Thread-safe: operations take `&self` and serialize on an internal lock,
-/// modelling the paper's single dedicated server machine.
+/// Thread-safe and concurrent: operations take `&self`, and independent
+/// requests overlap.  Cache-hit reads run entirely under shared locks;
+/// disk I/O happens under a per-inode in-flight guard only, so slow
+/// mirrored writes for one file never stall reads of another.  See the
+/// module documentation for the lock hierarchy.
 pub struct BulletServer {
     cfg: BulletConfig,
     scheme: Box<dyn CheckScheme>,
     storage: MirroredDisk,
-    state: Mutex<State>,
+    /// Copy of the immutable on-disk geometry, readable without a lock.
+    desc: DiskDescriptor,
+    table: RwLock<InodeTable>,
+    alloc: Mutex<AllocState>,
+    cache: RwLock<FileCache>,
+    /// Touch/age garbage-collection ages, keyed by inode index.
+    /// RAM-only: a restart resets every live file to `max_age` (generous,
+    /// as the original server was).
+    ages: Mutex<HashMap<u32, u32>>,
+    inflight: InflightTable,
+    /// Serializes inode-block write-through so that the order block
+    /// images are snapshotted equals the order they reach the disks: two
+    /// files sharing a control block can never clobber each other's inode
+    /// on disk with a stale image.
+    inode_io: Mutex<()>,
+    maintenance: RwLock<()>,
     stats: Stats,
+    locks: Stats,
 }
 
 impl std::fmt::Debug for BulletServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BulletServer")
             .field("port", &self.cfg.port)
-            .field("files", &self.state.lock().table.live_count())
+            .field("files", &self.table.read().live_count())
             .finish()
     }
 }
@@ -158,20 +258,45 @@ impl BulletServer {
     ) -> Result<BulletServer, BulletError> {
         let table = InodeTable::format(&storage, cfg.min_inodes)?;
         let desc = *table.descriptor();
-        let state = State {
-            table,
-            alloc: ExtentAllocator::new(desc.data_start(), desc.data_end()),
-            cache: FileCache::with_policy(cfg.cache_capacity, cfg.rnode_slots, cfg.eviction),
-            rng: DetRng::new(cfg.rng_seed),
-            ages: std::collections::HashMap::new(),
-        };
-        Ok(BulletServer {
-            scheme: cfg.scheme.build(cfg.scheme_seed),
+        let alloc = ExtentAllocator::new(desc.data_start(), desc.data_end());
+        Ok(BulletServer::assemble(
             cfg,
             storage,
-            state: Mutex::new(state),
+            table,
+            alloc,
+            HashMap::new(),
+        ))
+    }
+
+    fn assemble(
+        cfg: BulletConfig,
+        storage: MirroredDisk,
+        table: InodeTable,
+        extents: ExtentAllocator,
+        ages: HashMap<u32, u32>,
+    ) -> BulletServer {
+        BulletServer {
+            scheme: cfg.scheme.build(cfg.scheme_seed),
+            desc: *table.descriptor(),
+            table: RwLock::new(table),
+            alloc: Mutex::new(AllocState {
+                extents,
+                rng: DetRng::new(cfg.rng_seed),
+            }),
+            cache: RwLock::new(FileCache::with_policy(
+                cfg.cache_capacity,
+                cfg.rnode_slots,
+                cfg.eviction,
+            )),
+            ages: Mutex::new(ages),
+            inflight: InflightTable::new(),
+            inode_io: Mutex::new(()),
+            maintenance: RwLock::new(()),
+            cfg,
+            storage,
             stats: Stats::new(),
-        })
+            locks: Stats::new(),
+        }
     }
 
     /// Convenience: formats a fresh server on `replicas` plain RAM disks
@@ -238,20 +363,7 @@ impl BulletServer {
         };
 
         let ages = table.live().map(|(i, _)| (i, cfg.max_age)).collect();
-        let state = State {
-            table,
-            alloc,
-            cache: FileCache::with_policy(cfg.cache_capacity, cfg.rnode_slots, cfg.eviction),
-            rng: DetRng::new(cfg.rng_seed),
-            ages,
-        };
-        let server = BulletServer {
-            scheme: cfg.scheme.build(cfg.scheme_seed),
-            cfg,
-            storage,
-            state: Mutex::new(state),
-            stats: Stats::new(),
-        };
+        let server = BulletServer::assemble(cfg, storage, table, alloc, ages);
         server
             .stats
             .add("recovery_repaired_inodes", report.repaired as u64);
@@ -313,16 +425,24 @@ impl BulletServer {
             .clock
             .advance(self.cfg.cpu.memcpy(data.len() as u64));
 
-        let mut st = self.state.lock();
-        let block_size = st.table.descriptor().block_size;
+        let block_size = self.desc.block_size;
         let blocks = (size as u64).div_ceil(block_size as u64).max(1);
 
-        let start = st.alloc.alloc(blocks).ok_or(BulletError::NoSpace)?;
-        let random = loop {
-            let r = amoeba_cap::mask48(st.rng.next_u64());
-            if r != 0 {
-                break r;
-            }
+        // Creates may overlap each other, but not a running compaction.
+        let _m = self.maint_read();
+
+        // Reserve the extent and draw the check random under the
+        // allocation lock alone.
+        let (start, random) = {
+            let mut al = self.alloc_lock();
+            let start = al.extents.alloc(blocks).ok_or(BulletError::NoSpace)?;
+            let random = loop {
+                let r = amoeba_cap::mask48(al.rng.next_u64());
+                if r != 0 {
+                    break r;
+                }
+            };
+            (start, random)
         };
         let inode = Inode {
             random,
@@ -330,44 +450,60 @@ impl BulletServer {
             start_block: start as u32,
             size_bytes: size,
         };
-        let idx = match st.table.alloc(inode) {
-            Ok(idx) => idx,
-            Err(e) => {
-                st.alloc.free(start, blocks).expect("just allocated");
-                return Err(e);
+
+        // Publish the inode in the RAM table.
+        let idx = {
+            let mut table = self.table_write();
+            match table.alloc(inode) {
+                Ok(idx) => idx,
+                Err(e) => {
+                    drop(table);
+                    self.alloc_lock()
+                        .extents
+                        .free(start, blocks)
+                        .expect("just allocated");
+                    return Err(e);
+                }
             }
         };
 
-        // Into the RAM cache (evictions clear the victims' index fields).
-        if let Err(e) = self.cache_insert(&mut st, idx, data.clone()) {
-            st.table.clear(idx).expect("just allocated");
-            st.alloc.free(start, blocks).expect("just allocated");
-            return Err(e);
-        }
+        // The disk phase runs under this file's in-flight guard only:
+        // other requests keep flowing while the mirrored writes complete.
+        let _busy = self.inflight_lock(idx);
 
-        let max_age = self.cfg.max_age;
-        st.ages.insert(idx, max_age);
+        // Into the RAM cache (evictions clear the victims' index fields).
+        {
+            let mut table = self.table_write();
+            let mut cache = self.cache_write();
+            if let Err(e) = self.cache_insert(&mut table, &mut cache, idx, data.clone()) {
+                let _ = table.clear(idx);
+                drop(cache);
+                drop(table);
+                self.alloc_lock()
+                    .extents
+                    .free(start, blocks)
+                    .expect("just allocated");
+                return Err(e);
+            }
+        }
+        self.ages_lock().insert(idx, self.cfg.max_age);
 
         // Write-through: file data, then the inode's whole block.
-        let mut padded = vec![0u8; (blocks * block_size as u64) as usize];
-        padded[..data.len()].copy_from_slice(&data);
-        let inode_block = st.table.block_of(idx);
-        let inode_image = st.table.block_image(inode_block);
-        drop(st);
-
         let k = p_factor as usize;
         let write = self
-            .storage
-            .write_sync_k(start, &padded, k)
-            .and_then(|_| self.storage.write_sync_k(inode_block, &inode_image, k));
+            .write_data_blocks(start, blocks, &data, k)
+            .and_then(|()| self.write_inode_block(idx, k));
         if let Err(e) = write {
             // Roll back so no half-created file remains.
-            let mut st = self.state.lock();
-            st.cache.remove(idx);
-            st.ages.remove(&idx);
-            let _ = st.table.clear(idx);
-            let _ = st.alloc.free(start, blocks);
-            return Err(e.into());
+            {
+                let mut table = self.table_write();
+                let mut cache = self.cache_write();
+                cache.remove(idx);
+                let _ = table.clear(idx);
+            }
+            self.ages_lock().remove(&idx);
+            let _ = self.alloc_lock().extents.free(start, blocks);
+            return Err(e);
         }
 
         self.stats.incr("creates");
@@ -387,8 +523,8 @@ impl BulletServer {
     /// Capability or lookup failures.
     pub fn size(&self, cap: &Capability) -> Result<u32, BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
-        let st = self.state.lock();
-        let inode = self.verify(&st, cap, Rights::READ)?;
+        let table = self.table_read();
+        let inode = self.verify(&table, cap, Rights::READ)?;
         Ok(inode.size_bytes)
     }
 
@@ -404,14 +540,18 @@ impl BulletServer {
     /// than the cache, or disk errors.
     pub fn read(&self, cap: &Capability) -> Result<Bytes, BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
-        let mut st = self.state.lock();
-        let inode = *self.verify(&st, cap, Rights::READ)?;
         let idx = cap.object.value();
-        if let Some(data) = st.cache.get(idx) {
+        // Fast path: verification and the cache hit take shared locks
+        // only, so concurrent cache-hot reads never serialize.
+        {
+            let table = self.table_read();
+            self.verify(&table, cap, Rights::READ)?;
+        }
+        if let Some(data) = self.cache_read().get(idx) {
             self.stats.incr("reads");
             return Ok(data);
         }
-        let data = self.load_from_disk(&mut st, idx, &inode)?;
+        let data = self.load_from_disk(cap, idx)?;
         self.stats.incr("reads");
         Ok(data)
     }
@@ -429,16 +569,18 @@ impl BulletServer {
         len: u32,
     ) -> Result<Bytes, BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
-        let mut st = self.state.lock();
-        let inode = *self.verify(&st, cap, Rights::READ)?;
+        let inode = {
+            let table = self.table_read();
+            *self.verify(&table, cap, Rights::READ)?
+        };
         let end = offset.checked_add(len).ok_or(BulletError::BadRange)?;
         if end > inode.size_bytes {
             return Err(BulletError::BadRange);
         }
         let idx = cap.object.value();
-        let data = match st.cache.get(idx) {
+        let data = match self.cache_read().get(idx) {
             Some(d) => d,
-            None => self.load_from_disk(&mut st, idx, &inode)?,
+            None => self.load_from_disk(cap, idx)?,
         };
         self.stats.incr("section_reads");
         Ok(data.slice(offset as usize..end as usize))
@@ -454,22 +596,28 @@ impl BulletServer {
     /// Capability failures or disk errors.
     pub fn delete(&self, cap: &Capability) -> Result<(), BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
-        let mut st = self.state.lock();
-        let inode = *self.verify(&st, cap, Rights::DESTROY)?;
         let idx = cap.object.value();
-        let block_size = st.table.descriptor().block_size;
-
-        st.cache.remove(idx);
-        st.ages.remove(&idx);
-        st.table.clear(idx)?;
-        st.alloc
-            .free(inode.start_block as u64, inode.blocks(block_size))?;
-        let inode_block = st.table.block_of(idx);
-        let image = st.table.block_image(inode_block);
-        drop(st);
-        // Deletion is always written through to all disks.
-        self.storage
-            .write_sync_k(inode_block, &image, self.storage.replica_count())?;
+        let _m = self.maint_read();
+        // The in-flight guard serializes against a create, miss load, or
+        // compaction move of the same file still in its disk phase.
+        let _busy = self.inflight_lock(idx);
+        let (start, blocks) = {
+            let mut table = self.table_write();
+            let inode = *self.verify(&table, cap, Rights::DESTROY)?;
+            table.clear_keep_slot(idx)?;
+            (inode.start_block as u64, inode.blocks(self.desc.block_size))
+        };
+        self.cache_write().remove(idx);
+        self.ages_lock().remove(&idx);
+        // Deletion is always written through to all disks.  The inode
+        // slot and the extent return to the free lists only afterwards,
+        // so neither can be reallocated while the zeroed inode is still
+        // in flight (on error they return anyway: the RAM table no
+        // longer references them, and recovery rebuilds from disk).
+        let write = self.write_inode_block(idx, self.storage.replica_count());
+        self.table_write().release_slot(idx);
+        self.alloc_lock().extents.free(start, blocks)?;
+        write?;
         self.stats.incr("deletes");
         Ok(())
     }
@@ -490,12 +638,14 @@ impl BulletServer {
         p_factor: u32,
     ) -> Result<Capability, BulletError> {
         let base = {
-            let mut st = self.state.lock();
-            let inode = *self.verify(&st, cap, Rights::READ | Rights::MODIFY)?;
+            {
+                let table = self.table_read();
+                self.verify(&table, cap, Rights::READ | Rights::MODIFY)?;
+            }
             let idx = cap.object.value();
-            match st.cache.get(idx) {
+            match self.cache_read().get(idx) {
                 Some(d) => d,
-                None => self.load_from_disk(&mut st, idx, &inode)?,
+                None => self.load_from_disk_with(cap, idx, Rights::READ | Rights::MODIFY)?,
             }
         };
         let new_len = base.len().max(offset as usize + data.len());
@@ -524,8 +674,8 @@ impl BulletServer {
         p_factor: u32,
     ) -> Result<Capability, BulletError> {
         let size = {
-            let st = self.state.lock();
-            self.verify(&st, cap, Rights::READ | Rights::MODIFY)?
+            let table = self.table_read();
+            self.verify(&table, cap, Rights::READ | Rights::MODIFY)?
                 .size_bytes
         };
         self.modify(cap, size, data, p_factor)
@@ -555,57 +705,59 @@ impl BulletServer {
     /// Disk errors mid-plan leave already-moved files fully consistent
     /// (each move updates the inode on disk before the next move starts).
     pub fn compact_disk(&self) -> Result<u64, BulletError> {
-        let mut st = self.state.lock();
-        let block_size = st.table.descriptor().block_size;
+        // Exclusive maintenance guard: creates, deletes, and expiry wait;
+        // reads keep flowing (each move serializes against readers of the
+        // moving file via its in-flight guard).
+        let _m = self.maint_write();
+        let block_size = self.desc.block_size;
         // Map start block -> inode index for plan application.
-        let mut by_start: std::collections::HashMap<u64, u32> = st
-            .table
-            .live()
-            .map(|(i, inode)| (inode.start_block as u64, i))
-            .collect();
-        let used = st.table.used_extents();
-        let plan = st.alloc.plan_compaction(&used);
+        let (mut by_start, used, plan) = {
+            let table = self.table_read();
+            let by_start: HashMap<u64, u32> = table
+                .live()
+                .map(|(i, inode)| (inode.start_block as u64, i))
+                .collect();
+            let used = table.used_extents();
+            let plan = self.alloc_lock().extents.plan_compaction(&used);
+            (by_start, used, plan)
+        };
         let mut moved = 0;
         for m in &plan {
             let idx = *by_start
                 .get(&m.from)
                 .expect("plan extents come from the table");
+            let _busy = self.inflight_lock(idx);
             let mut buf = vec![0u8; (m.len * block_size as u64) as usize];
             self.storage.read_blocks(m.from, &mut buf)?;
             self.storage
                 .write_sync_k(m.to, &buf, self.storage.replica_count())?;
-            let inode = st.table.get_mut(idx)?;
-            inode.start_block = m.to as u32;
-            let iblock = st.table.block_of(idx);
-            let image = st.table.block_image(iblock);
-            self.storage
-                .write_sync_k(iblock, &image, self.storage.replica_count())?;
+            self.table_write().get_mut(idx)?.start_block = m.to as u32;
+            self.write_inode_block(idx, self.storage.replica_count())?;
             by_start.remove(&m.from);
             by_start.insert(m.to, idx);
             moved += 1;
         }
         let total_used: u64 = used.iter().map(|&(_, l)| l).sum();
-        st.alloc.rebuild_after_compaction(total_used);
+        self.alloc_lock().extents.rebuild_after_compaction(total_used);
         self.stats.add("disk_compaction_moves", moved);
         Ok(moved)
     }
 
     /// Compacts the RAM cache arena; returns bytes moved.
     pub fn compact_memory(&self) -> u64 {
-        let mut st = self.state.lock();
-        let moved = st.cache.compact();
+        let moved = self.cache_write().compact();
         self.cfg.clock.advance(self.cfg.cpu.memcpy(moved));
         moved
     }
 
     /// Fragmentation snapshot of the disk data area.
     pub fn disk_frag_report(&self) -> crate::FragReport {
-        self.state.lock().alloc.report()
+        self.alloc_lock().extents.report()
     }
 
     /// Fragmentation snapshot of the RAM cache arena.
     pub fn cache_frag_report(&self) -> crate::FragReport {
-        self.state.lock().cache.frag_report()
+        self.cache_read().frag_report()
     }
 
     /// Server operation counters.
@@ -615,7 +767,13 @@ impl BulletServer {
 
     /// Cache counters (`cache_hits`, `cache_misses`, …), snapshotted.
     pub fn cache_stats(&self) -> Vec<(&'static str, u64)> {
-        self.state.lock().cache.stats().snapshot()
+        self.cache_read().stats().snapshot()
+    }
+
+    /// Lock acquisition counters (`lock_*`) with `lock_contended_*`
+    /// companions counting acquisitions that had to wait, snapshotted.
+    pub fn lock_stats(&self) -> Vec<(&'static str, u64)> {
+        self.locks.snapshot()
     }
 
     /// The mirrored storage (for failover tests and admin tooling).
@@ -630,17 +788,18 @@ impl BulletServer {
 
     /// Number of live files.
     pub fn live_files(&self) -> usize {
-        self.state.lock().table.live_count()
+        self.table_read().live_count()
     }
 
     /// Drops the whole RAM cache (admin/benchmark hook, modelling a flush
     /// or reboot without touching the disks).
     pub fn clear_cache(&self) {
-        let mut st = self.state.lock();
-        st.cache.clear();
-        let live: Vec<u32> = st.table.live().map(|(i, _)| i).collect();
+        let mut table = self.table_write();
+        let mut cache = self.cache_write();
+        cache.clear();
+        let live: Vec<u32> = table.live().map(|(i, _)| i).collect();
         for idx in live {
-            if let Ok(inode) = st.table.get_mut(idx) {
+            if let Ok(inode) = table.get_mut(idx) {
                 inode.index = 0;
             }
         }
@@ -650,20 +809,19 @@ impl BulletServer {
     /// descriptor plus every live file's `(inode, start_block, size,
     /// cached)` row, sorted by start block.
     pub fn describe_layout(&self) -> (crate::DiskDescriptor, Vec<LayoutEntry>) {
-        let st = self.state.lock();
-        let mut rows: Vec<LayoutEntry> = st
-            .table
+        let table = self.table_read();
+        let mut rows: Vec<LayoutEntry> = table
             .live()
             .map(|(idx, inode)| LayoutEntry {
                 inode: idx,
                 start_block: inode.start_block,
-                blocks: inode.blocks(st.table.descriptor().block_size),
+                blocks: inode.blocks(self.desc.block_size),
                 size_bytes: inode.size_bytes,
                 cached: inode.index != 0,
             })
             .collect();
         rows.sort_unstable_by_key(|e| e.start_block);
-        (*st.table.descriptor(), rows)
+        (self.desc, rows)
     }
 
     /// Resets a file's garbage-collection age — the Amoeba touch/age
@@ -675,11 +833,12 @@ impl BulletServer {
     ///
     /// Capability failures.
     pub fn touch(&self, cap: &Capability) -> Result<(), BulletError> {
-        let mut st = self.state.lock();
-        self.verify(&st, cap, Rights::NONE)?;
+        {
+            let table = self.table_read();
+            self.verify(&table, cap, Rights::NONE)?;
+        }
         let idx = cap.object.value();
-        let max_age = self.cfg.max_age;
-        st.ages.insert(idx, max_age);
+        self.ages_lock().insert(idx, self.cfg.max_age);
         Ok(())
     }
 
@@ -695,33 +854,47 @@ impl BulletServer {
     ///
     /// Disk errors while zeroing expired inodes.
     pub fn age_all(&self) -> Result<u64, BulletError> {
-        let mut st = self.state.lock();
-        let mut expired = Vec::new();
-        for (&idx, age) in st.ages.iter_mut() {
-            *age = age.saturating_sub(1);
-            if *age == 0 {
-                expired.push(idx);
+        let _m = self.maint_read();
+        let expired: Vec<u32> = {
+            let mut ages = self.ages_lock();
+            let mut expired = Vec::new();
+            for (&idx, age) in ages.iter_mut() {
+                *age = age.saturating_sub(1);
+                if *age == 0 {
+                    expired.push(idx);
+                }
             }
-        }
-        let block_size = st.table.descriptor().block_size;
-        let mut images = Vec::new();
+            for idx in &expired {
+                ages.remove(idx);
+            }
+            expired
+        };
+        let mut count = 0;
         for &idx in &expired {
-            let inode = *st.table.get(idx)?;
-            st.cache.remove(idx);
-            st.ages.remove(&idx);
-            st.table.clear(idx)?;
-            st.alloc
-                .free(inode.start_block as u64, inode.blocks(block_size))?;
-            let block = st.table.block_of(idx);
-            images.push((block, st.table.block_image(block)));
+            let _busy = self.inflight_lock(idx);
+            let (start, blocks) = {
+                let mut table = self.table_write();
+                match table.get(idx) {
+                    Ok(inode) => {
+                        let extent =
+                            (inode.start_block as u64, inode.blocks(self.desc.block_size));
+                        table.clear_keep_slot(idx)?;
+                        extent
+                    }
+                    // Deleted by a concurrent request after expiry was
+                    // decided: nothing left to reclaim.
+                    Err(_) => continue,
+                }
+            };
+            self.cache_write().remove(idx);
+            let write = self.write_inode_block(idx, self.storage.replica_count());
+            self.table_write().release_slot(idx);
+            self.alloc_lock().extents.free(start, blocks)?;
+            write?;
+            count += 1;
         }
-        drop(st);
-        for (block, image) in images {
-            self.storage
-                .write_sync_k(block, &image, self.storage.replica_count())?;
-        }
-        self.stats.add("aged_out", expired.len() as u64);
-        Ok(expired.len() as u64)
+        self.stats.add("aged_out", count);
+        Ok(count)
     }
 
     /// Administrative enumeration: owner capabilities for every live file.
@@ -729,8 +902,7 @@ impl BulletServer {
     /// This is the hook the directory service's garbage collector uses to
     /// sweep unreachable files; it is not part of the client protocol.
     pub fn list_live_caps(&self) -> Vec<Capability> {
-        let st = self.state.lock();
-        st.table
+        self.table_read()
             .live()
             .map(|(idx, inode)| {
                 self.scheme.mint(
@@ -751,8 +923,8 @@ impl BulletServer {
     ///
     /// Capability failures.
     pub fn restrict(&self, cap: &Capability, mask: Rights) -> Result<Capability, BulletError> {
-        let st = self.state.lock();
-        let inode = self.verify(&st, cap, Rights::NONE)?;
+        let table = self.table_read();
+        let inode = self.verify(&table, cap, Rights::NONE)?;
         Ok(self.scheme.mint(
             self.cfg.port,
             cap.object,
@@ -767,53 +939,200 @@ impl BulletServer {
 
     fn verify<'a>(
         &self,
-        st: &'a State,
+        table: &'a InodeTable,
         cap: &Capability,
         needed: Rights,
     ) -> Result<&'a Inode, BulletError> {
         if cap.port != self.cfg.port {
             return Err(BulletError::CapBad);
         }
-        let inode = st.table.get(cap.object.value())?;
+        let inode = table.get(cap.object.value())?;
         self.scheme.check_rights(cap, inode.random, needed)?;
         Ok(inode)
     }
 
-    /// Loads a file's extent from disk into the cache; returns the data.
-    fn load_from_disk(
+    /// The cache-miss path: loads the file's extent from disk into the
+    /// cache under the per-inode in-flight guard, holding no table or
+    /// cache lock during the I/O itself.
+    fn load_from_disk(&self, cap: &Capability, idx: u32) -> Result<Bytes, BulletError> {
+        self.load_from_disk_with(cap, idx, Rights::READ)
+    }
+
+    fn load_from_disk_with(
         &self,
-        st: &mut State,
+        cap: &Capability,
         idx: u32,
-        inode: &Inode,
+        needed: Rights,
     ) -> Result<Bytes, BulletError> {
-        let block_size = st.table.descriptor().block_size;
+        let _busy = self.inflight_lock(idx);
+        // Another request may have loaded the file while we waited for
+        // the guard; a late hit here does not re-count the miss.
+        if let Some(data) = self.cache_read().recheck(idx) {
+            return Ok(data);
+        }
+        // Re-verify: the file may have been deleted, or moved by
+        // compaction, before the guard was ours.  The snapshot is stable
+        // for the whole I/O because delete/compaction need this guard.
+        let inode = {
+            let table = self.table_read();
+            *self.verify(&table, cap, needed)?
+        };
+        let block_size = self.desc.block_size;
         let blocks = inode.blocks(block_size);
         let mut buf = vec![0u8; (blocks * block_size as u64) as usize];
         self.storage
             .read_blocks(inode.start_block as u64, &mut buf)?;
         buf.truncate(inode.size_bytes as usize);
         let data = Bytes::from(buf);
-        self.cache_insert(st, idx, data.clone())?;
+        let mut table = self.table_write();
+        let mut cache = self.cache_write();
+        self.cache_insert(&mut table, &mut cache, idx, data.clone())?;
         Ok(data)
     }
 
     /// Inserts into the cache, maintaining the inode index fields of the
     /// inserted file and of any evicted victims, and charging compaction
-    /// copies.
-    fn cache_insert(&self, st: &mut State, idx: u32, data: Bytes) -> Result<(), BulletError> {
-        let outcome = st.cache.insert(idx, data)?;
+    /// copies.  Caller supplies both write guards (table before cache, per
+    /// the lock order).
+    fn cache_insert(
+        &self,
+        table: &mut InodeTable,
+        cache: &mut FileCache,
+        idx: u32,
+        data: Bytes,
+    ) -> Result<(), BulletError> {
+        let outcome = cache.insert(idx, data)?;
         if outcome.compaction_bytes > 0 {
             self.cfg
                 .clock
                 .advance(self.cfg.cpu.memcpy(outcome.compaction_bytes));
         }
         for victim in &outcome.evicted {
-            if let Ok(inode) = st.table.get_mut(*victim) {
+            if let Ok(inode) = table.get_mut(*victim) {
                 inode.index = 0;
             }
         }
-        st.table.get_mut(idx)?.index = outcome.slot + 1;
+        table.get_mut(idx)?.index = outcome.slot + 1;
         Ok(())
+    }
+
+    /// Writes a file's data extent to `k` replicas, padding the final
+    /// block only when needed — block-aligned files go straight from the
+    /// shared [`Bytes`] handle with no copy.
+    fn write_data_blocks(
+        &self,
+        start: u64,
+        blocks: u64,
+        data: &[u8],
+        k: usize,
+    ) -> Result<(), BulletError> {
+        let total = (blocks * self.desc.block_size as u64) as usize;
+        if data.len() == total {
+            self.storage.write_sync_k(start, data, k)?;
+        } else {
+            let mut padded = vec![0u8; total];
+            padded[..data.len()].copy_from_slice(data);
+            self.storage.write_sync_k(start, &padded, k)?;
+        }
+        Ok(())
+    }
+
+    /// Write-through of the control block holding inode `idx` to `k`
+    /// replicas.  Serialized on `inode_io` so that the image snapshot
+    /// order equals the disk write order for files sharing a block.
+    fn write_inode_block(&self, idx: u32, k: usize) -> Result<(), BulletError> {
+        let _io = self.inode_io_lock();
+        let (block, image) = {
+            let table = self.table_read();
+            let block = table.block_of(idx);
+            (block, table.block_image(block))
+        };
+        self.storage.write_sync_k(block, &image, k)?;
+        Ok(())
+    }
+
+    // Counted lock acquisitions: every helper bumps `lock_<name>`, and
+    // `lock_contended_<name>` when the uncontended fast path failed.
+
+    fn table_read(&self) -> RwLockReadGuard<'_, InodeTable> {
+        self.locks.incr("lock_table_read");
+        self.table.try_read().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_table_read");
+            self.table.read()
+        })
+    }
+
+    fn table_write(&self) -> RwLockWriteGuard<'_, InodeTable> {
+        self.locks.incr("lock_table_write");
+        self.table.try_write().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_table_write");
+            self.table.write()
+        })
+    }
+
+    fn cache_read(&self) -> RwLockReadGuard<'_, FileCache> {
+        self.locks.incr("lock_cache_read");
+        self.cache.try_read().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_cache_read");
+            self.cache.read()
+        })
+    }
+
+    fn cache_write(&self) -> RwLockWriteGuard<'_, FileCache> {
+        self.locks.incr("lock_cache_write");
+        self.cache.try_write().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_cache_write");
+            self.cache.write()
+        })
+    }
+
+    fn alloc_lock(&self) -> MutexGuard<'_, AllocState> {
+        self.locks.incr("lock_alloc");
+        self.alloc.try_lock().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_alloc");
+            self.alloc.lock()
+        })
+    }
+
+    fn ages_lock(&self) -> MutexGuard<'_, HashMap<u32, u32>> {
+        self.locks.incr("lock_ages");
+        self.ages.try_lock().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_ages");
+            self.ages.lock()
+        })
+    }
+
+    fn inode_io_lock(&self) -> MutexGuard<'_, ()> {
+        self.locks.incr("lock_inode_io");
+        self.inode_io.try_lock().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_inode_io");
+            self.inode_io.lock()
+        })
+    }
+
+    fn maint_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.locks.incr("lock_maintenance_read");
+        self.maintenance.try_read().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_maintenance_read");
+            self.maintenance.read()
+        })
+    }
+
+    fn maint_write(&self) -> RwLockWriteGuard<'_, ()> {
+        self.locks.incr("lock_maintenance_write");
+        self.maintenance.try_write().unwrap_or_else(|| {
+            self.locks.incr("lock_contended_maintenance_write");
+            self.maintenance.write()
+        })
+    }
+
+    fn inflight_lock(&self, idx: u32) -> InflightGuard<'_> {
+        self.locks.incr("lock_inflight");
+        let (guard, waited) = self.inflight.acquire(idx);
+        if waited {
+            self.locks.incr("lock_contended_inflight");
+        }
+        guard
     }
 }
 

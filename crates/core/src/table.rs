@@ -218,10 +218,30 @@ impl InodeTable {
     ///
     /// [`BulletError::NotFound`] if the slot is not live.
     pub fn clear(&mut self, idx: u32) -> Result<(), BulletError> {
+        self.clear_keep_slot(idx)?;
+        self.release_slot(idx);
+        Ok(())
+    }
+
+    /// Zeroes a live inode *without* returning the slot to the free list.
+    /// The concurrent server uses this during deletion so the slot cannot
+    /// be reallocated while the zeroed inode's write-through is still in
+    /// flight; [`release_slot`](Self::release_slot) completes the pair.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NotFound`] if the slot is not live.
+    pub fn clear_keep_slot(&mut self, idx: u32) -> Result<(), BulletError> {
         self.get(idx)?;
         self.inodes[idx as usize] = Inode::default();
-        self.free.push(idx);
         Ok(())
+    }
+
+    /// Returns a slot zeroed by [`clear_keep_slot`](Self::clear_keep_slot)
+    /// to the free list, making it allocatable again.
+    pub fn release_slot(&mut self, idx: u32) {
+        debug_assert!(self.inodes[idx as usize].is_free(), "slot still live");
+        self.free.push(idx);
     }
 
     /// The control block containing inode `idx` (for write-through).

@@ -619,12 +619,30 @@ impl DirServer {
     }
 
     fn load_rows(&self, dir: &Capability, needed: Rights) -> Result<DirRows, DirError> {
-        let rec = {
-            let st = self.state.lock();
-            self.verify(&st, dir, needed)?
-        };
-        let raw = self.store.read(&rec.file)?;
-        DirRows::decode(raw)
+        // The store read happens outside the state lock, so a concurrent
+        // mutation can swing the record and retire the file between our
+        // snapshot and our read.  When the read fails, re-snapshot: if the
+        // record moved we simply raced an update and retry against the new
+        // file; only a failure on the *current* file is a real error.
+        loop {
+            let rec = {
+                let st = self.state.lock();
+                self.verify(&st, dir, needed)?
+            };
+            match self.store.read(&rec.file) {
+                Ok(raw) => return DirRows::decode(raw),
+                Err(e) => {
+                    let cur = {
+                        let st = self.state.lock();
+                        self.verify(&st, dir, needed)?
+                    };
+                    if cur.file == rec.file {
+                        return Err(e);
+                    }
+                    self.stats.incr("dir_read_retries");
+                }
+            }
+        }
     }
 
     /// The mutation skeleton: load rows, apply, write a *new* Bullet file,

@@ -110,6 +110,13 @@ impl MirroredDisk {
     /// live replicas are queued for background completion.  Returns how
     /// many replicas were written synchronously.
     ///
+    /// The synchronous writes are issued to all target replicas *in
+    /// parallel* (scoped threads, one per replica), the way a real
+    /// controller drives independent spindles.  Simulated time is charged
+    /// as the maximum across the replicas rather than the sum: each lane's
+    /// clock charges are captured and settled with
+    /// [`commit_max`](amoeba_sim::commit_max).
+    ///
     /// `k = 0` queues everything (P-FACTOR 0: reply before any disk I/O).
     ///
     /// # Errors
@@ -127,23 +134,30 @@ impl MirroredDisk {
         }
         let mut synced = 0;
         let mut last_err = None;
-        for i in 0..self.replicas.len() {
-            if !self.is_alive(i) {
-                continue;
-            }
-            if synced < k {
-                // Per-device FIFO: anything still queued for this replica
-                // must land before the new write, or a stale block image
-                // could later clobber this one.
-                self.drain_replica(i);
-                match self.replicas[i].write_blocks(first_block, data) {
+        let mut cursor = 0;
+        // Keep issuing parallel batches until k replicas have the data or
+        // the replica list is exhausted; a lane that fails drops out (its
+        // replica is marked dead) and a later replica takes its place in
+        // the next batch, preserving the sequential retry semantics.
+        while synced < k {
+            let batch: Vec<usize> = (cursor..self.replicas.len())
+                .filter(|&i| self.is_alive(i))
+                .take(k - synced)
+                .collect();
+            let Some(&last) = batch.last() else { break };
+            cursor = last + 1;
+            for (i, result) in self.write_batch_parallel(&batch, first_block, data) {
+                match result {
                     Ok(()) => synced += 1,
                     Err(e) => {
                         self.mark_dead(i);
                         last_err = Some(e);
                     }
                 }
-            } else {
+            }
+        }
+        for i in cursor..self.replicas.len() {
+            if self.is_alive(i) {
                 self.background
                     .lock()
                     .push_back((i, first_block, data.to_vec()));
@@ -154,6 +168,41 @@ impl MirroredDisk {
             return Err(last_err.unwrap_or(DiskError::AllReplicasFailed));
         }
         Ok(synced)
+    }
+
+    /// Writes one block image to each replica in `batch`, charging the
+    /// simulated clock max-of-lanes: the spindles run concurrently, so
+    /// the batch costs what its slowest member costs.  The device work
+    /// itself runs sequentially on the calling thread — the replicas are
+    /// memory-backed simulations, so per-lane capture of the deferred
+    /// charges models the parallelism exactly without paying host thread
+    /// spawns on every write.  Returns per-replica results in batch order.
+    fn write_batch_parallel(
+        &self,
+        batch: &[usize],
+        first_block: u64,
+        data: &[u8],
+    ) -> Vec<(usize, Result<(), DiskError>)> {
+        // Per-device FIFO: anything still queued for a replica must land
+        // before the new write, or a stale queued image could later
+        // clobber this one — hence drain inside each lane.
+        if let [i] = *batch {
+            self.drain_replica(i);
+            return vec![(i, self.replicas[i].write_blocks(first_block, data))];
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        let mut logs = Vec::with_capacity(batch.len());
+        for &i in batch {
+            let (result, log) = amoeba_sim::capture(|| {
+                self.drain_replica(i);
+                self.replicas[i].write_blocks(first_block, data)
+            });
+            out.push((i, result));
+            logs.push(log);
+        }
+        amoeba_sim::commit_max(logs);
+        self.stats.incr("mirror_parallel_batches");
+        out
     }
 
     /// Completes queued background writes, returning how many were applied.
@@ -444,6 +493,61 @@ mod tests {
         let mut buf = [0u8; 512];
         b.read_blocks(1, &mut buf).unwrap();
         assert_eq!(buf, [2u8; 512]);
+    }
+
+    #[test]
+    fn parallel_sync_writes_charge_max_not_sum() {
+        use crate::SimDisk;
+        use amoeba_sim::{DiskProfile, SimClock};
+
+        // Two replicas behind latency models sharing one clock: a mirrored
+        // write must cost what the slower replica costs, not the sum of
+        // both, because the spindles run concurrently.
+        let mirrored_cost = {
+            let clock = SimClock::new();
+            let mk = || -> Arc<dyn BlockDevice> {
+                Arc::new(SimDisk::new(
+                    RamDisk::new(512, 1024),
+                    clock.clone(),
+                    DiskProfile::scsi_1989(),
+                ))
+            };
+            let m = MirroredDisk::new(vec![mk(), mk()]).unwrap();
+            let ((), cost) = clock.time(|| m.write_sync_k(10, &[4u8; 4096], 2).map(|_| ()).unwrap());
+            cost
+        };
+        let single_cost = {
+            let clock = SimClock::new();
+            let d: Arc<dyn BlockDevice> = Arc::new(SimDisk::new(
+                RamDisk::new(512, 1024),
+                clock.clone(),
+                DiskProfile::scsi_1989(),
+            ));
+            let m = MirroredDisk::new(vec![d]).unwrap();
+            let ((), cost) = clock.time(|| m.write_sync_k(10, &[4u8; 4096], 1).map(|_| ()).unwrap());
+            cost
+        };
+        assert!(single_cost.as_ns() > 0);
+        // Identical replicas start from the same head position, so the
+        // max across the two lanes equals the single-replica cost exactly.
+        assert_eq!(mirrored_cost, single_cost);
+    }
+
+    #[test]
+    fn parallel_write_failure_still_fails_over() {
+        // First two replicas both fail mid-batch; the third absorbs the
+        // write, as the sequential retry loop used to guarantee.
+        let a = Arc::new(FaultyDisk::new(RamDisk::new(512, 64)));
+        let b = Arc::new(FaultyDisk::new(RamDisk::new(512, 64)));
+        let c = Arc::new(FaultyDisk::new(RamDisk::new(512, 64)));
+        let m = MirroredDisk::new(vec![a.clone(), b.clone(), c.clone()]).unwrap();
+        a.fail_now();
+        b.fail_now();
+        assert_eq!(m.write_sync_k(1, &[3u8; 512], 2).unwrap(), 1);
+        let mut buf = [0u8; 512];
+        c.read_blocks(1, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 512]);
+        assert_eq!(m.alive_count(), 1);
     }
 
     #[test]

@@ -100,6 +100,13 @@ impl Dispatcher {
 
     /// Performs one transaction.
     ///
+    /// `trans` may be called from any number of client threads at once:
+    /// the server handle is cloned out of the registry lock *before*
+    /// [`RpcServer::handle`] runs, so no dispatcher lock is held while the
+    /// server computes and overlapping requests proceed in parallel.  Any
+    /// serialization that remains is the server's own (e.g. the Bullet
+    /// server's per-component locks).
+    ///
     /// # Errors
     ///
     /// [`RpcError::UnknownPort`] if no server is registered on the
@@ -205,6 +212,43 @@ mod tests {
         d.trans(Request::simple(cap, 0)).unwrap();
         d.unregister(cap.port);
         assert!(d.trans(Request::simple(cap, 0)).is_err());
+    }
+
+    /// A server that refuses to answer until `n` requests are inside
+    /// `handle` at the same instant.  If the dispatcher held any lock
+    /// across the server call, the barrier could never fill and the test
+    /// would deadlock instead of passing.
+    struct Rendezvous(Port, std::sync::Barrier);
+
+    impl RpcServer for Rendezvous {
+        fn port(&self) -> Port {
+            self.0
+        }
+
+        fn handle(&self, _req: Request) -> Reply {
+            self.1.wait();
+            Reply::ok(Bytes::new(), Bytes::new())
+        }
+    }
+
+    #[test]
+    fn overlapping_transactions_run_concurrently() {
+        const CLIENTS: usize = 4;
+        let clock = SimClock::new();
+        let net = SimEthernet::new(clock, NetProfile::ethernet_10mbit());
+        let d = Dispatcher::new(net);
+        let port = Port::from_u64(9);
+        d.register(Arc::new(Rendezvous(port, std::sync::Barrier::new(CLIENTS))));
+        let mut cap = Capability::null();
+        cap.port = port;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| s.spawn(|| d.trans(Request::simple(cap, 0)).unwrap()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap().status, Status::Ok);
+            }
+        });
     }
 
     #[test]

@@ -1,5 +1,13 @@
-//! Simulated time: durations and the shared clock.
+//! Simulated time: durations, the shared clock, and charge capture.
+//!
+//! [`capture`] lets a caller run work on this thread while *deferring* its
+//! simulated-time charges into a [`ChargeLog`] instead of the shared
+//! clocks.  Logs from several lanes of logically-parallel work can then be
+//! settled with [`commit_max`], which advances each clock by the maximum
+//! any one lane charged it — the elapsed time of parallel execution —
+//! rather than the sum that sequential replay would produce.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -157,14 +165,32 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// Current simulated time.
+    /// Current simulated time.  Inside a [`capture`] this includes the
+    /// charges this thread has deferred against this clock, so latency
+    /// measurements (`now` deltas) work unchanged under capture.
     pub fn now(&self) -> Nanos {
-        Nanos(self.ns.load(Ordering::Relaxed))
+        Nanos(self.ns.load(Ordering::Relaxed) + pending_on_this_thread(&self.ns))
     }
 
-    /// Charges `d` of simulated work, returning the new time.
+    /// Charges `d` of simulated work, returning the new time.  Inside a
+    /// [`capture`] the charge is deferred into the innermost frame instead
+    /// of the shared counter.
     pub fn advance(&self, d: Nanos) -> Nanos {
-        Nanos(self.ns.fetch_add(d.0, Ordering::Relaxed) + d.0)
+        let deferred = FRAMES.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            match frames.last_mut() {
+                Some(frame) => {
+                    frame.add(self, d.0);
+                    true
+                }
+                None => false,
+            }
+        });
+        if deferred {
+            self.now()
+        } else {
+            Nanos(self.ns.fetch_add(d.0, Ordering::Relaxed) + d.0)
+        }
     }
 
     /// Resets to time zero (between benchmark runs).
@@ -178,6 +204,129 @@ impl SimClock {
         let out = f();
         (out, self.now().saturating_sub(start))
     }
+}
+
+/// Simulated-time charges deferred by one [`capture`] call.
+///
+/// Each entry pairs a clock with the total nanoseconds the captured work
+/// charged it; sequential charges within the capture are summed.
+#[derive(Debug, Default)]
+pub struct ChargeLog {
+    entries: Vec<(SimClock, u64)>,
+}
+
+impl ChargeLog {
+    fn add(&mut self, clock: &SimClock, ns: u64) {
+        for (c, total) in &mut self.entries {
+            if Arc::ptr_eq(&c.ns, &clock.ns) {
+                *total += ns;
+                return;
+            }
+        }
+        self.entries.push((clock.clone(), ns));
+    }
+
+    fn pending_on(&self, ns: &Arc<AtomicU64>) -> u64 {
+        self.entries
+            .iter()
+            .find(|(c, _)| Arc::ptr_eq(&c.ns, ns))
+            .map_or(0, |(_, total)| *total)
+    }
+
+    /// Time deferred against one specific clock (zero if the captured
+    /// work never charged it).  Lets a harness split an operation's cost
+    /// into per-resource components, e.g. CPU clock vs disk clock.
+    pub fn charged_to(&self, clock: &SimClock) -> Nanos {
+        Nanos(self.pending_on(&clock.ns))
+    }
+
+    /// Total deferred time summed over every clock.
+    pub fn total(&self) -> Nanos {
+        Nanos(self.entries.iter().map(|(_, total)| total).sum())
+    }
+
+    /// True if the captured work charged no simulated time at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|(_, total)| *total == 0)
+    }
+
+    /// Applies the log sequentially: every charge is replayed onto its
+    /// clock (or onto an enclosing capture, if one is active).
+    pub fn commit(self) {
+        for (clock, total) in self.entries {
+            clock.advance(Nanos(total));
+        }
+    }
+}
+
+thread_local! {
+    static FRAMES: RefCell<Vec<ChargeLog>> = const { RefCell::new(Vec::new()) };
+}
+
+fn pending_on_this_thread(ns: &Arc<AtomicU64>) -> u64 {
+    FRAMES.with(|frames| {
+        frames
+            .borrow()
+            .iter()
+            .map(|frame| frame.pending_on(ns))
+            .sum()
+    })
+}
+
+/// Pops the capture frame even if the captured closure panics, so a panic
+/// inside captured work cannot corrupt later captures on this thread.
+struct FrameGuard;
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        FRAMES.with(|frames| frames.borrow_mut().pop());
+    }
+}
+
+/// Runs `f` with its simulated-time charges deferred, returning the result
+/// and the [`ChargeLog`] of what it would have advanced.
+///
+/// Captures nest: an inner capture absorbs charges first, and committing
+/// its log while the outer capture is still active folds them outward.
+/// The capture is per-thread — work `f` spawns onto other threads charges
+/// clocks directly unless those threads capture too.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, ChargeLog) {
+    FRAMES.with(|frames| frames.borrow_mut().push(ChargeLog::default()));
+    let guard = FrameGuard;
+    let out = f();
+    let log = FRAMES.with(|frames| {
+        frames
+            .borrow_mut()
+            .pop()
+            .expect("capture frame pushed above")
+    });
+    std::mem::forget(guard);
+    (out, log)
+}
+
+/// Settles logs from logically-parallel lanes of work: each clock advances
+/// by the *maximum* any single lane charged it, modelling lanes that ran
+/// concurrently, then waited for the slowest.  Returns the largest
+/// single-lane total (the makespan of the parallel section).
+pub fn commit_max<I: IntoIterator<Item = ChargeLog>>(logs: I) -> Nanos {
+    let mut per_clock: Vec<(SimClock, u64)> = Vec::new();
+    let mut makespan = 0u64;
+    for log in logs {
+        makespan = makespan.max(log.total().as_ns());
+        for (clock, total) in log.entries {
+            match per_clock
+                .iter_mut()
+                .find(|(c, _)| Arc::ptr_eq(&c.ns, &clock.ns))
+            {
+                Some((_, max_total)) => *max_total = (*max_total).max(total),
+                None => per_clock.push((clock, total)),
+            }
+        }
+    }
+    for (clock, total) in per_clock {
+        clock.advance(Nanos(total));
+    }
+    Nanos(makespan)
 }
 
 #[cfg(test)]
@@ -239,6 +388,84 @@ mod tests {
         let c = SimClock::new();
         assert_eq!(c.advance(Nanos::from_us(3)), Nanos::from_us(3));
         assert_eq!(c.advance(Nanos::from_us(4)), Nanos::from_us(7));
+    }
+
+    #[test]
+    fn capture_defers_charges() {
+        let c = SimClock::new();
+        c.advance(Nanos(100));
+        let ((), log) = capture(|| {
+            c.advance(Nanos(40));
+            // now() sees the deferred charge mid-capture...
+            assert_eq!(c.now(), Nanos(140));
+        });
+        // ...but the shared clock does not, until the log is committed.
+        assert_eq!(c.now(), Nanos(100));
+        assert_eq!(log.total(), Nanos(40));
+        log.commit();
+        assert_eq!(c.now(), Nanos(140));
+    }
+
+    #[test]
+    fn commit_max_charges_slowest_lane() {
+        let c = SimClock::new();
+        let lanes: Vec<ChargeLog> = [10u64, 30, 20]
+            .iter()
+            .map(|&d| capture(|| c.advance(Nanos(d))).1)
+            .collect();
+        let makespan = commit_max(lanes);
+        assert_eq!(makespan, Nanos(30));
+        assert_eq!(c.now(), Nanos(30));
+    }
+
+    #[test]
+    fn commit_max_takes_per_clock_maxima() {
+        let a = SimClock::new();
+        let b = SimClock::new();
+        let lane1 = capture(|| {
+            a.advance(Nanos(5));
+            b.advance(Nanos(50));
+        })
+        .1;
+        let lane2 = capture(|| {
+            a.advance(Nanos(25));
+        })
+        .1;
+        assert_eq!(commit_max([lane1, lane2]), Nanos(55));
+        assert_eq!(a.now(), Nanos(25));
+        assert_eq!(b.now(), Nanos(50));
+    }
+
+    #[test]
+    fn captures_nest_and_fold_outward() {
+        let c = SimClock::new();
+        let ((), outer) = capture(|| {
+            c.advance(Nanos(1));
+            let ((), inner) = capture(|| {
+                c.advance(Nanos(2));
+            });
+            assert_eq!(inner.total(), Nanos(2));
+            inner.commit(); // folds into the outer capture, not the clock
+            assert_eq!(c.now(), Nanos(3));
+        });
+        assert_eq!(c.now(), Nanos::ZERO);
+        assert_eq!(outer.total(), Nanos(3));
+    }
+
+    #[test]
+    fn panicking_capture_unwinds_cleanly() {
+        let c = SimClock::new();
+        let result = std::panic::catch_unwind(|| {
+            capture(|| {
+                c.advance(Nanos(9));
+                panic!("mid-capture");
+            })
+        });
+        assert!(result.is_err());
+        // The frame was popped: charges work normally again.
+        c.advance(Nanos(1));
+        assert_eq!(c.now(), Nanos(1));
+        assert!(capture(|| ()).1.is_empty());
     }
 
     #[test]

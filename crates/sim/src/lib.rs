@@ -36,7 +36,7 @@ pub mod hw;
 pub mod rng;
 pub mod stats;
 
-pub use clock::{Nanos, SimClock};
+pub use clock::{capture, commit_max, ChargeLog, Nanos, SimClock};
 pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
 pub use rng::DetRng;
 pub use stats::{Histogram, Stats};

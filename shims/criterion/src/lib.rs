@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape:
+//! groups, throughput annotation, parameterized benches, `iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//! It prints one line per benchmark (mean ns/iter plus throughput when
+//! set) instead of criterion's statistical analysis.
+//!
+//! When invoked with `--test` (as `cargo test` does for harness = false
+//! bench targets) every benchmark body runs exactly once, unmeasured, so
+//! test runs stay fast while still exercising the bench code.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one benchmark iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim treats all
+/// variants the same (one setup per measured call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs benchmark bodies and records the mean time per iteration.
+pub struct Bencher {
+    quick: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || n >= 1 << 22 {
+                self.mean_ns = dt.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Measures `routine` over inputs built (outside the timer) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut n: u64 = 1;
+        loop {
+            let mut busy = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                busy += t0.elapsed();
+            }
+            if busy >= Duration::from_millis(20) || n >= 1 << 22 {
+                self.mean_ns = busy.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            quick: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+            let mbps = bytes as f64 / mean_ns * 1e9 / (1 << 20) as f64;
+            format!("  thrpt: {mbps:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let eps = n as f64 / mean_ns * 1e9;
+            format!("  thrpt: {eps:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<40} {mean_ns:>12.1} ns/iter{rate}");
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.quick,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        if !self.quick {
+            report(id, b.mean_ns, None);
+        }
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting on later benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        if !self.criterion.quick {
+            report(&format!("{}/{}", self.name, id.id), b.mean_ns, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a benchmark without a parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.criterion.quick,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        if !self.criterion.quick {
+            report(&format!("{}/{id}", self.name), b.mean_ns, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { quick: false };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| std::hint::black_box(3 + 4));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut count = 0u32;
+        let mut b = Bencher {
+            quick: true,
+            mean_ns: 0.0,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        b.iter_batched(|| 1, |x| x + 1, BatchSize::SmallInput);
+    }
+}

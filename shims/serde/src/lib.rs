@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` as forward-
+//! looking annotations — nothing actually serializes through serde (the
+//! wire formats are hand-rolled in `amoeba-rpc`).  So the shim supplies
+//! empty marker traits and derive macros that expand to nothing, keeping
+//! the annotations compiling without crates.io access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
