@@ -82,6 +82,9 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         repair: bullet_core::table::RepairPolicy::Fail,
         max_age: 8,
         eviction: bullet_core::EvictionPolicy::Lru,
+        segment_size: 64 * 1024,
+        pipeline: true,
+        readahead_segments: u32::MAX,
     };
     let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
     (server, disk_clock)

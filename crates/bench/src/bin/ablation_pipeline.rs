@@ -1,0 +1,115 @@
+//! Ablation ABL11 — sequential vs pipelined streaming transfers.
+//!
+//! Measures cold whole-file READ and mirrored CREATE delay with the
+//! streaming pipeline off (the pre-pipeline transfer path: stage the
+//! whole file in RAM, then move it) and on (segment `k` on the disk
+//! while segment `k-1` is on the wire), then sweeps the segment size at
+//! 1 MB.  The process exits non-zero if the pipelined path is ever
+//! slower than the sequential one — the invariant the scheduling
+//! recurrence guarantees.
+//!
+//! ```text
+//! cargo run -p bullet-bench --bin ablation_pipeline
+//! ```
+
+use amoeba_sim::{HwProfile, Nanos};
+use bullet_bench::rig::BulletRig;
+use bullet_bench::table::{bandwidth_kb_s, size_label};
+
+const SIZES: [usize; 5] = [1024, 4096, 65_536, 262_144, 1 << 20];
+const SEGMENTS: [u32; 5] = [4096, 16_384, 65_536, 262_144, 1 << 20];
+
+fn rig(pipeline: bool, segment_size: u32) -> BulletRig {
+    BulletRig::with_config(2, HwProfile::amoeba_1989(), 12 << 20, |cfg| {
+        cfg.pipeline = pipeline;
+        cfg.segment_size = segment_size;
+    })
+}
+
+fn main() {
+    let mut violations = 0u32;
+    println!("ABL11 — pipelined streaming transfers (64 KB segments unless noted)");
+    println!();
+    println!("  Cold whole-file READ (client cache miss, extent off both-mirrored disk):");
+    println!(
+        "  {:>10}  {:>14}  {:>14}  {:>9}  {:>12}",
+        "File size", "sequential", "pipelined", "speedup", "pipe KB/s"
+    );
+    for &size in &SIZES {
+        let seq = rig(false, 65_536).measure_cold_read(size);
+        let pipe = rig(true, 65_536).measure_cold_read(size);
+        if pipe > seq {
+            violations += 1;
+        }
+        println!(
+            "  {:>10}  {:>12.1}ms  {:>12.1}ms  {:>8.2}x  {:>12.1}",
+            size_label(size),
+            seq.as_ms_f64(),
+            pipe.as_ms_f64(),
+            seq.as_ns() as f64 / pipe.as_ns() as f64,
+            bandwidth_kb_s(size, pipe)
+        );
+    }
+    println!();
+    println!("  CREATE, P-FACTOR 2 (payload received, copied, and mirrored in segments):");
+    println!(
+        "  {:>10}  {:>14}  {:>14}  {:>9}",
+        "File size", "sequential", "pipelined", "speedup"
+    );
+    for &size in &SIZES {
+        let seq = rig(false, 65_536).measure_create(size, 2);
+        let pipe = rig(true, 65_536).measure_create(size, 2);
+        if pipe > seq {
+            violations += 1;
+        }
+        println!(
+            "  {:>10}  {:>12.1}ms  {:>12.1}ms  {:>8.2}x",
+            size_label(size),
+            seq.as_ms_f64(),
+            pipe.as_ms_f64(),
+            seq.as_ns() as f64 / pipe.as_ns() as f64,
+        );
+    }
+    println!();
+    println!("  Segment-size sweep, cold 1 MB READ (pipelined):");
+    println!(
+        "  {:>10}  {:>14}  {:>12}  {:>10}",
+        "Segment", "delay", "KB/s", "segments"
+    );
+    // The sweep intentionally visits bad configurations (a 4 KB segment
+    // pays 256 per-operation disk costs), so its rows are informative,
+    // not gated: the pipelined-never-slower invariant holds for the
+    // shipped default, asserted by the tables above.
+    let seq_1mb = rig(false, 65_536).measure_cold_read(1 << 20);
+    let mut best: (u32, Nanos) = (0, Nanos::from_ns(u64::MAX));
+    for &seg in &SEGMENTS {
+        let r = rig(true, seg);
+        let dt = r.measure_cold_read(1 << 20);
+        if dt < best.1 {
+            best = (seg, dt);
+        }
+        println!(
+            "  {:>10}  {:>12.1}ms  {:>12.1}  {:>10}",
+            size_label(seg as usize),
+            dt.as_ms_f64(),
+            bandwidth_kb_s(1 << 20, dt),
+            (1u64 << 20).div_ceil(seg as u64),
+        );
+    }
+    println!();
+    println!(
+        "  sequential 1 MB baseline: {:.1} ms; best segment {} at {:.1} ms",
+        seq_1mb.as_ms_f64(),
+        size_label(best.0 as usize),
+        best.1.as_ms_f64()
+    );
+    println!();
+    println!("Small segments chop the transfer into many per-operation disk and");
+    println!("per-packet fixed costs (at 4 KB they cost more than the overlap");
+    println!("recovers); huge segments degenerate to the sequential");
+    println!("store-and-forward path.  The 64 KB default sits near the knee.");
+    if violations > 0 {
+        eprintln!("ABL11 FAILED: pipelined slower than sequential in {violations} case(s)");
+        std::process::exit(1);
+    }
+}

@@ -6,11 +6,131 @@
 //! ```text
 //! cargo run -p bullet-bench --bin report
 //! ```
+//!
+//! With `--json [PATH]` it instead emits the machine-readable streaming
+//! benchmark (latency and bandwidth per file size, pipeline off and on)
+//! to `PATH` (default `BENCH_pr2.json`).  Adding `--check` compares the
+//! freshly measured pipelined 1 MB cold-read bandwidth against the
+//! sequential baseline in the committed file and fails the run on a
+//! regression — the CI bench-smoke gate:
+//!
+//! ```text
+//! cargo run --release -p bullet-bench --bin report -- --json --check BENCH_pr2.json
+//! ```
 
 use std::fmt::Write as _;
 
+use amoeba_sim::{HwProfile, Nanos};
 use bullet_bench::rig::{BulletRig, NfsRig};
-use bullet_bench::table::{measure_bullet, measure_nfs, size_label, Claims, Row};
+use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
+
+/// Sizes benched by `--json` (1 KB … 1 MB).
+const JSON_SIZES: [usize; 5] = [1024, 4096, 65_536, 262_144, 1 << 20];
+
+struct StreamRow {
+    size: usize,
+    warm_read: Nanos,
+    cold_seq: Nanos,
+    cold_pipe: Nanos,
+    create: Nanos,
+}
+
+fn measure_streaming() -> Vec<StreamRow> {
+    let rig = |pipeline: bool| {
+        BulletRig::with_config(2, HwProfile::amoeba_1989(), 12 << 20, |cfg| {
+            cfg.pipeline = pipeline;
+        })
+    };
+    JSON_SIZES
+        .iter()
+        .map(|&size| StreamRow {
+            size,
+            warm_read: rig(true).measure_read(size),
+            cold_seq: rig(false).measure_cold_read(size),
+            cold_pipe: rig(true).measure_cold_read(size),
+            create: rig(true).measure_create(size, 2),
+        })
+        .collect()
+}
+
+/// Hand-rolled JSON (the workspace carries no serializer): one object
+/// per size with delays in milliseconds and cold-read bandwidths.
+fn render_json(rows: &[StreamRow]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
+    let _ = writeln!(out, "  \"segment_size\": 65536,");
+    let _ = writeln!(out, "  \"sizes\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"bytes\": {},", r.size);
+        let _ = writeln!(
+            out,
+            "      \"warm_read_ms\": {:.3},",
+            r.warm_read.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"cold_read_sequential_ms\": {:.3},",
+            r.cold_seq.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"cold_read_pipelined_ms\": {:.3},",
+            r.cold_pipe.as_ms_f64()
+        );
+        let _ = writeln!(out, "      \"create_ms\": {:.3},", r.create.as_ms_f64());
+        let _ = writeln!(
+            out,
+            "      \"cold_read_sequential_kb_s\": {:.1},",
+            bandwidth_kb_s(r.size, r.cold_seq)
+        );
+        let _ = writeln!(
+            out,
+            "      \"cold_read_pipelined_kb_s\": {:.1}",
+            bandwidth_kb_s(r.size, r.cold_pipe)
+        );
+        let _ = writeln!(out, "    }}{}", if i + 1 == rows.len() { "" } else { "," });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"<key>": <number>` out of the object for `bytes` in committed
+/// JSON — enough parsing for the regression gate, no serde needed.
+fn json_lookup(doc: &str, bytes: usize, key: &str) -> Option<f64> {
+    let obj = doc.split("{").find(|o| {
+        o.lines()
+            .any(|l| l.trim().starts_with(&format!("\"bytes\": {bytes},")))
+    })?;
+    let line = obj.lines().find(|l| l.trim().starts_with(&format!("\"{key}\":")))?;
+    line.split(':').nth(1)?.trim().trim_end_matches(',').parse().ok()
+}
+
+fn run_json(path: &str, check: bool) -> std::io::Result<()> {
+    eprintln!("measuring streaming transfers (pipeline off/on)…");
+    let rows = measure_streaming();
+    if check {
+        let mb = rows.last().expect("1 MB row");
+        let fresh_pipe_bw = bandwidth_kb_s(mb.size, mb.cold_pipe);
+        let fresh_seq_bw = bandwidth_kb_s(mb.size, mb.cold_seq);
+        // The committed file's sequential baseline is the floor the
+        // pipelined path must never fall back to.
+        let committed_seq_bw = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|doc| json_lookup(&doc, 1 << 20, "cold_read_sequential_kb_s"))
+            .unwrap_or(fresh_seq_bw);
+        let floor = committed_seq_bw.max(fresh_seq_bw);
+        eprintln!(
+            "check: pipelined 1 MB cold read {fresh_pipe_bw:.1} KB/s vs sequential floor {floor:.1} KB/s"
+        );
+        if fresh_pipe_bw < floor {
+            eprintln!("BENCH CHECK FAILED: pipelined bandwidth regressed below sequential");
+            std::process::exit(1);
+        }
+    }
+    std::fs::write(path, render_json(&rows))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
 
 fn table_md(out: &mut String, title: &str, col2: &str, rows: &[Row]) {
     let _ = writeln!(out, "### {title}\n");
@@ -34,6 +154,19 @@ fn table_md(out: &mut String, title: &str, col2: &str, rows: &[Row]) {
 }
 
 fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        let check = args.iter().any(|a| a == "--check");
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .map_or("BENCH_pr2.json", String::as_str);
+        return run_json(path, check);
+    }
+    run_report()
+}
+
+fn run_report() -> std::io::Result<()> {
     let mut out = String::new();
     let _ = writeln!(
         out,

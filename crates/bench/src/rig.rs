@@ -47,6 +47,23 @@ impl BulletRig {
     /// Panics if the stack cannot be assembled (a bug, not an input
     /// condition).
     pub fn with_options(disks: usize, hw: HwProfile, cache_capacity: u64) -> BulletRig {
+        BulletRig::with_config(disks, hw, cache_capacity, |_| {})
+    }
+
+    /// A rig whose [`BulletConfig`] is adjusted by `tweak` before the
+    /// server is formatted — the streaming ablations flip
+    /// `cfg.pipeline` and sweep `cfg.segment_size` through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack cannot be assembled (a bug, not an input
+    /// condition).
+    pub fn with_config(
+        disks: usize,
+        hw: HwProfile,
+        cache_capacity: u64,
+        tweak: impl FnOnce(&mut BulletConfig),
+    ) -> BulletRig {
         let clock = SimClock::new();
         let replicas: Vec<Arc<dyn BlockDevice>> = (0..disks.max(1))
             .map(|_| {
@@ -58,7 +75,7 @@ impl BulletRig {
             })
             .collect();
         let storage = MirroredDisk::new(replicas).expect("replica set is valid");
-        let cfg = BulletConfig {
+        let mut cfg = BulletConfig {
             port: Port::from_u64(0xb1e7),
             min_inodes: 2048,
             cache_capacity,
@@ -73,7 +90,11 @@ impl BulletRig {
             repair: bullet_core::table::RepairPolicy::Fail,
             max_age: 8,
             eviction: bullet_core::EvictionPolicy::Lru,
+            segment_size: 64 * 1024,
+            pipeline: true,
+            readahead_segments: u32::MAX,
         };
+        tweak(&mut cfg);
         let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
         let net = SimEthernet::with_load(clock.clone(), hw.net, 1.0);
         let dispatcher = Dispatcher::new(net);

@@ -47,9 +47,12 @@ fn create_delete_cost_decomposes_into_disk_and_wire() {
             + 1024.0 * rig.hw.disk.transfer_us_per_byte,
     );
     // 4 writes on create (2 disks × file+inode) + 2 on delete (inode both
-    // disks) — seeks vary, so assert a generous band around 6 writes.
-    let floor = Nanos(per_write.as_ns() * 6);
-    let ceiling = Nanos(per_write.as_ns() * 6 + Nanos::from_ms(40).as_ns());
+    // disks), but each replica pair runs in parallel and settles at the
+    // slower disk, so the serialized demand is one disk's worth: 2 writes
+    // on create + 1 on delete.  Seeks vary, so assert a generous band
+    // around 3 writes.
+    let floor = Nanos(per_write.as_ns() * 3);
+    let ceiling = Nanos(per_write.as_ns() * 3 + Nanos::from_ms(40).as_ns());
     assert!(
         measured >= floor && measured <= ceiling,
         "measured {measured}, floor {floor}, ceiling {ceiling}"

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use amoeba_cap::{Capability, Port, Rights, CAP_WIRE_LEN};
-use amoeba_rpc::{Reply, Request, RpcClient, RpcServer, Status};
+use amoeba_rpc::{Reply, Request, RpcClient, RpcServer, Status, StreamWire};
 
 use crate::server::BulletServer;
 
@@ -170,6 +170,50 @@ impl RpcServer for BulletRpcServer {
             _ => return Reply::error(Status::ComBad),
         };
         result.unwrap_or_else(|e| Reply::error(e.into()))
+    }
+
+    fn handle_streamed(&self, req: Request, wire: &StreamWire) -> Reply {
+        let result = match req.command {
+            commands::CREATE => {
+                let Some(p) = read_u32(&req.params, 0) else {
+                    return Reply::error(Status::BadParam);
+                };
+                self.server
+                    .create_streamed(req.data, p, Some(wire))
+                    .map(|cap| Reply::ok(cap_bytes(&cap), Bytes::new()))
+            }
+            commands::READ => self
+                .server
+                .read_streamed(&req.cap, Some(wire))
+                .map(|data| streamed_reply(wire, data)),
+            commands::READ_SECTION => {
+                let (Some(offset), Some(len)) =
+                    (read_u32(&req.params, 0), read_u32(&req.params, 4))
+                else {
+                    return Reply::error(Status::BadParam);
+                };
+                self.server
+                    .read_section_streamed(&req.cap, offset, len, Some(wire))
+                    .map(|data| streamed_reply(wire, data))
+            }
+            // Everything else moves little bulk data; the monolithic path
+            // is already optimal for it.
+            _ => return self.handle(req),
+        };
+        result.unwrap_or_else(|e| Reply::error(e.into()))
+    }
+}
+
+/// Closes out a read reply whose payload may have been streamed: frames
+/// owed to a channel peer are delivered (zero-copy slices of `data`), and
+/// if they carry the payload the closing reply travels empty — the client
+/// reassembles.
+fn streamed_reply(wire: &StreamWire, data: Bytes) -> Reply {
+    wire.finish_reply(&data);
+    if wire.delivers_frames() && wire.reply_streamed() > 0 {
+        Reply::ok(Bytes::new(), Bytes::new())
+    } else {
+        Reply::ok(Bytes::new(), data)
     }
 }
 

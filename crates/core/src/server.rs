@@ -39,7 +39,8 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port, Rights};
 use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk};
-use amoeba_sim::{CpuProfile, DetRng, SimClock, Stats};
+use amoeba_rpc::StreamWire;
+use amoeba_sim::{CpuProfile, DetRng, Pipeline, SimClock, Stats};
 
 use crate::cache::{EvictionPolicy, FileCache};
 use crate::freelist::ExtentAllocator;
@@ -83,6 +84,21 @@ pub struct BulletConfig {
     pub max_age: u32,
     /// Cache eviction policy (LRU, as in the paper, by default).
     pub eviction: EvictionPolicy,
+    /// Streaming transfer segment size in bytes.  Effective segments are
+    /// clamped to a whole number of disk blocks (minimum one block).
+    pub segment_size: u32,
+    /// Overlap disk and wire time segment by segment on multi-segment
+    /// transfers (cold reads towards the wire, creates from it).  When
+    /// off, transfers are staged whole — disk then wire — as the seed
+    /// implementation did.
+    pub pipeline: bool,
+    /// On a *cold* partial read ([`BulletServer::read_section`]), how many
+    /// extra segments to load beyond those the request needs.
+    /// `u32::MAX` (the default) loads — and caches — the whole file, the
+    /// original whole-file semantics; a smaller value bounds the load to
+    /// the requested segments plus this much forward readahead, serving
+    /// the section without populating the whole-file cache.
+    pub readahead_segments: u32,
 }
 
 impl BulletConfig {
@@ -104,6 +120,9 @@ impl BulletConfig {
             repair: RepairPolicy::Fail,
             max_age: 8,
             eviction: EvictionPolicy::Lru,
+            segment_size: 64 * 1024,
+            pipeline: true,
+            readahead_segments: u32::MAX,
         }
     }
 }
@@ -409,6 +428,24 @@ impl BulletServer {
     /// [`BulletError::NoSpace`] / [`BulletError::NoInodes`] when full;
     /// disk errors (after which no partial state remains).
     pub fn create(&self, data: Bytes, p_factor: u32) -> Result<Capability, BulletError> {
+        self.create_streamed(data, p_factor, None)
+    }
+
+    /// [`create`](Self::create) with access to the RPC wire: on a
+    /// multi-segment file the reception of each segment from the wire, its
+    /// copy into the cache arena, and the disk write of the *previous*
+    /// segment all overlap in a three-lane pipeline, instead of arriving
+    /// whole, copying whole, then writing whole.
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](Self::create).
+    pub fn create_streamed(
+        &self,
+        data: Bytes,
+        p_factor: u32,
+        wire: Option<&StreamWire>,
+    ) -> Result<Capability, BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
         if p_factor as usize > self.storage.replica_count() {
             return Err(BulletError::BadPFactor {
@@ -420,10 +457,16 @@ impl BulletServer {
             size: data.len() as u64,
             cache_capacity: self.cfg.cache_capacity,
         })?;
-        // Receiving the file into cache memory costs one copy.
-        self.cfg
-            .clock
-            .advance(self.cfg.cpu.memcpy(data.len() as u64));
+        let pipelined = self.cfg.pipeline && data.len() as u64 > self.segment_bytes();
+        if !pipelined {
+            // Receiving the file into cache memory costs one copy.  (The
+            // pipelined path charges the same copy segment by segment,
+            // overlapped with the disk writes.)
+            self.cfg
+                .clock
+                .advance(self.cfg.cpu.memcpy(data.len() as u64));
+            self.stats.add("payload_bytes_copied", data.len() as u64);
+        }
 
         let block_size = self.desc.block_size;
         let blocks = (size as u64).div_ceil(block_size as u64).max(1);
@@ -472,6 +515,9 @@ impl BulletServer {
         let _busy = self.inflight_lock(idx);
 
         // Into the RAM cache (evictions clear the victims' index fields).
+        // The clone is a reference-count bump on the shared payload
+        // buffer, not a copy: the cache and the caller hold the same
+        // bytes (asserted by `cache_insert_shares_the_payload_buffer`).
         {
             let mut table = self.table_write();
             let mut cache = self.cache_write();
@@ -490,9 +536,13 @@ impl BulletServer {
 
         // Write-through: file data, then the inode's whole block.
         let k = p_factor as usize;
-        let write = self
-            .write_data_blocks(start, blocks, &data, k)
-            .and_then(|()| self.write_inode_block(idx, k));
+        let write = if pipelined {
+            self.stats.incr("pipelined_creates");
+            self.write_data_pipelined(start, blocks, &data, k, wire)
+        } else {
+            self.write_data_blocks(start, blocks, &data, k)
+        }
+        .and_then(|()| self.write_inode_block(idx, k));
         if let Err(e) = write {
             // Roll back so no half-created file remains.
             {
@@ -539,6 +589,23 @@ impl BulletServer {
     /// Capability failures, [`BulletError::TooLarge`] for a file bigger
     /// than the cache, or disk errors.
     pub fn read(&self, cap: &Capability) -> Result<Bytes, BulletError> {
+        self.read_streamed(cap, None)
+    }
+
+    /// [`read`](Self::read) with access to the RPC wire: a cold
+    /// multi-segment read streams each segment towards the client while
+    /// the next segment is still coming off the disk, instead of staging
+    /// the whole file in RAM before the first byte travels.  Warm reads
+    /// never stream — the cached copy goes out as one zero-copy reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Self::read).
+    pub fn read_streamed(
+        &self,
+        cap: &Capability,
+        wire: Option<&StreamWire>,
+    ) -> Result<Bytes, BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
         let idx = cap.object.value();
         // Fast path: verification and the cache hit take shared locks
@@ -551,7 +618,7 @@ impl BulletServer {
             self.stats.incr("reads");
             return Ok(data);
         }
-        let data = self.load_from_disk(cap, idx)?;
+        let data = self.load_cold(cap, idx, Rights::READ, wire, 0, u64::MAX)?;
         self.stats.incr("reads");
         Ok(data)
     }
@@ -568,6 +635,27 @@ impl BulletServer {
         offset: u32,
         len: u32,
     ) -> Result<Bytes, BulletError> {
+        self.read_section_streamed(cap, offset, len, None)
+    }
+
+    /// [`read_section`](Self::read_section) with access to the RPC wire —
+    /// cold multi-segment loads pipeline disk against wire exactly as
+    /// [`read_streamed`](Self::read_streamed), except only the requested
+    /// byte range travels.  With a bounded
+    /// [`readahead_segments`](BulletConfig::readahead_segments) a cold
+    /// section load fetches just the covering segments plus the readahead
+    /// window rather than the whole file.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_section`](Self::read_section).
+    pub fn read_section_streamed(
+        &self,
+        cap: &Capability,
+        offset: u32,
+        len: u32,
+        wire: Option<&StreamWire>,
+    ) -> Result<Bytes, BulletError> {
         self.cfg.clock.advance(self.cfg.cpu.request());
         let inode = {
             let table = self.table_read();
@@ -578,12 +666,16 @@ impl BulletServer {
             return Err(BulletError::BadRange);
         }
         let idx = cap.object.value();
-        let data = match self.cache_read().get(idx) {
-            Some(d) => d,
-            None => self.load_from_disk(cap, idx)?,
+        // Bind the hit before matching: the temporary guard of the cache
+        // read lock must not live into the miss arm, whose load path takes
+        // the cache write lock.
+        let hit = self.cache_read().get(idx);
+        let data = match hit {
+            Some(d) => d.slice(offset as usize..end as usize),
+            None => self.load_section_cold(cap, idx, offset, end, wire)?,
         };
         self.stats.incr("section_reads");
-        Ok(data.slice(offset as usize..end as usize))
+        Ok(data)
     }
 
     /// `BULLET.DELETE(CAPABILITY)`.
@@ -645,7 +737,14 @@ impl BulletServer {
             let idx = cap.object.value();
             match self.cache_read().get(idx) {
                 Some(d) => d,
-                None => self.load_from_disk_with(cap, idx, Rights::READ | Rights::MODIFY)?,
+                None => self.load_cold(
+                    cap,
+                    idx,
+                    Rights::READ | Rights::MODIFY,
+                    None,
+                    0,
+                    u64::MAX,
+                )?,
             }
         };
         let new_len = base.len().max(offset as usize + data.len());
@@ -657,6 +756,7 @@ impl BulletServer {
         self.cfg
             .clock
             .advance(self.cfg.cpu.memcpy(base.len() as u64));
+        self.stats.add("payload_bytes_copied", base.len() as u64);
         self.stats.incr("modifies");
         self.create(Bytes::from(buf), p_factor)
     }
@@ -747,6 +847,7 @@ impl BulletServer {
     pub fn compact_memory(&self) -> u64 {
         let moved = self.cache_write().compact();
         self.cfg.clock.advance(self.cfg.cpu.memcpy(moved));
+        self.stats.add("payload_bytes_copied", moved);
         moved
     }
 
@@ -951,18 +1052,31 @@ impl BulletServer {
         Ok(inode)
     }
 
-    /// The cache-miss path: loads the file's extent from disk into the
-    /// cache under the per-inode in-flight guard, holding no table or
-    /// cache lock during the I/O itself.
-    fn load_from_disk(&self, cap: &Capability, idx: u32) -> Result<Bytes, BulletError> {
-        self.load_from_disk_with(cap, idx, Rights::READ)
+    /// The effective streaming segment: the configured size clamped to a
+    /// whole number of disk blocks, minimum one block.
+    fn segment_bytes(&self) -> u64 {
+        let bs = self.desc.block_size as u64;
+        (self.cfg.segment_size as u64 / bs).max(1) * bs
     }
 
-    fn load_from_disk_with(
+    /// The whole-file cache-miss path: loads the file's extent from disk
+    /// into the cache under the per-inode in-flight guard, holding no
+    /// table or cache lock during the I/O itself.
+    ///
+    /// With a wire and a multi-segment file, the load pipelines: segment
+    /// `k` comes off the disk while segment `k-1` is on the wire (only the
+    /// part inside the byte window `[win_start, win_end)` of the file
+    /// travels — the whole file for `BULLET.READ`, the requested range for
+    /// a section read).  Segments land directly in the contiguous cache
+    /// buffer, so streaming adds no copies.
+    fn load_cold(
         &self,
         cap: &Capability,
         idx: u32,
         needed: Rights,
+        wire: Option<&StreamWire>,
+        win_start: u64,
+        win_end: u64,
     ) -> Result<Bytes, BulletError> {
         let _busy = self.inflight_lock(idx);
         // Another request may have loaded the file while we waited for
@@ -980,14 +1094,194 @@ impl BulletServer {
         let block_size = self.desc.block_size;
         let blocks = inode.blocks(block_size);
         let mut buf = vec![0u8; (blocks * block_size as u64) as usize];
-        self.storage
-            .read_blocks(inode.start_block as u64, &mut buf)?;
+        let size = inode.size_bytes as u64;
+        self.read_extent(
+            inode.start_block as u64,
+            0,
+            &mut buf,
+            wire,
+            win_start,
+            win_end.min(size),
+            size,
+        )?;
         buf.truncate(inode.size_bytes as usize);
         let data = Bytes::from(buf);
         let mut table = self.table_write();
         let mut cache = self.cache_write();
+        // A reference-count bump, not a copy: cache and reply share the
+        // buffer the disk read into.
         self.cache_insert(&mut table, &mut cache, idx, data.clone())?;
         Ok(data)
+    }
+
+    /// The cache-miss path of a section read.  With unbounded readahead
+    /// (the default) this is the whole-file load; with a bounded window it
+    /// loads only the segments covering `[offset, end)` plus the readahead,
+    /// serving the section without populating the whole-file cache.
+    fn load_section_cold(
+        &self,
+        cap: &Capability,
+        idx: u32,
+        offset: u32,
+        end: u32,
+        wire: Option<&StreamWire>,
+    ) -> Result<Bytes, BulletError> {
+        if self.cfg.readahead_segments == u32::MAX {
+            let data = self.load_cold(cap, idx, Rights::READ, wire, offset as u64, end as u64)?;
+            return Ok(data.slice(offset as usize..end as usize));
+        }
+        let _busy = self.inflight_lock(idx);
+        if let Some(data) = self.cache_read().recheck(idx) {
+            return Ok(data.slice(offset as usize..end as usize));
+        }
+        let inode = {
+            let table = self.table_read();
+            *self.verify(&table, cap, Rights::READ)?
+        };
+        let block_size = self.desc.block_size as u64;
+        let total = inode.blocks(self.desc.block_size) * block_size;
+        let size = inode.size_bytes as u64;
+        let seg = self.segment_bytes();
+        let first_seg = offset as u64 / seg;
+        let last_needed_seg = (end as u64).max(1).div_ceil(seg) - 1;
+        let file_segs = total.div_ceil(seg).max(1);
+        let last_seg =
+            (last_needed_seg.saturating_add(self.cfg.readahead_segments as u64)).min(file_segs - 1);
+        if first_seg == 0 && last_seg == file_segs - 1 {
+            // The window covers the whole file: take the caching path.
+            drop(_busy);
+            let data = self.load_cold(cap, idx, Rights::READ, wire, offset as u64, end as u64)?;
+            return Ok(data.slice(offset as usize..end as usize));
+        }
+        let load_start = first_seg * seg;
+        let load_end = ((last_seg + 1) * seg).min(total);
+        let mut buf = vec![0u8; (load_end - load_start) as usize];
+        self.stats.incr("partial_section_loads");
+        self.stats
+            .add("readahead_bytes", load_end.min(size).saturating_sub(end as u64));
+        self.read_extent(
+            inode.start_block as u64,
+            load_start,
+            &mut buf,
+            wire,
+            offset as u64,
+            end as u64,
+            size,
+        )?;
+        // Partial files cannot enter the whole-file cache; the section is
+        // a zero-copy slice of the load buffer.
+        let rel = (offset as u64 - load_start) as usize;
+        Ok(Bytes::from(buf).slice(rel..rel + (end - offset) as usize))
+    }
+
+    /// Reads the extent bytes `[load_off, load_off + buf.len())` of the
+    /// file at `start_block` into `buf`.  Without a wire (or with the
+    /// pipeline off, or a single segment) this is one contiguous disk
+    /// read, exactly the seed behaviour.  With a wire it runs the
+    /// two-lane pipeline: lane 0 reads segment `k` off the disk while
+    /// lane 1 streams the part of segment `k-1` inside the file-byte
+    /// window `[win_start, win_end)` to the client.
+    #[allow(clippy::too_many_arguments)]
+    fn read_extent(
+        &self,
+        start_block: u64,
+        load_off: u64,
+        buf: &mut [u8],
+        wire: Option<&StreamWire>,
+        win_start: u64,
+        win_end: u64,
+        size: u64,
+    ) -> Result<(), BulletError> {
+        let block_size = self.desc.block_size as u64;
+        let seg = self.segment_bytes();
+        let first_block = start_block + load_off / block_size;
+        let (Some(wire), true) = (wire, self.cfg.pipeline && buf.len() as u64 > seg) else {
+            self.storage.read_blocks(first_block, buf)?;
+            return Ok(());
+        };
+        self.stats.incr("pipelined_reads");
+        let mut pipe = Pipeline::new();
+        let mut off = 0u64;
+        let total = buf.len() as u64;
+        while off < total {
+            let end = (off + seg).min(total);
+            pipe.begin_segment();
+            let read = pipe.stage(0, || {
+                self.storage.read_blocks(
+                    first_block + off / block_size,
+                    &mut buf[off as usize..end as usize],
+                )
+            });
+            if let Err(e) = read {
+                // Drop settles the charges accrued so far: the time the
+                // pipeline spent before the failure is still spent.
+                drop(pipe);
+                return Err(e.into());
+            }
+            // Only the window part of the segment travels; the last sent
+            // chunk is capped at the file size (the tail padding of the
+            // final block never leaves the server).
+            let sent_start = (load_off + off).max(win_start);
+            let sent_end = (load_off + end).min(win_end).min(size);
+            if sent_end > sent_start {
+                self.stats.incr("stream_segments");
+                pipe.stage(1, || wire.stage_reply_segment(sent_end - sent_start));
+            }
+            off = end;
+        }
+        Ok(())
+    }
+
+    /// The pipelined counterpart of
+    /// [`write_data_blocks`](Self::write_data_blocks): for each segment,
+    /// lane 0 receives the bytes from the wire, lane 1 copies them into
+    /// the cache arena, and lane 2 writes the *previous* segment's blocks
+    /// to the `k` synchronous replicas — so the disks are busy while the
+    /// next segment is still arriving.
+    fn write_data_pipelined(
+        &self,
+        start: u64,
+        blocks: u64,
+        data: &[u8],
+        k: usize,
+        wire: Option<&StreamWire>,
+    ) -> Result<(), BulletError> {
+        let block_size = self.desc.block_size as u64;
+        let seg = self.segment_bytes();
+        let total = blocks * block_size;
+        let mut pipe = Pipeline::new();
+        let mut off = 0u64;
+        while off < total {
+            let end = (off + seg).min(total);
+            let chunk_len = (end.min(data.len() as u64)).saturating_sub(off);
+            pipe.begin_segment();
+            self.stats.incr("stream_segments");
+            if let Some(w) = wire {
+                pipe.stage(0, || w.recv_request_segment(chunk_len));
+            }
+            pipe.stage(1, || {
+                self.cfg.clock.advance(self.cfg.cpu.memcpy(chunk_len));
+            });
+            self.stats.add("payload_bytes_copied", chunk_len);
+            let write = pipe.stage(2, || {
+                let chunk = &data[off as usize..(off + chunk_len) as usize];
+                let first = start + off / block_size;
+                if chunk_len == end - off {
+                    self.storage.write_sync_k(first, chunk, k)
+                } else {
+                    // Final partial segment: pad to the block boundary.
+                    let mut padded = vec![0u8; (end - off) as usize];
+                    padded[..chunk.len()].copy_from_slice(chunk);
+                    self.storage.write_sync_k(first, &padded, k)
+                }
+            });
+            if let Err(e) = write {
+                drop(pipe);
+                return Err(e.into());
+            }
+            off = end;
+        }
+        Ok(())
     }
 
     /// Inserts into the cache, maintaining the inode index fields of the

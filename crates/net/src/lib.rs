@@ -82,6 +82,21 @@ impl SimEthernet {
         t
     }
 
+    /// Transmits `bytes` as a *streamed continuation* of a message already
+    /// in flight: per-packet and per-byte costs only, no per-message setup
+    /// (see [`NetProfile::continuation`]).  Counted as `net_stream_frames`
+    /// rather than `net_messages` — a streamed transfer is still one
+    /// logical message on the wire.
+    pub fn send_stream(&self, bytes: u64) -> Nanos {
+        let base = self.profile.continuation(bytes);
+        let t = Nanos::from_ns((base.as_ns() as f64 * self.load_factor) as u64);
+        self.clock.advance(t);
+        self.stats.incr("net_stream_frames");
+        self.stats.add("net_bytes", bytes);
+        self.stats.add("net_packets", self.profile.packets(bytes));
+        t
+    }
+
     /// The wire's cost profile.
     pub fn profile(&self) -> &NetProfile {
         &self.profile
@@ -114,6 +129,17 @@ impl Chan {
     /// Returns the message back if the peer has hung up.
     pub fn send(&self, msg: Bytes) -> Result<(), SendError<Bytes>> {
         self.net.send(msg.len() as u64);
+        self.tx.send(msg)
+    }
+
+    /// Sends a streamed continuation frame to the peer, charging the
+    /// Ethernet at continuation rates (see [`SimEthernet::send_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if the peer has hung up.
+    pub fn send_stream(&self, msg: Bytes) -> Result<(), SendError<Bytes>> {
+        self.net.send_stream(msg.len() as u64);
         self.tx.send(msg)
     }
 
@@ -168,6 +194,19 @@ mod tests {
         assert_eq!(n.stats().get("net_messages"), 1);
         assert_eq!(n.stats().get("net_bytes"), 1480);
         assert_eq!(n.stats().get("net_packets"), 1);
+    }
+
+    #[test]
+    fn stream_frames_skip_message_overhead() {
+        let (clock, n) = net();
+        let full = n.send(1480);
+        let t0 = clock.now();
+        let cont = n.send_stream(1480);
+        assert_eq!(clock.now() - t0, cont);
+        assert!(cont < full, "continuation {cont} vs message {full}");
+        assert_eq!(n.stats().get("net_messages"), 1);
+        assert_eq!(n.stats().get("net_stream_frames"), 1);
+        assert_eq!(n.stats().get("net_bytes"), 2960);
     }
 
     #[test]

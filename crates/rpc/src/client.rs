@@ -3,12 +3,13 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
 use amoeba_cap::Capability;
 use amoeba_net::Chan;
 
-use crate::{Dispatcher, Reply, Request, RpcError, RpcServer, Status};
+use crate::wire::StreamFrame;
+use crate::{Dispatcher, Reply, Request, RpcError, RpcServer, Status, StreamWire};
 
 /// A thin client handle over a [`Dispatcher`].
 #[derive(Debug, Clone)]
@@ -99,10 +100,14 @@ impl RemoteClient {
 
     /// Performs a transaction over the wire.
     ///
+    /// A streaming server may send any number of [`StreamFrame`]s carrying
+    /// the bulk payload ahead of the closing reply; they are reassembled
+    /// here into the reply's `data`.
+    ///
     /// # Errors
     ///
-    /// The reply's error status, [`Status::BadParam`] on a garbled reply,
-    /// or [`Status::NotFound`] if the server hung up.
+    /// The reply's error status, [`Status::BadParam`] on a garbled reply
+    /// or frame, or [`Status::NotFound`] if the server hung up.
     pub fn trans(
         &self,
         cap: Capability,
@@ -117,8 +122,21 @@ impl RemoteClient {
             data,
         };
         self.chan.send(req.encode()).map_err(|_| Status::NotFound)?;
-        let raw = self.chan.recv().map_err(|_| Status::NotFound)?;
-        Reply::decode(raw)?.into_result()
+        let mut streamed = BytesMut::new();
+        loop {
+            let raw = self.chan.recv().map_err(|_| Status::NotFound)?;
+            if StreamFrame::is_frame(&raw) {
+                // Frames arrive in order on the channel; the closing reply
+                // follows the last one.
+                streamed.put_slice(&StreamFrame::decode(raw)?.data);
+                continue;
+            }
+            let mut reply = Reply::decode(raw)?;
+            if !streamed.is_empty() {
+                reply.data = streamed.freeze();
+            }
+            return reply.into_result();
+        }
     }
 }
 
@@ -154,7 +172,13 @@ impl RemoteClient {
 pub fn serve_chan(chan: Chan, server: Arc<dyn RpcServer>) {
     while let Ok(raw) = chan.recv() {
         let reply = match Request::decode(raw) {
-            Ok(req) => server.handle(req),
+            Ok(req) => {
+                // Streaming servers push the bulk payload as real
+                // StreamFrames through the wire handle; the closing reply
+                // then carries status and params only.
+                let wire = StreamWire::for_chan(chan.clone());
+                server.handle_streamed(req, &wire)
+            }
             Err(status) => Reply::error(status),
         };
         if chan.send(reply.encode()).is_err() {
@@ -245,6 +269,61 @@ mod tests {
         );
         drop(client);
         t.join().unwrap();
+    }
+
+    /// Streams a deterministic 200 KB payload in 64 KB frames.
+    struct FrameServer(Port);
+
+    impl RpcServer for FrameServer {
+        fn port(&self) -> Port {
+            self.0
+        }
+
+        fn handle(&self, _req: Request) -> Reply {
+            Reply::ok(Bytes::new(), payload())
+        }
+
+        fn handle_streamed(&self, _req: Request, wire: &StreamWire) -> Reply {
+            let data = payload();
+            let seg = 64 * 1024;
+            let mut off = 0;
+            let mut seq = 0u32;
+            while off < data.len() {
+                let end = (off + seg).min(data.len());
+                wire.send_reply_segment(off as u64, data.slice(off..end), end == data.len());
+                seq += 1;
+                off = end;
+            }
+            assert!(seq > 1, "payload spans several frames");
+            if wire.delivers_frames() {
+                Reply::ok(Bytes::new(), Bytes::new())
+            } else {
+                Reply::ok(Bytes::new(), data)
+            }
+        }
+    }
+
+    fn payload() -> Bytes {
+        Bytes::from((0..200_000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn streamed_reply_reassembles_over_channel() {
+        let n = net();
+        let (client_end, server_end) = duplex(&n);
+        let port = Port::from_u64(8);
+        let server: Arc<dyn RpcServer> = Arc::new(FrameServer(port));
+        let t = std::thread::spawn(move || serve_chan(server_end, server));
+        let client = RemoteClient::new(client_end);
+        let reply = client
+            .trans(cap_on(port), 1, Bytes::new(), Bytes::new())
+            .unwrap();
+        assert_eq!(reply.data, payload());
+        drop(client);
+        t.join().unwrap();
+        // The payload crossed as continuation frames, not extra messages.
+        assert_eq!(n.stats().get("net_messages"), 2);
+        assert_eq!(n.stats().get("net_stream_frames"), 4);
     }
 
     #[test]

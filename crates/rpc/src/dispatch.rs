@@ -9,7 +9,7 @@ use amoeba_cap::Port;
 use amoeba_net::SimEthernet;
 use amoeba_sim::Nanos;
 
-use crate::{Reply, Request};
+use crate::{Reply, Request, StreamWire};
 
 /// An Amoeba object server: owns a port and handles requests addressed to
 /// it.
@@ -20,6 +20,14 @@ pub trait RpcServer: Send + Sync {
     /// Services one request.  Implementations charge their own CPU and
     /// disk time to the shared simulated clock.
     fn handle(&self, req: Request) -> Reply;
+
+    /// Services one request with access to the wire for streamed
+    /// (segmented) bulk transfers; see [`StreamWire`].  The default
+    /// simply ignores the wire, so non-streaming servers behave exactly
+    /// as before.
+    fn handle_streamed(&self, req: Request, _wire: &StreamWire) -> Reply {
+        self.handle(req)
+    }
 }
 
 /// Errors at the RPC transport layer (server-side failures travel inside
@@ -107,6 +115,15 @@ impl Dispatcher {
     /// serialization that remains is the server's own (e.g. the Bullet
     /// server's per-component locks).
     ///
+    /// The server is given a [`StreamWire`] (see
+    /// [`RpcServer::handle_streamed`]); payload bytes it moves as streamed
+    /// segments are deducted from the monolithic request/reply message
+    /// charges, so a streaming server pays continuation rates for the bulk
+    /// data and message rates only for the headers.  Because the server
+    /// decides *during* `handle_streamed` whether to stream the request
+    /// data, the request message is charged after the handler returns —
+    /// only charge ordering changes, never the total.
+    ///
     /// # Errors
     ///
     /// [`RpcError::UnknownPort`] if no server is registered on the
@@ -126,9 +143,13 @@ impl Dispatcher {
             self.net.clock().advance(self.locate_cost);
             self.located.write().insert(port);
         }
-        self.net.send(req.wire_size());
-        let reply = server.handle(req);
-        self.net.send(reply.wire_size());
+        let req_size = req.wire_size();
+        let wire = StreamWire::for_dispatch(self.net.clone());
+        let reply = server.handle_streamed(req, &wire);
+        self.net
+            .send(req_size.saturating_sub(wire.request_claimed()));
+        self.net
+            .send(reply.wire_size().saturating_sub(wire.reply_streamed()));
         Ok(reply)
     }
 }
@@ -249,6 +270,54 @@ mod tests {
                 assert_eq!(h.join().unwrap().status, Status::Ok);
             }
         });
+    }
+
+    /// Serves a 200 KB payload in 64 KB streamed segments.
+    struct Streamer(Port);
+
+    const STREAM_LEN: usize = 200_000;
+
+    impl RpcServer for Streamer {
+        fn port(&self) -> Port {
+            self.0
+        }
+
+        fn handle(&self, _req: Request) -> Reply {
+            Reply::ok(Bytes::new(), Bytes::from(vec![7u8; STREAM_LEN]))
+        }
+
+        fn handle_streamed(&self, _req: Request, wire: &StreamWire) -> Reply {
+            let data = Bytes::from(vec![7u8; STREAM_LEN]);
+            let seg = 64 * 1024;
+            let mut off = 0;
+            while off < data.len() {
+                let end = (off + seg).min(data.len());
+                wire.send_reply_segment(off as u64, data.slice(off..end), end == data.len());
+                off = end;
+            }
+            Reply::ok(Bytes::new(), data)
+        }
+    }
+
+    #[test]
+    fn streamed_reply_stays_one_message() {
+        let clock = SimClock::new();
+        let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        let d = Dispatcher::new(net);
+        let port = Port::from_u64(11);
+        d.register(Arc::new(Streamer(port)));
+        let mut cap = Capability::null();
+        cap.port = port;
+        let reply = d.trans(Request::simple(cap, 0)).unwrap();
+        assert_eq!(reply.data.len(), STREAM_LEN);
+        // Still one request + one reply message; the payload travelled as
+        // continuation frames and is not double-charged.
+        assert_eq!(d.net().stats().get("net_messages"), 2);
+        assert_eq!(d.net().stats().get("net_stream_frames"), 4);
+        let payload_and_headers = STREAM_LEN as u64
+            + Request::simple(cap, 0).wire_size()
+            + Reply::ok(Bytes::new(), Bytes::new()).wire_size();
+        assert_eq!(d.net().stats().get("net_bytes"), payload_and_headers);
     }
 
     #[test]

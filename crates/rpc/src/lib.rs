@@ -57,9 +57,11 @@
 pub mod client;
 pub mod dispatch;
 pub mod gateway;
+pub mod stream;
 pub mod wire;
 
 pub use client::{RemoteClient, RpcClient};
 pub use dispatch::{Dispatcher, RpcError, RpcServer};
 pub use gateway::Gateway;
-pub use wire::{std_commands, Reply, Request, Status};
+pub use stream::{StreamWire, DEFAULT_SEGMENT};
+pub use wire::{std_commands, Reply, Request, Status, StreamFrame};

@@ -262,6 +262,83 @@ impl Reply {
     }
 }
 
+/// Magic prefix distinguishing a streamed continuation frame from an
+/// encoded [`Reply`] on the same channel (`"BLSF"`).  Replies begin with a
+/// status code that is zero or negative on every defined status, so the
+/// prefix cannot collide with a well-formed reply.
+pub const STREAM_MAGIC: u32 = 0x424C_5346;
+
+/// One streamed segment of a large transfer: a continuation of an RPC
+/// already in flight, carrying a zero-copy [`Bytes`] slice of the payload.
+///
+/// Frames flow between the request and its final [`Reply`]; the receiver
+/// reassembles them by `offset` and the closing reply carries the status
+/// and params (with the bulk data left to the frames).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFrame {
+    /// Sequence number of this frame within the transfer (0-based).
+    pub seq: u32,
+    /// Byte offset of this segment within the whole payload.
+    pub offset: u64,
+    /// True on the final segment of the transfer.
+    pub last: bool,
+    /// The segment payload — a slice of the source buffer, not a copy.
+    pub data: Bytes,
+}
+
+impl StreamFrame {
+    /// Fixed header length: magic + seq + offset + flags + data length.
+    pub const HEADER_LEN: usize = 4 + 4 + 8 + 1 + 4;
+
+    /// True if `buf` starts with the stream-frame magic (cheap dispatch
+    /// test for receivers that may get frames or replies).
+    pub fn is_frame(buf: &[u8]) -> bool {
+        buf.len() >= 4 && buf[..4] == STREAM_MAGIC.to_be_bytes()
+    }
+
+    /// Total wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        (Self::HEADER_LEN + self.data.len()) as u64
+    }
+
+    /// Serializes to the wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::HEADER_LEN + self.data.len());
+        buf.put_u32(STREAM_MAGIC);
+        buf.put_u32(self.seq);
+        buf.put_u64(self.offset);
+        buf.put_u8(self.last as u8);
+        buf.put_u32(self.data.len() as u32);
+        buf.put_slice(&self.data);
+        buf.freeze()
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`Status::BadParam`] on a missing magic, truncation, or length
+    /// mismatch.
+    pub fn decode(mut buf: Bytes) -> Result<StreamFrame, Status> {
+        if buf.len() < Self::HEADER_LEN || buf.get_u32() != STREAM_MAGIC {
+            return Err(Status::BadParam);
+        }
+        let seq = buf.get_u32();
+        let offset = buf.get_u64();
+        let last = buf.get_u8() != 0;
+        let dlen = buf.get_u32() as usize;
+        if buf.len() != dlen {
+            return Err(Status::BadParam);
+        }
+        Ok(StreamFrame {
+            seq,
+            offset,
+            last,
+            data: buf,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +429,53 @@ mod tests {
     fn display_statuses() {
         assert_eq!(Status::Ok.to_string(), "ok");
         assert_eq!(Status::Other(-42).to_string(), "status -42");
+    }
+
+    #[test]
+    fn stream_frame_roundtrip() {
+        let frame = StreamFrame {
+            seq: 3,
+            offset: 196_608,
+            last: true,
+            data: Bytes::from_static(b"segment payload"),
+        };
+        let wire = frame.encode();
+        assert_eq!(wire.len() as u64, frame.wire_size());
+        assert!(StreamFrame::is_frame(&wire));
+        assert_eq!(StreamFrame::decode(wire).unwrap(), frame);
+    }
+
+    #[test]
+    fn stream_frame_data_is_zero_copy_slice() {
+        let payload = Bytes::from(vec![7u8; 1 << 16]);
+        let frame = StreamFrame {
+            seq: 0,
+            offset: 0,
+            last: false,
+            data: payload.slice(1024..2048),
+        };
+        // The frame shares the payload allocation — no copy until encode.
+        assert_eq!(frame.data.as_ptr(), payload.slice(1024..2048).as_ptr());
+    }
+
+    #[test]
+    fn replies_are_not_mistaken_for_frames() {
+        let rep = Reply::ok(Bytes::new(), Bytes::from_static(b"data")).encode();
+        assert!(!StreamFrame::is_frame(&rep));
+        assert_eq!(
+            StreamFrame::decode(Bytes::from_static(&[0; 30])),
+            Err(Status::BadParam)
+        );
+        let whole = StreamFrame {
+            seq: 0,
+            offset: 0,
+            last: false,
+            data: Bytes::from_static(b"xy"),
+        }
+        .encode();
+        assert_eq!(
+            StreamFrame::decode(whole.slice(..whole.len() - 1)),
+            Err(Status::BadParam)
+        );
     }
 }

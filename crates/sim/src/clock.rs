@@ -193,6 +193,11 @@ impl SimClock {
         }
     }
 
+    /// True if `a` and `b` are clones sharing the same underlying time.
+    pub fn ptr_eq(a: &SimClock, b: &SimClock) -> bool {
+        Arc::ptr_eq(&a.ns, &b.ns)
+    }
+
     /// Resets to time zero (between benchmark runs).
     pub fn reset(&self) {
         self.ns.store(0, Ordering::Relaxed);
@@ -256,6 +261,14 @@ impl ChargeLog {
         for (clock, total) in self.entries {
             clock.advance(Nanos(total));
         }
+    }
+
+    /// Consumes the log, yielding each charged clock with its deferred
+    /// total.  The building block for custom settlement strategies (the
+    /// [`crate::pipeline`] overlap model uses it to re-apportion captured
+    /// stage costs).
+    pub fn into_entries(self) -> impl Iterator<Item = (SimClock, Nanos)> {
+        self.entries.into_iter().map(|(c, total)| (c, Nanos(total)))
     }
 }
 

@@ -68,6 +68,17 @@ impl NetProfile {
                 + bytes as f64 * self.per_byte_us,
         )
     }
+
+    /// Simulated transmission time for `bytes` sent as a *continuation* of
+    /// a message already in flight: no per-message setup — the driver and
+    /// protocol state are already primed — only per-packet and per-byte
+    /// wire costs.  Streaming transfers use this for every segment after
+    /// the header, so a file split into N segments costs the same fixed
+    /// overhead as one whole-file message.
+    pub fn continuation(&self, bytes: u64) -> Nanos {
+        let packets = self.packets(bytes);
+        Nanos::from_us_f64(packets as f64 * self.per_packet_us + bytes as f64 * self.per_byte_us)
+    }
 }
 
 /// CPU cost model for the 16.7 MHz MC68020.
@@ -223,6 +234,21 @@ mod tests {
         assert_eq!(net.packets(1480), 1);
         assert_eq!(net.packets(1481), 2);
         assert_eq!(net.packets(1 << 20), 709);
+    }
+
+    #[test]
+    fn continuation_skips_message_setup() {
+        let net = NetProfile::ethernet_10mbit();
+        // A continuation never pays the per-message term…
+        assert!(net.continuation(1480) < net.one_way(1480));
+        // …and a header plus 16 streamed 64 KB segments costs within a few
+        // per-packet charges of the equivalent whole-file message (the
+        // segmentation rounds up to a packet boundary per segment).
+        let whole = net.one_way(1 << 20);
+        let streamed: Nanos = (0..16).map(|_| net.continuation(64 << 10)).sum();
+        let slack = Nanos::from_us_f64(net.per_message_us + 16.0 * net.per_packet_us);
+        assert!(streamed >= whole.saturating_sub(slack), "streamed {streamed} vs whole {whole}");
+        assert!(streamed <= whole + slack, "streamed {streamed} vs whole {whole}");
     }
 
     #[test]

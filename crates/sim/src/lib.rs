@@ -33,10 +33,12 @@
 
 pub mod clock;
 pub mod hw;
+pub mod pipeline;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{capture, commit_max, ChargeLog, Nanos, SimClock};
+pub use pipeline::Pipeline;
 pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
 pub use rng::DetRng;
 pub use stats::{Histogram, Stats};

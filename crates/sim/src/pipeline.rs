@@ -1,0 +1,303 @@
+//! Pipelined settlement: overlapping stages of a segmented transfer.
+//!
+//! A large transfer split into segments flows through a fixed set of
+//! *stage lanes* (disk read, wire transmit, …).  Within one segment the
+//! stages are sequential — a segment cannot be transmitted before it has
+//! been read — but across segments each lane is an independent resource:
+//! while segment *k* is on the wire, segment *k+1* can be on the disk
+//! arm.  The classic pipeline recurrence captures both constraints:
+//!
+//! ```text
+//! finish[k][s] = max(finish[k][s-1], finish[k-1][s]) + cost[k][s]
+//! ```
+//!
+//! The makespan (finish of the last segment's last stage) is therefore at
+//! most the sequential sum of every stage cost, and at least the busiest
+//! single lane's total — steady-state throughput is set by
+//! max(stage costs) with a fill/drain ramp at either end.
+//!
+//! [`Pipeline`] runs each stage under [`capture`], records its cost into
+//! the recurrence, and on settlement advances the charged clocks by the
+//! *makespan* instead of the sequential sum, prorated per clock by its
+//! share of the total charge (exact when all stages charge one shared
+//! clock — the usual case in this workspace).
+//!
+//! The model assumes a segment finished by lane *s* can always be buffered
+//! until lane *s+1* is free (no back-pressure).  That is the honest model
+//! here: every Bullet transfer stages through a full-size contiguous
+//! extent in the RAM cache, so the buffer between the disk lane and the
+//! wire lane is the cache arena itself.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_sim::{Nanos, Pipeline, SimClock};
+//!
+//! let clock = SimClock::new();
+//! let mut pipe = Pipeline::new();
+//! for _segment in 0..4 {
+//!     pipe.begin_segment();
+//!     pipe.stage(0, || clock.advance(Nanos(10))); // disk lane
+//!     pipe.stage(1, || clock.advance(Nanos(8))); // wire lane
+//! }
+//! let makespan = pipe.finish();
+//! // 4 disk reads back-to-back, then the last wire transmit drains:
+//! assert_eq!(makespan, Nanos(48));
+//! assert_eq!(clock.now(), Nanos(48)); // not the sequential 72
+//! ```
+
+use crate::clock::{capture, Nanos, SimClock};
+
+/// A pipelined multi-stage transfer being costed (see the module docs).
+///
+/// Call [`Pipeline::begin_segment`] once per segment, then
+/// [`Pipeline::stage`] once per stage in lane order, and settle with
+/// [`Pipeline::finish`].  Dropping an unfinished pipeline settles it too,
+/// so charges are never lost on error paths.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    /// Relative finish time of the last item each lane processed.
+    lane_ready: Vec<u64>,
+    /// Per-lane sum of stage costs (the steady-state lower bound).
+    lane_totals: Vec<u64>,
+    /// Finish time of the current segment's previous stage.
+    seg_prev: u64,
+    /// Finish time of the latest stage overall.
+    makespan: u64,
+    /// Sum of every stage cost (what sequential execution would charge).
+    sequential: u64,
+    /// Accumulated per-clock charges from all captured stages.
+    charges: Vec<(SimClock, u64)>,
+    settled: bool,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Starts the next segment: its first stage may begin as soon as the
+    /// lane is free, with no dependency on later stages of earlier
+    /// segments.
+    pub fn begin_segment(&mut self) {
+        self.seg_prev = 0;
+    }
+
+    /// Runs one stage of the current segment on `lane`, deferring its
+    /// simulated-time charges into the pipeline, and returns its result.
+    ///
+    /// Stages of one segment must be issued in lane order (lane 0 first);
+    /// the recurrence starts this stage at the later of "its lane is
+    /// free" and "the previous stage of this segment finished".
+    pub fn stage<T>(&mut self, lane: usize, f: impl FnOnce() -> T) -> T {
+        if lane >= self.lane_ready.len() {
+            self.lane_ready.resize(lane + 1, 0);
+            self.lane_totals.resize(lane + 1, 0);
+        }
+        let (out, log) = capture(f);
+        let cost = log.total().as_ns();
+        for (clock, charged) in log.into_entries() {
+            match self
+                .charges
+                .iter_mut()
+                .find(|(c, _)| SimClock::ptr_eq(c, &clock))
+            {
+                Some((_, total)) => *total += charged.as_ns(),
+                None => self.charges.push((clock, charged.as_ns())),
+            }
+        }
+        let start = self.lane_ready[lane].max(self.seg_prev);
+        let finish = start + cost;
+        self.lane_ready[lane] = finish;
+        self.lane_totals[lane] += cost;
+        self.seg_prev = finish;
+        self.makespan = self.makespan.max(finish);
+        self.sequential += cost;
+        out
+    }
+
+    /// The elapsed time of the overlapped execution so far.
+    pub fn makespan(&self) -> Nanos {
+        Nanos(self.makespan)
+    }
+
+    /// What strictly sequential execution of the same stages would charge.
+    pub fn sequential_total(&self) -> Nanos {
+        Nanos(self.sequential)
+    }
+
+    /// The busiest lane's total cost (the steady-state lower bound on the
+    /// makespan).
+    pub fn max_lane_total(&self) -> Nanos {
+        Nanos(self.lane_totals.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Settles the pipeline: advances the charged clocks by the makespan
+    /// (prorated per clock by its share of the total charge) and returns
+    /// the makespan.
+    pub fn finish(mut self) -> Nanos {
+        self.settle();
+        Nanos(self.makespan)
+    }
+
+    fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        self.settled = true;
+        let total: u64 = self.charges.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return;
+        }
+        // Prorate the makespan over the clocks by charge share; the
+        // rounding remainder goes to the most-charged clock so that the
+        // advances sum to the makespan exactly.
+        let mut advances: Vec<u64> = self
+            .charges
+            .iter()
+            .map(|(_, c)| (self.makespan as u128 * *c as u128 / total as u128) as u64)
+            .collect();
+        let distributed: u64 = advances.iter().sum();
+        if let Some(biggest) = (0..advances.len()).max_by_key(|&i| self.charges[i].1) {
+            advances[biggest] += self.makespan - distributed;
+        }
+        for ((clock, _), adv) in self.charges.iter().zip(advances) {
+            clock.advance(Nanos(adv));
+        }
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        self.settle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_lane_pipeline_overlaps() {
+        let c = SimClock::new();
+        let mut pipe = Pipeline::new();
+        for _ in 0..4 {
+            pipe.begin_segment();
+            pipe.stage(0, || c.advance(Nanos(10)));
+            pipe.stage(1, || c.advance(Nanos(8)));
+        }
+        assert_eq!(pipe.sequential_total(), Nanos(72));
+        assert_eq!(pipe.max_lane_total(), Nanos(40));
+        let makespan = pipe.finish();
+        // Disk lane saturates (4×10), then the last transmit drains (+8).
+        assert_eq!(makespan, Nanos(48));
+        assert_eq!(c.now(), Nanos(48));
+    }
+
+    #[test]
+    fn makespan_bounded_by_sequential_and_max_lane() {
+        let c = SimClock::new();
+        let costs = [(7u64, 13u64), (20, 3), (5, 5), (11, 17)];
+        let mut pipe = Pipeline::new();
+        for (disk, wire) in costs {
+            pipe.begin_segment();
+            pipe.stage(0, || c.advance(Nanos(disk)));
+            pipe.stage(1, || c.advance(Nanos(wire)));
+        }
+        let seq = pipe.sequential_total();
+        let lane = pipe.max_lane_total();
+        let makespan = pipe.finish();
+        assert!(makespan <= seq, "{makespan} > sequential {seq}");
+        assert!(makespan >= lane, "{makespan} < busiest lane {lane}");
+        assert_eq!(c.now(), makespan);
+    }
+
+    #[test]
+    fn single_segment_degenerates_to_sequential() {
+        let c = SimClock::new();
+        let mut pipe = Pipeline::new();
+        pipe.begin_segment();
+        pipe.stage(0, || c.advance(Nanos(10)));
+        pipe.stage(1, || c.advance(Nanos(8)));
+        assert_eq!(pipe.finish(), Nanos(18));
+        assert_eq!(c.now(), Nanos(18));
+    }
+
+    #[test]
+    fn wire_bound_pipeline_drains_on_wire() {
+        let c = SimClock::new();
+        let mut pipe = Pipeline::new();
+        for _ in 0..3 {
+            pipe.begin_segment();
+            pipe.stage(0, || c.advance(Nanos(4)));
+            pipe.stage(1, || c.advance(Nanos(10)));
+        }
+        // Fill (first read, 4) then the wire lane saturates (3×10).
+        assert_eq!(pipe.finish(), Nanos(34));
+    }
+
+    #[test]
+    fn stage_results_pass_through() {
+        let c = SimClock::new();
+        let mut pipe = Pipeline::new();
+        pipe.begin_segment();
+        let v = pipe.stage(0, || {
+            c.advance(Nanos(1));
+            42
+        });
+        assert_eq!(v, 42);
+        pipe.finish();
+    }
+
+    #[test]
+    fn drop_settles_charges() {
+        let c = SimClock::new();
+        {
+            let mut pipe = Pipeline::new();
+            pipe.begin_segment();
+            pipe.stage(0, || c.advance(Nanos(25)));
+            // Dropped without finish() — e.g. an error return mid-transfer.
+        }
+        assert_eq!(c.now(), Nanos(25));
+    }
+
+    #[test]
+    fn multi_clock_advances_sum_to_makespan() {
+        let disk = SimClock::new();
+        let net = SimClock::new();
+        let mut pipe = Pipeline::new();
+        for _ in 0..5 {
+            pipe.begin_segment();
+            pipe.stage(0, || disk.advance(Nanos(30)));
+            pipe.stage(1, || net.advance(Nanos(10)));
+        }
+        let makespan = pipe.finish();
+        assert_eq!(makespan, Nanos(160));
+        assert_eq!(disk.now() + net.now(), makespan);
+        // Shares reflect the charge ratio (3:1) within rounding.
+        assert!(disk.now() > net.now());
+    }
+
+    #[test]
+    fn nests_inside_an_outer_capture() {
+        let c = SimClock::new();
+        let ((), log) = capture(|| {
+            let mut pipe = Pipeline::new();
+            for _ in 0..2 {
+                pipe.begin_segment();
+                pipe.stage(0, || c.advance(Nanos(10)));
+                pipe.stage(1, || c.advance(Nanos(6)));
+            }
+            assert_eq!(pipe.finish(), Nanos(26));
+        });
+        assert_eq!(c.now(), Nanos::ZERO);
+        assert_eq!(log.total(), Nanos(26));
+    }
+
+    #[test]
+    fn empty_pipeline_is_free() {
+        let pipe = Pipeline::new();
+        assert_eq!(pipe.finish(), Nanos::ZERO);
+    }
+}
