@@ -8,11 +8,14 @@
 //! ```
 //!
 //! With `--json [PATH]` it instead emits the machine-readable streaming
-//! benchmark (latency and bandwidth per file size, pipeline off and on)
-//! to `PATH` (default `BENCH_pr2.json`).  Adding `--check` compares the
-//! freshly measured pipelined 1 MB cold-read bandwidth against the
-//! sequential baseline in the committed file and fails the run on a
-//! regression — the CI bench-smoke gate:
+//! benchmark to `PATH` (default `BENCH_pr2.json`): per file size, the
+//! mean latency and bandwidth (pipeline off and on) plus p50/p95/p99
+//! latency percentiles per operation, measured over repeated traced runs
+//! through [`amoeba_sim::trace::op_histograms`].  Adding `--check`
+//! compares the fresh pipelined 1 MB cold-read bandwidth against the
+//! committed sequential baseline AND the fresh p99 tails against the
+//! committed ones (10 % headroom), failing the run on any regression or
+//! on a baseline missing a gated key — the CI bench-smoke gate:
 //!
 //! ```text
 //! cargo run --release -p bullet-bench --bin report -- --json --check BENCH_pr2.json
@@ -20,9 +23,12 @@
 
 use std::fmt::Write as _;
 
-use amoeba_sim::{HwProfile, Nanos};
+use amoeba_sim::trace::{op_histograms, size_class};
+use amoeba_sim::{HwProfile, Nanos, TraceConfig};
+use bullet_bench::check::{self, CheckError};
 use bullet_bench::rig::{BulletRig, NfsRig};
 use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
+use bytes::Bytes;
 
 /// Sizes benched by `--json` (1 KB … 1 MB).
 const JSON_SIZES: [usize; 5] = [1024, 4096, 65_536, 262_144, 1 << 20];
@@ -53,13 +59,101 @@ fn measure_streaming() -> Vec<StreamRow> {
         .collect()
 }
 
+/// p50/p95/p99 of one operation × size class, from the span histograms.
+struct Percentiles {
+    p50: Nanos,
+    p95: Nanos,
+    p99: Nanos,
+}
+
+struct PctRow {
+    size: usize,
+    warm_read: Percentiles,
+    cold_pipe: Percentiles,
+    create: Percentiles,
+}
+
+/// Repetitions per operation × size for the percentile histograms.
+const REPS: usize = 7;
+
+/// A rig with the span tracer on — identical charged time (asserted by
+/// `tests/trace.rs`), plus a span tree to derive histograms from.
+fn traced_rig() -> BulletRig {
+    BulletRig::with_config(2, HwProfile::amoeba_1989(), 12 << 20, |cfg| {
+        cfg.trace = TraceConfig::enabled(cfg.clock.clone());
+    })
+}
+
+/// Reads the `(op, size-class)` histogram accumulated on the rig's tracer
+/// since the last `clear()`.
+fn quantiles(rig: &BulletRig, op: &str, size: usize) -> Percentiles {
+    let hists = op_histograms(&rig.tracer.snapshot());
+    let h = hists
+        .get(&(op, size_class(size as u64)))
+        .expect("the traced ops recorded spans");
+    Percentiles {
+        p50: h.quantile(0.50),
+        p95: h.quantile(0.95),
+        p99: h.quantile(0.99),
+    }
+}
+
+/// Measures the latency percentiles: `REPS` warm reads, cold pipelined
+/// reads, and mirrored creates per size, server-side op-span durations
+/// bucketed by `op_histograms`.
+fn measure_percentiles() -> Vec<PctRow> {
+    JSON_SIZES
+        .iter()
+        .map(|&size| {
+            let rig = traced_rig();
+            let cap = rig
+                .client
+                .create(Bytes::from(vec![0xa5; size]), 2)
+                .expect("create fits the rig");
+            rig.client.read(&cap).expect("locate + cache warm-up");
+
+            rig.tracer.clear();
+            for _ in 0..REPS {
+                rig.client.read(&cap).expect("warm read");
+            }
+            let warm_read = quantiles(&rig, "read", size);
+
+            rig.tracer.clear();
+            for _ in 0..REPS {
+                rig.server.clear_cache();
+                rig.client.read(&cap).expect("cold read");
+            }
+            let cold_pipe = quantiles(&rig, "read", size);
+            rig.client.delete(&cap).expect("cleanup");
+
+            rig.tracer.clear();
+            for _ in 0..REPS {
+                let c = rig
+                    .client
+                    .create(Bytes::from(vec![0x5a; size]), 2)
+                    .expect("measured create");
+                rig.client.delete(&c).expect("cleanup");
+            }
+            let create = quantiles(&rig, "create", size);
+            PctRow {
+                size,
+                warm_read,
+                cold_pipe,
+                create,
+            }
+        })
+        .collect()
+}
+
 /// Hand-rolled JSON (the workspace carries no serializer): one object
-/// per size with delays in milliseconds and cold-read bandwidths.
-fn render_json(rows: &[StreamRow]) -> String {
+/// per size with delays in milliseconds, latency percentiles, and
+/// cold-read bandwidths.
+fn render_json(rows: &[StreamRow], pcts: &[PctRow]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
     let _ = writeln!(out, "  \"segment_size\": 65536,");
     let _ = writeln!(out, "  \"sizes\": [");
-    for (i, r) in rows.iter().enumerate() {
+    for (i, (r, p)) in rows.iter().zip(pcts).enumerate() {
+        assert_eq!(r.size, p.size, "row tables stay aligned");
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"bytes\": {},", r.size);
         let _ = writeln!(
@@ -80,6 +174,41 @@ fn render_json(rows: &[StreamRow]) -> String {
         let _ = writeln!(out, "      \"create_ms\": {:.3},", r.create.as_ms_f64());
         let _ = writeln!(
             out,
+            "      \"warm_read_p50_ms\": {:.3},",
+            p.warm_read.p50.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"warm_read_p95_ms\": {:.3},",
+            p.warm_read.p95.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"warm_read_p99_ms\": {:.3},",
+            p.warm_read.p99.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"cold_read_pipelined_p50_ms\": {:.3},",
+            p.cold_pipe.p50.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"cold_read_pipelined_p99_ms\": {:.3},",
+            p.cold_pipe.p99.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"create_p50_ms\": {:.3},",
+            p.create.p50.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"create_p99_ms\": {:.3},",
+            p.create.p99.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
             "      \"cold_read_sequential_kb_s\": {:.1},",
             bandwidth_kb_s(r.size, r.cold_seq)
         );
@@ -94,40 +223,55 @@ fn render_json(rows: &[StreamRow]) -> String {
     out
 }
 
-/// Pulls `"<key>": <number>` out of the object for `bytes` in committed
-/// JSON — enough parsing for the regression gate, no serde needed.
-fn json_lookup(doc: &str, bytes: usize, key: &str) -> Option<f64> {
-    let obj = doc.split("{").find(|o| {
-        o.lines()
-            .any(|l| l.trim().starts_with(&format!("\"bytes\": {bytes},")))
+/// The `--check` gate: bandwidth floors and p99 ceilings against the
+/// committed baseline.  Strict about the baseline itself — a missing file
+/// or key is a failure naming what is missing, not a silent pass.
+fn gate(path: &str, rows: &[StreamRow], pcts: &[PctRow]) -> Result<(), CheckError> {
+    let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
+        path: path.to_string(),
     })?;
-    let line = obj.lines().find(|l| l.trim().starts_with(&format!("\"{key}\":")))?;
-    line.split(':').nth(1)?.trim().trim_end_matches(',').parse().ok()
+    let mb = rows.last().expect("1 MB row");
+    let fresh_pipe_bw = bandwidth_kb_s(mb.size, mb.cold_pipe);
+    let fresh_seq_bw = bandwidth_kb_s(mb.size, mb.cold_seq);
+    // The committed sequential baseline is the floor the pipelined path
+    // must never fall back to.
+    let committed_seq_bw = check::require_key(&doc, path, 1 << 20, "cold_read_sequential_kb_s")?;
+    let floor = committed_seq_bw.max(fresh_seq_bw);
+    eprintln!(
+        "check: pipelined 1 MB cold read {fresh_pipe_bw:.1} KB/s vs sequential floor {floor:.1} KB/s"
+    );
+    check::require_at_least(
+        "pipelined 1 MB cold-read bandwidth (KB/s)",
+        fresh_pipe_bw,
+        floor,
+    )?;
+    // Tail-latency gate: p99 of the pipelined cold read and the mirrored
+    // create may not exceed the committed tail by more than 10 %.
+    let mbp = pcts.last().expect("1 MB row");
+    for (key, fresh) in [
+        ("cold_read_pipelined_p99_ms", mbp.cold_pipe.p99),
+        ("create_p99_ms", mbp.create.p99),
+    ] {
+        let committed = check::require_key(&doc, path, 1 << 20, key)?;
+        let fresh_ms = fresh.as_ms_f64();
+        eprintln!("check: 1 MB {key} {fresh_ms:.3} ms vs committed {committed:.3} ms (+10 % allowed)");
+        check::require_at_most(&format!("1 MB {key}"), fresh_ms, committed * 1.10)?;
+    }
+    Ok(())
 }
 
 fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     eprintln!("measuring streaming transfers (pipeline off/on)…");
     let rows = measure_streaming();
+    eprintln!("measuring latency percentiles ({REPS} reps per op × size, traced rigs)…");
+    let pcts = measure_percentiles();
     if check {
-        let mb = rows.last().expect("1 MB row");
-        let fresh_pipe_bw = bandwidth_kb_s(mb.size, mb.cold_pipe);
-        let fresh_seq_bw = bandwidth_kb_s(mb.size, mb.cold_seq);
-        // The committed file's sequential baseline is the floor the
-        // pipelined path must never fall back to.
-        let committed_seq_bw = std::fs::read_to_string(path)
-            .ok()
-            .and_then(|doc| json_lookup(&doc, 1 << 20, "cold_read_sequential_kb_s"))
-            .unwrap_or(fresh_seq_bw);
-        let floor = committed_seq_bw.max(fresh_seq_bw);
-        eprintln!(
-            "check: pipelined 1 MB cold read {fresh_pipe_bw:.1} KB/s vs sequential floor {floor:.1} KB/s"
-        );
-        if fresh_pipe_bw < floor {
-            eprintln!("BENCH CHECK FAILED: pipelined bandwidth regressed below sequential");
+        if let Err(e) = gate(path, &rows, &pcts) {
+            eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows))?;
+    std::fs::write(path, render_json(&rows, &pcts))?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -1,0 +1,189 @@
+//! The regression gate behind `report --json --check`.
+//!
+//! The committed `BENCH_pr2.json` is the baseline; the gate re-measures
+//! and fails the run when a fresh number falls below (bandwidth) or above
+//! (p99 latency) the committed one.  Baseline access is strict: a key the
+//! gate needs but the committed file lacks is an error naming the exact
+//! key and size — never a panic, and never a silently-passing check.
+
+use std::fmt;
+
+/// Why the regression gate refused to pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// The committed baseline file could not be read at all.
+    Unreadable {
+        /// Path the gate tried to read.
+        path: String,
+    },
+    /// The committed baseline lacks the key the gate compares against.
+    MissingKey {
+        /// Path of the baseline file.
+        path: String,
+        /// The `bytes` value of the size object searched.
+        bytes: usize,
+        /// The missing key.
+        key: String,
+    },
+    /// A freshly measured number regressed past the committed baseline.
+    Regression {
+        /// What was compared (human-readable).
+        what: String,
+        /// The fresh measurement.
+        fresh: f64,
+        /// The bound it violated.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Unreadable { path } => {
+                write!(f, "baseline {path} is missing or unreadable; run `report --json {path}` once to create it")
+            }
+            CheckError::MissingKey { path, bytes, key } => {
+                write!(
+                    f,
+                    "baseline {path} has no key \"{key}\" in its bytes={bytes} object; \
+                     regenerate it with `report --json {path}` to pick up the new schema"
+                )
+            }
+            CheckError::Regression { what, fresh, bound } => {
+                write!(f, "{what} regressed: fresh {fresh:.3} vs committed bound {bound:.3}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Pulls `"<key>": <number>` out of the object for `bytes` in committed
+/// JSON — enough parsing for the regression gate, no serde needed.
+pub fn json_lookup(doc: &str, bytes: usize, key: &str) -> Option<f64> {
+    let obj = doc.split('{').find(|o| {
+        o.lines()
+            .any(|l| l.trim().starts_with(&format!("\"bytes\": {bytes},")))
+    })?;
+    let line = obj
+        .lines()
+        .find(|l| l.trim().starts_with(&format!("\"{key}\":")))?;
+    line.split(':').nth(1)?.trim().trim_end_matches(',').parse().ok()
+}
+
+/// [`json_lookup`] that treats absence as a gate failure naming the key.
+///
+/// # Errors
+///
+/// [`CheckError::MissingKey`] when the baseline lacks the key.
+pub fn require_key(doc: &str, path: &str, bytes: usize, key: &str) -> Result<f64, CheckError> {
+    json_lookup(doc, bytes, key).ok_or_else(|| CheckError::MissingKey {
+        path: path.to_string(),
+        bytes,
+        key: key.to_string(),
+    })
+}
+
+/// Fails when `fresh` dropped below `floor` (a bandwidth-style metric,
+/// bigger is better).
+///
+/// # Errors
+///
+/// [`CheckError::Regression`] on violation.
+pub fn require_at_least(what: &str, fresh: f64, floor: f64) -> Result<(), CheckError> {
+    if fresh < floor {
+        return Err(CheckError::Regression {
+            what: what.to_string(),
+            fresh,
+            bound: floor,
+        });
+    }
+    Ok(())
+}
+
+/// Fails when `fresh` rose above `ceiling` (a latency-style metric,
+/// smaller is better).
+///
+/// # Errors
+///
+/// [`CheckError::Regression`] on violation.
+pub fn require_at_most(what: &str, fresh: f64, ceiling: f64) -> Result<(), CheckError> {
+    if fresh > ceiling {
+        return Err(CheckError::Regression {
+            what: what.to_string(),
+            fresh,
+            bound: ceiling,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "sizes": [
+    {
+      "bytes": 1024,
+      "cold_read_pipelined_kb_s": 86.7,
+      "cold_read_pipelined_p99_ms": 11.6
+    },
+    {
+      "bytes": 1048576,
+      "cold_read_pipelined_kb_s": 794.1
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn lookup_finds_the_right_size_object() {
+        assert_eq!(json_lookup(DOC, 1024, "cold_read_pipelined_kb_s"), Some(86.7));
+        assert_eq!(
+            json_lookup(DOC, 1 << 20, "cold_read_pipelined_kb_s"),
+            Some(794.1)
+        );
+    }
+
+    #[test]
+    fn missing_key_fails_naming_the_key() {
+        // The 1 MB object has no p99 key — an old-schema baseline.  The
+        // gate must say so, naming the key and the size, instead of
+        // panicking or silently passing.
+        let err = require_key(DOC, "BENCH_pr2.json", 1 << 20, "cold_read_pipelined_p99_ms")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::MissingKey {
+                path: "BENCH_pr2.json".to_string(),
+                bytes: 1 << 20,
+                key: "cold_read_pipelined_p99_ms".to_string(),
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("cold_read_pipelined_p99_ms"), "message: {msg}");
+        assert!(msg.contains("bytes=1048576"), "message: {msg}");
+    }
+
+    #[test]
+    fn present_key_passes() {
+        assert_eq!(
+            require_key(DOC, "b.json", 1024, "cold_read_pipelined_p99_ms"),
+            Ok(11.6)
+        );
+    }
+
+    #[test]
+    fn bandwidth_regression_fails() {
+        assert!(require_at_least("1 MB bw", 800.0, 794.1).is_ok());
+        let err = require_at_least("1 MB bw", 700.0, 794.1).unwrap_err();
+        assert!(err.to_string().contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn latency_regression_fails() {
+        assert!(require_at_most("1 MB p99", 11.0, 11.6).is_ok());
+        assert!(require_at_most("1 MB p99", 12.0, 11.6).is_err());
+    }
+}

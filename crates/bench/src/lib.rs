@@ -7,6 +7,9 @@
 //! * [`workload`] — the file-size distribution from the literature the
 //!   paper cites (median 1 KB, 99 % under 64 KB) and an operation-mix
 //!   generator (75 % whole-file reads).
+//! * [`check`] — the regression-gate machinery behind `report --check`:
+//!   baseline-key lookup that *fails loudly* when a key is missing, and
+//!   floor/ceiling comparisons with human-readable errors.
 //! * [`table`] — measurement loops and the delay/bandwidth table
 //!   formatting used by every `fig*`/`ablation_*` binary, plus the §4
 //!   claim checks the `comparison` binary (and the integration tests)
@@ -20,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod rig;
 pub mod table;
 pub mod workload;
 
+pub use check::CheckError;
 pub use rig::{BulletRig, NfsRig};
 pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
 pub use workload::{SizeDistribution, WorkloadMix, WorkloadOp};

@@ -8,7 +8,7 @@ use amoeba_cap::Port;
 use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk, SimDisk};
 use amoeba_net::SimEthernet;
 use amoeba_rpc::{Dispatcher, RpcClient};
-use amoeba_sim::{HwProfile, Nanos, SimClock};
+use amoeba_sim::{HwProfile, Nanos, SimClock, Tracer};
 use bullet_core::{BulletClient, BulletConfig, BulletRpcServer, BulletServer};
 use nfs_blockfs::{NfsClient, NfsServer, NfsServerConfig};
 
@@ -31,6 +31,9 @@ pub struct BulletRig {
     pub client: BulletClient,
     /// The RPC fabric.
     pub dispatcher: Arc<Dispatcher>,
+    /// The span tracer every layer shares — disabled unless the rig was
+    /// built with `cfg.trace = TraceConfig::enabled(..)` in its tweak.
+    pub tracer: Tracer,
 }
 
 impl BulletRig {
@@ -93,11 +96,14 @@ impl BulletRig {
             segment_size: 64 * 1024,
             pipeline: true,
             readahead_segments: u32::MAX,
+            trace: amoeba_sim::TraceConfig::off(),
         };
         tweak(&mut cfg);
+        let tracer = cfg.trace.tracer().clone();
         let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
         let net = SimEthernet::with_load(clock.clone(), hw.net, 1.0);
         let dispatcher = Dispatcher::new(net);
+        dispatcher.set_tracer(tracer.clone());
         dispatcher.register(BulletRpcServer::new(server.clone()));
         let client = BulletClient::new(RpcClient::new(dispatcher.clone()), server.port());
         BulletRig {
@@ -106,6 +112,7 @@ impl BulletRig {
             server,
             client,
             dispatcher,
+            tracer,
         }
     }
 

@@ -16,8 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 
-use amoeba_sim::{DetRng, Stats};
+use amoeba_sim::{DetRng, Stats, Tracer};
 
+use crate::counters;
 use crate::freelist::ExtentAllocator;
 use crate::BulletError;
 
@@ -78,6 +79,7 @@ pub struct FileCache {
     policy: EvictionPolicy,
     rng: DetRng,
     stats: Stats,
+    tracer: Tracer,
 }
 
 impl FileCache {
@@ -118,7 +120,14 @@ impl FileCache {
             policy,
             rng: DetRng::new(seed),
             stats: Stats::new(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs the span tracer recording `cache.lookup` / `cache.insert`
+    /// events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Cache statistics: `cache_hits`, `cache_misses`, `cache_evictions`,
@@ -153,13 +162,18 @@ impl FileCache {
     /// so concurrent cache-hit reads need no exclusive lock — the heart
     /// of the server's concurrent read path.
     pub fn get(&self, inode_index: u32) -> Option<Bytes> {
-        match self.lookup(inode_index) {
+        let outcome = self.lookup(inode_index);
+        self.tracer.instant(
+            "cache.lookup",
+            &[("inode", inode_index.into()), ("hit", outcome.is_some().into())],
+        );
+        match outcome {
             Some(data) => {
-                self.stats.incr("cache_hits");
+                self.stats.incr(counters::CACHE_HITS);
                 Some(data)
             }
             None => {
-                self.stats.incr("cache_misses");
+                self.stats.incr(counters::CACHE_MISSES);
                 None
             }
         }
@@ -171,7 +185,7 @@ impl FileCache {
     /// guard.
     pub fn recheck(&self, inode_index: u32) -> Option<Bytes> {
         let data = self.lookup(inode_index)?;
-        self.stats.incr("cache_hits");
+        self.stats.incr(counters::CACHE_HITS);
         Some(data)
     }
 
@@ -238,7 +252,7 @@ impl FileCache {
             }
             if self.arena.free_units() >= need {
                 compaction_bytes += self.compact();
-                self.stats.incr("cache_compactions");
+                self.stats.incr(counters::CACHE_COMPACTIONS);
                 continue;
             }
             evicted.push(
@@ -256,7 +270,16 @@ impl FileCache {
             age: AtomicU64::new(age),
         });
         self.by_inode.insert(inode_index, slot);
-        self.stats.incr("cache_inserts");
+        self.stats.incr(counters::CACHE_INSERTS);
+        self.tracer.instant(
+            "cache.insert",
+            &[
+                ("inode", inode_index.into()),
+                ("bytes", self.rnodes[slot as usize].as_ref().expect("live").data.len().into()),
+                ("evicted", evicted.len().into()),
+                ("compaction_bytes", compaction_bytes.into()),
+            ],
+        );
         Ok(InsertOutcome {
             slot,
             evicted,
@@ -336,7 +359,7 @@ impl FileCache {
             }
         };
         self.remove(victim);
-        self.stats.incr("cache_evictions");
+        self.stats.incr(counters::CACHE_EVICTIONS);
         Some(victim)
     }
 }

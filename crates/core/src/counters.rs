@@ -1,0 +1,187 @@
+//! Canonical counter names for the Bullet server's [`amoeba_sim::Stats`].
+//!
+//! Every counter the core crate increments is declared here once, so the
+//! name a component bumps and the name a benchmark or test reads cannot
+//! silently fork (a typo in a string literal would just read zero).  The
+//! same table, with prose descriptions, lives in DESIGN.md §9.3; the disk
+//! and net crates keep their own small namespaces (`mirror_*`, `net_*`)
+//! because they are reusable below the Bullet layer.
+//!
+//! Naming scheme: operation counters are plural verbs (`creates`,
+//! `reads`), byte totals end in `_bytes` or start with `bytes_`, and each
+//! sharded lock contributes a pair `lock_<shard>` / `lock_contended_<shard>`
+//! counting acquisitions and try-lock misses.
+
+/// Inodes repaired (zeroed after a half-committed create) during
+/// [`crate::server::BulletServer::recover`].
+pub const RECOVERY_REPAIRED_INODES: &str = "recovery_repaired_inodes";
+
+/// Successful `BULLET.CREATE` operations.
+pub const CREATES: &str = "creates";
+
+/// Payload bytes accepted by successful creates.
+pub const BYTES_CREATED: &str = "bytes_created";
+
+/// Creates whose payload took the segmented receive→copy→disk pipeline.
+pub const PIPELINED_CREATES: &str = "pipelined_creates";
+
+/// Whole-file `BULLET.READ` operations.
+pub const READS: &str = "reads";
+
+/// `BULLET.READ_SECTION` operations (byte-range reads).
+pub const SECTION_READS: &str = "section_reads";
+
+/// Section reads served by loading only the touched blocks, not the file.
+pub const PARTIAL_SECTION_LOADS: &str = "partial_section_loads";
+
+/// Extra bytes pulled in beyond a requested section by readahead.
+pub const READAHEAD_BYTES: &str = "readahead_bytes";
+
+/// Cold reads that streamed disk→wire through the segment pipeline.
+pub const PIPELINED_READS: &str = "pipelined_reads";
+
+/// Transfer segments moved by the streaming paths (either direction).
+pub const STREAM_SEGMENTS: &str = "stream_segments";
+
+/// Bytes memcpy'd between request/reply buffers and the cache arena.
+pub const PAYLOAD_BYTES_COPIED: &str = "payload_bytes_copied";
+
+/// Successful `BULLET.DELETE` operations.
+pub const DELETES: &str = "deletes";
+
+/// Successful `BULLET.MODIFY`/`BULLET.APPEND` operations (each is a
+/// create-new + delete-old pair under the immutable-file rule).
+pub const MODIFIES: &str = "modifies";
+
+/// Live extents moved while compacting the on-disk data area.
+pub const DISK_COMPACTION_MOVES: &str = "disk_compaction_moves";
+
+/// Files removed by ageing (the garbage collector's touch-or-die rule).
+pub const AGED_OUT: &str = "aged_out";
+
+/// Whole-file cache lookups that found the file resident.
+pub const CACHE_HITS: &str = "cache_hits";
+
+/// Cache lookups that missed (and usually triggered a cold load).
+pub const CACHE_MISSES: &str = "cache_misses";
+
+/// Files inserted into the RAM cache.
+pub const CACHE_INSERTS: &str = "cache_inserts";
+
+/// Files evicted to make room.
+pub const CACHE_EVICTIONS: &str = "cache_evictions";
+
+/// Arena compactions run to coalesce free space for an insert.
+pub const CACHE_COMPACTIONS: &str = "cache_compactions";
+
+/// Acquisitions of the inode-table read lock.
+pub const LOCK_TABLE_READ: &str = "lock_table_read";
+/// Contended acquisitions (try-lock misses) of the inode-table read lock.
+pub const LOCK_CONTENDED_TABLE_READ: &str = "lock_contended_table_read";
+/// Acquisitions of the inode-table write lock.
+pub const LOCK_TABLE_WRITE: &str = "lock_table_write";
+/// Contended acquisitions of the inode-table write lock.
+pub const LOCK_CONTENDED_TABLE_WRITE: &str = "lock_contended_table_write";
+/// Acquisitions of the cache read lock.
+pub const LOCK_CACHE_READ: &str = "lock_cache_read";
+/// Contended acquisitions of the cache read lock.
+pub const LOCK_CONTENDED_CACHE_READ: &str = "lock_contended_cache_read";
+/// Acquisitions of the cache write lock.
+pub const LOCK_CACHE_WRITE: &str = "lock_cache_write";
+/// Contended acquisitions of the cache write lock.
+pub const LOCK_CONTENDED_CACHE_WRITE: &str = "lock_contended_cache_write";
+/// Acquisitions of the disk-allocator lock.
+pub const LOCK_ALLOC: &str = "lock_alloc";
+/// Contended acquisitions of the disk-allocator lock.
+pub const LOCK_CONTENDED_ALLOC: &str = "lock_contended_alloc";
+/// Acquisitions of the age-table lock.
+pub const LOCK_AGES: &str = "lock_ages";
+/// Contended acquisitions of the age-table lock.
+pub const LOCK_CONTENDED_AGES: &str = "lock_contended_ages";
+/// Acquisitions of the inode-I/O ordering lock.
+pub const LOCK_INODE_IO: &str = "lock_inode_io";
+/// Contended acquisitions of the inode-I/O ordering lock.
+pub const LOCK_CONTENDED_INODE_IO: &str = "lock_contended_inode_io";
+/// Read-side acquisitions of the maintenance (compaction/ageing) lock.
+pub const LOCK_MAINTENANCE_READ: &str = "lock_maintenance_read";
+/// Contended read-side acquisitions of the maintenance lock.
+pub const LOCK_CONTENDED_MAINTENANCE_READ: &str = "lock_contended_maintenance_read";
+/// Write-side acquisitions of the maintenance lock.
+pub const LOCK_MAINTENANCE_WRITE: &str = "lock_maintenance_write";
+/// Contended write-side acquisitions of the maintenance lock.
+pub const LOCK_CONTENDED_MAINTENANCE_WRITE: &str = "lock_contended_maintenance_write";
+/// Acquisitions of the in-flight cold-load registry lock.
+pub const LOCK_INFLIGHT: &str = "lock_inflight";
+/// Contended acquisitions of the in-flight registry lock.
+pub const LOCK_CONTENDED_INFLIGHT: &str = "lock_contended_inflight";
+
+/// Every counter name the core crate can emit, for exhaustive iteration
+/// (status dumps, doc tables, tests that no name is duplicated).
+pub const ALL: &[&str] = &[
+    RECOVERY_REPAIRED_INODES,
+    CREATES,
+    BYTES_CREATED,
+    PIPELINED_CREATES,
+    READS,
+    SECTION_READS,
+    PARTIAL_SECTION_LOADS,
+    READAHEAD_BYTES,
+    PIPELINED_READS,
+    STREAM_SEGMENTS,
+    PAYLOAD_BYTES_COPIED,
+    DELETES,
+    MODIFIES,
+    DISK_COMPACTION_MOVES,
+    AGED_OUT,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_INSERTS,
+    CACHE_EVICTIONS,
+    CACHE_COMPACTIONS,
+    LOCK_TABLE_READ,
+    LOCK_CONTENDED_TABLE_READ,
+    LOCK_TABLE_WRITE,
+    LOCK_CONTENDED_TABLE_WRITE,
+    LOCK_CACHE_READ,
+    LOCK_CONTENDED_CACHE_READ,
+    LOCK_CACHE_WRITE,
+    LOCK_CONTENDED_CACHE_WRITE,
+    LOCK_ALLOC,
+    LOCK_CONTENDED_ALLOC,
+    LOCK_AGES,
+    LOCK_CONTENDED_AGES,
+    LOCK_INODE_IO,
+    LOCK_CONTENDED_INODE_IO,
+    LOCK_MAINTENANCE_READ,
+    LOCK_CONTENDED_MAINTENANCE_READ,
+    LOCK_MAINTENANCE_WRITE,
+    LOCK_CONTENDED_MAINTENANCE_WRITE,
+    LOCK_INFLIGHT,
+    LOCK_CONTENDED_INFLIGHT,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate counter name {name}");
+        }
+    }
+
+    #[test]
+    fn every_lock_counter_has_a_contended_twin() {
+        for name in ALL.iter().filter(|n| {
+            n.starts_with("lock_") && !n.starts_with("lock_contended_")
+        }) {
+            let twin = format!("lock_contended_{}", &name["lock_".len()..]);
+            assert!(
+                ALL.contains(&twin.as_str()),
+                "{name} has no {twin} counterpart"
+            );
+        }
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod counters;
 pub mod error;
 pub mod freelist;
 pub mod layout;

@@ -40,9 +40,10 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port, Rights};
 use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk};
 use amoeba_rpc::StreamWire;
-use amoeba_sim::{CpuProfile, DetRng, Pipeline, SimClock, Stats};
+use amoeba_sim::{AttrValue, CpuProfile, DetRng, Pipeline, SimClock, Stats, TraceConfig, Tracer};
 
 use crate::cache::{EvictionPolicy, FileCache};
+use crate::counters;
 use crate::freelist::ExtentAllocator;
 use crate::layout::{DiskDescriptor, Inode};
 use crate::table::{InodeTable, RepairPolicy};
@@ -99,6 +100,12 @@ pub struct BulletConfig {
     /// the requested segments plus this much forward readahead, serving
     /// the section without populating the whole-file cache.
     pub readahead_segments: u32,
+    /// Span tracing (see [`amoeba_sim::trace`]).  [`TraceConfig::off`],
+    /// the default, is free: the data path never touches the clock or
+    /// allocates on its behalf.  [`TraceConfig::enabled`] records a span
+    /// tree of every operation — timestamps come from the simulated
+    /// clock, so the recorded times are the charged times, exactly.
+    pub trace: TraceConfig,
 }
 
 impl BulletConfig {
@@ -123,6 +130,7 @@ impl BulletConfig {
             segment_size: 64 * 1024,
             pipeline: true,
             readahead_segments: u32::MAX,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -253,6 +261,8 @@ pub struct BulletServer {
     maintenance: RwLock<()>,
     stats: Stats,
     locks: Stats,
+    /// Clone of `cfg.trace`'s tracer, hoisted out for the hot paths.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for BulletServer {
@@ -294,6 +304,13 @@ impl BulletServer {
         extents: ExtentAllocator,
         ages: HashMap<u32, u32>,
     ) -> BulletServer {
+        // One tracer, shared by every layer: the cache's lookup instants,
+        // the mirror's replica spans, and the server's op spans all join
+        // the same tree.
+        let tracer = cfg.trace.tracer().clone();
+        let mut cache = FileCache::with_policy(cfg.cache_capacity, cfg.rnode_slots, cfg.eviction);
+        cache.set_tracer(tracer.clone());
+        storage.set_tracer(tracer.clone());
         BulletServer {
             scheme: cfg.scheme.build(cfg.scheme_seed),
             desc: *table.descriptor(),
@@ -302,11 +319,7 @@ impl BulletServer {
                 extents,
                 rng: DetRng::new(cfg.rng_seed),
             }),
-            cache: RwLock::new(FileCache::with_policy(
-                cfg.cache_capacity,
-                cfg.rnode_slots,
-                cfg.eviction,
-            )),
+            cache: RwLock::new(cache),
             ages: Mutex::new(ages),
             inflight: InflightTable::new(),
             inode_io: Mutex::new(()),
@@ -315,6 +328,7 @@ impl BulletServer {
             storage,
             stats: Stats::new(),
             locks: Stats::new(),
+            tracer,
         }
     }
 
@@ -385,7 +399,7 @@ impl BulletServer {
         let server = BulletServer::assemble(cfg, storage, table, alloc, ages);
         server
             .stats
-            .add("recovery_repaired_inodes", report.repaired as u64);
+            .add(counters::RECOVERY_REPAIRED_INODES, report.repaired as u64);
         Ok(server)
     }
 
@@ -446,7 +460,11 @@ impl BulletServer {
         p_factor: u32,
         wire: Option<&StreamWire>,
     ) -> Result<Capability, BulletError> {
-        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut op = self.tracer.span("bullet.create");
+        op.attr("op", "create");
+        op.attr("bytes", data.len());
+        op.attr("p_factor", p_factor);
+        self.charge_request();
         if p_factor as usize > self.storage.replica_count() {
             return Err(BulletError::BadPFactor {
                 requested: p_factor,
@@ -458,14 +476,14 @@ impl BulletServer {
             cache_capacity: self.cfg.cache_capacity,
         })?;
         let pipelined = self.cfg.pipeline && data.len() as u64 > self.segment_bytes();
+        op.attr("pipelined", pipelined);
         if !pipelined {
             // Receiving the file into cache memory costs one copy.  (The
             // pipelined path charges the same copy segment by segment,
             // overlapped with the disk writes.)
-            self.cfg
-                .clock
-                .advance(self.cfg.cpu.memcpy(data.len() as u64));
-            self.stats.add("payload_bytes_copied", data.len() as u64);
+            self.charge_memcpy(data.len() as u64);
+            self.stats
+                .add(counters::PAYLOAD_BYTES_COPIED, data.len() as u64);
         }
 
         let block_size = self.desc.block_size;
@@ -537,7 +555,7 @@ impl BulletServer {
         // Write-through: file data, then the inode's whole block.
         let k = p_factor as usize;
         let write = if pipelined {
-            self.stats.incr("pipelined_creates");
+            self.stats.incr(counters::PIPELINED_CREATES);
             self.write_data_pipelined(start, blocks, &data, k, wire)
         } else {
             self.write_data_blocks(start, blocks, &data, k)
@@ -556,8 +574,8 @@ impl BulletServer {
             return Err(e);
         }
 
-        self.stats.incr("creates");
-        self.stats.add("bytes_created", size as u64);
+        self.stats.incr(counters::CREATES);
+        self.stats.add(counters::BYTES_CREATED, size as u64);
         Ok(self.scheme.mint(
             self.cfg.port,
             ObjNum::new(idx).expect("inode index fits 24 bits"),
@@ -572,7 +590,9 @@ impl BulletServer {
     ///
     /// Capability or lookup failures.
     pub fn size(&self, cap: &Capability) -> Result<u32, BulletError> {
-        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut op = self.tracer.span("bullet.size");
+        op.attr("op", "size");
+        self.charge_request();
         let table = self.table_read();
         let inode = self.verify(&table, cap, Rights::READ)?;
         Ok(inode.size_bytes)
@@ -606,7 +626,9 @@ impl BulletServer {
         cap: &Capability,
         wire: Option<&StreamWire>,
     ) -> Result<Bytes, BulletError> {
-        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut op = self.tracer.span("bullet.read");
+        op.attr("op", "read");
+        self.charge_request();
         let idx = cap.object.value();
         // Fast path: verification and the cache hit take shared locks
         // only, so concurrent cache-hot reads never serialize.
@@ -615,11 +637,13 @@ impl BulletServer {
             self.verify(&table, cap, Rights::READ)?;
         }
         if let Some(data) = self.cache_read().get(idx) {
-            self.stats.incr("reads");
+            self.stats.incr(counters::READS);
+            op.attr("bytes", data.len());
             return Ok(data);
         }
         let data = self.load_cold(cap, idx, Rights::READ, wire, 0, u64::MAX)?;
-        self.stats.incr("reads");
+        self.stats.incr(counters::READS);
+        op.attr("bytes", data.len());
         Ok(data)
     }
 
@@ -656,7 +680,10 @@ impl BulletServer {
         len: u32,
         wire: Option<&StreamWire>,
     ) -> Result<Bytes, BulletError> {
-        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut op = self.tracer.span("bullet.read_section");
+        op.attr("op", "read_section");
+        op.attr("bytes", len);
+        self.charge_request();
         let inode = {
             let table = self.table_read();
             *self.verify(&table, cap, Rights::READ)?
@@ -674,7 +701,7 @@ impl BulletServer {
             Some(d) => d.slice(offset as usize..end as usize),
             None => self.load_section_cold(cap, idx, offset, end, wire)?,
         };
-        self.stats.incr("section_reads");
+        self.stats.incr(counters::SECTION_READS);
         Ok(data)
     }
 
@@ -687,7 +714,9 @@ impl BulletServer {
     ///
     /// Capability failures or disk errors.
     pub fn delete(&self, cap: &Capability) -> Result<(), BulletError> {
-        self.cfg.clock.advance(self.cfg.cpu.request());
+        let mut op = self.tracer.span("bullet.delete");
+        op.attr("op", "delete");
+        self.charge_request();
         let idx = cap.object.value();
         let _m = self.maint_read();
         // The in-flight guard serializes against a create, miss load, or
@@ -710,7 +739,7 @@ impl BulletServer {
         self.table_write().release_slot(idx);
         self.alloc_lock().extents.free(start, blocks)?;
         write?;
-        self.stats.incr("deletes");
+        self.stats.incr(counters::DELETES);
         Ok(())
     }
 
@@ -729,6 +758,9 @@ impl BulletServer {
         data: &[u8],
         p_factor: u32,
     ) -> Result<Capability, BulletError> {
+        let mut op = self.tracer.span("bullet.modify");
+        op.attr("op", "modify");
+        op.attr("bytes", data.len());
         let base = {
             {
                 let table = self.table_read();
@@ -753,11 +785,10 @@ impl BulletServer {
         buf[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         // The extra server-side copy is charged inside create() as the
         // usual reception copy; charge the read-side copy here.
-        self.cfg
-            .clock
-            .advance(self.cfg.cpu.memcpy(base.len() as u64));
-        self.stats.add("payload_bytes_copied", base.len() as u64);
-        self.stats.incr("modifies");
+        self.charge_memcpy(base.len() as u64);
+        self.stats
+            .add(counters::PAYLOAD_BYTES_COPIED, base.len() as u64);
+        self.stats.incr(counters::MODIFIES);
         self.create(Bytes::from(buf), p_factor)
     }
 
@@ -839,15 +870,15 @@ impl BulletServer {
         }
         let total_used: u64 = used.iter().map(|&(_, l)| l).sum();
         self.alloc_lock().extents.rebuild_after_compaction(total_used);
-        self.stats.add("disk_compaction_moves", moved);
+        self.stats.add(counters::DISK_COMPACTION_MOVES, moved);
         Ok(moved)
     }
 
     /// Compacts the RAM cache arena; returns bytes moved.
     pub fn compact_memory(&self) -> u64 {
         let moved = self.cache_write().compact();
-        self.cfg.clock.advance(self.cfg.cpu.memcpy(moved));
-        self.stats.add("payload_bytes_copied", moved);
+        self.charge_memcpy(moved);
+        self.stats.add(counters::PAYLOAD_BYTES_COPIED, moved);
         moved
     }
 
@@ -994,7 +1025,7 @@ impl BulletServer {
             write?;
             count += 1;
         }
-        self.stats.add("aged_out", count);
+        self.stats.add(counters::AGED_OUT, count);
         Ok(count)
     }
 
@@ -1156,9 +1187,11 @@ impl BulletServer {
         let load_start = first_seg * seg;
         let load_end = ((last_seg + 1) * seg).min(total);
         let mut buf = vec![0u8; (load_end - load_start) as usize];
-        self.stats.incr("partial_section_loads");
-        self.stats
-            .add("readahead_bytes", load_end.min(size).saturating_sub(end as u64));
+        self.stats.incr(counters::PARTIAL_SECTION_LOADS);
+        self.stats.add(
+            counters::READAHEAD_BYTES,
+            load_end.min(size).saturating_sub(end as u64),
+        );
         self.read_extent(
             inode.start_block as u64,
             load_start,
@@ -1199,8 +1232,8 @@ impl BulletServer {
             self.storage.read_blocks(first_block, buf)?;
             return Ok(());
         };
-        self.stats.incr("pipelined_reads");
-        let mut pipe = Pipeline::new();
+        self.stats.incr(counters::PIPELINED_READS);
+        let mut pipe = Pipeline::with_trace(self.tracer.clone(), &["disk_read", "wire_send"]);
         let mut off = 0u64;
         let total = buf.len() as u64;
         while off < total {
@@ -1224,7 +1257,7 @@ impl BulletServer {
             let sent_start = (load_off + off).max(win_start);
             let sent_end = (load_off + end).min(win_end).min(size);
             if sent_end > sent_start {
-                self.stats.incr("stream_segments");
+                self.stats.incr(counters::STREAM_SEGMENTS);
                 pipe.stage(1, || wire.stage_reply_segment(sent_end - sent_start));
             }
             off = end;
@@ -1249,20 +1282,23 @@ impl BulletServer {
         let block_size = self.desc.block_size as u64;
         let seg = self.segment_bytes();
         let total = blocks * block_size;
-        let mut pipe = Pipeline::new();
+        let mut pipe = Pipeline::with_trace(
+            self.tracer.clone(),
+            &["wire_recv", "memcpy", "disk_write"],
+        );
         let mut off = 0u64;
         while off < total {
             let end = (off + seg).min(total);
             let chunk_len = (end.min(data.len() as u64)).saturating_sub(off);
             pipe.begin_segment();
-            self.stats.incr("stream_segments");
+            self.stats.incr(counters::STREAM_SEGMENTS);
             if let Some(w) = wire {
                 pipe.stage(0, || w.recv_request_segment(chunk_len));
             }
             pipe.stage(1, || {
                 self.cfg.clock.advance(self.cfg.cpu.memcpy(chunk_len));
             });
-            self.stats.add("payload_bytes_copied", chunk_len);
+            self.stats.add(counters::PAYLOAD_BYTES_COPIED, chunk_len);
             let write = pipe.stage(2, || {
                 let chunk = &data[off as usize..(off + chunk_len) as usize];
                 let first = start + off / block_size;
@@ -1297,9 +1333,7 @@ impl BulletServer {
     ) -> Result<(), BulletError> {
         let outcome = cache.insert(idx, data)?;
         if outcome.compaction_bytes > 0 {
-            self.cfg
-                .clock
-                .advance(self.cfg.cpu.memcpy(outcome.compaction_bytes));
+            self.charge_memcpy(outcome.compaction_bytes);
         }
         for victim in &outcome.evicted {
             if let Ok(inode) = table.get_mut(*victim) {
@@ -1345,87 +1379,151 @@ impl BulletServer {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Traced clock charges.
+    // ------------------------------------------------------------------
+
+    /// Charges the fixed request-service CPU cost under a `cpu.request`
+    /// leaf span, so a per-op span tree accounts for every charged
+    /// nanosecond.
+    fn charge_request(&self) {
+        let _s = self.tracer.span("cpu.request");
+        self.cfg.clock.advance(self.cfg.cpu.request());
+    }
+
+    /// Charges a `bytes`-long memory copy under a `cpu.memcpy` leaf span.
+    fn charge_memcpy(&self, bytes: u64) {
+        let mut s = self.tracer.span("cpu.memcpy");
+        s.attr("bytes", bytes);
+        self.cfg.clock.advance(self.cfg.cpu.memcpy(bytes));
+    }
+
     // Counted lock acquisitions: every helper bumps `lock_<name>`, and
     // `lock_contended_<name>` when the uncontended fast path failed.
+    // With tracing on, each acquisition additionally records a zero-width
+    // `lock.<shard>` instant carrying the contended flag — zero-width
+    // because lock waits block real threads but never advance the
+    // simulated clock.
+
+    fn counted_lock<G>(
+        &self,
+        total: &'static str,
+        contended: &'static str,
+        shard: &'static str,
+        try_acquire: impl FnOnce() -> Option<G>,
+        acquire: impl FnOnce() -> G,
+    ) -> G {
+        self.locks.incr(total);
+        let (guard, waited) = match try_acquire() {
+            Some(g) => (g, false),
+            None => {
+                self.locks.incr(contended);
+                (acquire(), true)
+            }
+        };
+        self.tracer
+            .instant(shard, &[("contended", AttrValue::Bool(waited))]);
+        guard
+    }
 
     fn table_read(&self) -> RwLockReadGuard<'_, InodeTable> {
-        self.locks.incr("lock_table_read");
-        self.table.try_read().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_table_read");
-            self.table.read()
-        })
+        self.counted_lock(
+            counters::LOCK_TABLE_READ,
+            counters::LOCK_CONTENDED_TABLE_READ,
+            "lock.table_read",
+            || self.table.try_read(),
+            || self.table.read(),
+        )
     }
 
     fn table_write(&self) -> RwLockWriteGuard<'_, InodeTable> {
-        self.locks.incr("lock_table_write");
-        self.table.try_write().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_table_write");
-            self.table.write()
-        })
+        self.counted_lock(
+            counters::LOCK_TABLE_WRITE,
+            counters::LOCK_CONTENDED_TABLE_WRITE,
+            "lock.table_write",
+            || self.table.try_write(),
+            || self.table.write(),
+        )
     }
 
     fn cache_read(&self) -> RwLockReadGuard<'_, FileCache> {
-        self.locks.incr("lock_cache_read");
-        self.cache.try_read().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_cache_read");
-            self.cache.read()
-        })
+        self.counted_lock(
+            counters::LOCK_CACHE_READ,
+            counters::LOCK_CONTENDED_CACHE_READ,
+            "lock.cache_read",
+            || self.cache.try_read(),
+            || self.cache.read(),
+        )
     }
 
     fn cache_write(&self) -> RwLockWriteGuard<'_, FileCache> {
-        self.locks.incr("lock_cache_write");
-        self.cache.try_write().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_cache_write");
-            self.cache.write()
-        })
+        self.counted_lock(
+            counters::LOCK_CACHE_WRITE,
+            counters::LOCK_CONTENDED_CACHE_WRITE,
+            "lock.cache_write",
+            || self.cache.try_write(),
+            || self.cache.write(),
+        )
     }
 
     fn alloc_lock(&self) -> MutexGuard<'_, AllocState> {
-        self.locks.incr("lock_alloc");
-        self.alloc.try_lock().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_alloc");
-            self.alloc.lock()
-        })
+        self.counted_lock(
+            counters::LOCK_ALLOC,
+            counters::LOCK_CONTENDED_ALLOC,
+            "lock.alloc",
+            || self.alloc.try_lock(),
+            || self.alloc.lock(),
+        )
     }
 
     fn ages_lock(&self) -> MutexGuard<'_, HashMap<u32, u32>> {
-        self.locks.incr("lock_ages");
-        self.ages.try_lock().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_ages");
-            self.ages.lock()
-        })
+        self.counted_lock(
+            counters::LOCK_AGES,
+            counters::LOCK_CONTENDED_AGES,
+            "lock.ages",
+            || self.ages.try_lock(),
+            || self.ages.lock(),
+        )
     }
 
     fn inode_io_lock(&self) -> MutexGuard<'_, ()> {
-        self.locks.incr("lock_inode_io");
-        self.inode_io.try_lock().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_inode_io");
-            self.inode_io.lock()
-        })
+        self.counted_lock(
+            counters::LOCK_INODE_IO,
+            counters::LOCK_CONTENDED_INODE_IO,
+            "lock.inode_io",
+            || self.inode_io.try_lock(),
+            || self.inode_io.lock(),
+        )
     }
 
     fn maint_read(&self) -> RwLockReadGuard<'_, ()> {
-        self.locks.incr("lock_maintenance_read");
-        self.maintenance.try_read().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_maintenance_read");
-            self.maintenance.read()
-        })
+        self.counted_lock(
+            counters::LOCK_MAINTENANCE_READ,
+            counters::LOCK_CONTENDED_MAINTENANCE_READ,
+            "lock.maintenance_read",
+            || self.maintenance.try_read(),
+            || self.maintenance.read(),
+        )
     }
 
     fn maint_write(&self) -> RwLockWriteGuard<'_, ()> {
-        self.locks.incr("lock_maintenance_write");
-        self.maintenance.try_write().unwrap_or_else(|| {
-            self.locks.incr("lock_contended_maintenance_write");
-            self.maintenance.write()
-        })
+        self.counted_lock(
+            counters::LOCK_MAINTENANCE_WRITE,
+            counters::LOCK_CONTENDED_MAINTENANCE_WRITE,
+            "lock.maintenance_write",
+            || self.maintenance.try_write(),
+            || self.maintenance.write(),
+        )
     }
 
     fn inflight_lock(&self, idx: u32) -> InflightGuard<'_> {
-        self.locks.incr("lock_inflight");
+        self.locks.incr(counters::LOCK_INFLIGHT);
         let (guard, waited) = self.inflight.acquire(idx);
         if waited {
-            self.locks.incr("lock_contended_inflight");
+            self.locks.incr(counters::LOCK_CONTENDED_INFLIGHT);
         }
+        self.tracer
+            .instant("lock.inflight", &[("contended", AttrValue::Bool(waited))]);
         guard
     }
 }
@@ -1869,5 +1967,71 @@ mod tests {
         s.read(&cap).unwrap(); // cache hit: cheap
         let read_time = clock.now() - before;
         assert!(read_time < create_time);
+    }
+
+    /// With tracing on, the leaves of an operation's span tree account
+    /// for every simulated nanosecond the operation charged: the union of
+    /// leaf intervals equals the root's duration, for both the mirrored
+    /// create and the cold read.
+    #[test]
+    fn traced_op_leaves_cover_the_whole_duration() {
+        use amoeba_sim::trace::leaf_coverage;
+
+        let mut cfg = BulletConfig::small_test();
+        cfg.trace = TraceConfig::enabled(cfg.clock.clone());
+        let tracer = cfg.trace.tracer().clone();
+        let s = BulletServer::format(cfg, 2).unwrap();
+
+        let cap = s.create(payload(300 * 1024, 7), 2).unwrap();
+        s.clear_cache();
+        tracer.clear();
+        s.read(&cap).unwrap();
+
+        let spans = tracer.snapshot();
+        let root = spans
+            .iter()
+            .find(|sp| sp.name == "bullet.read")
+            .expect("the read records an op span");
+        assert!(root.duration().as_ns() > 0);
+        assert_eq!(
+            leaf_coverage(&spans, root.id),
+            root.duration(),
+            "every charged nanosecond of the cold read sits in a leaf span"
+        );
+
+        tracer.clear();
+        let cap2 = s.create(payload(200 * 1024, 9), 2).unwrap();
+        let spans = tracer.snapshot();
+        let root = spans
+            .iter()
+            .find(|sp| sp.name == "bullet.create")
+            .expect("the create records an op span");
+        assert_eq!(leaf_coverage(&spans, root.id), root.duration());
+        s.delete(&cap2).unwrap();
+    }
+
+    /// Tracing must be free when disabled: a server with
+    /// [`TraceConfig::off`] charges exactly the same simulated time as an
+    /// identically-configured server with tracing enabled.
+    #[test]
+    fn disabled_tracing_charges_identical_time() {
+        let elapsed = |trace: TraceConfig| {
+            let mut cfg = BulletConfig::small_test();
+            cfg.trace = trace;
+            let clock = cfg.clock.clone();
+            let s = BulletServer::format(cfg, 2).unwrap();
+            let cap = s.create(payload(300 * 1024, 3), 2).unwrap();
+            s.clear_cache();
+            s.read(&cap).unwrap();
+            s.read(&cap).unwrap();
+            s.delete(&cap).unwrap();
+            clock.now()
+        };
+        let clock = SimClock::new();
+        assert_eq!(
+            elapsed(TraceConfig::off()),
+            elapsed(TraceConfig::enabled(clock)),
+            "span recording must never advance the simulated clock"
+        );
     }
 }

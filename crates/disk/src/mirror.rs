@@ -4,9 +4,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use amoeba_sim::Stats;
+use amoeba_sim::{Stats, Tracer};
 
 use crate::{BlockDevice, DiskError};
 
@@ -37,6 +37,9 @@ pub struct MirroredDisk {
     primary: AtomicUsize,
     background: Mutex<VecDeque<(usize, u64, Vec<u8>)>>,
     stats: Stats,
+    /// Span recorder (disabled by default; the server installs its tracer
+    /// after assembly, hence the lock).
+    tracer: RwLock<Tracer>,
 }
 
 impl std::fmt::Debug for MirroredDisk {
@@ -73,7 +76,18 @@ impl MirroredDisk {
             primary: AtomicUsize::new(0),
             background: Mutex::new(VecDeque::new()),
             stats: Stats::new(),
+            tracer: RwLock::new(Tracer::off()),
         })
+    }
+
+    /// Installs the span tracer recording this mirror's disk spans
+    /// (`disk.read`, `disk.write`, `disk.replica_write`, `disk.resync`).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.read().clone()
     }
 
     /// Number of replicas (live or dead).
@@ -132,6 +146,10 @@ impl MirroredDisk {
         if self.alive_count() == 0 {
             return Err(DiskError::AllReplicasFailed);
         }
+        let tracer = self.tracer();
+        let mut span = tracer.span("disk.write");
+        span.attr("bytes", data.len());
+        span.attr("sync_replicas", k);
         let mut synced = 0;
         let mut last_err = None;
         let mut cursor = 0;
@@ -186,10 +204,15 @@ impl MirroredDisk {
         // Per-device FIFO: anything still queued for a replica must land
         // before the new write, or a stale queued image could later
         // clobber this one — hence drain inside each lane.
+        let tracer = self.tracer();
         if let [i] = *batch {
+            let mut span = tracer.span("disk.replica_write");
+            span.attr("replica", i);
+            span.attr("bytes", data.len());
             self.drain_replica(i);
             return vec![(i, self.replicas[i].write_blocks(first_block, data))];
         }
+        let base = tracer.now();
         let mut out = Vec::with_capacity(batch.len());
         let mut logs = Vec::with_capacity(batch.len());
         for &i in batch {
@@ -197,6 +220,15 @@ impl MirroredDisk {
                 self.drain_replica(i);
                 self.replicas[i].write_blocks(first_block, data)
             });
+            // Every lane starts at the batch base — the spindles run
+            // concurrently — and ends after its own captured cost, the
+            // schedule commit_max charges below.
+            tracer.record_at(
+                "disk.replica_write",
+                base,
+                base + log.total(),
+                &[("replica", i.into()), ("bytes", data.len().into())],
+            );
             out.push((i, result));
             logs.push(log);
         }
@@ -263,12 +295,17 @@ impl MirroredDisk {
             self.alive[i].store(true, Ordering::SeqCst);
             return Ok(());
         }
+        let tracer = self.tracer();
+        let mut span = tracer.span("disk.resync");
+        span.attr("replica", i);
+        span.attr("source", src);
         let bs = self.block_size() as usize;
         let total = self.num_blocks();
         let chunk = chunk_blocks.max(1);
         let mut buf = vec![0u8; bs * chunk as usize];
         let mut at = 0;
-        let mut pipe = amoeba_sim::Pipeline::new();
+        let mut pipe =
+            amoeba_sim::Pipeline::with_trace(tracer.clone(), &["resync_read", "resync_write"]);
         while at < total {
             let n = chunk.min(total - at);
             let slice = &mut buf[..bs * n as usize];
@@ -346,6 +383,9 @@ impl BlockDevice for MirroredDisk {
     }
 
     fn read_blocks(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        let tracer = self.tracer();
+        let mut span = tracer.span("disk.read");
+        span.attr("bytes", buf.len());
         loop {
             let Some(i) = self.pick_live() else {
                 return Err(DiskError::AllReplicasFailed);
@@ -355,6 +395,7 @@ impl BlockDevice for MirroredDisk {
             self.drain_replica(i);
             match self.replicas[i].read_blocks(first_block, buf) {
                 Ok(()) => {
+                    span.attr("replica", i);
                     self.primary.store(i, Ordering::SeqCst);
                     return Ok(());
                 }
@@ -374,6 +415,8 @@ impl BlockDevice for MirroredDisk {
     }
 
     fn sync(&self) -> Result<(), DiskError> {
+        let tracer = self.tracer();
+        let _span = tracer.span("disk.sync");
         self.flush_background();
         let mut any = false;
         for i in 0..self.replicas.len() {

@@ -7,7 +7,7 @@ use parking_lot::RwLock;
 
 use amoeba_cap::Port;
 use amoeba_net::SimEthernet;
-use amoeba_sim::Nanos;
+use amoeba_sim::{Nanos, Tracer};
 
 use crate::{Reply, Request, StreamWire};
 
@@ -61,6 +61,8 @@ pub struct Dispatcher {
     servers: RwLock<HashMap<Port, Arc<dyn RpcServer>>>,
     located: RwLock<HashSet<Port>>,
     locate_cost: Nanos,
+    /// Span recorder for the transaction roots (disabled by default).
+    tracer: RwLock<Tracer>,
 }
 
 impl std::fmt::Debug for Dispatcher {
@@ -85,7 +87,15 @@ impl Dispatcher {
             servers: RwLock::new(HashMap::new()),
             located: RwLock::new(HashSet::new()),
             locate_cost,
+            tracer: RwLock::new(Tracer::off()),
         })
+    }
+
+    /// Installs the span tracer.  Each transaction then records an
+    /// `rpc.trans` root span covering locate, server handling, and the
+    /// residual wire charges — the top of every request's span tree.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = tracer;
     }
 
     /// Registers a server under its own port, replacing any previous
@@ -137,19 +147,31 @@ impl Dispatcher {
             .get(&port)
             .cloned()
             .ok_or(RpcError::UnknownPort(port))?;
+        let tracer = self.tracer.read().clone();
+        let mut span = tracer.span("rpc.trans");
+        span.attr("command", req.command as u64);
         if self.located.read().contains(&port) {
             // cached locate: free
         } else {
+            let _locate = tracer.span("rpc.locate");
             self.net.clock().advance(self.locate_cost);
             self.located.write().insert(port);
         }
         let req_size = req.wire_size();
         let wire = StreamWire::for_dispatch(self.net.clone());
         let reply = server.handle_streamed(req, &wire);
-        self.net
-            .send(req_size.saturating_sub(wire.request_claimed()));
-        self.net
-            .send(reply.wire_size().saturating_sub(wire.reply_streamed()));
+        {
+            let mut w = tracer.span("rpc.request_wire");
+            let residual = req_size.saturating_sub(wire.request_claimed());
+            w.attr("bytes", residual);
+            self.net.send(residual);
+        }
+        {
+            let mut w = tracer.span("rpc.reply_wire");
+            let residual = reply.wire_size().saturating_sub(wire.reply_streamed());
+            w.attr("bytes", residual);
+            self.net.send(residual);
+        }
         Ok(reply)
     }
 }

@@ -15,7 +15,9 @@
 //! * [`DetRng`] — a tiny deterministic xorshift RNG so simulations are
 //!   reproducible independent of external crate versions,
 //! * [`Stats`] — cheap named counters every component exports,
-//! * [`Histogram`] — a power-of-two latency histogram for the harness.
+//! * [`Histogram`] — a power-of-two latency histogram for the harness,
+//! * [`Tracer`] — simulated-clock span tracing over the whole data path,
+//!   with JSONL and Chrome-trace exporters (see [`trace`]).
 //!
 //! # Example
 //!
@@ -36,9 +38,11 @@ pub mod hw;
 pub mod pipeline;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{capture, commit_max, ChargeLog, Nanos, SimClock};
 pub use pipeline::Pipeline;
 pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
 pub use rng::DetRng;
 pub use stats::{Histogram, Stats};
+pub use trace::{AttrValue, SpanGuard, SpanRecord, TraceConfig, Tracer};

@@ -47,6 +47,7 @@
 //! ```
 
 use crate::clock::{capture, Nanos, SimClock};
+use crate::trace::Tracer;
 
 /// A pipelined multi-stage transfer being costed (see the module docs).
 ///
@@ -69,6 +70,14 @@ pub struct Pipeline {
     /// Accumulated per-clock charges from all captured stages.
     charges: Vec<(SimClock, u64)>,
     settled: bool,
+    /// Span recorder for per-segment lane spans (disabled by default).
+    tracer: Tracer,
+    /// Display names for the lanes, indexed by lane number.
+    lane_names: &'static [&'static str],
+    /// Simulated time the pipeline started (the recurrence origin).
+    base: Nanos,
+    /// Segments begun so far (the current segment is `segments - 1`).
+    segments: u64,
 }
 
 impl Pipeline {
@@ -77,11 +86,29 @@ impl Pipeline {
         Pipeline::default()
     }
 
+    /// Creates a pipeline that records one span per stage on `tracer`,
+    /// named by `lane_names` and tagged with `lane` and `segment`
+    /// attributes.  The recurrence *computes* the overlapped schedule
+    /// rather than replaying it, so each stage span is placed at its
+    /// recurrence start time — the union of the lane spans tiles exactly
+    /// the window from the pipeline's start to its makespan, with every
+    /// overlap and stall visible.  Spans recorded *inside* a stage (e.g.
+    /// mirrored-write replica lanes) are shifted along with it.
+    pub fn with_trace(tracer: Tracer, lane_names: &'static [&'static str]) -> Pipeline {
+        let base = tracer.now();
+        let mut pipe = Pipeline::new();
+        pipe.tracer = tracer;
+        pipe.lane_names = lane_names;
+        pipe.base = base;
+        pipe
+    }
+
     /// Starts the next segment: its first stage may begin as soon as the
     /// lane is free, with no dependency on later stages of earlier
     /// segments.
     pub fn begin_segment(&mut self) {
         self.seg_prev = 0;
+        self.segments += 1;
     }
 
     /// Runs one stage of the current segment on `lane`, deferring its
@@ -95,6 +122,19 @@ impl Pipeline {
             self.lane_ready.resize(lane + 1, 0);
             self.lane_totals.resize(lane + 1, 0);
         }
+        // Open the lane span before running the stage so spans recorded
+        // inside `f` nest under it; its true interval is only known once
+        // the recurrence places the stage, so it closes via `close_at`.
+        let traced = self.tracer.enabled();
+        let (entry, guard, mark) = if traced {
+            let name = self.lane_names.get(lane).copied().unwrap_or("stage");
+            let mut g = self.tracer.span(name);
+            g.attr("lane", name);
+            g.attr("segment", self.segments.saturating_sub(1));
+            (self.tracer.now(), Some(g), self.tracer.mark())
+        } else {
+            (Nanos::ZERO, None, 0)
+        };
         let (out, log) = capture(f);
         let cost = log.total().as_ns();
         for (clock, charged) in log.into_entries() {
@@ -109,6 +149,16 @@ impl Pipeline {
         }
         let start = self.lane_ready[lane].max(self.seg_prev);
         let finish = start + cost;
+        if let Some(mut g) = guard {
+            // Place the lane span at its recurrence schedule, and slide
+            // any spans the stage recorded (they were timestamped at the
+            // sequential-replay position) into the same window.
+            let abs_start = self.base + Nanos(start);
+            g.close_at(abs_start, self.base + Nanos(finish));
+            drop(g);
+            self.tracer
+                .shift_since(mark, abs_start.as_ns() as i64 - entry.as_ns() as i64);
+        }
         self.lane_ready[lane] = finish;
         self.lane_totals[lane] += cost;
         self.seg_prev = finish;
@@ -299,5 +349,88 @@ mod tests {
     fn empty_pipeline_is_free() {
         let pipe = Pipeline::new();
         assert_eq!(pipe.finish(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn traced_pipeline_places_spans_on_the_recurrence() {
+        let c = SimClock::new();
+        c.advance(Nanos(1000)); // pipeline starts mid-simulation
+        let tracer = Tracer::on(c.clone());
+        let mut pipe = Pipeline::with_trace(tracer.clone(), &["disk", "wire"]);
+        for _ in 0..3 {
+            pipe.begin_segment();
+            pipe.stage(0, || c.advance(Nanos(10)));
+            pipe.stage(1, || c.advance(Nanos(8)));
+        }
+        let makespan = pipe.finish();
+        assert_eq!(makespan, Nanos(38));
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 6);
+        // Disk lane back-to-back from the base; wire lane waits for each
+        // segment's read, overlapping the next read.
+        let at = |name: &str, seg: u64| {
+            spans
+                .iter()
+                .find(|s| {
+                    s.name == name && s.attr("segment").and_then(|v| v.as_u64()) == Some(seg)
+                })
+                .unwrap()
+        };
+        assert_eq!((at("disk", 0).start, at("disk", 0).end), (Nanos(1000), Nanos(1010)));
+        assert_eq!((at("disk", 2).start, at("disk", 2).end), (Nanos(1020), Nanos(1030)));
+        assert_eq!((at("wire", 0).start, at("wire", 0).end), (Nanos(1010), Nanos(1018)));
+        assert_eq!((at("wire", 2).start, at("wire", 2).end), (Nanos(1030), Nanos(1038)));
+        // The union of the lane spans tiles [base, base + makespan].
+        let mut iv: Vec<(Nanos, Nanos)> = spans.iter().map(|s| (s.start, s.end)).collect();
+        assert_eq!(crate::trace::union_coverage(&mut iv), makespan);
+    }
+
+    #[test]
+    fn traced_pipeline_shifts_child_spans_with_their_stage() {
+        let c = SimClock::new();
+        let tracer = Tracer::on(c.clone());
+        let mut pipe = Pipeline::with_trace(tracer.clone(), &["disk", "wire"]);
+        for _ in 0..2 {
+            pipe.begin_segment();
+            pipe.stage(0, || c.advance(Nanos(10)));
+            pipe.stage(1, || {
+                // A span recorded inside the stage (like a replica write).
+                let _child = tracer.span("inner");
+                c.advance(Nanos(6));
+            });
+        }
+        pipe.finish();
+        let spans = tracer.snapshot();
+        // Segment 1's wire stage starts at the recurrence time 20 (wire
+        // free at 16, but the segment's disk read finishes at 20); the
+        // child recorded inside it must sit in the same window.
+        let wire1 = spans
+            .iter()
+            .find(|s| s.name == "wire" && s.attr("segment").and_then(|v| v.as_u64()) == Some(1))
+            .unwrap();
+        assert_eq!((wire1.start, wire1.end), (Nanos(20), Nanos(26)));
+        let children: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "inner" && s.parent == Some(wire1.id))
+            .collect();
+        assert_eq!(children.len(), 1);
+        assert_eq!((children[0].start, children[0].end), (Nanos(20), Nanos(26)));
+    }
+
+    #[test]
+    fn untraced_pipeline_times_match_traced() {
+        let run = |traced: bool| {
+            let c = SimClock::new();
+            let t = if traced { Tracer::on(c.clone()) } else { Tracer::off() };
+            let mut pipe = Pipeline::with_trace(t, &["a", "b"]);
+            for _ in 0..4 {
+                pipe.begin_segment();
+                pipe.stage(0, || c.advance(Nanos(7)));
+                pipe.stage(1, || c.advance(Nanos(11)));
+            }
+            pipe.finish();
+            c.now()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

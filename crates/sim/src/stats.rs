@@ -231,8 +231,80 @@ mod tests {
     #[test]
     fn empty_histogram_is_zero() {
         let h = Histogram::new();
+        assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), Nanos::ZERO);
-        assert_eq!(h.quantile(0.5), Nanos::ZERO);
         assert_eq!(h.max(), Nanos::ZERO);
+        // Every quantile of an empty histogram is zero, extremes included.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let h = Histogram::new();
+        h.record(Nanos::from_us(700));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Nanos::from_us(700));
+        assert_eq!(h.max(), Nanos::from_us(700));
+        // One sample: every quantile is that sample (the bucket upper
+        // bound 1024 us clamps to the observed maximum).
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Nanos::from_us(700));
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_the_right_bucket() {
+        // 2^k us is the *lower* edge of bucket k: a sample exactly on the
+        // boundary reports a quantile of 2^(k+1) us (its bucket's upper
+        // bound), while one just below reports 2^k us.
+        let h = Histogram::new();
+        h.record(Nanos::from_us(1024)); // bucket [1024, 2048)
+        assert_eq!(h.quantile(0.5), Nanos::from_us(1024)); // clamped to max
+        let lo = Histogram::new();
+        lo.record(Nanos::from_us(1023)); // bucket [512, 1024)
+        lo.record(Nanos::from_us(2000)); // keeps max above the bound
+        assert_eq!(lo.quantile(0.5), Nanos::from_us(1024));
+        let hi = Histogram::new();
+        hi.record(Nanos::from_us(1024));
+        hi.record(Nanos::from_us(5000));
+        assert_eq!(hi.quantile(0.5), Nanos::from_us(2048));
+    }
+
+    #[test]
+    fn sub_microsecond_and_zero_samples_use_the_first_bucket() {
+        let h = Histogram::new();
+        h.record(Nanos::ZERO);
+        h.record(Nanos(999)); // < 1 us truncates to 0 us
+        assert_eq!(h.count(), 2);
+        // Both land in bucket 0 ([1, 2) us); the quantile clamps to the
+        // observed maximum, which is below a microsecond.
+        assert_eq!(h.quantile(1.0), Nanos(999));
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp() {
+        let h = Histogram::new();
+        h.record(Nanos::from_us(5));
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_walks_bucket_counts() {
+        // 90 samples at ~10 us, 10 at ~1000 us: p50 sits in the small
+        // bucket, p95+ in the large one.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Nanos::from_us(10)); // bucket [8, 16)
+        }
+        for _ in 0..10 {
+            h.record(Nanos::from_us(1000)); // bucket [512, 1024)
+        }
+        assert_eq!(h.quantile(0.5), Nanos::from_us(16));
+        assert_eq!(h.quantile(0.9), Nanos::from_us(16));
+        assert_eq!(h.quantile(0.95), Nanos::from_us(1000)); // clamped to max
+        assert_eq!(h.quantile(1.0), Nanos::from_us(1000));
     }
 }
