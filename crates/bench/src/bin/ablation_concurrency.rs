@@ -163,9 +163,7 @@ fn main() {
                     let disk_clock = &disk_clock;
                     let hist = &hist;
                     let hw = &hw;
-                    s.spawn(move || {
-                        run_lane(server, disk_clock, pool, hw, 0x1000 + c as u64, hist)
-                    })
+                    s.spawn(move || run_lane(server, disk_clock, pool, hw, 0x1000 + c as u64, hist))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()

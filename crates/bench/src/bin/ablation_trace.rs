@@ -156,15 +156,25 @@ fn main() {
     violations += decompose("mirrored CREATE (P=2)", &spans, create);
 
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/ablation_trace.jsonl", rig.tracer.export_jsonl())
-        .expect("write jsonl");
-    std::fs::write(
-        "results/ablation_trace.trace.json",
-        rig.tracer.export_chrome(),
-    )
-    .expect("write chrome trace");
+    let jsonl = rig.tracer.export_jsonl();
+    let chrome = rig.tracer.export_chrome();
+    // Both artifacts must be well-formed JSON — checked here rather than
+    // by an external tool, so the gate travels with the binary.
+    for (what, line) in jsonl.lines().enumerate() {
+        if let Err(e) = bullet_bench::check::json_valid(line) {
+            eprintln!("  VIOLATION: ablation_trace.jsonl line {}: {e}", what + 1);
+            violations += 1;
+            break;
+        }
+    }
+    if let Err(e) = bullet_bench::check::json_valid(&chrome) {
+        eprintln!("  VIOLATION: ablation_trace.trace.json: {e}");
+        violations += 1;
+    }
+    std::fs::write("results/ablation_trace.jsonl", &jsonl).expect("write jsonl");
+    std::fs::write("results/ablation_trace.trace.json", &chrome).expect("write chrome trace");
     println!(
-        "  wrote results/ablation_trace.jsonl ({} spans) and results/ablation_trace.trace.json",
+        "  wrote results/ablation_trace.jsonl ({} spans) and results/ablation_trace.trace.json (both JSON-validated)",
         spans.len()
     );
     rig.client.delete(&cap2).expect("cleanup");

@@ -11,11 +11,13 @@
 //! benchmark to `PATH` (default `BENCH_pr2.json`): per file size, the
 //! mean latency and bandwidth (pipeline off and on) plus p50/p95/p99
 //! latency percentiles per operation, measured over repeated traced runs
-//! through [`amoeba_sim::trace::op_histograms`].  Adding `--check`
-//! compares the fresh pipelined 1 MB cold-read bandwidth against the
-//! committed sequential baseline AND the fresh p99 tails against the
-//! committed ones (10 % headroom), failing the run on any regression or
-//! on a baseline missing a gated key — the CI bench-smoke gate:
+//! through [`amoeba_sim::trace::op_histograms`], plus a reduced
+//! fault-injection campaign summary (every class × 2 seeds).  Adding
+//! `--check` compares the fresh pipelined 1 MB cold-read bandwidth
+//! against the committed sequential baseline AND the fresh p99 tails
+//! against the committed ones (10 % headroom), and requires every
+//! fresh fault-campaign cell green, failing the run on any regression
+//! or on a baseline missing a gated key — the CI bench-smoke gate:
 //!
 //! ```text
 //! cargo run --release -p bullet-bench --bin report -- --json --check BENCH_pr2.json
@@ -26,6 +28,7 @@ use std::fmt::Write as _;
 use amoeba_sim::trace::{op_histograms, size_class};
 use amoeba_sim::{HwProfile, Nanos, TraceConfig};
 use bullet_bench::check::{self, CheckError};
+use bullet_bench::faults::{run_class, CampaignOutcome, FaultClass};
 use bullet_bench::rig::{BulletRig, NfsRig};
 use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
 use bytes::Bytes;
@@ -145,10 +148,21 @@ fn measure_percentiles() -> Vec<PctRow> {
         .collect()
 }
 
+/// Seeds the `--json` fault-campaign summary runs per class.
+const JSON_FAULT_SEEDS: [u64; 2] = [1, 2];
+
+/// One fault class × the `--json` seed set, aggregated.
+fn run_fault_summary() -> Vec<CampaignOutcome> {
+    FaultClass::ALL
+        .iter()
+        .flat_map(|&c| JSON_FAULT_SEEDS.iter().map(move |&s| run_class(c, s)))
+        .collect()
+}
+
 /// Hand-rolled JSON (the workspace carries no serializer): one object
 /// per size with delays in milliseconds, latency percentiles, and
 /// cold-read bandwidths.
-fn render_json(rows: &[StreamRow], pcts: &[PctRow]) -> String {
+fn render_json(rows: &[StreamRow], pcts: &[PctRow], faults: &[CampaignOutcome]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
     let _ = writeln!(out, "  \"segment_size\": 65536,");
     let _ = writeln!(out, "  \"sizes\": [");
@@ -219,14 +233,42 @@ fn render_json(rows: &[StreamRow], pcts: &[PctRow]) -> String {
         );
         let _ = writeln!(out, "    }}{}", if i + 1 == rows.len() { "" } else { "," });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"fault_campaign\": [");
+    for (i, o) in faults.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"class\": \"{}\",", o.class);
+        let _ = writeln!(out, "      \"seed\": {},", o.seed);
+        let _ = writeln!(out, "      \"ops_attempted\": {},", o.ops_attempted);
+        let _ = writeln!(out, "      \"ops_retried\": {},", o.ops_retried);
+        let _ = writeln!(out, "      \"ops_succeeded\": {},", o.ops_succeeded);
+        let _ = writeln!(out, "      \"faults_injected\": {},", o.faults_injected);
+        let _ = writeln!(out, "      \"green\": {}", o.green());
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 == faults.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"fault_campaign_all_green\": {}",
+        faults.iter().all(CampaignOutcome::green)
+    );
+    out.push_str("}\n");
     out
 }
 
 /// The `--check` gate: bandwidth floors and p99 ceilings against the
 /// committed baseline.  Strict about the baseline itself — a missing file
 /// or key is a failure naming what is missing, not a silent pass.
-fn gate(path: &str, rows: &[StreamRow], pcts: &[PctRow]) -> Result<(), CheckError> {
+fn gate(
+    path: &str,
+    rows: &[StreamRow],
+    pcts: &[PctRow],
+    faults: &[CampaignOutcome],
+) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
     })?;
@@ -254,8 +296,31 @@ fn gate(path: &str, rows: &[StreamRow], pcts: &[PctRow]) -> Result<(), CheckErro
     ] {
         let committed = check::require_key(&doc, path, 1 << 20, key)?;
         let fresh_ms = fresh.as_ms_f64();
-        eprintln!("check: 1 MB {key} {fresh_ms:.3} ms vs committed {committed:.3} ms (+10 % allowed)");
+        eprintln!(
+            "check: 1 MB {key} {fresh_ms:.3} ms vs committed {committed:.3} ms (+10 % allowed)"
+        );
         check::require_at_most(&format!("1 MB {key}"), fresh_ms, committed * 1.10)?;
+    }
+    // Fault-campaign gate: every freshly-run campaign cell must be
+    // green.  This judges the fresh run, never the baseline, so a
+    // baseline committed before the campaign existed still passes the
+    // bandwidth/tail checks above unchanged.
+    let reds: Vec<String> = faults
+        .iter()
+        .filter(|o| !o.green())
+        .map(|o| format!("{} seed {}", o.class, o.seed))
+        .collect();
+    eprintln!(
+        "check: fault campaign {} of {} cells green",
+        faults.len() - reds.len(),
+        faults.len()
+    );
+    if !reds.is_empty() {
+        return Err(CheckError::Regression {
+            what: format!("fault campaign red cells: {}", reds.join(", ")),
+            fresh: reds.len() as f64,
+            bound: 0.0,
+        });
     }
     Ok(())
 }
@@ -265,13 +330,19 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     let rows = measure_streaming();
     eprintln!("measuring latency percentiles ({REPS} reps per op × size, traced rigs)…");
     let pcts = measure_percentiles();
+    eprintln!(
+        "running fault campaigns ({} classes × {} seeds)…",
+        FaultClass::ALL.len(),
+        JSON_FAULT_SEEDS.len()
+    );
+    let faults = run_fault_summary();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows, &pcts))?;
+    std::fs::write(path, render_json(&rows, &pcts, &faults))?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -50,7 +50,10 @@ impl fmt::Display for CheckError {
                 )
             }
             CheckError::Regression { what, fresh, bound } => {
-                write!(f, "{what} regressed: fresh {fresh:.3} vs committed bound {bound:.3}")
+                write!(
+                    f,
+                    "{what} regressed: fresh {fresh:.3} vs committed bound {bound:.3}"
+                )
             }
         }
     }
@@ -68,7 +71,12 @@ pub fn json_lookup(doc: &str, bytes: usize, key: &str) -> Option<f64> {
     let line = obj
         .lines()
         .find(|l| l.trim().starts_with(&format!("\"{key}\":")))?;
-    line.split(':').nth(1)?.trim().trim_end_matches(',').parse().ok()
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .ok()
 }
 
 /// [`json_lookup`] that treats absence as a gate failure naming the key.
@@ -118,6 +126,180 @@ pub fn require_at_most(what: &str, fresh: f64, ceiling: f64) -> Result<(), Check
     Ok(())
 }
 
+/// Validates that `doc` is one well-formed JSON value (with optional
+/// surrounding whitespace).  A minimal recursive-descent parser — no
+/// serde, no Python on the CI runner — used by `ablation_trace` to gate
+/// the Chrome trace export and by `report` on its own output.
+///
+/// # Errors
+///
+/// A human-readable message naming the byte offset of the first error.
+pub fn json_valid(doc: &str) -> Result<(), String> {
+    let bytes = doc.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!(
+            "trailing bytes after the JSON value at offset {pos}"
+        ));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), String> {
+    if depth > 128 {
+        return Err(format!("nesting deeper than 128 at offset {pos}"));
+    }
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {pos}", *c as char)),
+        None => Err(format!("unexpected end of input at offset {pos}")),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected a string key at offset {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos, depth + 1)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos, depth + 1)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(*pos + 2..*pos + 6)
+                        .ok_or_else(|| format!("truncated \\u escape at offset {pos}"))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at offset {pos}"));
+                    }
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at offset {pos}")),
+            },
+            0x00..=0x1f => return Err(format!("raw control byte in string at offset {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err(format!("unterminated string at offset {pos}"))
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("expected digits at offset {pos}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("expected fraction digits at offset {pos}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("expected exponent digits at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +321,10 @@ mod tests {
 
     #[test]
     fn lookup_finds_the_right_size_object() {
-        assert_eq!(json_lookup(DOC, 1024, "cold_read_pipelined_kb_s"), Some(86.7));
+        assert_eq!(
+            json_lookup(DOC, 1024, "cold_read_pipelined_kb_s"),
+            Some(86.7)
+        );
         assert_eq!(
             json_lookup(DOC, 1 << 20, "cold_read_pipelined_kb_s"),
             Some(794.1)
@@ -151,8 +336,8 @@ mod tests {
         // The 1 MB object has no p99 key — an old-schema baseline.  The
         // gate must say so, naming the key and the size, instead of
         // panicking or silently passing.
-        let err = require_key(DOC, "BENCH_pr2.json", 1 << 20, "cold_read_pipelined_p99_ms")
-            .unwrap_err();
+        let err =
+            require_key(DOC, "BENCH_pr2.json", 1 << 20, "cold_read_pipelined_p99_ms").unwrap_err();
         assert_eq!(
             err,
             CheckError::MissingKey {
@@ -185,5 +370,38 @@ mod tests {
     fn latency_regression_fails() {
         assert!(require_at_most("1 MB p99", 11.0, 11.6).is_ok());
         assert!(require_at_most("1 MB p99", 12.0, 11.6).is_err());
+    }
+
+    #[test]
+    fn json_validator_accepts_real_documents() {
+        assert_eq!(json_valid(DOC), Ok(()));
+        assert_eq!(json_valid("  [1, -2.5, 1e9, \"s\", true, null] "), Ok(()));
+        assert_eq!(json_valid(r#"{"a": {"b": []}, "c": "\u00e9\n"}"#), Ok(()));
+        // Chrome trace-event shape: an object with an events array.
+        assert_eq!(
+            json_valid(r#"{"traceEvents": [{"ph": "X", "ts": 0.5, "dur": 2}]}"#),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn json_validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "\"unterminated",
+            "01x",
+            "nulll",
+            "{\"a\": 1} trailing",
+            "1.",
+            "-",
+            "{\"a\": \"\\q\"}",
+        ] {
+            assert!(json_valid(bad).is_err(), "accepted malformed {bad:?}");
+        }
     }
 }

@@ -14,21 +14,26 @@
 //!   formatting used by every `fig*`/`ablation_*` binary, plus the §4
 //!   claim checks the `comparison` binary (and the integration tests)
 //!   evaluate.
+//! * [`faults`] — the seeded fault-injection campaigns (ABL13):
+//!   mirrored-disk failure, crash-recovery, and lossy-wire soak, each a
+//!   deterministic function of its seed with an invariant checklist.
 //!
 //! Binaries (see DESIGN.md's experiment index):
 //! `fig1_layout`, `fig2_bullet`, `fig3_nfs`, `comparison`,
 //! `ablation_cache`, `ablation_contiguity`, `ablation_pfactor`,
-//! `ablation_fragmentation`, `ablation_logserver`.
+//! `ablation_fragmentation`, `ablation_logserver`, `ablation_faults`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod faults;
 pub mod rig;
 pub mod table;
 pub mod workload;
 
 pub use check::CheckError;
+pub use faults::{CampaignOutcome, FaultClass, Invariant};
 pub use rig::{BulletRig, NfsRig};
 pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
 pub use workload::{SizeDistribution, WorkloadMix, WorkloadOp};

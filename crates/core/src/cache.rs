@@ -165,7 +165,10 @@ impl FileCache {
         let outcome = self.lookup(inode_index);
         self.tracer.instant(
             "cache.lookup",
-            &[("inode", inode_index.into()), ("hit", outcome.is_some().into())],
+            &[
+                ("inode", inode_index.into()),
+                ("hit", outcome.is_some().into()),
+            ],
         );
         match outcome {
             Some(data) => {
@@ -275,7 +278,15 @@ impl FileCache {
             "cache.insert",
             &[
                 ("inode", inode_index.into()),
-                ("bytes", self.rnodes[slot as usize].as_ref().expect("live").data.len().into()),
+                (
+                    "bytes",
+                    self.rnodes[slot as usize]
+                        .as_ref()
+                        .expect("live")
+                        .data
+                        .len()
+                        .into(),
+                ),
                 ("evicted", evicted.len().into()),
                 ("compaction_bytes", compaction_bytes.into()),
             ],

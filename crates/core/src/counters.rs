@@ -12,9 +12,19 @@
 //! sharded lock contributes a pair `lock_<shard>` / `lock_contended_<shard>`
 //! counting acquisitions and try-lock misses.
 
+pub use amoeba_rpc::fault::{DEDUP_EVICTIONS, DEDUP_HITS, RPC_GIVEUPS, RPC_RETRIES, RPC_TIMEOUTS};
+
 /// Inodes repaired (zeroed after a half-committed create) during
 /// [`crate::server::BulletServer::recover`].
 pub const RECOVERY_REPAIRED_INODES: &str = "recovery_repaired_inodes";
+
+/// Live files the startup consistency scan accepted during
+/// [`crate::server::BulletServer::recover`].
+pub const RECOVERY_LIVE_FILES: &str = "recovery_live_files";
+
+/// Cold disk reads that were served by a surviving replica after the
+/// preferred one failed (the mirror's failover, observed at the server).
+pub const FAILOVER_READS: &str = "failover_reads";
 
 /// Successful `BULLET.CREATE` operations.
 pub const CREATES: &str = "creates";
@@ -119,6 +129,13 @@ pub const LOCK_CONTENDED_INFLIGHT: &str = "lock_contended_inflight";
 /// (status dumps, doc tables, tests that no name is duplicated).
 pub const ALL: &[&str] = &[
     RECOVERY_REPAIRED_INODES,
+    RECOVERY_LIVE_FILES,
+    FAILOVER_READS,
+    RPC_RETRIES,
+    RPC_TIMEOUTS,
+    RPC_GIVEUPS,
+    DEDUP_HITS,
+    DEDUP_EVICTIONS,
     CREATES,
     BYTES_CREATED,
     PIPELINED_CREATES,
@@ -173,10 +190,27 @@ mod tests {
     }
 
     #[test]
+    fn rpc_layer_counters_are_registered() {
+        // The retry/dedup names are declared by `amoeba_rpc::fault` and
+        // re-exported here; the registry must carry them so status dumps
+        // and benchmarks iterate over the full set.
+        for name in [
+            RPC_RETRIES,
+            RPC_TIMEOUTS,
+            RPC_GIVEUPS,
+            DEDUP_HITS,
+            DEDUP_EVICTIONS,
+        ] {
+            assert!(ALL.contains(&name), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
     fn every_lock_counter_has_a_contended_twin() {
-        for name in ALL.iter().filter(|n| {
-            n.starts_with("lock_") && !n.starts_with("lock_contended_")
-        }) {
+        for name in ALL
+            .iter()
+            .filter(|n| n.starts_with("lock_") && !n.starts_with("lock_contended_"))
+        {
             let twin = format!("lock_contended_{}", &name["lock_".len()..]);
             assert!(
                 ALL.contains(&twin.as_str()),

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use amoeba_cap::{Capability, Port, Rights, CAP_WIRE_LEN};
-use amoeba_rpc::{Reply, Request, RpcClient, RpcServer, Status, StreamWire};
+use amoeba_rpc::fault::untag_request;
+use amoeba_rpc::{DedupCache, Reply, Request, RpcClient, RpcServer, Status, StreamWire};
 
 use crate::server::BulletServer;
 
@@ -36,20 +37,41 @@ pub mod commands {
     pub const SYNC: u32 = 9;
 }
 
+/// Replies the at-most-once cache remembers per server (the paper-era
+/// reply cache was similarly small: enough to cover every client's
+/// outstanding transaction, not a history).
+const DEDUP_CAPACITY: usize = 1024;
+
 /// The RPC wrapper: exposes a [`BulletServer`] on its port.
+///
+/// Requests tagged with a transaction id (see
+/// [`amoeba_rpc::fault::tag_request`]) get at-most-once semantics: a
+/// retransmitted `CREATE` replays the original reply instead of
+/// allocating a second extent.  Untagged requests — everything the
+/// plain [`BulletClient`] sends — skip the cache entirely.
 pub struct BulletRpcServer {
     server: Arc<BulletServer>,
+    dedup: DedupCache,
 }
 
 impl BulletRpcServer {
     /// Wraps a server for registration with a dispatcher.
     pub fn new(server: Arc<BulletServer>) -> Arc<BulletRpcServer> {
-        Arc::new(BulletRpcServer { server })
+        Arc::new(BulletRpcServer {
+            server,
+            dedup: DedupCache::new(DEDUP_CAPACITY),
+        })
     }
 
     /// The wrapped server.
     pub fn server(&self) -> &Arc<BulletServer> {
         &self.server
+    }
+
+    /// The at-most-once reply cache counters: `dedup_hits`,
+    /// `dedup_evictions`.
+    pub fn dedup_stats(&self) -> &amoeba_sim::Stats {
+        self.dedup.stats()
     }
 }
 
@@ -88,6 +110,9 @@ impl BulletRpcServer {
         for (k, v) in self.server.lock_stats() {
             out.push_str(&format!("{k}={v}\n"));
         }
+        for (k, v) in self.dedup.stats().snapshot() {
+            out.push_str(&format!("{k}={v}\n"));
+        }
         let frag = self.server.disk_frag_report();
         out.push_str(&format!(
             "disk_free_blocks={} disk_holes={} disk_frag={:.3}\n",
@@ -103,6 +128,26 @@ impl RpcServer for BulletRpcServer {
     }
 
     fn handle(&self, req: Request) -> Reply {
+        let (req, txn) = untag_request(req);
+        match txn {
+            Some(txn) => self.dedup.execute(txn, || self.dispatch(req)),
+            None => self.dispatch(req),
+        }
+    }
+
+    fn handle_streamed(&self, req: Request, wire: &StreamWire) -> Reply {
+        let (req, txn) = untag_request(req);
+        match txn {
+            Some(txn) => self
+                .dedup
+                .execute(txn, || self.dispatch_streamed(req, wire)),
+            None => self.dispatch_streamed(req, wire),
+        }
+    }
+}
+
+impl BulletRpcServer {
+    fn dispatch(&self, req: Request) -> Reply {
         use amoeba_rpc::std_commands;
         let result = match req.command {
             std_commands::INFO => return self.std_info(&req),
@@ -172,7 +217,7 @@ impl RpcServer for BulletRpcServer {
         result.unwrap_or_else(|e| Reply::error(e.into()))
     }
 
-    fn handle_streamed(&self, req: Request, wire: &StreamWire) -> Reply {
+    fn dispatch_streamed(&self, req: Request, wire: &StreamWire) -> Reply {
         let result = match req.command {
             commands::CREATE => {
                 let Some(p) = read_u32(&req.params, 0) else {
@@ -198,7 +243,7 @@ impl RpcServer for BulletRpcServer {
             }
             // Everything else moves little bulk data; the monolithic path
             // is already optimal for it.
-            _ => return self.handle(req),
+            _ => return self.dispatch(req),
         };
         result.unwrap_or_else(|e| Reply::error(e.into()))
     }

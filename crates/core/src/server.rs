@@ -400,6 +400,9 @@ impl BulletServer {
         server
             .stats
             .add(counters::RECOVERY_REPAIRED_INODES, report.repaired as u64);
+        server
+            .stats
+            .add(counters::RECOVERY_LIVE_FILES, server.live_files() as u64);
         Ok(server)
     }
 
@@ -769,14 +772,9 @@ impl BulletServer {
             let idx = cap.object.value();
             match self.cache_read().get(idx) {
                 Some(d) => d,
-                None => self.load_cold(
-                    cap,
-                    idx,
-                    Rights::READ | Rights::MODIFY,
-                    None,
-                    0,
-                    u64::MAX,
-                )?,
+                None => {
+                    self.load_cold(cap, idx, Rights::READ | Rights::MODIFY, None, 0, u64::MAX)?
+                }
             }
         };
         let new_len = base.len().max(offset as usize + data.len());
@@ -869,7 +867,9 @@ impl BulletServer {
             moved += 1;
         }
         let total_used: u64 = used.iter().map(|&(_, l)| l).sum();
-        self.alloc_lock().extents.rebuild_after_compaction(total_used);
+        self.alloc_lock()
+            .extents
+            .rebuild_after_compaction(total_used);
         self.stats.add(counters::DISK_COMPACTION_MOVES, moved);
         Ok(moved)
     }
@@ -1008,8 +1008,7 @@ impl BulletServer {
                 let mut table = self.table_write();
                 match table.get(idx) {
                     Ok(inode) => {
-                        let extent =
-                            (inode.start_block as u64, inode.blocks(self.desc.block_size));
+                        let extent = (inode.start_block as u64, inode.blocks(self.desc.block_size));
                         table.clear_keep_slot(idx)?;
                         extent
                     }
@@ -1225,6 +1224,29 @@ impl BulletServer {
         win_end: u64,
         size: u64,
     ) -> Result<(), BulletError> {
+        // The mirror fails over silently; surface it as a server counter
+        // so campaigns can prove degraded reads kept succeeding.
+        let failovers_before = self.storage.stats().get("mirror_failovers");
+        let result =
+            self.read_extent_inner(start_block, load_off, buf, wire, win_start, win_end, size);
+        let failed_over = self.storage.stats().get("mirror_failovers") - failovers_before;
+        if failed_over > 0 {
+            self.stats.add(counters::FAILOVER_READS, failed_over);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn read_extent_inner(
+        &self,
+        start_block: u64,
+        load_off: u64,
+        buf: &mut [u8],
+        wire: Option<&StreamWire>,
+        win_start: u64,
+        win_end: u64,
+        size: u64,
+    ) -> Result<(), BulletError> {
         let block_size = self.desc.block_size as u64;
         let seg = self.segment_bytes();
         let first_block = start_block + load_off / block_size;
@@ -1282,10 +1304,8 @@ impl BulletServer {
         let block_size = self.desc.block_size as u64;
         let seg = self.segment_bytes();
         let total = blocks * block_size;
-        let mut pipe = Pipeline::with_trace(
-            self.tracer.clone(),
-            &["wire_recv", "memcpy", "disk_write"],
-        );
+        let mut pipe =
+            Pipeline::with_trace(self.tracer.clone(), &["wire_recv", "memcpy", "disk_write"]);
         let mut off = 0u64;
         while off < total {
             let end = (off + seg).min(total);

@@ -47,7 +47,9 @@ fn stack(
     (clock, client, server)
 }
 
-fn paper_stack(tweak: impl FnOnce(&mut BulletConfig)) -> (SimClock, BulletClient, Arc<BulletServer>) {
+fn paper_stack(
+    tweak: impl FnOnce(&mut BulletConfig),
+) -> (SimClock, BulletClient, Arc<BulletServer>) {
     let hw = HwProfile::amoeba_1989();
     stack(hw.disk, hw.net, tweak)
 }

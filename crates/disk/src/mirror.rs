@@ -573,7 +573,8 @@ mod tests {
                 ))
             };
             let m = MirroredDisk::new(vec![mk(), mk()]).unwrap();
-            let ((), cost) = clock.time(|| m.write_sync_k(10, &[4u8; 4096], 2).map(|_| ()).unwrap());
+            let ((), cost) =
+                clock.time(|| m.write_sync_k(10, &[4u8; 4096], 2).map(|_| ()).unwrap());
             cost
         };
         let single_cost = {
@@ -584,7 +585,8 @@ mod tests {
                 DiskProfile::scsi_1989(),
             ));
             let m = MirroredDisk::new(vec![d]).unwrap();
-            let ((), cost) = clock.time(|| m.write_sync_k(10, &[4u8; 4096], 1).map(|_| ()).unwrap());
+            let ((), cost) =
+                clock.time(|| m.write_sync_k(10, &[4u8; 4096], 1).map(|_| ()).unwrap());
             cost
         };
         assert!(single_cost.as_ns() > 0);

@@ -304,7 +304,11 @@ mod tests {
     }
 
     fn payload() -> Bytes {
-        Bytes::from((0..200_000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+        Bytes::from(
+            (0..200_000u32)
+                .map(|i| (i % 251) as u8)
+                .collect::<Vec<u8>>(),
+        )
     }
 
     #[test]

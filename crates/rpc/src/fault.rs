@@ -1,0 +1,792 @@
+//! Deterministic fault injection and end-to-end recovery for the RPC
+//! layer.
+//!
+//! Amoeba's transport is "at-most-once" only because clients retry and
+//! servers remember: a lost reply makes the client retransmit, and the
+//! server must recognise the retransmission or a duplicated `CREATE`
+//! would allocate two extents.  This module supplies all three pieces on
+//! the simulated clock, so an adversarial schedule is a *seed*, not a
+//! flake:
+//!
+//! * [`FaultyWire`] — wraps a [`Dispatcher`] and drops, delays,
+//!   duplicates, or truncates requests, replies, and stream frames under
+//!   a seeded [`DetRng`].  Truncations go through the real binary codec
+//!   (encode → cut → decode fails), so the decoder's rejection path is
+//!   exercised, not assumed.
+//! * [`RetryPolicy`] / [`RetryClient`] — per-operation timeout charged
+//!   to the simulated clock, capped exponential backoff with
+//!   deterministic jitter, and a bounded retry budget.
+//! * [`TxnId`] / [`DedupCache`] — per-client transaction identifiers
+//!   carried in the request, and a bounded server-side reply cache that
+//!   replays the original reply for a duplicate instead of re-executing
+//!   it.
+//!
+//! The machinery is zero-cost on the clean path: untagged requests (the
+//! flag bit of [`TXN_FLAG`] clear) skip the dedup cache entirely, and
+//! nothing here is touched unless a [`RetryClient`] or [`FaultyWire`] is
+//! constructed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::{Mutex, RwLock};
+
+use amoeba_sim::{AttrValue, DetRng, Nanos, SimClock, Stats, Tracer};
+
+use crate::dispatch::{Dispatcher, RpcError};
+use crate::wire::{Reply, Request, Status, StreamFrame};
+
+/// Retransmissions issued after a timed-out attempt.
+pub const RPC_RETRIES: &str = "rpc_retries";
+/// Attempts that timed out (no reply within the policy's timeout).
+pub const RPC_TIMEOUTS: &str = "rpc_timeouts";
+/// Operations abandoned after the retry budget was exhausted.
+pub const RPC_GIVEUPS: &str = "rpc_giveups";
+/// Duplicate requests answered from the server's reply cache.
+pub const DEDUP_HITS: &str = "dedup_hits";
+/// Reply-cache entries evicted by the capacity bound.
+pub const DEDUP_EVICTIONS: &str = "dedup_evictions";
+/// Requests the faulty wire dropped before they reached the server.
+pub const FAULT_REQUEST_DROPS: &str = "fault_request_drops";
+/// Requests truncated in flight (the decoder rejected the remainder).
+pub const FAULT_REQUEST_TRUNCATIONS: &str = "fault_request_truncations";
+/// Requests delivered twice (the server saw both copies).
+pub const FAULT_REQUEST_DUPS: &str = "fault_request_dups";
+/// Replies dropped after the server executed the operation.
+pub const FAULT_REPLY_DROPS: &str = "fault_reply_drops";
+/// Replies truncated in flight (the decoder rejected the remainder).
+pub const FAULT_REPLY_TRUNCATIONS: &str = "fault_reply_truncations";
+/// Stream frames of large transfers lost or cut mid-payload.
+pub const FAULT_FRAME_DROPS: &str = "fault_frame_drops";
+/// Messages held back by an injected delay.
+pub const FAULT_DELAYS: &str = "fault_delays";
+
+/// Command-space flag marking a request that carries a [`TxnId`] prefix
+/// in its params.  Sits above every defined command space (the Bullet
+/// commands are small integers, the std commands `0xF0xx`), so tagged
+/// and untagged traffic share one wire format.
+pub const TXN_FLAG: u32 = 0x8000_0000;
+
+/// Bytes the [`TxnId`] prefix adds to a tagged request's params.
+pub const TXN_PREFIX_LEN: usize = 16;
+
+/// A per-client transaction identifier: the pair survives
+/// retransmission unchanged, which is what lets the server recognise a
+/// duplicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId {
+    /// The issuing client (unique per [`RetryClient`]).
+    pub client: u64,
+    /// The client's operation sequence number (reused across retries of
+    /// the same operation, never across operations).
+    pub seq: u64,
+}
+
+/// Tags `req` with `txn`: sets the [`TXN_FLAG`] bit and prefixes the
+/// params with the encoded transaction id.  Untagged requests are
+/// byte-identical to the pre-fault wire format.
+pub fn tag_request(req: Request, txn: TxnId) -> Request {
+    let mut params = BytesMut::with_capacity(TXN_PREFIX_LEN + req.params.len());
+    params.put_u64(txn.client);
+    params.put_u64(txn.seq);
+    params.put_slice(&req.params);
+    Request {
+        cap: req.cap,
+        command: req.command | TXN_FLAG,
+        params: params.freeze(),
+        data: req.data,
+    }
+}
+
+/// Strips a [`tag_request`] tag, returning the original request and the
+/// transaction id if one was present.  A request without the flag bit
+/// passes through untouched (the zero-cost clean path).
+pub fn untag_request(req: Request) -> (Request, Option<TxnId>) {
+    if req.command & TXN_FLAG == 0 || req.params.len() < TXN_PREFIX_LEN {
+        return (req, None);
+    }
+    let mut prefix = req.params.clone();
+    let client = prefix.get_u64();
+    let seq = prefix.get_u64();
+    let stripped = Request {
+        cap: req.cap,
+        command: req.command & !TXN_FLAG,
+        params: req.params.slice(TXN_PREFIX_LEN..),
+        data: req.data,
+    };
+    (stripped, Some(TxnId { client, seq }))
+}
+
+/// Per-message fault probabilities for a [`FaultyWire`].  All
+/// probabilities are in `[0, 1]`; [`FaultPlan::off`] (all zero) makes
+/// the wire a transparent pass-through.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability the request is lost before reaching the server.
+    pub drop_request: f64,
+    /// Probability the request arrives truncated (decoder rejects it).
+    pub truncate_request: f64,
+    /// Probability the request is delivered twice.
+    pub duplicate_request: f64,
+    /// Probability the message is delayed by up to [`Self::max_delay`].
+    pub delay: f64,
+    /// Probability the reply is lost after the server executed.
+    pub drop_reply: f64,
+    /// Probability the reply arrives truncated.
+    pub truncate_reply: f64,
+    /// Probability a stream frame of a large reply is lost or cut,
+    /// invalidating the logical reply (applies when the reply's data
+    /// exceeds one segment).
+    pub drop_frame: f64,
+    /// Upper bound of an injected delay.
+    pub max_delay: Nanos,
+}
+
+impl FaultPlan {
+    /// No faults: the wire is a transparent pass-through.
+    pub fn off() -> FaultPlan {
+        FaultPlan {
+            drop_request: 0.0,
+            truncate_request: 0.0,
+            duplicate_request: 0.0,
+            delay: 0.0,
+            drop_reply: 0.0,
+            truncate_reply: 0.0,
+            drop_frame: 0.0,
+            max_delay: Nanos::ZERO,
+        }
+    }
+
+    /// A lossy wire scaled by `intensity` in `[0, 1]`: at `1.0` roughly
+    /// a third of operations suffer some fault; delays reach 50 ms.
+    pub fn lossy(intensity: f64) -> FaultPlan {
+        let p = intensity.clamp(0.0, 1.0);
+        FaultPlan {
+            drop_request: 0.08 * p,
+            truncate_request: 0.04 * p,
+            duplicate_request: 0.08 * p,
+            delay: 0.10 * p,
+            drop_reply: 0.08 * p,
+            truncate_reply: 0.04 * p,
+            drop_frame: 0.06 * p,
+            max_delay: Nanos::from_ms(50),
+        }
+    }
+}
+
+/// The outcome of one delivery attempt through a [`FaultyWire`]:
+/// `Ok(None)` means the message (or its reply) was lost and the client
+/// will time out.
+pub type Delivery = Result<Option<Reply>, RpcError>;
+
+/// Wraps a [`Dispatcher`] and injects wire faults under a seeded RNG.
+///
+/// Every draw comes from one [`DetRng`] in a fixed per-message order, so
+/// a campaign seed reproduces the exact fault schedule — including which
+/// byte a truncation cuts at.  Each fault site records a
+/// [`Tracer::instant`] (name `fault.*`) at the simulated time it fired.
+pub struct FaultyWire {
+    dispatcher: Arc<Dispatcher>,
+    clock: SimClock,
+    plan: FaultPlan,
+    rng: Mutex<DetRng>,
+    stats: Stats,
+    tracer: RwLock<Tracer>,
+}
+
+impl FaultyWire {
+    /// A faulty wire over `dispatcher`, drawing from `seed`.
+    pub fn new(
+        dispatcher: Arc<Dispatcher>,
+        clock: SimClock,
+        plan: FaultPlan,
+        seed: u64,
+    ) -> Arc<FaultyWire> {
+        Arc::new(FaultyWire {
+            dispatcher,
+            clock,
+            plan,
+            rng: Mutex::new(DetRng::new(seed)),
+            stats: Stats::new(),
+            tracer: RwLock::new(Tracer::off()),
+        })
+    }
+
+    /// Installs a span tracer; fault sites then record `fault.*`
+    /// instants at their simulated firing times.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = tracer;
+    }
+
+    /// Fault counters: `fault_request_drops`, `fault_reply_drops`,
+    /// `fault_request_dups`, `fault_request_truncations`,
+    /// `fault_reply_truncations`, `fault_frame_drops`, `fault_delays`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The wrapped dispatcher.
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// Total faults injected so far (sum over all fault classes).
+    pub fn faults_injected(&self) -> u64 {
+        [
+            FAULT_REQUEST_DROPS,
+            FAULT_REQUEST_TRUNCATIONS,
+            FAULT_REQUEST_DUPS,
+            FAULT_REPLY_DROPS,
+            FAULT_REPLY_TRUNCATIONS,
+            FAULT_FRAME_DROPS,
+            FAULT_DELAYS,
+        ]
+        .iter()
+        .map(|k| self.stats.get(k))
+        .sum()
+    }
+
+    fn fault(&self, counter: &'static str, site: &'static str) {
+        self.stats.incr(counter);
+        self.tracer
+            .read()
+            .instant(site, &[("injected", AttrValue::Bool(true))]);
+    }
+
+    /// Delivers `req`, possibly injecting faults.  `Ok(None)` means the
+    /// request or its reply was lost — the caller should time out and
+    /// retry.  The server may have executed the operation even when the
+    /// delivery reports a loss (a dropped reply), which is exactly the
+    /// ambiguity the at-most-once layer resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError`] from the underlying dispatcher (unknown port).
+    pub fn deliver(&self, req: Request) -> Delivery {
+        // All draws happen up front in a fixed order, so the schedule
+        // depends only on the seed and the message count — never on
+        // which faults actually fire.
+        let d = {
+            let mut rng = self.rng.lock();
+            [
+                rng.next_f64(), // delay?
+                rng.next_f64(), // delay length fraction
+                rng.next_f64(), // drop request?
+                rng.next_f64(), // truncate request?
+                rng.next_f64(), // duplicate request?
+                rng.next_f64(), // drop frame?
+                rng.next_f64(), // truncate reply?
+                rng.next_f64(), // drop reply?
+                rng.next_f64(), // truncation cut fraction
+            ]
+        };
+        let cut_frac = d[8];
+        if d[0] < self.plan.delay {
+            let span = self.plan.max_delay.as_ns();
+            self.clock
+                .advance(Nanos::from_ns((d[1] * span as f64) as u64));
+            self.fault(FAULT_DELAYS, "fault.delay");
+        }
+        if d[2] < self.plan.drop_request {
+            self.fault(FAULT_REQUEST_DROPS, "fault.drop_request");
+            return Ok(None);
+        }
+        if d[3] < self.plan.truncate_request {
+            // Through the real codec: a cut wire image must be rejected,
+            // which makes the loss indistinguishable from a drop.
+            let wire = req.encode();
+            let keep = cut_at(wire.len(), cut_frac);
+            assert!(
+                Request::decode(wire.slice(..keep)).is_err(),
+                "truncated request decoded"
+            );
+            self.fault(FAULT_REQUEST_TRUNCATIONS, "fault.truncate_request");
+            return Ok(None);
+        }
+        if d[4] < self.plan.duplicate_request {
+            // The duplicate executes first and its reply vanishes; the
+            // retransmission below carries the answer.  Without dedup the
+            // server runs the operation twice.
+            self.fault(FAULT_REQUEST_DUPS, "fault.duplicate_request");
+            let _ = self.dispatcher.trans(req.clone())?;
+        }
+        let reply = self.dispatcher.trans(req)?;
+        let segment = crate::stream::DEFAULT_SEGMENT as usize;
+        if reply.data.len() > segment && d[5] < self.plan.drop_frame {
+            // A large reply travels as stream frames; losing one frame
+            // invalidates the logical reply.  Cut a real frame image to
+            // prove the frame codec rejects it.
+            let frame = StreamFrame {
+                seq: 0,
+                offset: 0,
+                last: false,
+                data: reply.data.slice(..segment),
+            };
+            let wire = frame.encode();
+            let keep = cut_at(wire.len(), cut_frac);
+            assert!(
+                StreamFrame::decode(wire.slice(..keep)).is_err(),
+                "truncated frame decoded"
+            );
+            self.fault(FAULT_FRAME_DROPS, "fault.drop_frame");
+            return Ok(None);
+        }
+        if d[6] < self.plan.truncate_reply {
+            let wire = reply.encode();
+            let keep = cut_at(wire.len(), cut_frac);
+            assert!(
+                Reply::decode(wire.slice(..keep)).is_err(),
+                "truncated reply decoded"
+            );
+            self.fault(FAULT_REPLY_TRUNCATIONS, "fault.truncate_reply");
+            return Ok(None);
+        }
+        if d[7] < self.plan.drop_reply {
+            self.fault(FAULT_REPLY_DROPS, "fault.drop_reply");
+            return Ok(None);
+        }
+        Ok(Some(reply))
+    }
+}
+
+/// Picks how many bytes of an `len`-byte wire image survive a
+/// truncation: at least the empty prefix, at most all but one byte.
+fn cut_at(len: usize, frac: f64) -> usize {
+    ((len as f64 * frac) as usize).min(len - 1)
+}
+
+/// When and how often a [`RetryClient`] retransmits.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Simulated time the client waits for a reply before declaring the
+    /// attempt lost.
+    pub timeout: Nanos,
+    /// Backoff before the first retransmission; doubles per retry.
+    pub backoff_base: Nanos,
+    /// Upper bound the exponential backoff saturates at.
+    pub backoff_cap: Nanos,
+    /// Total attempts (first transmission included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// The campaign default: 100 ms timeout, 10 ms..1 s backoff, eight
+    /// attempts.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            timeout: Nanos::from_ms(100),
+            backoff_base: Nanos::from_ms(10),
+            backoff_cap: Nanos::from_secs(1),
+            max_attempts: 8,
+        }
+    }
+
+    /// The backoff charged before retry number `retry` (0-based):
+    /// exponential with a saturating cap, jittered uniformly over the
+    /// upper half of the window.  Deterministic given the RNG state.
+    pub fn backoff(&self, retry: u32, rng: &mut DetRng) -> Nanos {
+        let base = self.backoff_base.as_ns().max(1);
+        let ceiling = base
+            .checked_shl(retry.min(32))
+            .unwrap_or(u64::MAX)
+            .min(self.backoff_cap.as_ns().max(base));
+        // Full-jitter over [ceiling/2, ceiling]: bounded above by the
+        // cap, bounded below so retries genuinely spread out.
+        Nanos::from_ns(ceiling / 2 + rng.next_below(ceiling / 2 + 1))
+    }
+
+    /// The most simulated time one operation can charge before the
+    /// client gives up: every attempt times out and every backoff hits
+    /// its cap.  [`RetryClient::trans`] never exceeds this on a failed
+    /// operation (proptested).
+    pub fn worst_case_delay(&self) -> Nanos {
+        let attempts = self.max_attempts.max(1) as u64;
+        let mut total = attempts * self.timeout.as_ns();
+        for retry in 0..attempts - 1 {
+            let base = self.backoff_base.as_ns().max(1);
+            total += base
+                .checked_shl((retry as u32).min(32))
+                .unwrap_or(u64::MAX)
+                .min(self.backoff_cap.as_ns().max(base));
+        }
+        Nanos::from_ns(total)
+    }
+}
+
+/// A client that retransmits through a [`FaultyWire`] until a reply
+/// lands or the retry budget runs out, charging timeouts and backoff to
+/// the simulated clock.  Every operation is tagged with a fresh
+/// [`TxnId`] that is *reused across its retries*, so the server's
+/// [`DedupCache`] can collapse duplicates.
+pub struct RetryClient {
+    wire: Arc<FaultyWire>,
+    policy: RetryPolicy,
+    clock: SimClock,
+    client_id: u64,
+    seq: Mutex<u64>,
+    rng: Mutex<DetRng>,
+    stats: Stats,
+}
+
+impl RetryClient {
+    /// A retrying client with identity `client_id`, jittering its
+    /// backoff from `seed`.
+    pub fn new(
+        wire: Arc<FaultyWire>,
+        policy: RetryPolicy,
+        client_id: u64,
+        seed: u64,
+    ) -> RetryClient {
+        let clock = wire.clock.clone();
+        RetryClient {
+            wire,
+            policy,
+            clock,
+            client_id,
+            seq: Mutex::new(0),
+            rng: Mutex::new(DetRng::new(seed)),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Client-side counters: `rpc_retries`, `rpc_timeouts`,
+    /// `rpc_giveups`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// One at-most-once transaction: tags the request, retransmits on
+    /// loss with capped exponential backoff, and gives up after the
+    /// retry budget.
+    ///
+    /// # Errors
+    ///
+    /// The server's status; [`Status::NotNow`] when the retry budget is
+    /// exhausted; [`Status::NotFound`] when no server owns the port.
+    pub fn trans(
+        &self,
+        cap: amoeba_cap::Capability,
+        command: u32,
+        params: Bytes,
+        data: Bytes,
+    ) -> Result<Reply, Status> {
+        let seq = {
+            let mut s = self.seq.lock();
+            *s += 1;
+            *s
+        };
+        let txn = TxnId {
+            client: self.client_id,
+            seq,
+        };
+        let req = tag_request(
+            Request {
+                cap,
+                command,
+                params,
+                data,
+            },
+            txn,
+        );
+        let mut attempt = 0u32;
+        loop {
+            match self.wire.deliver(req.clone()) {
+                Ok(Some(reply)) => return reply.into_result(),
+                Ok(None) => {
+                    self.clock.advance(self.policy.timeout);
+                    self.stats.incr(RPC_TIMEOUTS);
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        self.stats.incr(RPC_GIVEUPS);
+                        return Err(Status::NotNow);
+                    }
+                    self.stats.incr(RPC_RETRIES);
+                    let backoff = self.policy.backoff(attempt - 1, &mut self.rng.lock());
+                    self.clock.advance(backoff);
+                }
+                Err(RpcError::UnknownPort(_)) => return Err(Status::NotFound),
+            }
+        }
+    }
+}
+
+/// A bounded at-most-once reply cache: the server-side half of the
+/// retry protocol.  The first execution of a [`TxnId`] stores its
+/// reply; duplicates replay it without re-executing — a duplicated
+/// `CREATE` therefore never allocates a second extent.
+///
+/// Execution happens under the cache lock: a client's retries are
+/// sequential by construction, so the lock is never contended by
+/// duplicates of the same transaction, and distinct clients only pay a
+/// brief serialization when both are tagged.
+pub struct DedupCache {
+    capacity: usize,
+    inner: Mutex<DedupInner>,
+    stats: Stats,
+}
+
+struct DedupInner {
+    replies: HashMap<TxnId, Reply>,
+    order: VecDeque<TxnId>,
+}
+
+impl DedupCache {
+    /// A cache remembering up to `capacity` replies (FIFO eviction).
+    pub fn new(capacity: usize) -> DedupCache {
+        DedupCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(DedupInner {
+                replies: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Cache counters: `dedup_hits`, `dedup_evictions`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Cached replies currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().replies.len()
+    }
+
+    /// True when no replies are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `op` at most once for `txn`: a duplicate replays the cached
+    /// reply instead of executing.
+    pub fn execute(&self, txn: TxnId, op: impl FnOnce() -> Reply) -> Reply {
+        let mut inner = self.inner.lock();
+        if let Some(hit) = inner.replies.get(&txn) {
+            self.stats.incr(DEDUP_HITS);
+            return hit.clone();
+        }
+        let reply = op();
+        inner.replies.insert(txn, reply.clone());
+        inner.order.push_back(txn);
+        if inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.replies.remove(&old);
+                self.stats.incr(DEDUP_EVICTIONS);
+            }
+        }
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::RpcServer;
+    use amoeba_cap::{Capability, Port};
+    use amoeba_net::SimEthernet;
+    use amoeba_sim::NetProfile;
+
+    struct Echo(Port, Stats);
+    impl RpcServer for Echo {
+        fn port(&self) -> Port {
+            self.0
+        }
+        fn handle(&self, req: Request) -> Reply {
+            self.1.incr("executions");
+            Reply::ok(Bytes::new(), req.data)
+        }
+    }
+
+    fn stack(plan: FaultPlan, seed: u64) -> (SimClock, Arc<FaultyWire>, Arc<Echo>) {
+        let clock = SimClock::new();
+        let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        let dispatcher = Dispatcher::new(net);
+        let echo = Arc::new(Echo(Port::from_u64(7), Stats::new()));
+        dispatcher.register(echo.clone());
+        let wire = FaultyWire::new(dispatcher, clock.clone(), plan, seed);
+        (clock, wire, echo)
+    }
+
+    fn cap() -> Capability {
+        let mut c = Capability::null();
+        c.port = Port::from_u64(7);
+        c
+    }
+
+    #[test]
+    fn txn_tag_roundtrip() {
+        let req = Request {
+            cap: cap(),
+            command: 3,
+            params: Bytes::from_static(&[1, 2, 3]),
+            data: Bytes::from_static(b"body"),
+        };
+        let txn = TxnId { client: 9, seq: 44 };
+        let tagged = tag_request(req.clone(), txn);
+        assert_eq!(tagged.command & TXN_FLAG, TXN_FLAG);
+        // The tagged form still round-trips the wire codec.
+        let decoded = Request::decode(tagged.encode()).unwrap();
+        let (stripped, got) = untag_request(decoded);
+        assert_eq!(got, Some(txn));
+        assert_eq!(stripped, req);
+    }
+
+    #[test]
+    fn untagged_requests_pass_through() {
+        let req = Request::simple(cap(), 3);
+        let (same, none) = untag_request(req.clone());
+        assert_eq!(none, None);
+        assert_eq!(same, req);
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (_clock, wire, echo) = stack(FaultPlan::off(), 1);
+        for _ in 0..10 {
+            let reply = wire
+                .deliver(Request {
+                    cap: cap(),
+                    command: 1,
+                    params: Bytes::new(),
+                    data: Bytes::from_static(b"x"),
+                })
+                .unwrap()
+                .expect("no faults");
+            assert_eq!(reply.status, Status::Ok);
+        }
+        assert_eq!(echo.1.get("executions"), 10);
+        assert_eq!(wire.faults_injected(), 0);
+    }
+
+    #[test]
+    fn lossy_wire_injects_and_is_deterministic() {
+        let run = |seed| {
+            let (clock, wire, echo) = stack(FaultPlan::lossy(1.0), seed);
+            let mut delivered = 0;
+            for _ in 0..200 {
+                if let Ok(Some(_)) = wire.deliver(Request {
+                    cap: cap(),
+                    command: 1,
+                    params: Bytes::new(),
+                    data: Bytes::from_static(b"payload"),
+                }) {
+                    delivered += 1;
+                }
+            }
+            (
+                delivered,
+                wire.faults_injected(),
+                echo.1.get("executions"),
+                clock.now(),
+            )
+        };
+        let a = run(0xfa17);
+        assert!(a.1 > 10, "lossy plan injected only {} faults", a.1);
+        assert!(a.0 < 200, "some deliveries must fail");
+        assert!(a.2 > a.0, "duplicates execute more often than replies land");
+        assert_eq!(a, run(0xfa17), "same seed, same schedule");
+        assert_ne!(a, run(0xfa18), "different seed, different schedule");
+    }
+
+    #[test]
+    fn retry_client_survives_a_lossy_wire() {
+        let (_clock, wire, _echo) = stack(FaultPlan::lossy(0.8), 0x50a6);
+        let client = RetryClient::new(wire.clone(), RetryPolicy::standard(), 1, 0x1);
+        for i in 0..40u8 {
+            let reply = client
+                .trans(cap(), 1, Bytes::new(), Bytes::from(vec![i; 64]))
+                .expect("retry budget covers the loss rate");
+            assert_eq!(reply.data, Bytes::from(vec![i; 64]));
+        }
+        assert!(client.stats().get(RPC_RETRIES) > 0, "the wire was lossy");
+        assert_eq!(client.stats().get(RPC_GIVEUPS), 0);
+    }
+
+    #[test]
+    fn retry_budget_bounds_charged_time() {
+        // Total loss: every attempt times out, the client gives up, and
+        // the charged simulated time never exceeds the worst case.
+        let plan = FaultPlan {
+            drop_request: 1.0,
+            ..FaultPlan::off()
+        };
+        let (clock, wire, echo) = stack(plan, 3);
+        let policy = RetryPolicy::standard();
+        let client = RetryClient::new(wire, policy, 1, 0x2);
+        let t0 = clock.now();
+        let err = client
+            .trans(cap(), 1, Bytes::new(), Bytes::new())
+            .unwrap_err();
+        assert_eq!(err, Status::NotNow);
+        assert_eq!(echo.1.get("executions"), 0, "nothing got through");
+        let charged = clock.now() - t0;
+        assert!(
+            charged <= policy.worst_case_delay(),
+            "charged {charged} > budget {}",
+            policy.worst_case_delay()
+        );
+        assert_eq!(client.stats().get(RPC_TIMEOUTS), policy.max_attempts as u64);
+        assert_eq!(client.stats().get(RPC_GIVEUPS), 1);
+    }
+
+    #[test]
+    fn dedup_replays_instead_of_reexecuting() {
+        let executions = std::cell::Cell::new(0u32);
+        let cache = DedupCache::new(8);
+        let txn = TxnId { client: 1, seq: 1 };
+        for _ in 0..5 {
+            let reply = cache.execute(txn, || {
+                executions.set(executions.get() + 1);
+                Reply::ok(Bytes::new(), Bytes::from_static(b"once"))
+            });
+            assert_eq!(reply.data, Bytes::from_static(b"once"));
+        }
+        assert_eq!(executions.get(), 1);
+        assert_eq!(cache.stats().get(DEDUP_HITS), 4);
+    }
+
+    #[test]
+    fn dedup_capacity_is_bounded() {
+        let cache = DedupCache::new(4);
+        for seq in 0..10 {
+            cache.execute(TxnId { client: 1, seq }, || {
+                Reply::ok(Bytes::new(), Bytes::new())
+            });
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().get(DEDUP_EVICTIONS), 6);
+        // An evicted transaction re-executes: the bound trades memory
+        // for a window, exactly like Amoeba's real reply cache.
+        cache.execute(TxnId { client: 1, seq: 0 }, || {
+            Reply::ok(Bytes::new(), Bytes::new())
+        });
+        assert_eq!(cache.stats().get(DEDUP_HITS), 0);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_within_bounds() {
+        let policy = RetryPolicy::standard();
+        let mut rng = DetRng::new(9);
+        let mut last = Nanos::ZERO;
+        for retry in 0..12 {
+            let b = policy.backoff(retry, &mut rng);
+            assert!(
+                b <= policy.backoff_cap,
+                "retry {retry} backoff {b} over cap"
+            );
+            assert!(
+                b.as_ns() >= policy.backoff_base.as_ns() / 2,
+                "retry {retry} backoff {b} under half the base"
+            );
+            last = b;
+        }
+        assert!(last.as_ns() >= policy.backoff_cap.as_ns() / 2, "saturated");
+    }
+}

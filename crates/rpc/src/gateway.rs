@@ -74,8 +74,7 @@ impl RpcServer for WanProxy {
         // slow link — the gateway relays instead of store-and-forwarding
         // the whole file.  The WAN header (status + params) keeps the
         // per-message charge.
-        self.wan
-            .send(reply.wire_size() - reply.data.len() as u64);
+        self.wan.send(reply.wire_size() - reply.data.len() as u64);
         let mut pipe = Pipeline::new();
         let mut off = 0;
         while off < reply.data.len() {

@@ -1,8 +1,17 @@
-//! Property tests for the RPC wire codec: any message round-trips, and
-//! no mutated buffer can crash the decoder.
+//! Property tests for the RPC wire codec — any message round-trips, no
+//! mutated buffer can crash the decoder — and for the retry layer: the
+//! backoff schedule is a pure function of the seed, stays within its
+//! jitter window, and the simulated time a failed transaction charges
+//! never exceeds the policy's worst-case budget.
+
+use std::sync::Arc;
 
 use amoeba_cap::{Capability, ObjNum, Port, Rights};
-use amoeba_rpc::{Reply, Request, Status};
+use amoeba_net::SimEthernet;
+use amoeba_rpc::{
+    Dispatcher, FaultPlan, FaultyWire, Reply, Request, RetryClient, RetryPolicy, Status,
+};
+use amoeba_sim::{DetRng, HwProfile, Nanos, SimClock};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -84,5 +93,71 @@ proptest! {
     #[test]
     fn status_codes_roundtrip(code in any::<i32>()) {
         prop_assert_eq!(Status::from_code(code).code(), code);
+    }
+
+    #[test]
+    fn backoff_schedule_is_seeded_and_window_bounded(
+        seed in any::<u64>(),
+        base_ms in 1u64..50,
+        cap_ms in 50u64..2000,
+        attempts in 2u32..10,
+    ) {
+        let policy = RetryPolicy {
+            timeout: Nanos::from_ms(100),
+            backoff_base: Nanos::from_ms(base_ms),
+            backoff_cap: Nanos::from_ms(cap_ms),
+            max_attempts: attempts,
+        };
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for retry in 0..attempts {
+            let x = policy.backoff(retry, &mut a);
+            // Same seed, same retry index: the schedule is deterministic.
+            prop_assert_eq!(x, policy.backoff(retry, &mut b));
+            // And every draw lands in [ceiling/2, ceiling].
+            let ceiling = (base_ms * 1_000_000)
+                .checked_shl(retry)
+                .unwrap_or(u64::MAX)
+                .min(cap_ms * 1_000_000);
+            prop_assert!(x.as_ns() >= ceiling / 2, "below half the ceiling");
+            prop_assert!(x.as_ns() <= ceiling, "above the ceiling");
+        }
+    }
+
+    #[test]
+    fn charged_time_of_a_failed_transaction_respects_the_budget(
+        seed in any::<u64>(),
+        timeout_ms in 10u64..200,
+        attempts in 1u32..8,
+    ) {
+        // A wire that drops every request: the client must walk its full
+        // retry schedule, then give up without ever charging more
+        // simulated time than the policy's declared worst case.
+        let clock = SimClock::new();
+        let net = SimEthernet::new(clock.clone(), HwProfile::amoeba_1989().net);
+        let dispatcher = Dispatcher::new(net);
+        let plan = FaultPlan {
+            drop_request: 1.0,
+            ..FaultPlan::off()
+        };
+        let wire = FaultyWire::new(dispatcher, clock.clone(), plan, seed);
+        let policy = RetryPolicy {
+            timeout: Nanos::from_ms(timeout_ms),
+            backoff_base: Nanos::from_ms(5),
+            backoff_cap: Nanos::from_ms(500),
+            max_attempts: attempts,
+        };
+        let budget = policy.worst_case_delay();
+        let client = RetryClient::new(Arc::clone(&wire), policy, 7, seed ^ 1);
+        let t0 = clock.now();
+        let result = client.trans(Capability::null(), 1, Bytes::new(), Bytes::new());
+        prop_assert_eq!(result.unwrap_err(), Status::NotNow);
+        let charged = clock.now().saturating_sub(t0);
+        prop_assert!(
+            charged <= budget,
+            "charged {:?} exceeds worst-case budget {:?}",
+            charged,
+            budget
+        );
     }
 }

@@ -247,8 +247,14 @@ mod tests {
         let whole = net.one_way(1 << 20);
         let streamed: Nanos = (0..16).map(|_| net.continuation(64 << 10)).sum();
         let slack = Nanos::from_us_f64(net.per_message_us + 16.0 * net.per_packet_us);
-        assert!(streamed >= whole.saturating_sub(slack), "streamed {streamed} vs whole {whole}");
-        assert!(streamed <= whole + slack, "streamed {streamed} vs whole {whole}");
+        assert!(
+            streamed >= whole.saturating_sub(slack),
+            "streamed {streamed} vs whole {whole}"
+        );
+        assert!(
+            streamed <= whole + slack,
+            "streamed {streamed} vs whole {whole}"
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod stats;
 pub mod trace;
 
 pub use clock::{capture, commit_max, ChargeLog, Nanos, SimClock};
-pub use pipeline::Pipeline;
 pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
+pub use pipeline::Pipeline;
 pub use rng::DetRng;
 pub use stats::{Histogram, Stats};
 pub use trace::{AttrValue, SpanGuard, SpanRecord, TraceConfig, Tracer};

@@ -371,15 +371,25 @@ mod tests {
         let at = |name: &str, seg: u64| {
             spans
                 .iter()
-                .find(|s| {
-                    s.name == name && s.attr("segment").and_then(|v| v.as_u64()) == Some(seg)
-                })
+                .find(|s| s.name == name && s.attr("segment").and_then(|v| v.as_u64()) == Some(seg))
                 .unwrap()
         };
-        assert_eq!((at("disk", 0).start, at("disk", 0).end), (Nanos(1000), Nanos(1010)));
-        assert_eq!((at("disk", 2).start, at("disk", 2).end), (Nanos(1020), Nanos(1030)));
-        assert_eq!((at("wire", 0).start, at("wire", 0).end), (Nanos(1010), Nanos(1018)));
-        assert_eq!((at("wire", 2).start, at("wire", 2).end), (Nanos(1030), Nanos(1038)));
+        assert_eq!(
+            (at("disk", 0).start, at("disk", 0).end),
+            (Nanos(1000), Nanos(1010))
+        );
+        assert_eq!(
+            (at("disk", 2).start, at("disk", 2).end),
+            (Nanos(1020), Nanos(1030))
+        );
+        assert_eq!(
+            (at("wire", 0).start, at("wire", 0).end),
+            (Nanos(1010), Nanos(1018))
+        );
+        assert_eq!(
+            (at("wire", 2).start, at("wire", 2).end),
+            (Nanos(1030), Nanos(1038))
+        );
         // The union of the lane spans tiles [base, base + makespan].
         let mut iv: Vec<(Nanos, Nanos)> = spans.iter().map(|s| (s.start, s.end)).collect();
         assert_eq!(crate::trace::union_coverage(&mut iv), makespan);
@@ -421,7 +431,11 @@ mod tests {
     fn untraced_pipeline_times_match_traced() {
         let run = |traced: bool| {
             let c = SimClock::new();
-            let t = if traced { Tracer::on(c.clone()) } else { Tracer::off() };
+            let t = if traced {
+                Tracer::on(c.clone())
+            } else {
+                Tracer::off()
+            };
             let mut pipe = Pipeline::with_trace(t, &["a", "b"]);
             for _ in 0..4 {
                 pipe.begin_segment();

@@ -204,9 +204,7 @@ impl Tracer {
 
     /// The tracer's clock reading (zero when disabled).
     pub fn now(&self) -> Nanos {
-        self.inner
-            .as_ref()
-            .map_or(Nanos::ZERO, |i| i.clock.now())
+        self.inner.as_ref().map_or(Nanos::ZERO, |i| i.clock.now())
     }
 
     fn ident(inner: &Arc<TracerInner>) -> usize {
@@ -592,6 +590,20 @@ pub fn lane_utilization(spans: &[SpanRecord], root: u64) -> Vec<LaneUsage> {
         .collect()
 }
 
+/// The zero-duration instants named with the given prefix, in simulated
+/// time order.  Fault injectors record one `fault.*` instant per
+/// injected fault, so `instants_with_prefix(&spans, "fault.")` is the
+/// exact fault schedule of a seeded run — campaigns compare it across
+/// replays to prove determinism.
+pub fn instants_with_prefix<'a>(spans: &'a [SpanRecord], prefix: &str) -> Vec<&'a SpanRecord> {
+    let mut out: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.duration() == Nanos::ZERO && s.name.starts_with(prefix))
+        .collect();
+    out.sort_by_key(|s| (s.start, s.id));
+    out
+}
+
 /// The size-class label for a byte count, the granularity of the
 /// per-operation latency histograms (aligned with the benchmark sizes).
 pub fn size_class(bytes: u64) -> &'static str {
@@ -608,18 +620,14 @@ pub fn size_class(bytes: u64) -> &'static str {
 /// Builds per-(operation, size-class) latency histograms from every span
 /// carrying an `op` string attribute; the size class comes from the
 /// span's `bytes` attribute (0 if absent).  Keys sort by op then class.
-pub fn op_histograms(
-    spans: &[SpanRecord],
-) -> BTreeMap<(&'static str, &'static str), Histogram> {
+pub fn op_histograms(spans: &[SpanRecord]) -> BTreeMap<(&'static str, &'static str), Histogram> {
     let mut out: BTreeMap<(&'static str, &'static str), Histogram> = BTreeMap::new();
     for s in spans {
         let Some(op) = s.attr("op").and_then(|v| v.as_str()) else {
             continue;
         };
         let class = size_class(s.attr("bytes").and_then(|v| v.as_u64()).unwrap_or(0));
-        out.entry((op, class))
-            .or_default()
-            .record(s.duration());
+        out.entry((op, class)).or_default().record(s.duration());
     }
     out
 }
@@ -633,6 +641,28 @@ mod tests {
         let clock = SimClock::new();
         let tracer = Tracer::on(clock.clone());
         (clock, tracer)
+    }
+
+    #[test]
+    fn instants_with_prefix_finds_the_fault_schedule() {
+        let (clock, t) = on();
+        t.instant("fault.drop_request", &[]);
+        clock.advance(Nanos(10));
+        {
+            let _op = t.span("rpc.trans");
+            clock.advance(Nanos(5));
+        }
+        clock.advance(Nanos(3));
+        t.instant("fault.drop_reply", &[]);
+        let spans = t.snapshot();
+        let faults = instants_with_prefix(&spans, "fault.");
+        assert_eq!(
+            faults.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["fault.drop_request", "fault.drop_reply"]
+        );
+        assert_eq!(faults[0].start, Nanos(0));
+        assert_eq!(faults[1].start, Nanos(18));
+        assert!(instants_with_prefix(&spans, "cache.").is_empty());
     }
 
     #[test]
@@ -711,7 +741,12 @@ mod tests {
         let (_clock, t) = on();
         {
             let _op = t.span("op");
-            t.record_at("manual", Nanos(3), Nanos(9), &[("replica", AttrValue::U64(1))]);
+            t.record_at(
+                "manual",
+                Nanos(3),
+                Nanos(9),
+                &[("replica", AttrValue::U64(1))],
+            );
         }
         let spans = t.snapshot();
         let manual = spans.iter().find(|s| s.name == "manual").unwrap();
@@ -745,7 +780,7 @@ mod tests {
     fn union_coverage_merges_overlap_and_skips_gaps() {
         let mut iv = vec![
             (Nanos(0), Nanos(10)),
-            (Nanos(5), Nanos(15)), // overlaps the first
+            (Nanos(5), Nanos(15)),  // overlaps the first
             (Nanos(20), Nanos(30)), // gap 15..20 uncounted
         ];
         assert_eq!(union_coverage(&mut iv), Nanos(25));
@@ -756,9 +791,24 @@ mod tests {
         let (clock, t) = on();
         {
             let _root = t.span("pipe");
-            t.record_at("seg", Nanos(0), Nanos(40), &[("lane", AttrValue::Str("disk"))]);
-            t.record_at("seg", Nanos(10), Nanos(50), &[("lane", AttrValue::Str("wire"))]);
-            t.record_at("seg", Nanos(40), Nanos(80), &[("lane", AttrValue::Str("disk"))]);
+            t.record_at(
+                "seg",
+                Nanos(0),
+                Nanos(40),
+                &[("lane", AttrValue::Str("disk"))],
+            );
+            t.record_at(
+                "seg",
+                Nanos(10),
+                Nanos(50),
+                &[("lane", AttrValue::Str("wire"))],
+            );
+            t.record_at(
+                "seg",
+                Nanos(40),
+                Nanos(80),
+                &[("lane", AttrValue::Str("disk"))],
+            );
             clock.advance(Nanos(100));
         }
         let spans = t.snapshot();
@@ -806,7 +856,12 @@ mod tests {
             s.attr("bytes", 7u64);
             clock.advance(Nanos::from_us(3));
             t.instant("lock", &[("contended", AttrValue::Bool(false))]);
-            t.record_at("seg", Nanos(0), Nanos(1000), &[("lane", AttrValue::Str("disk"))]);
+            t.record_at(
+                "seg",
+                Nanos(0),
+                Nanos(1000),
+                &[("lane", AttrValue::Str("disk"))],
+            );
         }
         let jsonl = t.export_jsonl();
         assert_eq!(jsonl.lines().count(), 3);
@@ -816,7 +871,7 @@ mod tests {
         assert!(chrome.contains("\"ph\":\"X\""));
         assert!(chrome.contains("\"ph\":\"i\"")); // the lock instant
         assert!(chrome.contains("lane: disk")); // named track metadata
-        // Disabled tracers export valid, empty documents.
+                                                // Disabled tracers export valid, empty documents.
         let empty = Tracer::off().export_chrome();
         assert!(empty.contains("traceEvents"));
     }

@@ -200,7 +200,11 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut b, input);
         if !self.criterion.quick {
-            report(&format!("{}/{}", self.name, id.id), b.mean_ns, self.throughput);
+            report(
+                &format!("{}/{}", self.name, id.id),
+                b.mean_ns,
+                self.throughput,
+            );
         }
         self
     }

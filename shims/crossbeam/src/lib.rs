@@ -64,10 +64,7 @@ pub mod channel {
         ///
         /// [`RecvError`] when the channel is empty and disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .recv()
+            self.0.lock().unwrap_or_else(PoisonError::into_inner).recv()
         }
 
         /// Receives without blocking.

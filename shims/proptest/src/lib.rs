@@ -571,7 +571,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }`
@@ -687,10 +689,7 @@ macro_rules! prop_assert_ne {
             (l, r) => {
                 if *l == *r {
                     return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                        ::std::format!(
-                            "assertion failed: `left != right`\n  both: `{:?}`",
-                            l,
-                        ),
+                        ::std::format!("assertion failed: `left != right`\n  both: `{:?}`", l,),
                     ));
                 }
             }
