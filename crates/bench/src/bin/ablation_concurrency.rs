@@ -85,6 +85,7 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         segment_size: 64 * 1024,
         pipeline: true,
         readahead_segments: u32::MAX,
+        placement: bullet_core::Placement::FirstFit,
         trace: amoeba_sim::TraceConfig::off(),
     };
     let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));

@@ -1,0 +1,156 @@
+//! Ablation ABL14 — seek-aware disk scheduling: FIFO vs SCAN vs SPTF.
+//!
+//! Drives the closed-loop 8-client mixed workload of
+//! [`bullet_bench::schedbench`] through the deterministic virtual-time
+//! arm simulation under each scheduling policy, then sweeps the
+//! adjacent-extent coalescing knee on concurrent sequential creates.
+//! Like ABL13, the whole matrix is run a *second* time and the rendered
+//! outcome table must come back byte-identical: the request schedule,
+//! the coalescing decisions, and the simulated arm travel are all pure
+//! functions of the seed.
+//!
+//! The run is judged against the PR's headline criteria:
+//!
+//! * SCAN and SPTF both beat FIFO on total seek blocks **and** on
+//!   aggregate read bandwidth;
+//! * deadline aging keeps the better seek-aware p99 within 1.25x of
+//!   FIFO's (seek-first ordering must not starve the unlucky corner of
+//!   the disk);
+//! * coalescing never issues more physical I/Os than running without
+//!   it, and collapses 8-block sequential segments at least 2x.
+//!
+//! Exit status is non-zero if any criterion goes red or the replay
+//! diverges.  Artifacts: `results/ablation_scheduler.txt` (tables) and
+//! `results/ablation_scheduler_queue.jsonl` (the per-I/O queue trace of
+//! the first run, one JSON object per physical transfer).
+//!
+//! ```text
+//! cargo run -p bullet-bench --bin ablation_scheduler            # PR seed
+//! cargo run -p bullet-bench --bin ablation_scheduler -- --seed 7
+//! ```
+
+use bullet_bench::schedbench::{
+    coalesce_knee, knee_table, outcome_table, run_policies, trace_row, PR_SEED,
+};
+
+fn usage() -> ! {
+    eprintln!("usage: ablation_scheduler [--seed N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seed = PR_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                seed = n.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    println!("ABL14 — seek-aware disk scheduling (seed {seed}, run twice)");
+    println!();
+
+    let runs = run_policies(seed);
+    let table = outcome_table(&runs);
+    print!("{table}");
+    println!();
+
+    let knee = coalesce_knee();
+    let knee_str = knee_table(&knee);
+    println!("coalescing knee — 4 concurrent sequential 64-block creates:");
+    print!("{knee_str}");
+    println!();
+
+    // The determinism witness: the same matrix, replayed, must render
+    // the same bytes.
+    let replay = outcome_table(&run_policies(seed));
+    let deterministic = replay == table;
+    println!(
+        "replay determinism: {}",
+        if deterministic {
+            "outcome table byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // Headline criteria.
+    let (fifo, scan, sptf) = (&runs[0].outcome, &runs[1].outcome, &runs[2].outcome);
+    let mut reds: Vec<String> = Vec::new();
+    if scan.seek_blocks >= fifo.seek_blocks || sptf.seek_blocks >= fifo.seek_blocks {
+        reds.push(format!(
+            "seek blocks not reduced: fifo {} scan {} sptf {}",
+            fifo.seek_blocks, scan.seek_blocks, sptf.seek_blocks
+        ));
+    }
+    if scan.read_mb_s <= fifo.read_mb_s || sptf.read_mb_s <= fifo.read_mb_s {
+        reds.push(format!(
+            "read bandwidth not improved: fifo {:.2} scan {:.2} sptf {:.2} MB/s",
+            fifo.read_mb_s, scan.read_mb_s, sptf.read_mb_s
+        ));
+    }
+    let best_p99 = scan.p99_ms.min(sptf.p99_ms);
+    if best_p99 > fifo.p99_ms * 1.25 {
+        reds.push(format!(
+            "p99 bound violated: fifo {:.2} ms, best seek-aware {:.2} ms (bound {:.2})",
+            fifo.p99_ms,
+            best_p99,
+            fifo.p99_ms * 1.25
+        ));
+    }
+    for r in &knee {
+        if r.issued_on > r.issued_off {
+            reds.push(format!(
+                "coalescing issued more I/Os at {}-block segments: on {} off {}",
+                r.segment_blocks, r.issued_on, r.issued_off
+            ));
+        }
+    }
+    if let Some(r8) = knee.iter().find(|r| r.segment_blocks == 8) {
+        if r8.issued_on * 2 > r8.issued_off {
+            reds.push(format!(
+                "8-block segments should coalesce at least 2x: on {} off {}",
+                r8.issued_on, r8.issued_off
+            ));
+        }
+    }
+    println!("criteria: {} of {} green", 5 - reds.len().min(5), 5);
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut artifact = String::new();
+    artifact.push_str(&format!("ABL14 seek-aware disk scheduling (seed {seed})\n"));
+    artifact.push_str(&table);
+    artifact.push_str("coalescing knee\n");
+    artifact.push_str(&knee_str);
+    artifact.push_str(&format!(
+        "replay_deterministic={deterministic} red_criteria={}\n",
+        reds.len()
+    ));
+    std::fs::write("results/ablation_scheduler.txt", artifact).expect("write artifact");
+    println!("wrote results/ablation_scheduler.txt");
+
+    let mut trace = String::new();
+    for run in &runs {
+        for sv in &run.services {
+            trace.push_str(&trace_row(run.outcome.policy, sv));
+            trace.push('\n');
+        }
+    }
+    std::fs::write("results/ablation_scheduler_queue.jsonl", trace).expect("write queue trace");
+    println!("wrote results/ablation_scheduler_queue.jsonl");
+
+    if !deterministic {
+        eprintln!("ABL14 FAILED: replay diverged from the first run");
+        std::process::exit(1);
+    }
+    if !reds.is_empty() {
+        for r in &reds {
+            eprintln!("ABL14 FAILED: {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -12,12 +12,20 @@
 //! mean latency and bandwidth (pipeline off and on) plus p50/p95/p99
 //! latency percentiles per operation, measured over repeated traced runs
 //! through [`amoeba_sim::trace::op_histograms`], plus a reduced
-//! fault-injection campaign summary (every class × 2 seeds).  Adding
-//! `--check` compares the fresh pipelined 1 MB cold-read bandwidth
-//! against the committed sequential baseline AND the fresh p99 tails
-//! against the committed ones (10 % headroom), and requires every
-//! fresh fault-campaign cell green, failing the run on any regression
-//! or on a baseline missing a gated key — the CI bench-smoke gate:
+//! fault-injection campaign summary (every class × 2 seeds), the ABL14
+//! scheduler headline numbers (per-policy seek blocks / read bandwidth /
+//! p99 plus the 8-block coalescing knee), and the per-zone data-area
+//! fragmentation report after a deterministic churn.  Adding `--check`
+//! compares the fresh pipelined 1 MB cold-read bandwidth against the
+//! committed sequential baseline AND the fresh p99 tails against the
+//! committed ones (10 % headroom), requires every fresh fault-campaign
+//! cell green, requires the committed baseline to carry every scheduler
+//! key, and re-judges the fresh scheduler run against the PR's headline
+//! invariants (SCAN/SPTF beat FIFO on seeks and bandwidth, the better
+//! seek-aware p99 within 1.25× of FIFO's, coalescing never issuing more
+//! I/Os, zone free space partitioning the data area), failing the run on
+//! any regression or on a baseline missing a gated key — the CI
+//! bench-smoke gate:
 //!
 //! ```text
 //! cargo run --release -p bullet-bench --bin report -- --json --check BENCH_pr2.json
@@ -30,7 +38,9 @@ use amoeba_sim::{HwProfile, Nanos, TraceConfig};
 use bullet_bench::check::{self, CheckError};
 use bullet_bench::faults::{run_class, CampaignOutcome, FaultClass};
 use bullet_bench::rig::{BulletRig, NfsRig};
+use bullet_bench::schedbench::{coalesce_knee, run_policies, KneeRow, MixedRun, PR_SEED};
 use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
+use bullet_core::FragReport;
 use bytes::Bytes;
 
 /// Sizes benched by `--json` (1 KB … 1 MB).
@@ -159,10 +169,64 @@ fn run_fault_summary() -> Vec<CampaignOutcome> {
         .collect()
 }
 
+/// Zones the data-area fragmentation report is split into.
+const FRAG_ZONES: u32 = 8;
+
+/// The ABL14 measurements `--json` embeds: the three-policy mixed-run
+/// comparison, the coalescing knee, and the zone fragmentation snapshot
+/// (per-zone plus the whole-area report the gate checks they partition).
+struct SchedMeasure {
+    sched: Vec<MixedRun>,
+    knee: Vec<KneeRow>,
+    zones: Vec<FragReport>,
+    whole: FragReport,
+}
+
+fn measure_scheduler() -> SchedMeasure {
+    let (zones, whole) = measure_zone_frag();
+    SchedMeasure {
+        sched: run_policies(PR_SEED),
+        knee: coalesce_knee(),
+        zones,
+        whole,
+    }
+}
+
+/// A deterministic create/delete churn on a fresh rig, then the
+/// per-zone fragmentation snapshot of the data area (plus the
+/// whole-area report the gate checks the zones partition).
+fn measure_zone_frag() -> (Vec<FragReport>, FragReport) {
+    let rig = BulletRig::paper_1989();
+    let caps: Vec<_> = (0..24)
+        .map(|i| {
+            rig.client
+                .create(Bytes::from(vec![i as u8; 8192]), 2)
+                .expect("churn create fits the rig")
+        })
+        .collect();
+    for (i, cap) in caps.iter().enumerate() {
+        if i % 3 == 1 {
+            rig.client.delete(cap).expect("churn delete");
+        }
+    }
+    let zones = rig.server.disk_zone_frag(FRAG_ZONES);
+    let whole = rig
+        .server
+        .disk_zone_frag(1)
+        .pop()
+        .expect("one-zone report exists");
+    (zones, whole)
+}
+
 /// Hand-rolled JSON (the workspace carries no serializer): one object
 /// per size with delays in milliseconds, latency percentiles, and
 /// cold-read bandwidths.
-fn render_json(rows: &[StreamRow], pcts: &[PctRow], faults: &[CampaignOutcome]) -> String {
+fn render_json(
+    rows: &[StreamRow],
+    pcts: &[PctRow],
+    faults: &[CampaignOutcome],
+    sm: &SchedMeasure,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
     let _ = writeln!(out, "  \"segment_size\": 65536,");
     let _ = writeln!(out, "  \"sizes\": [");
@@ -234,6 +298,46 @@ fn render_json(rows: &[StreamRow], pcts: &[PctRow], faults: &[CampaignOutcome]) 
         let _ = writeln!(out, "    }}{}", if i + 1 == rows.len() { "" } else { "," });
     }
     out.push_str("  ],\n");
+    // ABL14 headline numbers: the seek-aware scheduler comparison and
+    // the coalescing knee at the server's 8-block streaming granularity.
+    let _ = writeln!(out, "  \"scheduler\": {{");
+    let _ = writeln!(out, "    \"seed\": {PR_SEED},");
+    for run in &sm.sched {
+        let o = &run.outcome;
+        let _ = writeln!(out, "    \"{}_seek_blocks\": {},", o.policy, o.seek_blocks);
+        let _ = writeln!(out, "    \"{}_read_mb_s\": {:.3},", o.policy, o.read_mb_s);
+        let _ = writeln!(out, "    \"{}_p99_ms\": {:.3},", o.policy, o.p99_ms);
+    }
+    let k8 = sm
+        .knee
+        .iter()
+        .find(|r| r.segment_blocks == 8)
+        .expect("the knee sweeps 8-block segments");
+    let _ = writeln!(out, "    \"coalesce_on_ios_8_block\": {},", k8.issued_on);
+    let _ = writeln!(out, "    \"coalesce_off_ios_8_block\": {}", k8.issued_off);
+    out.push_str("  },\n");
+    // Per-zone fragmentation of the data area after a deterministic
+    // create/delete churn.
+    let _ = writeln!(out, "  \"zone_frag\": [");
+    for (i, z) in sm.zones.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"zone\": {i},");
+        let _ = writeln!(out, "      \"total\": {},", z.total);
+        let _ = writeln!(out, "      \"free\": {},", z.free);
+        let _ = writeln!(out, "      \"largest_hole\": {},", z.largest_hole);
+        let _ = writeln!(out, "      \"hole_count\": {},", z.hole_count);
+        let _ = writeln!(
+            out,
+            "      \"external_fragmentation\": {:.4}",
+            z.external_fragmentation
+        );
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 == sm.zones.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
     let _ = writeln!(out, "  \"fault_campaign\": [");
     for (i, o) in faults.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -268,6 +372,7 @@ fn gate(
     rows: &[StreamRow],
     pcts: &[PctRow],
     faults: &[CampaignOutcome],
+    sm: &SchedMeasure,
 ) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
@@ -322,6 +427,99 @@ fn gate(
             bound: 0.0,
         });
     }
+    // Scheduler gate, part 1 — schema: the committed baseline must carry
+    // every headline scheduler key (a baseline from before ABL14 fails
+    // loudly, naming the key, until regenerated).
+    for key in [
+        "fifo_seek_blocks",
+        "scan_seek_blocks",
+        "sptf_seek_blocks",
+        "fifo_read_mb_s",
+        "scan_read_mb_s",
+        "sptf_read_mb_s",
+        "fifo_p99_ms",
+        "scan_p99_ms",
+        "sptf_p99_ms",
+        "coalesce_on_ios_8_block",
+        "coalesce_off_ios_8_block",
+    ] {
+        check::require_section_key(&doc, path, "scheduler", key)?;
+    }
+    // Scheduler gate, part 2 — the fresh run must uphold the PR's
+    // headline invariants (these judge the fresh measurement, so a
+    // regenerated baseline can never bake in a violation).
+    let (fifo, scan, sptf) = (
+        &sm.sched[0].outcome,
+        &sm.sched[1].outcome,
+        &sm.sched[2].outcome,
+    );
+    eprintln!(
+        "check: seek blocks fifo {} scan {} sptf {}; read MB/s fifo {:.2} scan {:.2} sptf {:.2}",
+        fifo.seek_blocks,
+        scan.seek_blocks,
+        sptf.seek_blocks,
+        fifo.read_mb_s,
+        scan.read_mb_s,
+        sptf.read_mb_s
+    );
+    check::require_at_most(
+        "scan seek blocks (vs fifo)",
+        scan.seek_blocks as f64,
+        fifo.seek_blocks as f64,
+    )?;
+    check::require_at_most(
+        "sptf seek blocks (vs fifo)",
+        sptf.seek_blocks as f64,
+        fifo.seek_blocks as f64,
+    )?;
+    check::require_at_least(
+        "scan aggregate read bandwidth (MB/s, vs fifo)",
+        scan.read_mb_s,
+        fifo.read_mb_s,
+    )?;
+    check::require_at_least(
+        "sptf aggregate read bandwidth (MB/s, vs fifo)",
+        sptf.read_mb_s,
+        fifo.read_mb_s,
+    )?;
+    eprintln!(
+        "check: p99 fifo {:.2} ms, best seek-aware {:.2} ms (1.25x bound {:.2} ms)",
+        fifo.p99_ms,
+        scan.p99_ms.min(sptf.p99_ms),
+        fifo.p99_ms * 1.25
+    );
+    check::require_at_most(
+        "best seek-aware p99 (ms, vs 1.25x fifo)",
+        scan.p99_ms.min(sptf.p99_ms),
+        fifo.p99_ms * 1.25,
+    )?;
+    for r in &sm.knee {
+        check::require_at_most(
+            &format!(
+                "coalescing issued I/Os at {}-block segments",
+                r.segment_blocks
+            ),
+            r.issued_on as f64,
+            r.issued_off as f64,
+        )?;
+    }
+    // Zone-frag gate: the per-zone reports must partition the data area
+    // — zone free space sums to the whole-area free count.
+    let zone_free: u64 = sm.zones.iter().map(|z| z.free).sum();
+    eprintln!(
+        "check: zone frag — {} zones, free {} of {} blocks (whole-area free {})",
+        sm.zones.len(),
+        zone_free,
+        sm.whole.total,
+        sm.whole.free
+    );
+    if zone_free != sm.whole.free {
+        return Err(CheckError::Regression {
+            what: "per-zone free blocks must sum to the data-area free count".to_string(),
+            fresh: zone_free as f64,
+            bound: sm.whole.free as f64,
+        });
+    }
     Ok(())
 }
 
@@ -336,13 +534,15 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
         JSON_FAULT_SEEDS.len()
     );
     let faults = run_fault_summary();
+    eprintln!("running scheduler ablation (3 policies + coalescing knee, seed {PR_SEED})…");
+    let sm = measure_scheduler();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts, &faults) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows, &pcts, &faults))?;
+    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm))?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -25,6 +25,16 @@ pub enum CheckError {
         /// The missing key.
         key: String,
     },
+    /// The committed baseline lacks the key inside a named top-level
+    /// section (e.g. the `"scheduler"` object).
+    MissingSectionKey {
+        /// Path of the baseline file.
+        path: String,
+        /// The section object searched.
+        section: String,
+        /// The missing key.
+        key: String,
+    },
     /// A freshly measured number regressed past the committed baseline.
     Regression {
         /// What was compared (human-readable).
@@ -46,6 +56,13 @@ impl fmt::Display for CheckError {
                 write!(
                     f,
                     "baseline {path} has no key \"{key}\" in its bytes={bytes} object; \
+                     regenerate it with `report --json {path}` to pick up the new schema"
+                )
+            }
+            CheckError::MissingSectionKey { path, section, key } => {
+                write!(
+                    f,
+                    "baseline {path} has no key \"{key}\" in its \"{section}\" section; \
                      regenerate it with `report --json {path}` to pick up the new schema"
                 )
             }
@@ -77,6 +94,45 @@ pub fn json_lookup(doc: &str, bytes: usize, key: &str) -> Option<f64> {
         .trim_end_matches(',')
         .parse()
         .ok()
+}
+
+/// Pulls `"<key>": <number>` out of the flat object that follows
+/// `"<section>": {` in committed JSON.  The named sections `report
+/// --json` emits (`"scheduler"`) are one level deep, so scanning to the
+/// first closing brace after the section opener is exact.
+pub fn json_lookup_section(doc: &str, section: &str, key: &str) -> Option<f64> {
+    let start = doc.find(&format!("\"{section}\": {{"))?;
+    let body = &doc[start..];
+    let obj = &body[..body.find('}')?];
+    let line = obj
+        .lines()
+        .skip(1) // the `"<section>": {` line itself
+        .find(|l| l.trim().starts_with(&format!("\"{key}\":")))?;
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .ok()
+}
+
+/// [`json_lookup_section`] that treats absence as a gate failure naming
+/// the section and the key.
+///
+/// # Errors
+///
+/// [`CheckError::MissingSectionKey`] when the baseline lacks the key.
+pub fn require_section_key(
+    doc: &str,
+    path: &str,
+    section: &str,
+    key: &str,
+) -> Result<f64, CheckError> {
+    json_lookup_section(doc, section, key).ok_or_else(|| CheckError::MissingSectionKey {
+        path: path.to_string(),
+        section: section.to_string(),
+        key: key.to_string(),
+    })
 }
 
 /// [`json_lookup`] that treats absence as a gate failure naming the key.
@@ -318,6 +374,53 @@ mod tests {
   ]
 }
 "#;
+
+    const SECTIONED: &str = r#"{
+  "sizes": [],
+  "scheduler": {
+    "seed": 14,
+    "fifo_seek_blocks": 4146381,
+    "scan_read_mb_s": 0.59
+  },
+  "fault_campaign_all_green": true
+}
+"#;
+
+    #[test]
+    fn section_lookup_finds_keys_inside_the_named_object() {
+        assert_eq!(
+            json_lookup_section(SECTIONED, "scheduler", "fifo_seek_blocks"),
+            Some(4_146_381.0)
+        );
+        assert_eq!(
+            json_lookup_section(SECTIONED, "scheduler", "scan_read_mb_s"),
+            Some(0.59)
+        );
+        // A key outside the section must not leak in.
+        assert_eq!(
+            json_lookup_section(SECTIONED, "scheduler", "fault_campaign_all_green"),
+            None
+        );
+    }
+
+    #[test]
+    fn missing_section_key_fails_naming_section_and_key() {
+        let err = require_section_key(SECTIONED, "BENCH_pr2.json", "scheduler", "sptf_p99_ms")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::MissingSectionKey {
+                path: "BENCH_pr2.json".to_string(),
+                section: "scheduler".to_string(),
+                key: "sptf_p99_ms".to_string(),
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("sptf_p99_ms"), "message: {msg}");
+        assert!(msg.contains("\"scheduler\""), "message: {msg}");
+        // An absent section fails the same way, never panics.
+        assert!(require_section_key(SECTIONED, "b.json", "zones", "free").is_err());
+    }
 
     #[test]
     fn lookup_finds_the_right_size_object() {

@@ -17,6 +17,10 @@
 //! * [`faults`] — the seeded fault-injection campaigns (ABL13):
 //!   mirrored-disk failure, crash-recovery, and lossy-wire soak, each a
 //!   deterministic function of its seed with an invariant checklist.
+//! * [`schedbench`] — the seek-aware disk-scheduler ablation (ABL14):
+//!   an 8-client closed-loop mixed workload over the deterministic
+//!   virtual-time arm simulation, comparing FIFO/SCAN/SPTF, plus the
+//!   coalescing on/off knee on sequential creates.
 //!
 //! Binaries (see DESIGN.md's experiment index):
 //! `fig1_layout`, `fig2_bullet`, `fig3_nfs`, `comparison`,
@@ -29,11 +33,13 @@
 pub mod check;
 pub mod faults;
 pub mod rig;
+pub mod schedbench;
 pub mod table;
 pub mod workload;
 
 pub use check::CheckError;
 pub use faults::{CampaignOutcome, FaultClass, Invariant};
-pub use rig::{BulletRig, NfsRig};
+pub use rig::{BulletRig, NfsRig, SchedSummary};
+pub use schedbench::{KneeRow, MixedRun, PolicyOutcome};
 pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
 pub use workload::{SizeDistribution, WorkloadMix, WorkloadOp};

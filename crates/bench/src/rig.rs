@@ -5,7 +5,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use amoeba_cap::Port;
-use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk, SimDisk};
+use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk, SchedConfig, SchedDisk, SimDisk};
 use amoeba_net::SimEthernet;
 use amoeba_rpc::{Dispatcher, RpcClient};
 use amoeba_sim::{HwProfile, Nanos, SimClock, Tracer};
@@ -34,6 +34,9 @@ pub struct BulletRig {
     /// The span tracer every layer shares — disabled unless the rig was
     /// built with `cfg.trace = TraceConfig::enabled(..)` in its tweak.
     pub tracer: Tracer,
+    /// Concrete handles on the scheduled replica disks, for scheduler
+    /// counter aggregation (the mirror only sees `dyn BlockDevice`).
+    pub disks: Vec<Arc<SchedDisk<RamDisk>>>,
 }
 
 impl BulletRig {
@@ -68,14 +71,23 @@ impl BulletRig {
         tweak: impl FnOnce(&mut BulletConfig),
     ) -> BulletRig {
         let clock = SimClock::new();
-        let replicas: Vec<Arc<dyn BlockDevice>> = (0..disks.max(1))
+        // Each replica sits behind its own seek-aware scheduler.  At
+        // queue depth 1 a SchedDisk charges exactly what a SimDisk would,
+        // so single-client numbers are unchanged; under concurrency the
+        // arm serves requests in SCAN order and coalesces neighbours.
+        let sched_disks: Vec<Arc<SchedDisk<RamDisk>>> = (0..disks.max(1))
             .map(|_| {
-                Arc::new(SimDisk::new(
+                Arc::new(SchedDisk::new(
                     RamDisk::new(1024, 65_536), // 64 MB per drive
                     clock.clone(),
                     hw.disk,
-                )) as Arc<dyn BlockDevice>
+                    SchedConfig::default(),
+                ))
             })
+            .collect();
+        let replicas: Vec<Arc<dyn BlockDevice>> = sched_disks
+            .iter()
+            .map(|d| d.clone() as Arc<dyn BlockDevice>)
             .collect();
         let storage = MirroredDisk::new(replicas).expect("replica set is valid");
         let mut cfg = BulletConfig {
@@ -96,10 +108,14 @@ impl BulletRig {
             segment_size: 64 * 1024,
             pipeline: true,
             readahead_segments: u32::MAX,
+            placement: bullet_core::Placement::FirstFit,
             trace: amoeba_sim::TraceConfig::off(),
         };
         tweak(&mut cfg);
         let tracer = cfg.trace.tracer().clone();
+        for d in &sched_disks {
+            d.set_tracer(tracer.clone());
+        }
         let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
         let net = SimEthernet::with_load(clock.clone(), hw.net, 1.0);
         let dispatcher = Dispatcher::new(net);
@@ -113,7 +129,26 @@ impl BulletRig {
             client,
             dispatcher,
             tracer,
+            disks: sched_disks,
         }
+    }
+
+    /// Scheduler counters aggregated across the replica disks: sums for
+    /// the monotone counters (`disk_seek_blocks`, `disk_coalesced_ios`,
+    /// `sched_deadline_promotions`), maximum for the depth high-water
+    /// mark.
+    pub fn sched_stats(&self) -> SchedSummary {
+        let mut s = SchedSummary::default();
+        for d in &self.disks {
+            let st = d.stats();
+            s.seek_blocks += st.get("disk_seek_blocks");
+            s.coalesced_ios += st.get("disk_coalesced_ios");
+            s.deadline_promotions += st.get("sched_deadline_promotions");
+            s.queue_depth_max = s.queue_depth_max.max(st.get("disk_queue_depth_max"));
+            s.disk_reads += st.get("disk_reads");
+            s.disk_writes += st.get("disk_writes");
+        }
+        s
     }
 
     /// Measures the delay of one warm `BULLET.READ` of a `size`-byte file
@@ -192,6 +227,24 @@ impl BulletRig {
         self.client.delete(&cap).expect("cleanup");
         dt
     }
+}
+
+/// Aggregated per-rig disk-scheduler counters (see
+/// [`BulletRig::sched_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSummary {
+    /// Total blocks of arm travel across all replicas.
+    pub seek_blocks: u64,
+    /// Requests merged into a neighbour's transfer.
+    pub coalesced_ios: u64,
+    /// Requests granted by deadline aging over the policy pick.
+    pub deadline_promotions: u64,
+    /// Highest request-queue depth any replica saw.
+    pub queue_depth_max: u64,
+    /// Physical block reads across all replicas.
+    pub disk_reads: u64,
+    /// Physical block writes across all replicas.
+    pub disk_writes: u64,
 }
 
 /// The SUN NFS measurement stack of §4: a SUN 3/180-like server with one

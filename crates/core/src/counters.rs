@@ -66,6 +66,25 @@ pub const MODIFIES: &str = "modifies";
 /// Live extents moved while compacting the on-disk data area.
 pub const DISK_COMPACTION_MOVES: &str = "disk_compaction_moves";
 
+/// Idle-time compaction ticks that yielded to foreground traffic instead
+/// of moving an extent.
+pub const COMPACTION_PREEMPTIONS: &str = "compaction_preemptions";
+
+/// Highest per-disk request-queue depth observed (high-water mark,
+/// aggregated across replicas as the maximum).
+pub const DISK_QUEUE_DEPTH_MAX: &str = "disk_queue_depth_max";
+
+/// Requests absorbed into an adjacent request's transfer by the disk
+/// scheduler (charged transfer time only — no seek, no rotation).
+pub const DISK_COALESCED_IOS: &str = "disk_coalesced_ios";
+
+/// Total blocks of disk-arm travel charged across all replicas.
+pub const DISK_SEEK_BLOCKS_TOTAL: &str = "disk_seek_blocks_total";
+
+/// Queued requests granted by deadline aging instead of the arm policy
+/// (the scheduler's starvation bound firing).
+pub const SCHED_DEADLINE_PROMOTIONS: &str = "sched_deadline_promotions";
+
 /// Files removed by ageing (the garbage collector's touch-or-die rule).
 pub const AGED_OUT: &str = "aged_out";
 
@@ -149,6 +168,11 @@ pub const ALL: &[&str] = &[
     DELETES,
     MODIFIES,
     DISK_COMPACTION_MOVES,
+    COMPACTION_PREEMPTIONS,
+    DISK_QUEUE_DEPTH_MAX,
+    DISK_COALESCED_IOS,
+    DISK_SEEK_BLOCKS_TOTAL,
+    SCHED_DEADLINE_PROMOTIONS,
     AGED_OUT,
     CACHE_HITS,
     CACHE_MISSES,

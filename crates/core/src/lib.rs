@@ -58,7 +58,7 @@ pub mod table;
 
 pub use cache::{EvictionPolicy, FileCache};
 pub use error::BulletError;
-pub use freelist::{ExtentAllocator, FragReport};
+pub use freelist::{ExtentAllocator, FragReport, Move, Placement};
 pub use layout::{DiskDescriptor, Inode};
 pub use rpc_iface::{commands, BulletClient, BulletRpcServer};
-pub use server::{BulletConfig, BulletServer, LayoutEntry, SchemeKind};
+pub use server::{BulletConfig, BulletServer, CompactTick, LayoutEntry, SchemeKind};

@@ -18,7 +18,11 @@
 //!   `sync`/`crash`, to exercise durability (P-FACTOR semantics);
 //! * [`MirroredDisk`] — the replica set, including partial-sync writes
 //!   (`write_sync_k`) and a background queue that models completing the
-//!   remaining replica writes after the client reply was already sent.
+//!   remaining replica writes after the client reply was already sent;
+//! * [`SchedDisk`] — a seek-aware per-disk I/O scheduler: queued requests
+//!   are granted in SCAN/SPTF order with deadline aging, and adjacent
+//!   requests coalesce into single larger transfers ([`ArmSim`] is the
+//!   matching deterministic virtual-time simulation for ablations).
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod faulty;
 pub mod filedisk;
 pub mod mirror;
 pub mod ramdisk;
+pub mod sched;
 pub mod simdisk;
 pub mod worm;
 
@@ -53,5 +58,8 @@ pub use faulty::FaultyDisk;
 pub use filedisk::FileDisk;
 pub use mirror::MirroredDisk;
 pub use ramdisk::RamDisk;
+pub use sched::{
+    ArmSim, ArmStats, QueuedReq, ReqKind, SchedConfig, SchedDisk, SchedPolicy, Service,
+};
 pub use simdisk::SimDisk;
 pub use worm::WormDisk;

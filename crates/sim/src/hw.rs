@@ -273,6 +273,55 @@ mod tests {
     }
 
     #[test]
+    fn zero_distance_io_charges_rotation_and_transfer_only() {
+        // head == target skips the seek term entirely — the model the
+        // scheduler's coalescing and the Bullet contiguity bet rely on.
+        let d = DiskProfile::scsi_1989();
+        let t = d.io_time(42, 42, 1000, 4096);
+        let expect =
+            Nanos::from_us_f64(d.per_op_us + d.rotation_avg_us + 4096.0 * d.transfer_us_per_byte);
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn seek_cost_is_monotone_in_block_distance() {
+        let d = DiskProfile::scsi_1989();
+        let mut last = d.io_time(0, 0, 10_000, 0);
+        for target in [1, 10, 100, 1_000, 5_000, 9_999] {
+            let t = d.io_time(0, target, 10_000, 0);
+            assert!(
+                t > last,
+                "io_time(0→{target}) = {t} not above the previous distance's {last}"
+            );
+            last = t;
+        }
+        // Symmetric: seeking down the same distance costs the same.
+        assert_eq!(
+            d.io_time(9_999, 0, 10_000, 0),
+            d.io_time(0, 9_999, 10_000, 0)
+        );
+    }
+
+    #[test]
+    fn full_stroke_seek_matches_seek_full_us() {
+        let d = DiskProfile::scsi_1989();
+        // A seek across the whole disk interpolates to exactly the
+        // full-stroke constant; one track interpolates to (almost) the
+        // minimum.
+        let full = d.io_time(0, 10_000, 10_000, 0);
+        assert_eq!(
+            full,
+            Nanos::from_us_f64(d.per_op_us + d.seek_full_us + d.rotation_avg_us)
+        );
+        let track = d.io_time(0, 1, 10_000, 0);
+        let track_seek_us = d.seek_min_us + (1.0 / 10_000.0) * (d.seek_full_us - d.seek_min_us);
+        assert_eq!(
+            track,
+            Nanos::from_us_f64(d.per_op_us + track_seek_us + d.rotation_avg_us)
+        );
+    }
+
+    #[test]
     fn instant_disk_is_free() {
         let d = DiskProfile::instant();
         assert_eq!(d.io_time(0, 999, 1000, 1 << 20), Nanos::ZERO);

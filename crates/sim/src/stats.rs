@@ -46,6 +46,15 @@ impl Stats {
         self.add(name, 1);
     }
 
+    /// Raises `name` to `n` if `n` exceeds the current value — a
+    /// high-water-mark gauge (queue depths, peak occupancy) stored in the
+    /// same table as the monotone counters.
+    pub fn set_max(&self, name: &'static str, n: u64) {
+        let mut counters = self.counters.lock();
+        let entry = counters.entry(name).or_insert(0);
+        *entry = (*entry).max(n);
+    }
+
     /// Reads a counter; missing counters read as zero.
     pub fn get(&self, name: &str) -> u64 {
         self.counters.lock().get(name).copied().unwrap_or(0)
@@ -188,6 +197,16 @@ mod tests {
         let t = s.clone();
         t.incr("x");
         assert_eq!(s.get("x"), 1);
+    }
+
+    #[test]
+    fn set_max_is_a_high_water_mark() {
+        let s = Stats::new();
+        s.set_max("depth", 3);
+        s.set_max("depth", 1);
+        assert_eq!(s.get("depth"), 3);
+        s.set_max("depth", 7);
+        assert_eq!(s.get("depth"), 7);
     }
 
     #[test]
