@@ -96,17 +96,39 @@ pub fn json_lookup(doc: &str, bytes: usize, key: &str) -> Option<f64> {
         .ok()
 }
 
-/// Pulls `"<key>": <number>` out of the flat object that follows
-/// `"<section>": {` in committed JSON.  The named sections `report
-/// --json` emits (`"scheduler"`) are one level deep, so scanning to the
-/// first closing brace after the section opener is exact.
+/// Pulls `"<key>": <number>` out of the object that follows
+/// `"<section>": {` in committed JSON.  The section is delimited by
+/// brace depth, and only its top level is searched, so a nested object
+/// inside the section can neither truncate the scan nor leak its own
+/// keys in.  (String values never contain braces in the hand-rolled
+/// `render_json` output, so counting raw braces is exact.)
 pub fn json_lookup_section(doc: &str, section: &str, key: &str) -> Option<f64> {
     let start = doc.find(&format!("\"{section}\": {{"))?;
-    let body = &doc[start..];
-    let obj = &body[..body.find('}')?];
-    let line = obj
+    // Keep only the section's depth-1 content: nested objects are
+    // elided, the closing brace ends the scan.
+    let mut depth = 0u32;
+    let mut flat = String::new();
+    for c in doc[start..].chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                continue;
+            }
+            '}' => {
+                if depth == 1 {
+                    break;
+                }
+                depth -= 1;
+                continue;
+            }
+            _ => {}
+        }
+        if depth == 1 {
+            flat.push(c);
+        }
+    }
+    let line = flat
         .lines()
-        .skip(1) // the `"<section>": {` line itself
         .find(|l| l.trim().starts_with(&format!("\"{key}\":")))?;
     line.split(':')
         .nth(1)?
@@ -401,6 +423,28 @@ mod tests {
             json_lookup_section(SECTIONED, "scheduler", "fault_campaign_all_green"),
             None
         );
+    }
+
+    #[test]
+    fn section_lookup_survives_nested_objects() {
+        // A nested object inside the section must neither truncate the
+        // scan (keys after it still found) nor leak its keys in.
+        let doc = r#"{
+  "scheduler": {
+    "seed": 14,
+    "zones": {
+      "inner_only": 7
+    },
+    "scan_read_mb_s": 0.59
+  }
+}
+"#;
+        assert_eq!(json_lookup_section(doc, "scheduler", "seed"), Some(14.0));
+        assert_eq!(
+            json_lookup_section(doc, "scheduler", "scan_read_mb_s"),
+            Some(0.59)
+        );
+        assert_eq!(json_lookup_section(doc, "scheduler", "inner_only"), None);
     }
 
     #[test]

@@ -979,12 +979,28 @@ impl BulletServer {
         // release the vacated tail [m.to + len, m.from + len).
         let shift = m.from - m.to;
         self.alloc_lock().extents.reserve(m.to, shift)?;
-        let mut buf = vec![0u8; (m.len * block_size as u64) as usize];
-        self.storage.read_blocks(m.from, &mut buf)?;
-        self.storage
-            .write_sync_k(m.to, &buf, self.storage.replica_count())?;
-        self.table_write().get_mut(idx)?.start_block = m.to as u32;
-        self.write_inode_block(idx, self.storage.replica_count())?;
+        // A failure between the reservation and the commit must release
+        // the claimed destination — otherwise the region stays
+        // unallocatable until recovery.  On an inode-write failure the
+        // table entry is rolled back first, so the extent still lives at
+        // `m.from` in memory and on disk and the destination really is
+        // free again.
+        let staged = (|| {
+            let mut buf = vec![0u8; (m.len * block_size as u64) as usize];
+            self.storage.read_blocks(m.from, &mut buf)?;
+            self.storage
+                .write_sync_k(m.to, &buf, self.storage.replica_count())?;
+            self.table_write().get_mut(idx)?.start_block = m.to as u32;
+            if let Err(e) = self.write_inode_block(idx, self.storage.replica_count()) {
+                self.table_write().get_mut(idx)?.start_block = m.from as u32;
+                return Err(e);
+            }
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            self.alloc_lock().extents.free(m.to, shift)?;
+            return Err(e);
+        }
         self.alloc_lock().extents.free(m.to + m.len, shift)?;
         self.stats.incr(counters::DISK_COMPACTION_MOVES);
         Ok(CompactTick::Moved { remaining })
@@ -2002,6 +2018,56 @@ mod tests {
             if i % 2 == 1 {
                 assert_eq!(s2.read(cap).unwrap(), payload(5 * 512, i as u8));
             }
+        }
+    }
+
+    #[test]
+    fn failed_compact_tick_releases_the_reserved_destination() {
+        use amoeba_disk::FaultyDisk;
+        // Fail the disk at every op offset inside the move in turn, so
+        // each fallible step (data read, replica write, inode write)
+        // errors at least once.  A failed tick must release its
+        // destination reservation: otherwise free space shrinks by the
+        // reserved region and the next tick's reserve() reports the
+        // destination as not free (Corrupt) instead of retrying the
+        // move and surfacing the disk error again.
+        for fail_at in 0..8u64 {
+            let mut cfg = BulletConfig::small_test();
+            cfg.disk_blocks = 256;
+            let a = Arc::new(FaultyDisk::new(RamDisk::new(
+                cfg.block_size,
+                cfg.disk_blocks,
+            )));
+            let storage = MirroredDisk::new(vec![a.clone()]).unwrap();
+            let s = BulletServer::format_on(cfg, storage).unwrap();
+            let caps: Vec<Capability> = (0..6)
+                .map(|i| s.create(payload(5 * 512, i as u8), 1).unwrap())
+                .collect();
+            for cap in caps.iter().step_by(2) {
+                s.delete(cap).unwrap();
+            }
+            let free_before = s.disk_frag_report().free;
+            assert_eq!(s.compact_tick().unwrap(), CompactTick::Preempted);
+
+            // Depending on the offset the first tick may complete its
+            // move before the countdown strikes; whichever tick fails,
+            // it must fail with the disk error, never Corrupt, and
+            // leave the free total intact.
+            a.fail_after(fail_at);
+            let mut saw_disk_error = false;
+            for tick in 0..3 {
+                match s.compact_tick() {
+                    Ok(_) => {}
+                    Err(BulletError::Disk(_)) => saw_disk_error = true,
+                    Err(e) => panic!("tick {tick} at op {fail_at}: unexpected {e:?}"),
+                }
+                assert_eq!(
+                    s.disk_frag_report().free,
+                    free_before,
+                    "tick {tick} at op {fail_at} lost free space"
+                );
+            }
+            assert!(saw_disk_error, "countdown {fail_at} never struck");
         }
     }
 

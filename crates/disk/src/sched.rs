@@ -437,12 +437,29 @@ impl ArmSim {
 // The real-stack wrapper.
 // ---------------------------------------------------------------------
 
+/// The grant recorded for the current free-arm period: which pending
+/// request owns the arm next, plus the choice metadata it needs when it
+/// claims.  Computed once per period and held stable until claimed —
+/// `choose` consults the shared clock for deadline aging, so
+/// re-evaluating it on every wakeup could flip the pick between two
+/// waiters (each seeing the other as chosen) and park them both with
+/// the arm free and nobody left to notify.
+#[derive(Debug, Clone, Copy)]
+struct Grant {
+    id: u64,
+    promoted: bool,
+    sweep_up: bool,
+}
+
 /// Scheduler state shared by every thread queued on one device.
 struct SchedState {
     next_id: u64,
     pending: Vec<QueuedReq>,
     /// True while some granted request is between grant and completion.
     busy: bool,
+    /// The stable pick for the current free-arm period; `None` until the
+    /// first waiter evaluates `choose` after the arm frees.
+    grant: Option<Grant>,
     head: u64,
     sweep_up: bool,
     /// Kind and end block of the last completed service — the coalescing
@@ -505,6 +522,7 @@ impl<D: BlockDevice> SchedDisk<D> {
                 next_id: 0,
                 pending: Vec::new(),
                 busy: false,
+                grant: None,
                 head: 0,
                 sweep_up: true,
                 last_end: None,
@@ -578,32 +596,60 @@ impl<D: BlockDevice> SchedDisk<D> {
                 .set_max("disk_queue_depth_max", st.pending.len() as u64);
             id
         };
+        self.cv.notify_all();
 
-        // Wait until the chooser picks *this* request while the arm is
-        // free.  Every completion wakes all waiters; exactly one finds
-        // itself chosen.  A thread waiting here has published its request,
-        // so the chooser always has it in view — no lost wakeups, and the
-        // chosen thread is always either waiting or about to check.
+        // Wait until the recorded grant names *this* request while the
+        // arm is free.  The first waiter to find the arm free with no
+        // grant on record evaluates `choose` once and publishes the pick
+        // ([`Grant`]); every later wakeup in the same period reads that
+        // record instead of re-choosing, so the clock-dependent deadline
+        // verdict cannot flip the pick between waiters.  The chosen
+        // thread always makes progress: it has published its request, so
+        // it is either about to check the record or parked — and a grant
+        // recorded on its behalf is followed by a notify_all.
         let (head_at_grant, promoted, continuation, depth) = {
             let mut st = self.lock_state();
             loop {
                 if !st.busy {
-                    let c = choose(
-                        &st.pending,
-                        st.head,
-                        st.sweep_up,
-                        self.clock.now(),
-                        &self.cfg,
-                    );
-                    if st.pending[c.index].id == id {
-                        st.sweep_up = c.sweep_up;
+                    let g = match st.grant {
+                        Some(g) => g,
+                        None => {
+                            let c = choose(
+                                &st.pending,
+                                st.head,
+                                st.sweep_up,
+                                self.clock.now(),
+                                &self.cfg,
+                            );
+                            let g = Grant {
+                                id: st.pending[c.index].id,
+                                promoted: c.promoted,
+                                sweep_up: c.sweep_up,
+                            };
+                            st.grant = Some(g);
+                            if g.id != id {
+                                // The chosen thread may already be
+                                // parked; wake it to claim the arm.
+                                self.cv.notify_all();
+                            }
+                            g
+                        }
+                    };
+                    if g.id == id {
+                        st.grant = None;
+                        st.sweep_up = g.sweep_up;
                         st.busy = true;
                         let depth = st.pending.len();
-                        st.pending.remove(c.index);
+                        let index = st
+                            .pending
+                            .iter()
+                            .position(|r| r.id == id)
+                            .expect("a granted id is pending");
+                        st.pending.remove(index);
                         let continuation = self.cfg.coalesce
                             && st.continuations.contains(&id)
                             && st.last_end == Some((kind, first_block));
-                        break (st.head, c.promoted, continuation, depth);
+                        break (st.head, g.promoted, continuation, depth);
                     }
                 }
                 st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
@@ -1104,5 +1150,42 @@ mod tests {
             disk.stats().get("disk_seek_blocks"),
             5_000 + (40_000 - 5_016) + (40_008 - 100)
         );
+    }
+
+    #[test]
+    fn concurrent_waiters_never_deadlock_under_deadline_flips() {
+        // Regression: with a time-dependent deadline verdict and a grant
+        // decision re-evaluated on every wakeup, two waiters could each
+        // see the other as the pick and both park with the arm free —
+        // permanently wedging the disk.  The recorded per-period grant
+        // makes the pick stable; this hammers the window with a deadline
+        // so short every completion flips some request into promotion.
+        let clock = SimClock::new();
+        let disk = Arc::new(SchedDisk::new(
+            RamDisk::new(512, 65_536),
+            clock.clone(),
+            DiskProfile::scsi_1989(),
+            SchedConfig {
+                policy: SchedPolicy::Sptf,
+                coalesce: true,
+                deadline: Nanos::from_us(1),
+            },
+        ));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let d = disk.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64u64 {
+                        let b = (t * 8_191 + i * 1_021) % 65_000;
+                        d.write_blocks(b, &[t as u8; 512]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(disk.stats().get("disk_writes"), 8 * 64);
+        assert_eq!(disk.queue_len(), 0);
     }
 }
