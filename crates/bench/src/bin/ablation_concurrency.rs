@@ -87,6 +87,10 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         readahead_segments: u32::MAX,
         placement: bullet_core::Placement::FirstFit,
         trace: amoeba_sim::TraceConfig::off(),
+        log_blocks: 0,
+        log_batch_files: 32,
+        log_batch_bytes: 256 * 1024,
+        log_linger: amoeba_sim::Nanos::from_us(250),
     };
     let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
     (server, disk_clock)

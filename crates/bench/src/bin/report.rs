@@ -14,7 +14,9 @@
 //! through [`amoeba_sim::trace::op_histograms`], plus a reduced
 //! fault-injection campaign summary (every class × 2 seeds), the ABL14
 //! scheduler headline numbers (per-policy seek blocks / read bandwidth /
-//! p99 plus the 8-block coalescing knee), and the per-zone data-area
+//! p99 plus the 8-block coalescing knee), the ABL15 group-commit storm
+//! counters (baseline vs batched physical writes, log appends, flushes),
+//! and the per-zone data-area
 //! fragmentation report after a deterministic churn.  Adding `--check`
 //! compares the fresh pipelined 1 MB cold-read bandwidth against the
 //! committed sequential baseline AND the fresh p99 tails against the
@@ -23,9 +25,11 @@
 //! key, and re-judges the fresh scheduler run against the PR's headline
 //! invariants (SCAN/SPTF beat FIFO on seeks and bandwidth, the better
 //! seek-aware p99 within 1.25× of FIFO's, coalescing never issuing more
-//! I/Os, zone free space partitioning the data area), failing the run on
-//! any regression or on a baseline missing a gated key — the CI
-//! bench-smoke gate:
+//! I/Os, zone free space partitioning the data area), requires the
+//! baseline to carry every `group_commit` key and the fresh storm to
+//! collapse its writes (≤ 4 log appends, ≤ baseline/4 physical writes),
+//! failing the run on any regression or on a baseline missing a gated
+//! key — the CI bench-smoke gate:
 //!
 //! ```text
 //! cargo run --release -p bullet-bench --bin report -- --json --check BENCH_pr2.json
@@ -192,6 +196,53 @@ fn measure_scheduler() -> SchedMeasure {
     }
 }
 
+/// Files in the group-commit storm `--json` embeds (ABL15's headline N).
+const GC_STORM_FILES: usize = 32;
+/// Bytes per storm file.
+const GC_FILE_BYTES: usize = 16 * 1024;
+
+/// The ABL15 headline counters `--json` embeds: the same
+/// `GC_STORM_FILES` × `GC_FILE_BYTES` create storm run once per file
+/// (baseline) and once through the group-commit log, with the physical
+/// write and log-append counts of each.  The full aged-disk latency
+/// experiment lives in `ablation_groupcommit`; this summary captures the
+/// I/O-collapse invariant the gate holds.
+struct GroupCommitMeasure {
+    baseline_writes: u64,
+    batched_writes: u64,
+    log_appends: u64,
+    flushes: u64,
+}
+
+fn measure_group_commit() -> GroupCommitMeasure {
+    let files: Vec<Bytes> = (0..GC_STORM_FILES)
+        .map(|i| Bytes::from(vec![i as u8; GC_FILE_BYTES]))
+        .collect();
+
+    let base = BulletRig::paper_1989();
+    let w0 = base.sched_stats().disk_writes;
+    for data in &files {
+        base.client
+            .create(data.clone(), 2)
+            .expect("baseline storm create fits the rig");
+    }
+    let baseline_writes = base.sched_stats().disk_writes - w0;
+
+    let rig = BulletRig::with_config(2, HwProfile::amoeba_1989(), 12 << 20, |cfg| {
+        cfg.log_blocks = 4096;
+    });
+    let w0 = rig.sched_stats().disk_writes;
+    rig.server
+        .create_batch(files, 2)
+        .expect("batched storm commits");
+    GroupCommitMeasure {
+        baseline_writes,
+        batched_writes: rig.sched_stats().disk_writes - w0,
+        log_appends: rig.server.stats().get("log_appends"),
+        flushes: rig.server.stats().get("group_commit_flushes"),
+    }
+}
+
 /// A deterministic create/delete churn on a fresh rig, then the
 /// per-zone fragmentation snapshot of the data area (plus the
 /// whole-area report the gate checks the zones partition).
@@ -226,6 +277,7 @@ fn render_json(
     pcts: &[PctRow],
     faults: &[CampaignOutcome],
     sm: &SchedMeasure,
+    gc: &GroupCommitMeasure,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
     let _ = writeln!(out, "  \"segment_size\": 65536,");
@@ -316,6 +368,16 @@ fn render_json(
     let _ = writeln!(out, "    \"coalesce_on_ios_8_block\": {},", k8.issued_on);
     let _ = writeln!(out, "    \"coalesce_off_ios_8_block\": {}", k8.issued_off);
     out.push_str("  },\n");
+    // ABL15 headline counters: the create storm's physical-write collapse
+    // through the group-commit log.
+    let _ = writeln!(out, "  \"group_commit\": {{");
+    let _ = writeln!(out, "    \"storm_files\": {GC_STORM_FILES},");
+    let _ = writeln!(out, "    \"storm_file_bytes\": {GC_FILE_BYTES},");
+    let _ = writeln!(out, "    \"baseline_writes\": {},", gc.baseline_writes);
+    let _ = writeln!(out, "    \"batched_writes\": {},", gc.batched_writes);
+    let _ = writeln!(out, "    \"log_appends\": {},", gc.log_appends);
+    let _ = writeln!(out, "    \"group_commit_flushes\": {}", gc.flushes);
+    out.push_str("  },\n");
     // Per-zone fragmentation of the data area after a deterministic
     // create/delete churn.
     let _ = writeln!(out, "  \"zone_frag\": [");
@@ -373,6 +435,7 @@ fn gate(
     pcts: &[PctRow],
     faults: &[CampaignOutcome],
     sm: &SchedMeasure,
+    gc: &GroupCommitMeasure,
 ) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
@@ -503,6 +566,33 @@ fn gate(
             r.issued_off as f64,
         )?;
     }
+    // Group-commit gate, part 1 — schema: the committed baseline must
+    // carry every `group_commit` key (a baseline from before ABL15 fails
+    // loudly, naming the key, until regenerated).
+    for key in [
+        "storm_files",
+        "storm_file_bytes",
+        "baseline_writes",
+        "batched_writes",
+        "log_appends",
+        "group_commit_flushes",
+    ] {
+        check::require_section_key(&doc, path, "group_commit", key)?;
+    }
+    // Group-commit gate, part 2 — the fresh storm must uphold the PR's
+    // headline collapse: the whole batch lands in at most 4 log appends,
+    // and the batched path issues at most a quarter of the baseline's
+    // physical writes.
+    eprintln!(
+        "check: group commit — {} files, baseline {} writes vs batched {} ({} appends, {} flushes)",
+        GC_STORM_FILES, gc.baseline_writes, gc.batched_writes, gc.log_appends, gc.flushes
+    );
+    check::require_at_most("group-commit log appends", gc.log_appends as f64, 4.0)?;
+    check::require_at_most(
+        "batched physical writes (vs baseline / 4)",
+        gc.batched_writes as f64,
+        gc.baseline_writes as f64 / 4.0,
+    )?;
     // Zone-frag gate: the per-zone reports must partition the data area
     // — zone free space sums to the whole-area free count.
     let zone_free: u64 = sm.zones.iter().map(|z| z.free).sum();
@@ -536,13 +626,15 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     let faults = run_fault_summary();
     eprintln!("running scheduler ablation (3 policies + coalescing knee, seed {PR_SEED})…");
     let sm = measure_scheduler();
+    eprintln!("running group-commit storm ({GC_STORM_FILES} × {GC_FILE_BYTES} B creates)…");
+    let gc = measure_group_commit();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm))?;
+    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm, &gc))?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -5,8 +5,9 @@
 //!   latency-modelled mirrored disks behind the simulated Ethernet, and
 //!   the NFS-like baseline on one disk behind the same Ethernet.
 //! * [`workload`] — the file-size distribution from the literature the
-//!   paper cites (median 1 KB, 99 % under 64 KB) and an operation-mix
-//!   generator (75 % whole-file reads).
+//!   paper cites (median 1 KB, 99 % under 64 KB), an operation-mix
+//!   generator (75 % whole-file reads), and the Zipf popularity-skew
+//!   small-file storm behind the group-commit ablation (ABL15).
 //! * [`check`] — the regression-gate machinery behind `report --check`:
 //!   baseline-key lookup that *fails loudly* when a key is missing, and
 //!   floor/ceiling comparisons with human-readable errors.
@@ -42,4 +43,4 @@ pub use faults::{CampaignOutcome, FaultClass, Invariant};
 pub use rig::{BulletRig, NfsRig, SchedSummary};
 pub use schedbench::{KneeRow, MixedRun, PolicyOutcome};
 pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
-pub use workload::{SizeDistribution, WorkloadMix, WorkloadOp};
+pub use workload::{small_file_storm, SizeDistribution, WorkloadMix, WorkloadOp, ZipfSampler};

@@ -110,6 +110,10 @@ impl BulletRig {
             readahead_segments: u32::MAX,
             placement: bullet_core::Placement::FirstFit,
             trace: amoeba_sim::TraceConfig::off(),
+            log_blocks: 0,
+            log_batch_files: 32,
+            log_batch_bytes: 256 * 1024,
+            log_linger: amoeba_sim::Nanos::from_us(250),
         };
         tweak(&mut cfg);
         let tracer = cfg.trace.tracer().clone();

@@ -103,6 +103,74 @@ impl WorkloadMix {
     }
 }
 
+/// A Zipf (power-law) rank sampler: rank `k` (0-based) is drawn with
+/// probability ∝ 1/(k+1)^θ.  θ ≈ 1 is the classic popularity skew
+/// observed in file accesses — a few files take most of the traffic.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    rng: DetRng,
+    /// Cumulative distribution over ranks, monotone to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(seed: u64, n: usize, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "a Zipf sampler needs at least one rank");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfSampler {
+            rng: DetRng::new(seed),
+            cdf,
+        }
+    }
+
+    /// Draws one 0-based rank (0 is the most popular).
+    pub fn sample(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Sizes for a small-file create storm with popularity-skewed size
+/// classes: power-of-two classes spanning `[min, max]` bytes, class
+/// popularity Zipf-distributed (θ = 1.1, small files most common —
+/// matching the observation behind the paper's \[1\] that small files
+/// dominate), with ±12 % deterministic jitter inside the class so
+/// payloads are not all block-aligned.
+///
+/// This is the workload of the group-commit ablation (ABL15): `n`
+/// concurrent small creates that the log should collapse into a couple
+/// of sequential appends.
+pub fn small_file_storm(seed: u64, n: usize, min: u64, max: u64) -> Vec<u64> {
+    assert!(min >= 1 && min <= max, "need 1 <= min <= max");
+    let classes: Vec<u64> = std::iter::successors(Some(min), |&s| Some(s * 2))
+        .take_while(|&s| s <= max)
+        .collect();
+    let mut zipf = ZipfSampler::new(seed ^ 0x5102f, classes.len(), 1.1);
+    let mut jitter = DetRng::new(seed ^ 0x7e44);
+    (0..n)
+        .map(|_| {
+            let base = classes[zipf.sample()];
+            let spread = (base / 8).max(1);
+            let off = jitter.next_u64() % (2 * spread);
+            (base + off).saturating_sub(spread).clamp(min, max)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +235,42 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(a.next_op(), b.next_op());
         }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut z = ZipfSampler::new(17, 16, 1.1);
+        let mut counts = [0u64; 16];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[4] && counts[4] > counts[15],
+            "popularity must fall with rank: {counts:?}"
+        );
+        assert!(
+            counts[0] as f64 / 20_000.0 > 0.25,
+            "the head rank takes a large share"
+        );
+    }
+
+    #[test]
+    fn storm_sizes_stay_in_range_and_skew_small() {
+        let sizes = small_file_storm(3, 5_000, 1024, 65_536);
+        assert_eq!(sizes.len(), 5_000);
+        assert!(sizes.iter().all(|&s| (1024..=65_536).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s <= 4096).count();
+        assert!(
+            small * 2 > sizes.len(),
+            "small files dominate the storm ({small}/5000 ≤ 4 KB)"
+        );
+    }
+
+    #[test]
+    fn storm_is_deterministic() {
+        assert_eq!(
+            small_file_storm(42, 256, 1024, 32_768),
+            small_file_storm(42, 256, 1024, 32_768)
+        );
     }
 }

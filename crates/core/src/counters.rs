@@ -88,6 +88,25 @@ pub const SCHED_DEADLINE_PROMOTIONS: &str = "sched_deadline_promotions";
 /// Files removed by ageing (the garbage collector's touch-or-die rule).
 pub const AGED_OUT: &str = "aged_out";
 
+/// Physical record appends to the group-commit log (batch commits plus
+/// the occasional one-block seal record written before deleting a file
+/// of the newest batch).
+pub const LOG_APPENDS: &str = "log_appends";
+
+/// Group-commit flushes: batches committed as one sequential log append.
+pub const GROUP_COMMIT_FLUSHES: &str = "group_commit_flushes";
+
+/// Files committed through the group-commit log (sum of batch sizes).
+pub const LOG_BATCH_FILES: &str = "log_batch_files";
+
+/// Cumulative payload bytes that became log-resident at commit time
+/// (files later migrate to their contiguous homes during idle time).
+pub const LOG_RESIDENT_BYTES: &str = "log_resident_bytes";
+
+/// Log-resident files migrated to their contiguous data-area home by the
+/// idle-time maintenance job.
+pub const LOG_MIGRATIONS: &str = "log_migrations";
+
 /// Whole-file cache lookups that found the file resident.
 pub const CACHE_HITS: &str = "cache_hits";
 
@@ -174,6 +193,11 @@ pub const ALL: &[&str] = &[
     DISK_SEEK_BLOCKS_TOTAL,
     SCHED_DEADLINE_PROMOTIONS,
     AGED_OUT,
+    LOG_APPENDS,
+    GROUP_COMMIT_FLUSHES,
+    LOG_BATCH_FILES,
+    LOG_RESIDENT_BYTES,
+    LOG_MIGRATIONS,
     CACHE_HITS,
     CACHE_MISSES,
     CACHE_INSERTS,

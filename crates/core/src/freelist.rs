@@ -254,6 +254,59 @@ impl ExtentAllocator {
         }
     }
 
+    /// Allocates one extent per entry of `lens` in a single pass — the
+    /// group-commit batch path, which holds the allocator lock exactly
+    /// once for the whole batch instead of once per file.
+    ///
+    /// The batch is first placed as **one contiguous run** of
+    /// `lens.iter().sum()` units under `policy` (so the files land
+    /// physically adjacent and the arm writes them with one positioning),
+    /// then carved into per-file extents front to back.  When no hole can
+    /// take the whole run, each extent is placed individually under the
+    /// same policy — a batch never fails where the per-file path would
+    /// have succeeded.
+    ///
+    /// Returns the start unit of each extent, in `lens` order, or `None`
+    /// if any extent cannot be placed; on `None` the allocator state is
+    /// unchanged (partial placements are rolled back).
+    pub fn alloc_batch(&mut self, lens: &[u64], policy: Placement, hint: u64) -> Option<Vec<u64>> {
+        if lens.is_empty() || lens.contains(&0) {
+            return None;
+        }
+        let total: u64 = lens.iter().copied().try_fold(0u64, u64::checked_add)?;
+        // Fast path: the whole batch as one contiguous run.
+        if let Some(run) = self.alloc_placed(total, policy, hint) {
+            let mut starts = Vec::with_capacity(lens.len());
+            let mut cursor = run;
+            for &len in lens {
+                starts.push(cursor);
+                cursor += len;
+            }
+            return Some(starts);
+        }
+        // Fragmented fallback: place each extent individually, chaining
+        // the hint so consecutive extents still cluster when they can.
+        let mut starts: Vec<u64> = Vec::with_capacity(lens.len());
+        let mut h = hint;
+        for &len in lens {
+            match self.alloc_placed(len, policy, h) {
+                Some(s) => {
+                    h = s + len;
+                    starts.push(s);
+                }
+                None => {
+                    // Roll back what the batch already took.
+                    for (j, &s) in starts.iter().enumerate() {
+                        self.free(s, lens[j])
+                            .expect("rollback frees what alloc took");
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(starts)
+    }
+
     /// Removes `[at, at + len)` from the hole `[start, start + hole_len)`,
     /// reinserting the remainders on either side.
     fn carve(&mut self, start: u64, hole_len: u64, at: u64, len: u64) {
@@ -722,6 +775,45 @@ mod tests {
         assert_eq!(zones[2].external_fragmentation, 0.0);
     }
 
+    #[test]
+    fn alloc_batch_is_contiguous_when_a_run_fits() {
+        let mut a = ExtentAllocator::new(0, 1000);
+        let starts = a.alloc_batch(&[10, 20, 5], Placement::FirstFit, 0).unwrap();
+        // One run carved front to back: each extent abuts the previous.
+        assert_eq!(starts, vec![0, 10, 30]);
+        assert_eq!(a.free_units(), 1000 - 35);
+    }
+
+    #[test]
+    fn alloc_batch_falls_back_per_extent_when_fragmented() {
+        // Three 10-unit holes, no 30-unit run.
+        let mut a = ExtentAllocator::from_used(0, 100, &[(10, 20), (40, 30), (80, 20)]).unwrap();
+        assert_eq!(a.clone().alloc(30), None, "no contiguous run by design");
+        let starts = a
+            .alloc_batch(&[10, 10, 10], Placement::FirstFit, 0)
+            .unwrap();
+        assert_eq!(starts, vec![0, 30, 70]);
+        assert_eq!(a.free_units(), 0);
+    }
+
+    #[test]
+    fn alloc_batch_rolls_back_on_failure() {
+        let mut a = ExtentAllocator::from_used(0, 100, &[(10, 20), (40, 60)]).unwrap();
+        let before = a.free_units();
+        // 10 + 10 fits in pieces (holes of 10 at 0 and 30), 11 does not.
+        assert_eq!(a.alloc_batch(&[10, 10, 11], Placement::FirstFit, 0), None);
+        assert_eq!(a.free_units(), before, "failed batch must roll back");
+        assert!(a.alloc_batch(&[10, 10], Placement::FirstFit, 0).is_some());
+    }
+
+    #[test]
+    fn alloc_batch_rejects_degenerate_input() {
+        let mut a = ExtentAllocator::new(0, 100);
+        assert_eq!(a.alloc_batch(&[], Placement::FirstFit, 0), None);
+        assert_eq!(a.alloc_batch(&[5, 0, 5], Placement::FirstFit, 0), None);
+        assert_eq!(a.free_units(), 100);
+    }
+
     /// Applies a compaction plan front-to-back, unit-wise, to a model
     /// "disk" — exactly how the server applies it to real blocks.
     fn apply_moves_unitwise(disk: &mut [u8], plan: &[Move]) {
@@ -783,6 +875,99 @@ mod tests {
                 }
                 dest += len;
             }
+        }
+
+        /// Batch allocation: extents never overlap each other or the
+        /// pre-existing used extents, and free-unit accounting is exact.
+        #[test]
+        fn alloc_batch_no_overlap_and_exact_accounting(
+            lens in proptest::collection::vec(1u64..16, 1..10),
+            used_lens in proptest::collection::vec(1u64..8, 0..6),
+            gaps in proptest::collection::vec(1u64..12, 1..7),
+            policy_pick in 0u8..3,
+            hint in 0u64..600,
+        ) {
+            // Pre-populate the range with used extents to fragment it.
+            let mut used = Vec::new();
+            let mut cursor = 0u64;
+            for (i, &len) in used_lens.iter().enumerate() {
+                cursor += gaps[i % gaps.len()];
+                used.push((cursor, len));
+                cursor += len;
+            }
+            let total_range = 600u64;
+            let mut a = ExtentAllocator::from_used(0, total_range, &used).unwrap();
+            let policy = match policy_pick {
+                0 => Placement::FirstFit,
+                1 => Placement::NearHint,
+                _ => Placement::Zoned { zones: 4 },
+            };
+            let free_before = a.free_units();
+            let want: u64 = lens.iter().sum();
+            match a.alloc_batch(&lens, policy, hint) {
+                Some(starts) => {
+                    proptest::prop_assert_eq!(starts.len(), lens.len());
+                    // Exact accounting: exactly `want` units left the pool.
+                    proptest::prop_assert_eq!(a.free_units(), free_before - want);
+                    // No overlap among batch extents or with prior users.
+                    let mut all: Vec<(u64, u64)> = used.clone();
+                    all.extend(starts.iter().zip(&lens).map(|(&s, &l)| (s, l)));
+                    all.sort_unstable();
+                    for w in all.windows(2) {
+                        proptest::prop_assert!(
+                            w[0].0 + w[0].1 <= w[1].0,
+                            "extents overlap: {:?}", w
+                        );
+                    }
+                    // Every extent stays in range.
+                    for (&s, &l) in starts.iter().zip(&lens) {
+                        proptest::prop_assert!(s + l <= total_range);
+                    }
+                    // Freeing the batch restores the pool exactly.
+                    for (&s, &l) in starts.iter().zip(&lens) {
+                        a.free(s, l).unwrap();
+                    }
+                    proptest::prop_assert_eq!(a.free_units(), free_before);
+                }
+                None => {
+                    // Failure leaves the allocator untouched…
+                    proptest::prop_assert_eq!(a.free_units(), free_before);
+                    // …and the contiguous run must genuinely not fit.
+                    proptest::prop_assert!(a.report().largest_hole < want);
+                    // For first-fit the fallback sequence is exactly the
+                    // per-extent path, so failure means that fails too.
+                    if matches!(policy, Placement::FirstFit) {
+                        let mut probe = a.clone();
+                        let all_fit = lens.iter().all(|&len| probe.alloc(len).is_some());
+                        proptest::prop_assert!(
+                            !all_fit,
+                            "batch failed but per-extent first-fit fits"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// When no contiguous run fits but the pieces do, the batch still
+        /// succeeds — the per-extent fallback engages.
+        #[test]
+        fn alloc_batch_survives_fragmentation(
+            n in 2usize..8,
+        ) {
+            // n holes of exactly 10 units, separated by 1-unit used gaps:
+            // no run of 20+ exists, but n tens fit.
+            let mut used = Vec::new();
+            for i in 0..n as u64 {
+                used.push((10 + i * 11, 1));
+            }
+            let end = 10 + n as u64 * 11;
+            let mut a = ExtentAllocator::from_used(0, end, &used).unwrap();
+            let lens = vec![10u64; n];
+            proptest::prop_assert!(a.clone().alloc(20).is_none());
+            let starts = a.alloc_batch(&lens, Placement::FirstFit, 0);
+            proptest::prop_assert!(starts.is_some(), "fallback must engage");
+            // n + 1 holes of 10 existed; the batch consumed n of them.
+            proptest::prop_assert_eq!(a.free_units(), 10);
         }
     }
 }

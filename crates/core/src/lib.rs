@@ -51,6 +51,8 @@ pub mod cache;
 pub mod counters;
 pub mod error;
 pub mod freelist;
+pub mod gclog;
+pub mod groupcommit;
 pub mod layout;
 pub mod rpc_iface;
 pub mod server;
@@ -59,6 +61,8 @@ pub mod table;
 pub use cache::{EvictionPolicy, FileCache};
 pub use error::BulletError;
 pub use freelist::{ExtentAllocator, FragReport, Move, Placement};
+pub use gclog::{ChainScan, LogEntry, LogRecord};
+pub use groupcommit::{BatchCaps, GroupCommitter};
 pub use layout::{DiskDescriptor, Inode};
 pub use rpc_iface::{commands, BulletClient, BulletRpcServer};
 pub use server::{BulletConfig, BulletServer, CompactTick, LayoutEntry, SchemeKind};

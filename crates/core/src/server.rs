@@ -24,27 +24,40 @@
 //! * `maintenance: RwLock<()>` — compaction takes the exclusive guard;
 //!   create/delete/expiry take the shared one; reads never touch it.
 //!
-//! Lock order (outer to inner): `maintenance` → `inflight` → `table` →
-//! `alloc` → `cache` → `ages`, with `inode_io` taken only around inode
-//! block write-through (acquiring `table.read` inside).  A path may skip
-//! levels but never acquires a lock while holding one further in.  Every
-//! acquisition is counted in [`BulletServer::lock_stats`], with
-//! `lock_contended_*` counters for acquisitions that had to wait.
+//! * `log: Option<Mutex<LogState>>` — the group-commit log window (when
+//!   [`BulletConfig::log_blocks`] > 0).  Held across the *entire* commit
+//!   of a batch — record append, table publish, inode write-through — so
+//!   that a record's inodes are durable before the next record appends;
+//!   that invariant is what lets crash replay reinstall only the last
+//!   record of the chain.
+//!
+//! Lock order (outer to inner): `maintenance` → `log` → `inflight` →
+//! `table` → `alloc` → `cache` → `ages`, with `inode_io` taken only
+//! around inode block write-through (acquiring `table.read` inside).  A
+//! path may skip levels but never acquires a lock while holding one
+//! further in.  Every acquisition is counted in
+//! [`BulletServer::lock_stats`], with `lock_contended_*` counters for
+//! acquisitions that had to wait (the log mutex is exempt: group commits
+//! are serialized by design, so its contention is the batching working).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port, Rights};
-use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk};
+use amoeba_disk::{BlockDevice, LogWindow, MirroredDisk, RamDisk};
 use amoeba_rpc::StreamWire;
-use amoeba_sim::{AttrValue, CpuProfile, DetRng, Pipeline, SimClock, Stats, TraceConfig, Tracer};
+use amoeba_sim::{
+    AttrValue, CpuProfile, DetRng, Nanos, Pipeline, SimClock, SpanGuard, Stats, TraceConfig, Tracer,
+};
 
 use crate::cache::{EvictionPolicy, FileCache};
 use crate::counters;
 use crate::freelist::ExtentAllocator;
+use crate::gclog;
+use crate::groupcommit::{BatchCaps, GroupCommitter};
 use crate::layout::{DiskDescriptor, Inode};
 use crate::table::{InodeTable, RepairPolicy};
 use crate::BulletError;
@@ -111,6 +124,25 @@ pub struct BulletConfig {
     /// tree of every operation — timestamps come from the simulated
     /// clock, so the recorded times are the charged times, exactly.
     pub trace: TraceConfig,
+    /// Blocks reserved at the tail of the data area as the group-commit
+    /// log region.  `0` (the default) disables the log entirely: every
+    /// create takes the direct per-file path, byte-identical to earlier
+    /// releases.  When enabled, concurrent small creates are batched into
+    /// single sequential, checksummed, fully mirrored log appends, and
+    /// idle-time maintenance later migrates each file to its contiguous
+    /// `Placement`-chosen home.
+    pub log_blocks: u64,
+    /// Maximum files per group-commit record (additionally clamped to
+    /// what one record header block can name).
+    pub log_batch_files: usize,
+    /// Maximum total payload bytes per group-commit record; also the
+    /// largest single create eligible for the log path — bigger files go
+    /// direct, where the pipelined path already amortizes their cost.
+    pub log_batch_bytes: u64,
+    /// Simulated linger window charged once per group-commit flush: the
+    /// time the flush leader waits for straggler creates to join the
+    /// batch before issuing the append.
+    pub log_linger: Nanos,
 }
 
 impl BulletConfig {
@@ -137,6 +169,10 @@ impl BulletConfig {
             readahead_segments: u32::MAX,
             placement: crate::Placement::FirstFit,
             trace: TraceConfig::off(),
+            log_blocks: 0,
+            log_batch_files: 32,
+            log_batch_bytes: 256 * 1024,
+            log_linger: Nanos::from_us(250),
         }
     }
 }
@@ -173,6 +209,21 @@ struct AllocState {
     /// placement policies aim near (the data head usually parks where the
     /// last extent write finished).
     place_hint: u64,
+}
+
+/// The group-commit log's mutable state: the append-window bookkeeping
+/// plus the preallocated contiguous home of every log-resident file.
+///
+/// Homes are reserved at commit time — one
+/// [`ExtentAllocator::alloc_batch`] call per batch, so the whole batch
+/// takes the allocator lock once and (when a contiguous run exists) its
+/// files will land adjacent after migration.  The map is RAM-only: after
+/// a crash the migration job re-allocates homes on demand, and the
+/// allocator rebuild never sees the forgotten reservations, so no free
+/// space leaks across recovery.
+struct LogState {
+    window: LogWindow,
+    homes: HashMap<u32, (u64, u64)>,
 }
 
 /// The per-inode in-flight table: at most one request at a time may be in
@@ -280,6 +331,11 @@ pub struct BulletServer {
     /// as the original server was).
     ages: Mutex<HashMap<u32, u32>>,
     inflight: InflightTable,
+    /// The group-commit log window (`None` when `cfg.log_blocks == 0`).
+    /// See the module docs for its place in the lock order.
+    log: Option<Mutex<LogState>>,
+    /// The create-batching coordinator feeding the log.
+    gc: GroupCommitter,
     /// Serializes inode-block write-through so that the order block
     /// images are snapshotted equals the order they reach the disks: two
     /// files sharing a control block can never clobber each other's inode
@@ -320,14 +376,54 @@ impl BulletServer {
     ) -> Result<BulletServer, BulletError> {
         let table = InodeTable::format(&storage, cfg.min_inodes)?;
         let desc = *table.descriptor();
-        let alloc = ExtentAllocator::new(desc.data_start(), desc.data_end());
+        let log_start = Self::check_log_geometry(&cfg, &desc)?;
+        let log = match log_start {
+            Some(ls) => {
+                // Break any stale record chain a reused device might hold:
+                // the chain can only start at the window's first block.
+                storage.write_sync_k(
+                    ls,
+                    &vec![0u8; desc.block_size as usize],
+                    storage.replica_count(),
+                )?;
+                Some(LogState {
+                    window: LogWindow::new(ls, desc.data_end()),
+                    homes: HashMap::new(),
+                })
+            }
+            None => None,
+        };
+        let alloc = ExtentAllocator::new(
+            desc.data_start(),
+            log_start.unwrap_or_else(|| desc.data_end()),
+        );
         Ok(BulletServer::assemble(
             cfg,
             storage,
             table,
             alloc,
             HashMap::new(),
+            log,
         ))
+    }
+
+    /// Validates `cfg.log_blocks` against the formatted geometry and
+    /// returns the log window's first block (`None` when disabled).
+    fn check_log_geometry(
+        cfg: &BulletConfig,
+        desc: &DiskDescriptor,
+    ) -> Result<Option<u64>, BulletError> {
+        if cfg.log_blocks == 0 {
+            return Ok(None);
+        }
+        let data = desc.data_end() - desc.data_start();
+        if cfg.log_blocks >= data {
+            return Err(BulletError::Corrupt(format!(
+                "log region of {} blocks leaves no data area (data blocks: {data})",
+                cfg.log_blocks
+            )));
+        }
+        Ok(Some(desc.data_end() - cfg.log_blocks))
     }
 
     fn assemble(
@@ -336,6 +432,7 @@ impl BulletServer {
         table: InodeTable,
         extents: ExtentAllocator,
         ages: HashMap<u32, u32>,
+        log: Option<LogState>,
     ) -> BulletServer {
         // One tracer, shared by every layer: the cache's lookup instants,
         // the mirror's replica spans, and the server's op spans all join
@@ -356,6 +453,8 @@ impl BulletServer {
             cache: RwLock::new(cache),
             ages: Mutex::new(ages),
             inflight: InflightTable::new(),
+            log: log.map(Mutex::new),
+            gc: GroupCommitter::new(),
             inode_io: Mutex::new(()),
             maintenance: RwLock::new(()),
             requests_seen: std::sync::atomic::AtomicU64::new(0),
@@ -397,20 +496,82 @@ impl BulletServer {
         let report = InodeTable::load(&storage, cfg.repair)?;
         let mut table = report.table;
         let desc = *table.descriptor();
+        let log_start = Self::check_log_geometry(&cfg, &desc)?;
+        let alloc_end = log_start.unwrap_or_else(|| desc.data_end());
 
-        // Overlap check: rebuild the allocator from the live extents; under
-        // ZeroBad, drop any inode that overlaps an earlier-accepted one.
-        let alloc = match ExtentAllocator::from_used(
-            desc.data_start(),
-            desc.data_end(),
-            &table.used_extents(),
-        ) {
+        // Log replay, before the allocator rebuild: walk the checksummed
+        // record chain (a torn tail fails its checksum and is dropped
+        // whole, like ABL13's torn inodes).  Only the last valid record
+        // can name files whose inode write-through had not landed at the
+        // crash — the commit protocol holds the log mutex until a
+        // record's inodes are durable, so every earlier record's files
+        // are already in the loaded table.  Reinstall exactly the last
+        // record's entries whose slot is still free; an occupied slot
+        // means the inode landed (or was since migrated / reused) and
+        // must not be clobbered.
+        let mut log = None;
+        if let Some(ls) = log_start {
+            let bs = desc.block_size as usize;
+            let scan = gclog::scan_chain(bs, ls, desc.data_end(), &mut |b, buf| {
+                storage.read_blocks(b, buf).is_ok()
+            });
+            let mut unsealed: Vec<u32> = Vec::new();
+            if let Some(last) = scan.records.last() {
+                unsealed = last.entries.iter().map(|e| e.index).collect();
+                let offs = gclog::entry_payload_offsets(bs as u64, &last.entries);
+                let mut touched = BTreeSet::new();
+                for (e, off) in last.entries.iter().zip(offs) {
+                    let inode = Inode {
+                        random: e.random,
+                        index: 0,
+                        start_block: (last.at + off) as u32,
+                        size_bytes: e.size_bytes,
+                    };
+                    if table.install(e.index, inode).is_ok() {
+                        touched.insert(table.block_of(e.index));
+                    }
+                }
+                // Complete the interrupted write-through so the replayed
+                // batch is durable in the table again.
+                for b in touched {
+                    storage.write_sync_k(b, &table.block_image(b), storage.replica_count())?;
+                }
+            }
+            let (resident, resident_bytes) =
+                table.live().fold((0u64, 0u64), |(n, by), (_, ino)| {
+                    if (ino.start_block as u64) >= ls {
+                        (n + 1, by + ino.size_bytes as u64)
+                    } else {
+                        (n, by)
+                    }
+                });
+            let mut window = LogWindow::new(ls, desc.data_end());
+            window.restore(scan.head, scan.last_seq, resident, resident_bytes, unsealed);
+            // Homes are re-allocated on demand by the migration job; the
+            // pre-crash reservations evaporate with the allocator rebuild.
+            log = Some(LogState {
+                window,
+                homes: HashMap::new(),
+            });
+        }
+
+        // Overlap check: rebuild the allocator from the data-area extents
+        // (log-resident extents live in the bump-allocated window and are
+        // not the allocator's to manage); under ZeroBad, drop any inode
+        // that overlaps an earlier-accepted one or escapes the area.
+        let data_used: Vec<(u64, u64)> = table
+            .used_extents()
+            .into_iter()
+            .filter(|&(s, _)| s < alloc_end)
+            .collect();
+        let alloc = match ExtentAllocator::from_used(desc.data_start(), alloc_end, &data_used) {
             Ok(a) => a,
             Err(e) => match cfg.repair {
                 RepairPolicy::Fail => return Err(e),
                 RepairPolicy::ZeroBad => {
                     let mut live: Vec<(u64, u64, u32)> = table
                         .live()
+                        .filter(|(_, inode)| (inode.start_block as u64) < alloc_end)
                         .map(|(i, inode)| {
                             (inode.start_block as u64, inode.blocks(desc.block_size), i)
                         })
@@ -419,20 +580,20 @@ impl BulletServer {
                     let mut accepted = Vec::new();
                     let mut cursor = desc.data_start();
                     for (start, len, idx) in live {
-                        if start < cursor {
-                            table.clear(idx)?; // overlapping: zero it
+                        if start < cursor || start + len > alloc_end {
+                            table.clear(idx)?; // overlapping or escaping: zero it
                         } else {
                             accepted.push((start, len));
                             cursor = start + len;
                         }
                     }
-                    ExtentAllocator::from_used(desc.data_start(), desc.data_end(), &accepted)?
+                    ExtentAllocator::from_used(desc.data_start(), alloc_end, &accepted)?
                 }
             },
         };
 
         let ages = table.live().map(|(i, _)| (i, cfg.max_age)).collect();
-        let server = BulletServer::assemble(cfg, storage, table, alloc, ages);
+        let server = BulletServer::assemble(cfg, storage, table, alloc, ages, log);
         server
             .stats
             .add(counters::RECOVERY_REPAIRED_INODES, report.repaired as u64);
@@ -514,6 +675,34 @@ impl BulletServer {
             size: data.len() as u64,
             cache_capacity: self.cfg.cache_capacity,
         })?;
+        // Group-commit routing: small non-wire creates join the shared
+        // batch and commit as one sequential log append.  Files above the
+        // byte cap — and wire-fed creates, whose segment pipeline already
+        // overlaps their cost — take the direct per-file path.  Grouped
+        // creates are always fully synchronous on every replica (the
+        // record *is* the durability point), which satisfies any valid
+        // `p_factor`.
+        if self.log.is_some() && wire.is_none() && data.len() as u64 <= self.cfg.log_batch_bytes {
+            op.attr("grouped", true);
+            return self
+                .gc
+                .submit(data, self.batch_caps(), |batch| self.gc_commit(batch));
+        }
+        self.create_direct(&mut op, data, size, p_factor, wire)
+    }
+
+    /// The direct (non-batched) create path: per-file extent allocation
+    /// and a per-file mirrored write — the seed behaviour, still used for
+    /// large files, wire-fed streams, and whenever the log is disabled or
+    /// full.
+    fn create_direct(
+        &self,
+        op: &mut SpanGuard,
+        data: Bytes,
+        size: u32,
+        p_factor: u32,
+        wire: Option<&StreamWire>,
+    ) -> Result<Capability, BulletError> {
         let pipelined = self.cfg.pipeline && data.len() as u64 > self.segment_bytes();
         op.attr("pipelined", pipelined);
         if !pipelined {
@@ -626,6 +815,456 @@ impl BulletServer {
             Rights::ALL,
             random,
         ))
+    }
+
+    /// Deterministic batched create: stores `files` through the
+    /// group-commit log in argument order, forming batches by *position*
+    /// (up to the configured file/byte caps) rather than by arrival
+    /// timing.  Returns one capability per file, in input order.
+    ///
+    /// This is the benchmark and ablation entry point: unlike concurrent
+    /// [`create`](Self::create) calls racing into the shared committer —
+    /// whose batch composition depends on thread scheduling — the batches
+    /// formed here are a pure function of the input, so two identical
+    /// runs charge identical simulated time and write identical records.
+    ///
+    /// With the log disabled this degrades to sequential creates; files
+    /// above [`BulletConfig::log_batch_bytes`] take the direct path.
+    /// Grouped files are durable on every replica when the call returns.
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](Self::create).  On the first error the call aborts;
+    /// files from batches already committed remain live (sweep them via
+    /// [`list_live_caps`](Self::list_live_caps) if needed).
+    pub fn create_batch(
+        &self,
+        files: Vec<Bytes>,
+        p_factor: u32,
+    ) -> Result<Vec<Capability>, BulletError> {
+        if p_factor as usize > self.storage.replica_count() {
+            return Err(BulletError::BadPFactor {
+                requested: p_factor,
+                disks: self.storage.replica_count() as u32,
+            });
+        }
+        if self.log.is_none() {
+            return files
+                .into_iter()
+                .map(|d| self.create(d, p_factor))
+                .collect();
+        }
+        let caps = self.batch_caps();
+        let mut out = Vec::with_capacity(files.len());
+        let mut pending: Vec<Bytes> = Vec::new();
+        let mut pending_bytes = 0u64;
+        for data in files {
+            let size: u32 = data.len().try_into().map_err(|_| BulletError::TooLarge {
+                size: data.len() as u64,
+                cache_capacity: self.cfg.cache_capacity,
+            })?;
+            self.charge_request();
+            if data.len() as u64 > self.cfg.log_batch_bytes {
+                // Oversized: flush what's queued (order!), then go direct.
+                self.flush_chunk(&mut pending, &mut pending_bytes, &mut out)?;
+                let mut op = self.tracer.span("bullet.create");
+                op.attr("op", "create");
+                op.attr("bytes", data.len());
+                out.push(self.create_direct(&mut op, data, size, p_factor, None)?);
+                continue;
+            }
+            if pending.len() == caps.max_files || pending_bytes + data.len() as u64 > caps.max_bytes
+            {
+                self.flush_chunk(&mut pending, &mut pending_bytes, &mut out)?;
+            }
+            pending_bytes += data.len() as u64;
+            pending.push(data);
+        }
+        self.flush_chunk(&mut pending, &mut pending_bytes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Commits `pending` (if any) as one group-commit batch, appending
+    /// the minted capabilities to `out`.
+    fn flush_chunk(
+        &self,
+        pending: &mut Vec<Bytes>,
+        pending_bytes: &mut u64,
+        out: &mut Vec<Capability>,
+    ) -> Result<(), BulletError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        *pending_bytes = 0;
+        let mut op = self.tracer.span("bullet.create_batch");
+        op.attr("op", "create_batch");
+        op.attr("files", pending.len());
+        for r in self.gc_commit(std::mem::take(pending)) {
+            out.push(r?);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The group-commit log (create batching).
+    // ------------------------------------------------------------------
+
+    /// The log window's block range `[start, end)`, when enabled.
+    fn log_range(&self) -> Option<(u64, u64)> {
+        (self.cfg.log_blocks > 0).then(|| {
+            (
+                self.desc.data_end() - self.cfg.log_blocks,
+                self.desc.data_end(),
+            )
+        })
+    }
+
+    /// Per-batch caps handed to the committer: the configured file cap
+    /// clamped to what one record header block can name, the configured
+    /// byte cap, and a short *host-time* linger for the threaded path
+    /// (the simulated linger is [`BulletConfig::log_linger`], charged per
+    /// flush by [`gc_commit`](Self::gc_commit)).
+    fn batch_caps(&self) -> BatchCaps {
+        BatchCaps {
+            max_files: self
+                .cfg
+                .log_batch_files
+                .min(gclog::max_entries(self.desc.block_size as usize))
+                .max(1),
+            max_bytes: self.cfg.log_batch_bytes,
+            linger: std::time::Duration::from_micros(300),
+        }
+    }
+
+    /// Commits one batch as a single sequential, checksummed, fully
+    /// mirrored log append — the create path's tentpole.  One record
+    /// (header block + block-aligned payloads) replaces per-file data
+    /// writes, and the batch's inode write-through collapses to one write
+    /// per *distinct* control block; the whole batch takes the allocator
+    /// lock once ([`ExtentAllocator::alloc_batch`] reserves every file's
+    /// future contiguous home up front).
+    ///
+    /// The log mutex is held across the entire commit (see the module
+    /// docs): the record append is the durability point, and the inodes
+    /// are on disk before the next record can append, which is what lets
+    /// crash replay reinstall only the chain's last record.  Returns one
+    /// result per file, in order; on any failure the batch rolls back
+    /// whole — no half-committed batch is ever visible or recoverable.
+    fn gc_commit(&self, batch: Vec<Bytes>) -> Vec<Result<Capability, BulletError>> {
+        let n = batch.len();
+        debug_assert!(n > 0, "committer never flushes an empty batch");
+        let bs = self.desc.block_size;
+        let k = self.storage.replica_count();
+        let sizes: Vec<u32> = batch.iter().map(|d| d.len() as u32).collect();
+        let lens: Vec<u64> = sizes
+            .iter()
+            .map(|&s| gclog::payload_blocks_for(bs as u64, s))
+            .collect();
+        let rec_blocks = 1 + lens.iter().sum::<u64>();
+        let total_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+
+        let maint = self.maint_read();
+        let mut st = self.log_lock();
+
+        // Reserve the record, keeping one spare block behind it so a seal
+        // record can always append while this batch is the newest (see
+        // `log_seal_locked`).
+        let reserved = if st.window.remaining() > rec_blocks {
+            st.window.reserve(rec_blocks)
+        } else {
+            None
+        };
+        let Some((at, seq)) = reserved else {
+            // Window full (migration has fallen behind) or the batch is
+            // bigger than the window: fall back to the direct per-file
+            // path.  Drop the guards first — create_direct retakes them.
+            drop(st);
+            drop(maint);
+            return batch
+                .into_iter()
+                .map(|d| {
+                    let size = d.len() as u32;
+                    let mut op = self.tracer.span("bullet.create");
+                    op.attr("op", "create");
+                    op.attr("bytes", d.len());
+                    op.attr("log_fallback", true);
+                    self.create_direct(&mut op, d, size, k as u32, None)
+                })
+                .collect();
+        };
+
+        // One allocator acquisition for the whole batch: the contiguous
+        // homes the files will migrate to, plus their check randoms.
+        let alloc_res = {
+            let mut al = self.alloc_lock();
+            let hint = al.place_hint;
+            match al.extents.alloc_batch(&lens, self.cfg.placement, hint) {
+                Some(homes) => {
+                    al.place_hint = homes[n - 1] + lens[n - 1];
+                    let randoms: Vec<u64> = (0..n)
+                        .map(|_| loop {
+                            let r = amoeba_cap::mask48(al.rng.next_u64());
+                            if r != 0 {
+                                break r;
+                            }
+                        })
+                        .collect();
+                    Some((homes, randoms))
+                }
+                None => None,
+            }
+        };
+        let Some((homes, randoms)) = alloc_res else {
+            st.window.unreserve(at, seq);
+            return vec![Err(BulletError::NoSpace); n];
+        };
+        let free_homes = |server: &BulletServer| {
+            let mut al = server.alloc_lock();
+            for (&s, &l) in homes.iter().zip(&lens) {
+                let _ = al.extents.free(s, l);
+            }
+        };
+
+        // Publish the inodes in the RAM table.  Their extents point into
+        // the log window; idle-time migration repoints them at `homes`.
+        let mut idxs: Vec<u32> = Vec::with_capacity(n);
+        {
+            let mut table = self.table_write();
+            let mut off = at + 1;
+            for i in 0..n {
+                let inode = Inode {
+                    random: randoms[i],
+                    index: 0,
+                    start_block: off as u32,
+                    size_bytes: sizes[i],
+                };
+                match table.alloc(inode) {
+                    Ok(idx) => {
+                        idxs.push(idx);
+                        off += lens[i];
+                    }
+                    Err(e) => {
+                        for &p in &idxs {
+                            let _ = table.clear(p);
+                        }
+                        drop(table);
+                        free_homes(self);
+                        st.window.unreserve(at, seq);
+                        return vec![Err(e); n];
+                    }
+                }
+            }
+        }
+
+        // Assemble and append the record — the commit point.  One
+        // sequential mirrored write: one seek, amortized over the batch.
+        let entries: Vec<gclog::LogEntry> = (0..n)
+            .map(|i| gclog::LogEntry {
+                index: idxs[i],
+                random: randoms[i],
+                size_bytes: sizes[i],
+            })
+            .collect();
+        let payloads: Vec<&[u8]> = batch.iter().map(|d| &d[..]).collect();
+        let image = gclog::encode_record(bs as usize, seq, &entries, &payloads);
+        {
+            // The linger window the batch accumulated over, plus the
+            // assembly copy into the record image.
+            let mut s = self.tracer.span("gc.flush");
+            s.attr("files", n);
+            s.attr("bytes", total_bytes);
+            self.cfg.clock.advance(self.cfg.log_linger);
+            self.cfg.clock.advance(self.cfg.cpu.memcpy(total_bytes));
+        }
+        self.stats.add(counters::PAYLOAD_BYTES_COPIED, total_bytes);
+        if let Err(e) = self.storage.write_sync_k(at, &image, k) {
+            {
+                let mut table = self.table_write();
+                for &idx in &idxs {
+                    let _ = table.clear(idx);
+                }
+            }
+            free_homes(self);
+            st.window.unreserve(at, seq);
+            return vec![Err(BulletError::from(e)); n];
+        }
+        self.stats.incr(counters::LOG_APPENDS);
+        self.stats.incr(counters::GROUP_COMMIT_FLUSHES);
+        self.stats.add(counters::LOG_BATCH_FILES, n as u64);
+        self.stats.add(counters::LOG_RESIDENT_BYTES, total_bytes);
+
+        // Into the RAM cache and the age table.  A cache refusal is not
+        // fatal here: the file is already durable in the log — it merely
+        // starts cold.
+        {
+            let mut table = self.table_write();
+            let mut cache = self.cache_write();
+            for (i, &idx) in idxs.iter().enumerate() {
+                let _ = self.cache_insert(&mut table, &mut cache, idx, batch[i].clone());
+            }
+        }
+        {
+            let mut ages = self.ages_lock();
+            for &idx in &idxs {
+                ages.insert(idx, self.cfg.max_age);
+            }
+        }
+
+        // Inode write-through, deduplicated: the batch's inodes cluster in
+        // few control blocks — write each *distinct* block once.  (This is
+        // what keeps the whole batch at ~2 physical I/Os.)
+        let inode_write = {
+            let _io = self.inode_io_lock();
+            let images: Vec<(u64, Vec<u8>)> = {
+                let table = self.table_read();
+                let blocks: BTreeSet<u64> = idxs.iter().map(|&i| table.block_of(i)).collect();
+                blocks
+                    .into_iter()
+                    .map(|b| (b, table.block_image(b)))
+                    .collect()
+            };
+            images
+                .into_iter()
+                .try_for_each(|(b, img)| self.storage.write_sync_k(b, &img, k).map(|_| ()))
+        };
+        if let Err(e) = inode_write {
+            // The record is durable but the inodes never were: roll the
+            // RAM state back, then seal the chain (best effort, in place)
+            // so a later crash cannot resurrect the rolled-back batch.
+            {
+                let mut table = self.table_write();
+                let mut cache = self.cache_write();
+                for &idx in &idxs {
+                    cache.remove(idx);
+                    let _ = table.clear(idx);
+                }
+            }
+            {
+                let mut ages = self.ages_lock();
+                for &idx in &idxs {
+                    ages.remove(&idx);
+                }
+            }
+            free_homes(self);
+            st.window.unreserve(at, seq);
+            if let Some((sat, sseq)) = st.window.reserve(1) {
+                let seal = gclog::encode_record(bs as usize, sseq, &[], &[]);
+                let _ = self.storage.write_sync_k(sat, &seal, k);
+                st.window.unreserve(sat, sseq);
+            }
+            return vec![Err(BulletError::from(e)); n];
+        }
+
+        // Committed: bookkeeping and capabilities.
+        st.window.note_batch(&idxs, total_bytes);
+        for i in 0..n {
+            st.homes.insert(idxs[i], (homes[i], lens[i]));
+        }
+        self.stats.add(counters::CREATES, n as u64);
+        self.stats.add(counters::BYTES_CREATED, total_bytes);
+        (0..n)
+            .map(|i| {
+                Ok(self.scheme.mint(
+                    self.cfg.port,
+                    ObjNum::new(idxs[i]).expect("inode index fits 24 bits"),
+                    Rights::ALL,
+                    randoms[i],
+                ))
+            })
+            .collect()
+    }
+
+    /// Appends an empty *seal* record (caller holds the log guard),
+    /// advancing the chain so crash replay will not reinstall any earlier
+    /// record.  Called before destroying a file of the newest batch —
+    /// once its inode is zeroed on disk, replay would otherwise see a
+    /// free slot named by a valid record and resurrect the file.
+    fn log_seal_locked(&self, st: &mut LogState) -> Result<(), BulletError> {
+        let Some((at, seq)) = st.window.reserve(1) else {
+            // Unreachable by the spare-block invariant: every commit
+            // leaves one free block behind its record while it is newest.
+            debug_assert!(false, "no room for a seal record");
+            st.window.seal();
+            return Ok(());
+        };
+        let seal = gclog::encode_record(self.desc.block_size as usize, seq, &[], &[]);
+        if let Err(e) = self
+            .storage
+            .write_sync_k(at, &seal, self.storage.replica_count())
+        {
+            // Abort the caller before it destroys anything.
+            st.window.unreserve(at, seq);
+            return Err(e.into());
+        }
+        st.window.seal();
+        self.stats.incr(counters::LOG_APPENDS);
+        Ok(())
+    }
+
+    /// Moves the lowest-addressed log-resident file to its contiguous
+    /// data-area home — preallocated at commit, or allocated now if the
+    /// reservation was lost to a crash (homes are RAM-only).  The caller
+    /// holds the maintenance guard and the log guard.  Returns the moved
+    /// inode index, or `None` when the window holds no live files.
+    ///
+    /// The move preserves the contiguous-layout invariant the read path
+    /// depends on: the copy is extent-at-once, on every replica, with the
+    /// inode rewritten on disk before the function returns.  The index
+    /// stays in the window's unsealed set — its slot remains live, so
+    /// replay skips it, and a later delete still seals the chain.
+    fn migrate_one_log_file(&self, st: &mut LogState) -> Result<Option<u32>, BulletError> {
+        let Some((ls, _)) = self.log_range() else {
+            return Ok(None);
+        };
+        let picked = {
+            let table = self.table_read();
+            table
+                .live()
+                .filter(|&(_, inode)| (inode.start_block as u64) >= ls)
+                .min_by_key(|&(_, inode)| inode.start_block)
+                .map(|(i, inode)| (i, *inode))
+        };
+        let Some((idx, inode)) = picked else {
+            return Ok(None);
+        };
+        let _busy = self.inflight_lock(idx);
+        let blocks = inode.blocks(self.desc.block_size);
+        let home = match st.homes.remove(&idx) {
+            Some(h) => h,
+            None => {
+                let mut al = self.alloc_lock();
+                let hint = al.place_hint;
+                let Some(s) = al.extents.alloc_placed(blocks, self.cfg.placement, hint) else {
+                    return Err(BulletError::NoSpace);
+                };
+                al.place_hint = s + blocks;
+                (s, blocks)
+            }
+        };
+        debug_assert_eq!(home.1, blocks, "home reservation matches the extent");
+        let staged = (|| {
+            let mut buf = vec![0u8; (blocks * self.desc.block_size as u64) as usize];
+            self.storage
+                .read_blocks(inode.start_block as u64, &mut buf)?;
+            self.storage
+                .write_sync_k(home.0, &buf, self.storage.replica_count())?;
+            self.table_write().get_mut(idx)?.start_block = home.0 as u32;
+            if let Err(e) = self.write_inode_block(idx, self.storage.replica_count()) {
+                self.table_write().get_mut(idx)?.start_block = inode.start_block;
+                return Err(e);
+            }
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            // Keep the reservation for the retry.
+            st.homes.insert(idx, home);
+            return Err(e);
+        }
+        if st.window.file_gone(inode.size_bytes as u64) {
+            st.window.reset();
+        }
+        self.stats.incr(counters::LOG_MIGRATIONS);
+        Ok(Some(idx))
     }
 
     /// `BULLET.SIZE(CAPABILITY) → SIZE`.
@@ -763,15 +1402,33 @@ impl BulletServer {
         self.charge_request();
         let idx = cap.object.value();
         let _m = self.maint_read();
+        // The log guard sits outside the in-flight guard in the lock
+        // order; holding it keeps the seal decision below consistent with
+        // concurrent commits and migrations.
+        let mut logst = self.log.as_ref().map(|l| l.lock());
         // The in-flight guard serializes against a create, miss load, or
         // compaction move of the same file still in its disk phase.
         let _busy = self.inflight_lock(idx);
-        let (start, blocks) = {
-            let mut table = self.table_write();
+        let (start, blocks, size) = {
+            let table = self.table_read();
             let inode = *self.verify(&table, cap, Rights::DESTROY)?;
-            table.clear_keep_slot(idx)?;
-            (inode.start_block as u64, inode.blocks(self.desc.block_size))
+            (
+                inode.start_block as u64,
+                inode.blocks(self.desc.block_size),
+                inode.size_bytes as u64,
+            )
         };
+        let log_resident = self.log_range().is_some_and(|(ls, _)| start >= ls);
+        // Deleting a file of the *newest* log record must seal the chain
+        // first: once the inode is zeroed on disk, a crash replay would
+        // otherwise see a free slot named by a valid record and
+        // resurrect the file.
+        if let Some(st) = logst.as_mut() {
+            if st.window.is_unsealed(idx) {
+                self.log_seal_locked(st)?;
+            }
+        }
+        self.table_write().clear_keep_slot(idx)?;
         self.cache_write().remove(idx);
         self.ages_lock().remove(&idx);
         // Deletion is always written through to all disks.  The inode
@@ -781,7 +1438,20 @@ impl BulletServer {
         // longer references them, and recovery rebuilds from disk).
         let write = self.write_inode_block(idx, self.storage.replica_count());
         self.table_write().release_slot(idx);
-        self.alloc_lock().extents.free(start, blocks)?;
+        if log_resident {
+            // A log-resident file owns no allocator extent — it owns its
+            // preallocated migration home; free that instead, and let an
+            // emptied window rewind for reuse.
+            let st = logst.as_mut().expect("log-resident implies log enabled");
+            if let Some((hs, hl)) = st.homes.remove(&idx) {
+                self.alloc_lock().extents.free(hs, hl)?;
+            }
+            if st.window.file_gone(size) {
+                st.window.reset();
+            }
+        } else {
+            self.alloc_lock().extents.free(start, blocks)?;
+        }
         write?;
         self.stats.incr(counters::DELETES);
         Ok(())
@@ -879,6 +1549,13 @@ impl BulletServer {
         // reads keep flowing (each move serializes against readers of the
         // moving file via its in-flight guard).
         let _m = self.maint_write();
+        // Migrate every log-resident file home first: the sliding plan
+        // below only understands allocator-range extents, and a drained
+        // window keeps the "free space becomes one hole" postcondition.
+        if let Some(logmx) = &self.log {
+            let mut st = logmx.lock();
+            while self.migrate_one_log_file(&mut st)?.is_some() {}
+        }
         let block_size = self.desc.block_size;
         // Map start block -> inode index for plan application.
         let (mut by_start, used, plan) = {
@@ -887,7 +1564,10 @@ impl BulletServer {
                 .live()
                 .map(|(i, inode)| (inode.start_block as u64, i))
                 .collect();
-            let used = table.used_extents();
+            let mut used = table.used_extents();
+            if let Some((ls, _)) = self.log_range() {
+                used.retain(|&(s, _)| s < ls);
+            }
             let plan = self.alloc_lock().extents.plan_compaction(&used);
             (by_start, used, plan)
         };
@@ -956,10 +1636,27 @@ impl BulletServer {
         };
         self.locks.incr(counters::LOCK_MAINTENANCE_WRITE);
 
+        // Ranked job 1: migrate one log-resident file to its contiguous
+        // home.  Draining the group-commit window ranks above packing the
+        // data area — it is what keeps the window available for future
+        // batches and restores `Placement`-chosen locality.
+        if let Some(logmx) = &self.log {
+            let mut st = logmx.lock();
+            if st.window.resident() > 0 && self.migrate_one_log_file(&mut st)?.is_some() {
+                let remaining = st.window.resident();
+                return Ok(CompactTick::Moved { remaining });
+            }
+        }
+
+        // Ranked job 2: pack the data area (log extents are not the
+        // allocator's to plan over — they are excluded).
         let block_size = self.desc.block_size;
         let (idx, m, remaining) = {
             let table = self.table_read();
-            let used = table.used_extents();
+            let mut used = table.used_extents();
+            if let Some((ls, _)) = self.log_range() {
+                used.retain(|&(s, _)| s < ls);
+            }
             let plan = self.alloc_lock().extents.plan_compaction(&used);
             let Some(&m) = plan.first() else {
                 return Ok(CompactTick::Idle);
@@ -1141,24 +1838,44 @@ impl BulletServer {
         };
         let mut count = 0;
         for &idx in &expired {
+            // Same destruction protocol as `delete`, including the
+            // seal-before-zeroing rule for files of the newest log batch.
+            let mut logst = self.log.as_ref().map(|l| l.lock());
             let _busy = self.inflight_lock(idx);
-            let (start, blocks) = {
-                let mut table = self.table_write();
+            let (start, blocks, size) = {
+                let table = self.table_read();
                 match table.get(idx) {
-                    Ok(inode) => {
-                        let extent = (inode.start_block as u64, inode.blocks(self.desc.block_size));
-                        table.clear_keep_slot(idx)?;
-                        extent
-                    }
+                    Ok(inode) => (
+                        inode.start_block as u64,
+                        inode.blocks(self.desc.block_size),
+                        inode.size_bytes as u64,
+                    ),
                     // Deleted by a concurrent request after expiry was
                     // decided: nothing left to reclaim.
                     Err(_) => continue,
                 }
             };
+            let log_resident = self.log_range().is_some_and(|(ls, _)| start >= ls);
+            if let Some(st) = logst.as_mut() {
+                if st.window.is_unsealed(idx) {
+                    self.log_seal_locked(st)?;
+                }
+            }
+            self.table_write().clear_keep_slot(idx)?;
             self.cache_write().remove(idx);
             let write = self.write_inode_block(idx, self.storage.replica_count());
             self.table_write().release_slot(idx);
-            self.alloc_lock().extents.free(start, blocks)?;
+            if log_resident {
+                let st = logst.as_mut().expect("log-resident implies log enabled");
+                if let Some((hs, hl)) = st.homes.remove(&idx) {
+                    self.alloc_lock().extents.free(hs, hl)?;
+                }
+                if st.window.file_gone(size) {
+                    st.window.reset();
+                }
+            } else {
+                self.alloc_lock().extents.free(start, blocks)?;
+            }
             write?;
             count += 1;
         }
@@ -1654,6 +2371,16 @@ impl BulletServer {
             || self.inode_io.try_lock(),
             || self.inode_io.lock(),
         )
+    }
+
+    /// The group-commit log guard.  Uncounted by design: commits are
+    /// serialized on this mutex on purpose — its "contention" is the
+    /// batching doing its job, not a scalability signal.
+    fn log_lock(&self) -> MutexGuard<'_, LogState> {
+        self.log
+            .as_ref()
+            .expect("log_lock requires cfg.log_blocks > 0")
+            .lock()
     }
 
     fn maint_read(&self) -> RwLockReadGuard<'_, ()> {
@@ -2348,5 +3075,332 @@ mod tests {
             elapsed(TraceConfig::enabled(clock)),
             "span recording must never advance the simulated clock"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // The group-commit log.
+    // ------------------------------------------------------------------
+
+    fn log_cfg() -> BulletConfig {
+        let mut cfg = BulletConfig::small_test();
+        cfg.log_blocks = 512; // of the 4096-block disk
+        cfg
+    }
+
+    fn log_server() -> BulletServer {
+        BulletServer::format(log_cfg(), 2).unwrap()
+    }
+
+    #[test]
+    fn grouped_create_read_delete_cycle() {
+        let s = log_server();
+        let cap = s.create(payload(1000, 7), 2).unwrap();
+        assert_eq!(s.size(&cap).unwrap(), 1000);
+        assert_eq!(s.read(&cap).unwrap(), payload(1000, 7));
+        assert_eq!(s.stats().get(counters::LOG_APPENDS), 1);
+        assert_eq!(s.stats().get(counters::GROUP_COMMIT_FLUSHES), 1);
+        s.delete(&cap).unwrap();
+        assert_eq!(s.read(&cap).unwrap_err(), BulletError::NotFound);
+    }
+
+    #[test]
+    fn create_batch_commits_one_append_per_chunk() {
+        let s = log_server();
+        let files: Vec<Bytes> = (0..10).map(|i| payload(1000, i as u8)).collect();
+        let caps = s.create_batch(files, 2).unwrap();
+        assert_eq!(caps.len(), 10);
+        // The whole batch fits one record: one append, one flush.
+        assert_eq!(s.stats().get(counters::LOG_APPENDS), 1);
+        assert_eq!(s.stats().get(counters::GROUP_COMMIT_FLUSHES), 1);
+        assert_eq!(s.stats().get(counters::LOG_BATCH_FILES), 10);
+        assert_eq!(s.stats().get(counters::CREATES), 10);
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(s.read(cap).unwrap(), payload(1000, i as u8));
+        }
+        assert_eq!(s.live_files(), 10);
+    }
+
+    #[test]
+    fn create_batch_respects_the_file_cap() {
+        let mut cfg = log_cfg();
+        cfg.log_batch_files = 4;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let files: Vec<Bytes> = (0..10).map(|i| payload(600, i as u8)).collect();
+        let caps = s.create_batch(files, 2).unwrap();
+        assert_eq!(caps.len(), 10);
+        // 4 + 4 + 2.
+        assert_eq!(s.stats().get(counters::GROUP_COMMIT_FLUSHES), 3);
+        assert_eq!(s.stats().get(counters::LOG_APPENDS), 3);
+    }
+
+    #[test]
+    fn oversized_files_in_a_batch_go_direct() {
+        let mut cfg = log_cfg();
+        cfg.log_batch_bytes = 2048;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let files = vec![payload(1000, 1), payload(8000, 2), payload(1000, 3)];
+        let caps = s.create_batch(files, 2).unwrap();
+        for (cap, (n, fill)) in caps.iter().zip([(1000, 1u8), (8000, 2), (1000, 3)]) {
+            assert_eq!(s.read(cap).unwrap(), payload(n, fill));
+        }
+        // The big file bypassed the log; the small ones were grouped
+        // (order forced the leading chunk to flush before the direct
+        // create, so two flushes of one file each).
+        assert_eq!(s.stats().get(counters::LOG_BATCH_FILES), 2);
+    }
+
+    #[test]
+    fn log_files_migrate_home_during_idle_time() {
+        let s = log_server();
+        let files: Vec<Bytes> = (0..5).map(|i| payload(900, i as u8)).collect();
+        let caps = s.create_batch(files, 2).unwrap();
+        let (log_start, _) = s.log_range().unwrap();
+        let (_, rows) = s.describe_layout();
+        assert!(
+            rows.iter().all(|r| r.start_block as u64 >= log_start),
+            "freshly grouped files are log-resident"
+        );
+        // Drive the idle loop: the first tick is preempted (the creates
+        // count as arrivals), then one migration per tick.
+        let mut moved = 0;
+        for _ in 0..32 {
+            match s.compact_tick().unwrap() {
+                CompactTick::Idle => break,
+                CompactTick::Moved { .. } => moved += 1,
+                CompactTick::Preempted => {}
+            }
+        }
+        assert_eq!(moved, 5, "one migration per file");
+        assert_eq!(s.stats().get(counters::LOG_MIGRATIONS), 5);
+        let (_, rows) = s.describe_layout();
+        assert!(
+            rows.iter().all(|r| (r.start_block as u64) < log_start),
+            "migrated files live in the data area"
+        );
+        // Contiguous-read invariant: contents unchanged, cold reads too.
+        s.clear_cache();
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(s.read(cap).unwrap(), payload(900, i as u8));
+        }
+        // The drained window rewinds and keeps serving batches.
+        s.create_batch((0..3).map(|i| payload(700, 40 + i as u8)).collect(), 2)
+            .unwrap();
+        assert_eq!(s.live_files(), 8);
+    }
+
+    #[test]
+    fn compact_disk_drains_the_log_and_packs() {
+        let s = log_server();
+        let caps = s
+            .create_batch((0..6).map(|i| payload(800, i as u8)).collect(), 2)
+            .unwrap();
+        s.delete(&caps[1]).unwrap();
+        s.delete(&caps[3]).unwrap();
+        s.compact_disk().unwrap();
+        let (log_start, _) = s.log_range().unwrap();
+        let (_, rows) = s.describe_layout();
+        assert!(rows.iter().all(|r| (r.start_block as u64) < log_start));
+        let report = s.disk_frag_report();
+        assert_eq!(report.hole_count, 1, "free space is one hole");
+        s.clear_cache();
+        for (i, cap) in caps.iter().enumerate() {
+            if i != 1 && i != 3 {
+                assert_eq!(s.read(cap).unwrap(), payload(800, i as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_files_survive_a_crash() {
+        let cfg = log_cfg();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let caps = s
+            .create_batch((0..8).map(|i| payload(1200, i as u8)).collect(), 2)
+            .unwrap();
+        // crash(), not shutdown(): grouped commits are fully synchronous,
+        // so losing queued background writes must lose nothing.
+        let storage = s.crash();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.live_files(), 8);
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(s2.read(cap).unwrap(), payload(1200, i as u8));
+        }
+    }
+
+    #[test]
+    fn replay_reinstalls_the_last_record_when_the_inode_write_was_lost() {
+        let cfg = log_cfg();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let caps = s
+            .create_batch((0..3).map(|i| payload(1000, i as u8)).collect(), 2)
+            .unwrap();
+        let storage = s.shutdown().unwrap();
+
+        // Simulate a crash after the record append but before the inode
+        // write-through: zero the batch's inodes on disk.
+        let report = InodeTable::load(&storage, RepairPolicy::Fail).unwrap();
+        let mut table = report.table;
+        let mut blocks = std::collections::BTreeSet::new();
+        for cap in &caps {
+            table.clear(cap.object.value()).unwrap();
+            blocks.insert(table.block_of(cap.object.value()));
+        }
+        for b in blocks {
+            storage.write_blocks(b, &table.block_image(b)).unwrap();
+        }
+
+        // Replay walks the chain and reinstalls the batch — same slots,
+        // same randoms, so the pre-crash capabilities still verify.
+        let s2 = BulletServer::recover(cfg.clone(), storage).unwrap();
+        assert_eq!(s2.live_files(), 3);
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(s2.read(cap).unwrap(), payload(1000, i as u8));
+        }
+        // Replay is idempotent: a second recovery changes nothing.
+        let storage = s2.shutdown().unwrap();
+        let s3 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s3.live_files(), 3);
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(s3.read(cap).unwrap(), payload(1000, i as u8));
+        }
+    }
+
+    #[test]
+    fn torn_log_tail_is_dropped_whole_and_leaks_nothing() {
+        let cfg = log_cfg();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let committed = s
+            .create_batch((0..2).map(|i| payload(1000, i as u8)).collect(), 2)
+            .unwrap();
+        let torn = s
+            .create_batch((0..2).map(|i| payload(1000, 10 + i as u8)).collect(), 2)
+            .unwrap();
+        let storage = s.shutdown().unwrap();
+
+        // Find the two records, tear the second (a crash mid-append: its
+        // checksum cannot verify), and zero its inodes as a torn
+        // write-through would have left them.
+        let desc = *InodeTable::load(&storage, RepairPolicy::Fail)
+            .unwrap()
+            .table
+            .descriptor();
+        let bs = desc.block_size as usize;
+        let log_start = desc.data_end() - cfg.log_blocks;
+        let scan = gclog::scan_chain(bs, log_start, desc.data_end(), &mut |b, buf| {
+            storage.read_blocks(b, buf).is_ok()
+        });
+        assert_eq!(scan.records.len(), 2);
+        let second = scan.records[1].at;
+        let mut header = vec![0u8; bs];
+        storage.read_blocks(second, &mut header).unwrap();
+        header[gclog::HEADER_BYTES - 1] ^= 0xff; // corrupt the CRC
+        storage.write_blocks(second, &header).unwrap();
+        let report = InodeTable::load(&storage, RepairPolicy::Fail).unwrap();
+        let mut table = report.table;
+        let mut blocks = std::collections::BTreeSet::new();
+        for cap in &torn {
+            table.clear(cap.object.value()).unwrap();
+            blocks.insert(table.block_of(cap.object.value()));
+        }
+        for b in blocks {
+            storage.write_blocks(b, &table.block_image(b)).unwrap();
+        }
+
+        // Replay keeps every committed batch and drops exactly the torn
+        // tail — never half of it.
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.live_files(), 2);
+        for (i, cap) in committed.iter().enumerate() {
+            assert_eq!(s2.read(cap).unwrap(), payload(1000, i as u8));
+        }
+        for cap in &torn {
+            assert!(matches!(
+                s2.read(cap).unwrap_err(),
+                BulletError::NotFound | BulletError::CapBad
+            ));
+        }
+        // No allocator leak: deleting the survivors leaves the data area
+        // one whole free hole.
+        for cap in &committed {
+            s2.delete(cap).unwrap();
+        }
+        let report = s2.disk_frag_report();
+        assert_eq!(report.hole_count, 1);
+        assert_eq!(report.free, report.total);
+    }
+
+    #[test]
+    fn deleting_a_file_of_the_newest_batch_seals_the_chain() {
+        let cfg = log_cfg();
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        let caps = s
+            .create_batch(vec![payload(1000, 1), payload(1000, 2)], 2)
+            .unwrap();
+        let appends = s.stats().get(counters::LOG_APPENDS);
+        s.delete(&caps[1]).unwrap();
+        assert_eq!(
+            s.stats().get(counters::LOG_APPENDS),
+            appends + 1,
+            "deleting an unsealed file appends a seal record"
+        );
+        // After a crash, replay must not resurrect the deleted file from
+        // the (still checksum-valid) old record.
+        let storage = s.crash();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.live_files(), 1);
+        assert_eq!(s2.read(&caps[0]).unwrap(), payload(1000, 1));
+        assert!(matches!(
+            s2.read(&caps[1]).unwrap_err(),
+            BulletError::NotFound | BulletError::CapBad
+        ));
+    }
+
+    #[test]
+    fn full_log_window_falls_back_to_the_direct_path() {
+        let mut cfg = log_cfg();
+        cfg.log_blocks = 4; // room for at most a header + 2 payload blocks
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let files: Vec<Bytes> = (0..4).map(|i| payload(3 * 512, i as u8)).collect();
+        let caps = s.create_batch(files, 2).unwrap();
+        assert_eq!(s.stats().get(counters::LOG_APPENDS), 0, "nothing fits");
+        assert_eq!(s.stats().get(counters::CREATES), 4);
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(s.read(cap).unwrap(), payload(3 * 512, i as u8));
+        }
+    }
+
+    #[test]
+    fn grouped_commits_are_deterministic() {
+        let run = || {
+            let cfg = log_cfg();
+            let clock = cfg.clock.clone();
+            let s = BulletServer::format(cfg, 2).unwrap();
+            let caps = s
+                .create_batch((0..12).map(|i| payload(700 + i, i as u8)).collect(), 2)
+                .unwrap();
+            (caps, clock.now())
+        };
+        let (caps_a, t_a) = run();
+        let (caps_b, t_b) = run();
+        assert_eq!(caps_a, caps_b, "batch composition is a pure function");
+        assert_eq!(t_a, t_b, "charged simulated time is reproducible");
+    }
+
+    #[test]
+    fn grouped_files_age_out_cleanly() {
+        let mut cfg = log_cfg();
+        cfg.max_age = 1;
+        let s = BulletServer::format(cfg.clone(), 2).unwrap();
+        s.create_batch(vec![payload(1000, 1), payload(1000, 2)], 2)
+            .unwrap();
+        assert_eq!(s.age_all().unwrap(), 2);
+        assert_eq!(s.live_files(), 0);
+        // Expiry sealed the chain: a crash resurrects nothing.
+        let storage = s.crash();
+        let s2 = BulletServer::recover(cfg, storage).unwrap();
+        assert_eq!(s2.live_files(), 0);
+        // And the space came back.
+        let report = s2.disk_frag_report();
+        assert_eq!(report.free, report.total);
     }
 }

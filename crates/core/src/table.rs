@@ -187,6 +187,29 @@ impl InodeTable {
         Ok(idx)
     }
 
+    /// Installs `inode` into the specific free slot `idx` — log-replay's
+    /// reinstallation path, where the slot number is dictated by the
+    /// record being replayed rather than chosen by the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::Corrupt`] if `idx` is slot 0, out of range, or
+    /// currently live.
+    pub fn install(&mut self, idx: u32, inode: Inode) -> Result<(), BulletError> {
+        debug_assert!(!inode.is_free(), "installing a zero inode");
+        match self.inodes.get(idx as usize) {
+            Some(slot) if idx != 0 && slot.is_free() => {}
+            _ => {
+                return Err(BulletError::Corrupt(format!(
+                    "cannot install into slot {idx}: missing or live"
+                )))
+            }
+        }
+        self.inodes[idx as usize] = inode;
+        self.free.retain(|&f| f != idx);
+        Ok(())
+    }
+
     /// Looks up a live inode.
     ///
     /// # Errors

@@ -22,7 +22,9 @@
 //! * [`SchedDisk`] — a seek-aware per-disk I/O scheduler: queued requests
 //!   are granted in SCAN/SPTF order with deadline aging, and adjacent
 //!   requests coalesce into single larger transfers ([`ArmSim`] is the
-//!   matching deterministic virtual-time simulation for ablations).
+//!   matching deterministic virtual-time simulation for ablations);
+//! * [`LogWindow`] — append-head/sequence/residency bookkeeping for the
+//!   group-commit log region the server carves from the data area.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ pub mod device;
 pub mod error;
 pub mod faulty;
 pub mod filedisk;
+pub mod log;
 pub mod mirror;
 pub mod ramdisk;
 pub mod sched;
@@ -56,6 +59,7 @@ pub use device::BlockDevice;
 pub use error::DiskError;
 pub use faulty::FaultyDisk;
 pub use filedisk::FileDisk;
+pub use log::LogWindow;
 pub use mirror::MirroredDisk;
 pub use ramdisk::RamDisk;
 pub use sched::{
