@@ -82,6 +82,7 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         repair: bullet_core::table::RepairPolicy::Fail,
         max_age: 8,
         eviction: bullet_core::EvictionPolicy::Lru,
+        eviction_seed: 0,
         segment_size: 64 * 1024,
         pipeline: true,
         readahead_segments: u32::MAX,

@@ -16,7 +16,9 @@
 //! scheduler headline numbers (per-policy seek blocks / read bandwidth /
 //! p99 plus the 8-block coalescing knee), the ABL15 group-commit storm
 //! counters (baseline vs batched physical writes, log appends, flushes),
-//! and the per-zone data-area
+//! the reduced ABL16 evsim matrix (every replacement policy's hit rate
+//! under Zipf and scan-injection workloads at the small cell size, with
+//! the scan-resistance margin), and the per-zone data-area
 //! fragmentation report after a deterministic churn.  Adding `--check`
 //! compares the fresh pipelined 1 MB cold-read bandwidth against the
 //! committed sequential baseline AND the fresh p99 tails against the
@@ -28,6 +30,9 @@
 //! I/Os, zone free space partitioning the data area), requires the
 //! baseline to carry every `group_commit` key and the fresh storm to
 //! collapse its writes (≤ 4 log appends, ≤ baseline/4 physical writes),
+//! requires the baseline to carry every `evsim`/`cache_policy` key and
+//! the fresh reduced matrix to keep the better segmented policy ahead of
+//! LRU under scan injection at Zipf parity,
 //! failing the run on any regression or on a baseline missing a gated
 //! key — the CI bench-smoke gate:
 //!
@@ -40,6 +45,7 @@ use std::fmt::Write as _;
 use amoeba_sim::trace::{op_histograms, size_class};
 use amoeba_sim::{HwProfile, Nanos, TraceConfig};
 use bullet_bench::check::{self, CheckError};
+use bullet_bench::evsim::{self, EvsimConfig, EvsimRun};
 use bullet_bench::faults::{run_class, CampaignOutcome, FaultClass};
 use bullet_bench::rig::{BulletRig, NfsRig};
 use bullet_bench::schedbench::{coalesce_knee, run_policies, KneeRow, MixedRun, PR_SEED};
@@ -243,6 +249,31 @@ fn measure_group_commit() -> GroupCommitMeasure {
     }
 }
 
+/// Seed of the reduced ABL16 matrix `--json` embeds (the seed the evsim
+/// unit tests validate scan resistance at small scale under).
+const EVSIM_SEED: u64 = 5;
+
+/// The reduced ABL16 matrix: every policy × {zipf, scan} at the *small*
+/// cell size (400 clients over 40k files — milliseconds per cell, so the
+/// CI gate stays fast; the full 10k-client matrix is `ablation_evsim`).
+struct EvsimMeasure {
+    zipf: Vec<EvsimRun>,
+    scan: Vec<EvsimRun>,
+}
+
+fn measure_evsim() -> EvsimMeasure {
+    let matrix = |workload| {
+        evsim::POLICIES
+            .iter()
+            .map(|&p| evsim::run(&EvsimConfig::small(p, workload, EVSIM_SEED)))
+            .collect()
+    };
+    EvsimMeasure {
+        zipf: matrix("zipf"),
+        scan: matrix("scan"),
+    }
+}
+
 /// A deterministic create/delete churn on a fresh rig, then the
 /// per-zone fragmentation snapshot of the data area (plus the
 /// whole-area report the gate checks the zones partition).
@@ -278,6 +309,7 @@ fn render_json(
     faults: &[CampaignOutcome],
     sm: &SchedMeasure,
     gc: &GroupCommitMeasure,
+    ev: &EvsimMeasure,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
     let _ = writeln!(out, "  \"segment_size\": 65536,");
@@ -378,6 +410,33 @@ fn render_json(
     let _ = writeln!(out, "    \"log_appends\": {},", gc.log_appends);
     let _ = writeln!(out, "    \"group_commit_flushes\": {}", gc.flushes);
     out.push_str("  },\n");
+    // ABL16 reduced matrix: the event-engine scale facts of the small
+    // cell (the full 10k-client run is `ablation_evsim`).
+    let lz = &ev.zipf[0].outcome;
+    let ls = &ev.scan[0].outcome;
+    let _ = writeln!(out, "  \"evsim\": {{");
+    let _ = writeln!(out, "    \"seed\": {EVSIM_SEED},");
+    let _ = writeln!(out, "    \"clients\": {},", lz.clients);
+    let _ = writeln!(out, "    \"files\": {},", lz.files);
+    let _ = writeln!(out, "    \"events\": {},", lz.events);
+    let _ = writeln!(out, "    \"zipf_reads\": {},", lz.reads);
+    let _ = writeln!(out, "    \"scan_reads\": {}", ls.reads);
+    out.push_str("  },\n");
+    // ABL16 replacement-policy hit rates: every policy under both
+    // workloads, plus the headline scan-resistance margin.
+    let _ = writeln!(out, "  \"cache_policy\": {{");
+    for r in ev.zipf.iter().chain(&ev.scan) {
+        let o = &r.outcome;
+        let _ = writeln!(
+            out,
+            "    \"{}_{}_hit_rate\": {:.4},",
+            o.policy, o.workload, o.hit_rate
+        );
+    }
+    let lru_scan = ls.hit_rate;
+    let best_scan = ev.scan[2].outcome.hit_rate.max(ev.scan[3].outcome.hit_rate);
+    let _ = writeln!(out, "    \"scan_margin\": {:.4}", best_scan - lru_scan);
+    out.push_str("  },\n");
     // Per-zone fragmentation of the data area after a deterministic
     // create/delete churn.
     let _ = writeln!(out, "  \"zone_frag\": [");
@@ -436,6 +495,7 @@ fn gate(
     faults: &[CampaignOutcome],
     sm: &SchedMeasure,
     gc: &GroupCommitMeasure,
+    ev: &EvsimMeasure,
 ) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
@@ -593,6 +653,46 @@ fn gate(
         gc.batched_writes as f64,
         gc.baseline_writes as f64 / 4.0,
     )?;
+    // Evsim gate, part 1 — schema: the committed baseline must carry the
+    // ABL16 scale facts and every policy's hit rate (a baseline from
+    // before ABL16 fails loudly, naming the key, until regenerated).
+    for key in [
+        "seed",
+        "clients",
+        "files",
+        "events",
+        "zipf_reads",
+        "scan_reads",
+    ] {
+        check::require_section_key(&doc, path, "evsim", key)?;
+    }
+    for policy in ["lru", "fifo", "slru", "2q"] {
+        for workload in ["zipf", "scan"] {
+            check::require_section_key(
+                &doc,
+                path,
+                "cache_policy",
+                &format!("{policy}_{workload}_hit_rate"),
+            )?;
+        }
+    }
+    check::require_section_key(&doc, path, "cache_policy", "scan_margin")?;
+    // Evsim gate, part 2 — the fresh reduced matrix must uphold the PR's
+    // headline invariants: the better segmented policy beats LRU under
+    // scan injection, and scan resistance costs nothing under pure Zipf
+    // (every policy within 0.05 of LRU's hit rate).
+    let lru_scan = ev.scan[0].outcome.hit_rate;
+    let best_scan = ev.scan[2].outcome.hit_rate.max(ev.scan[3].outcome.hit_rate);
+    eprintln!("check: evsim scan hit rate — lru {lru_scan:.4}, best segmented {best_scan:.4}");
+    check::require_at_least("best segmented scan hit rate (vs lru)", best_scan, lru_scan)?;
+    let lru_zipf = ev.zipf[0].outcome.hit_rate;
+    for r in &ev.zipf {
+        check::require_at_least(
+            &format!("{} zipf hit rate (vs lru - 0.05)", r.outcome.policy),
+            r.outcome.hit_rate,
+            lru_zipf - 0.05,
+        )?;
+    }
     // Zone-frag gate: the per-zone reports must partition the data area
     // — zone free space sums to the whole-area free count.
     let zone_free: u64 = sm.zones.iter().map(|z| z.free).sum();
@@ -628,13 +728,15 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     let sm = measure_scheduler();
     eprintln!("running group-commit storm ({GC_STORM_FILES} × {GC_FILE_BYTES} B creates)…");
     let gc = measure_group_commit();
+    eprintln!("running reduced evsim matrix (4 policies × 2 workloads, small cells)…");
+    let ev = measure_evsim();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm, &gc))?;
+    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm, &gc, &ev))?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -1,0 +1,532 @@
+//! ABL16 — the virtual-time event-engine cache ablation.
+//!
+//! The thread-per-client rigs (ABL10/ABL14/ABL15) top out at 8 clients —
+//! enough to exercise locking, nowhere near enough to put real eviction
+//! pressure on the RAM cache.  This rig drives the *actual*
+//! [`bullet_core::FileCache`] with the server's 1989 op costs on an
+//! [`amoeba_sim::EventQueue`]: each of 10,000+ simulated clients is a
+//! tiny state machine whose next wake-up is one heap entry, popped in
+//! virtual-time order by a single real thread.  A run over a million
+//! files completes in a couple of wall-clock seconds and is a pure
+//! function of its seed — the timeline digest and every counter replay
+//! byte-identically.
+//!
+//! # Cost model
+//!
+//! Per read: request wire time ([`amoeba_sim::NetProfile::one_way`]) + the
+//! fixed 250 µs request service ([`amoeba_sim::CpuProfile::request`]), then
+//! on a miss one disk I/O ([`amoeba_sim::DiskProfile::io_time`]) against
+//! the file's home disk —
+//! disks are the contended resource, modelled as per-disk FIFO queues
+//! (`max(arrival, disk_free)`), with the arm position carried between
+//! I/Os so seek distance is real — then the reply copy
+//! ([`amoeba_sim::CpuProfile::memcpy`]) and reply wire time.  CPU and wire are
+//! charged per-op but not queued: the rig models the paper's
+//! multi-threaded server as storage-bound, so hit-rate differences show
+//! up undiluted in p99 and makespan.
+//!
+//! # Workloads
+//!
+//! * `zipf` — every client draws file ranks from the PR 6
+//!   [`ZipfSampler`] (θ = 1.0) over the whole file population.
+//! * `scan` — same, except 10 % of the clients are *scanners*: each op
+//!   streams [`SCAN_BURST`] sequential never-reused files from the cold
+//!   half of the population through the cache.  One-touch traffic is
+//!   exactly what LRU cannot tell from the working set and what the
+//!   segmented policies filter (probation / A1in absorb it).
+
+use amoeba_sim::{EventQueue, Histogram, HwProfile, Nanos, Stats};
+use bullet_core::{counters, EvictionPolicy, FileCache};
+use bytes::Bytes;
+
+use crate::workload::{SizeDistribution, ZipfSampler};
+
+/// Simulated clients in the PR-gate configuration.
+pub const CLIENTS: usize = 10_000;
+/// Files in the simulated volume (PR-gate configuration).
+pub const FILES: u64 = 1_000_000;
+/// Closed-loop operations each client completes.
+pub const OPS_PER_CLIENT: u32 = 40;
+/// RAM cache capacity the ablation squeezes the policies through.
+/// Sized so the [`RNODE_SLOTS`] slot table binds before the bytes do
+/// (mean file ≈ 3.3 KB ⇒ 8192 residents ≈ 27 MB): the ablation studies
+/// *which files* each policy keeps, not byte-fragmentation compaction,
+/// and a slot-bound cache keeps the first-fit arena out of the replay's
+/// inner loop.
+pub const CACHE_BYTES: u64 = 40 << 20;
+/// Rnode slots in the gate configuration.
+pub const RNODE_SLOTS: usize = 8_192;
+/// Independent disks behind the cache (round-robin by file id).
+pub const DISKS: usize = 8;
+/// Blocks per simulated disk (1 KB blocks — 2 GB drives).
+pub const DISK_BLOCKS: u64 = 1 << 21;
+/// Sequential cold files one scanner op streams through the cache.
+pub const SCAN_BURST: u32 = 8;
+/// Scanner share of the client population in the `scan` workload.
+pub const SCAN_DENOM: usize = 10;
+/// The seed the PR gate runs under.
+pub const PR_SEED: u64 = 16;
+
+/// One ablation cell: a policy under a workload at a scale.
+#[derive(Debug, Clone)]
+pub struct EvsimConfig {
+    /// Eviction policy under test.
+    pub policy: EvictionPolicy,
+    /// `"zipf"` or `"scan"`.
+    pub workload: &'static str,
+    /// Simulated client population.
+    pub clients: usize,
+    /// Files in the volume.
+    pub files: u64,
+    /// Ops per client.
+    pub ops_per_client: u32,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Rnode slots.
+    pub rnode_slots: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl EvsimConfig {
+    /// The PR-gate cell for one policy/workload pair.
+    pub fn gate(policy: EvictionPolicy, workload: &'static str, seed: u64) -> EvsimConfig {
+        EvsimConfig {
+            policy,
+            workload,
+            clients: CLIENTS,
+            files: FILES,
+            ops_per_client: OPS_PER_CLIENT,
+            cache_bytes: CACHE_BYTES,
+            rnode_slots: RNODE_SLOTS,
+            seed,
+        }
+    }
+
+    /// A small cell for unit tests (hundreds of clients, tens of
+    /// thousands of files; same structure, milliseconds of wall clock).
+    pub fn small(policy: EvictionPolicy, workload: &'static str, seed: u64) -> EvsimConfig {
+        EvsimConfig {
+            policy,
+            workload,
+            clients: 400,
+            files: 40_000,
+            ops_per_client: 25,
+            cache_bytes: 1 << 20,
+            rnode_slots: 512,
+            seed,
+        }
+    }
+
+    fn scanners(&self) -> usize {
+        if self.workload == "scan" {
+            self.clients / SCAN_DENOM
+        } else {
+            0
+        }
+    }
+}
+
+/// Aggregate outcome of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvsimOutcome {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Clients simulated.
+    pub clients: usize,
+    /// Files in the volume.
+    pub files: u64,
+    /// File reads completed (scanner bursts count each file).
+    pub reads: u64,
+    /// Cache hits among them.
+    pub hits: u64,
+    /// Hit rate over the whole run.
+    pub hit_rate: f64,
+    /// Median op latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile op latency, ms.
+    pub p99_ms: f64,
+    /// Virtual time to drain the run, seconds.
+    pub makespan_s: f64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Probation/A1in promotions + ghost readmissions (scan filter hits).
+    pub scan_promotions: u64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// FNV-1a digest of the (seq, time, client, file, hit) timeline.
+    pub digest: u64,
+}
+
+/// One point of the hit-rate-over-time curve artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Reads completed when the window closed.
+    pub reads: u64,
+    /// Hit rate within the window.
+    pub window_hit_rate: f64,
+}
+
+/// One cell's run: the aggregate plus its hit-rate curve.
+#[derive(Debug, Clone)]
+pub struct EvsimRun {
+    /// Aggregate numbers.
+    pub outcome: EvsimOutcome,
+    /// Windowed hit-rate curve (window = [`CURVE_WINDOW`] reads).
+    pub curve: Vec<CurvePoint>,
+}
+
+/// Reads per hit-rate-curve window.
+pub const CURVE_WINDOW: u64 = 16_384;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(digest: u64, word: u64) -> u64 {
+    let mut d = digest;
+    for byte in word.to_le_bytes() {
+        d ^= byte as u64;
+        d = d.wrapping_mul(FNV_PRIME);
+    }
+    d
+}
+
+enum ClientKind {
+    /// Draws from the shared Zipf sampler.
+    Zipf,
+    /// Streams sequential cold files; the cursor wraps in the cold half.
+    Scanner { cursor: u64 },
+}
+
+struct Client {
+    kind: ClientKind,
+    ops_done: u32,
+    think: amoeba_sim::DetRng,
+}
+
+/// Runs one cell.  Pure function of the config — identical configs yield
+/// identical outcomes, digests, and curves.
+///
+/// # Panics
+///
+/// Panics only on internal bookkeeping bugs (e.g. a file bigger than the
+/// cache, impossible under the 64 KB size cap).
+pub fn run(cfg: &EvsimConfig) -> EvsimRun {
+    let hw = HwProfile::amoeba_1989();
+    let stats = Stats::new();
+
+    // Per-file sizes: the cited log-normal (median 1 KB, 99 % < 64 KB).
+    let mut dist = SizeDistribution::unix_1984(cfg.seed ^ 0x512e, 64 * 1024);
+    let file_sizes: Vec<u32> = (0..cfg.files).map(|_| dist.sample() as u32).collect();
+    // All payloads are slices of one shared buffer: a cache insert is a
+    // refcount bump, so 10k clients over 1M files cost no allocations.
+    let backing = Bytes::from(vec![0u8; 64 * 1024]);
+
+    let mut zipf = ZipfSampler::new(cfg.seed ^ 0x21bf, cfg.files as usize, 1.0);
+    let mut cache =
+        FileCache::with_policy_seeded(cfg.cache_bytes, cfg.rnode_slots, cfg.policy, cfg.seed);
+
+    let scanners = cfg.scanners();
+    let cold_base = cfg.files / 2;
+    let mut clients: Vec<Client> = (0..cfg.clients)
+        .map(|i| {
+            let mut think = amoeba_sim::DetRng::new(
+                cfg.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+            );
+            let kind = if i < scanners {
+                // Scanners start scattered through the cold half so their
+                // sweeps do not trivially overlap.
+                let offset = think.next_below(cfg.files / 2);
+                ClientKind::Scanner {
+                    cursor: cold_base + offset,
+                }
+            } else {
+                ClientKind::Zipf
+            };
+            Client {
+                kind,
+                ops_done: 0,
+                think,
+            }
+        })
+        .collect();
+
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..cfg.clients {
+        // Staggered ramp: arrivals spread over the first ~40 ms.
+        q.schedule(Nanos::from_us((i as u64 % 997) * 40), i as u32);
+    }
+
+    let mut disk_free = [Nanos::ZERO; DISKS];
+    let mut disk_head = [0u64; DISKS];
+    let hist = Histogram::new();
+    let mut digest = FNV_OFFSET;
+    let mut seq = 0u64;
+    let (mut reads, mut hits) = (0u64, 0u64);
+    let (mut window_reads, mut window_hits) = (0u64, 0u64);
+    let mut curve = Vec::new();
+    let mut makespan = Nanos::ZERO;
+
+    while let Some((t, ci)) = q.pop() {
+        let c = &mut clients[ci as usize];
+        let burst = match c.kind {
+            ClientKind::Zipf => 1,
+            ClientKind::Scanner { .. } => SCAN_BURST,
+        };
+        let mut when = t;
+        for _ in 0..burst {
+            let file = match &mut c.kind {
+                ClientKind::Zipf => zipf.sample() as u64,
+                ClientKind::Scanner { cursor } => {
+                    let f = *cursor;
+                    *cursor += 1;
+                    if *cursor >= cfg.files {
+                        *cursor = cold_base;
+                    }
+                    f
+                }
+            };
+            let size = file_sizes[file as usize] as u64;
+            // Request packet + fixed request service.
+            when = when + hw.net.one_way(64) + hw.cpu.request();
+            let hit = cache.get(file as u32).is_some();
+            if !hit {
+                // Miss: one I/O against the file's home disk, FIFO behind
+                // whatever that disk is already committed to.
+                let d = (file % DISKS as u64) as usize;
+                let target = (file / DISKS as u64).wrapping_mul(9973) % (DISK_BLOCKS - 64);
+                let start = when.max(disk_free[d]);
+                let io = hw.disk.io_time(disk_head[d], target, DISK_BLOCKS, size);
+                disk_free[d] = start + io;
+                disk_head[d] = target;
+                when = start + io;
+                cache
+                    .insert(file as u32, backing.slice(..size as usize))
+                    .expect("64 KB cap < cache capacity");
+            }
+            // Reply: arena→buffer copy + the payload on the wire.
+            when = when + hw.cpu.memcpy(size) + hw.net.one_way(size);
+
+            reads += 1;
+            window_reads += 1;
+            if hit {
+                hits += 1;
+                window_hits += 1;
+            }
+            for word in [seq, when.as_ns(), ci as u64, file, hit as u64] {
+                digest = fnv1a(digest, word);
+            }
+            seq += 1;
+            if window_reads == CURVE_WINDOW {
+                curve.push(CurvePoint {
+                    reads,
+                    window_hit_rate: window_hits as f64 / window_reads as f64,
+                });
+                window_reads = 0;
+                window_hits = 0;
+            }
+        }
+        hist.record(when.saturating_sub(t));
+        makespan = makespan.max(when);
+        c.ops_done += 1;
+        if c.ops_done < cfg.ops_per_client {
+            q.schedule(when + Nanos::from_us(c.think.next_below(40_000)), ci);
+        }
+    }
+    if window_reads > 0 {
+        curve.push(CurvePoint {
+            reads,
+            window_hit_rate: window_hits as f64 / window_reads as f64,
+        });
+    }
+
+    stats.add(counters::EVSIM_EVENTS, q.scheduled());
+    stats.set_max(counters::EVSIM_CLIENTS_MAX, cfg.clients as u64);
+    let cs = cache.stats();
+    EvsimRun {
+        outcome: EvsimOutcome {
+            policy: cfg.policy.label(),
+            workload: cfg.workload,
+            clients: cfg.clients,
+            files: cfg.files,
+            reads,
+            hits,
+            hit_rate: hits as f64 / reads.max(1) as f64,
+            p50_ms: hist.quantile(0.50).as_ms_f64(),
+            p99_ms: hist.quantile(0.99).as_ms_f64(),
+            makespan_s: makespan.as_secs_f64(),
+            evictions: cs.get(counters::CACHE_EVICTIONS),
+            scan_promotions: cs.get(counters::CACHE_SCAN_PROMOTIONS)
+                + cs.get(counters::CACHE_GHOST_HITS),
+            events: stats.get(counters::EVSIM_EVENTS),
+            digest,
+        },
+        curve,
+    }
+}
+
+/// The four policies the ablation compares, in table order.
+pub const POLICIES: [EvictionPolicy; 4] = [
+    EvictionPolicy::Lru,
+    EvictionPolicy::Fifo,
+    EvictionPolicy::SegmentedLru,
+    EvictionPolicy::TwoQ,
+];
+
+/// The full PR-gate matrix: 4 policies × {zipf, scan}.
+pub fn run_matrix(seed: u64) -> Vec<EvsimRun> {
+    let mut runs = Vec::new();
+    for workload in ["zipf", "scan"] {
+        for policy in POLICIES {
+            runs.push(run(&EvsimConfig::gate(policy, workload, seed)));
+        }
+    }
+    runs
+}
+
+/// Renders the matrix as a fixed-width table — the byte string the
+/// replay gate compares.
+pub fn outcome_table(runs: &[EvsimRun]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:>8} {:>6} {:>9} {:>7} {:>8} {:>9} {:>8} {:>9} {:>7} {:>18}\n",
+        "workload",
+        "policy",
+        "reads",
+        "hit%",
+        "p50_ms",
+        "p99_ms",
+        "span_s",
+        "evicted",
+        "promo",
+        "digest"
+    ));
+    for r in runs {
+        let o = &r.outcome;
+        out.push_str(&format!(
+            "  {:>8} {:>6} {:>9} {:>6.2}% {:>8.2} {:>9.1} {:>8.1} {:>9} {:>7} {:>18}\n",
+            o.workload,
+            o.policy,
+            o.reads,
+            100.0 * o.hit_rate,
+            o.p50_ms,
+            o.p99_ms,
+            o.makespan_s,
+            o.evictions,
+            o.scan_promotions,
+            format!("{:016x}", o.digest),
+        ));
+    }
+    out
+}
+
+/// Serializes one curve point as a JSONL row for the artifact upload.
+pub fn curve_row(o: &EvsimOutcome, p: &CurvePoint) -> String {
+    format!(
+        "{{\"workload\":\"{}\",\"policy\":\"{}\",\"reads\":{},\"window_hit_rate\":{:.4}}}",
+        o.workload, o.policy, p.reads, p.window_hit_rate
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_runs(workload: &'static str) -> Vec<EvsimRun> {
+        POLICIES
+            .iter()
+            .map(|&p| run(&EvsimConfig::small(p, workload, 5)))
+            .collect()
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let a = outcome_table(&small_runs("scan"));
+        let b = outcome_table(&small_runs("scan"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_client_completes_every_op() {
+        for r in small_runs("zipf") {
+            let o = &r.outcome;
+            assert_eq!(o.reads, 400 * 25, "zipf clients read once per op");
+        }
+        for r in small_runs("scan") {
+            let o = &r.outcome;
+            // 10% scanners burst SCAN_BURST reads per op.
+            let scanners = 400 / SCAN_DENOM as u64;
+            let expect = (400 - scanners) * 25 + scanners * 25 * SCAN_BURST as u64;
+            assert_eq!(o.reads, expect);
+        }
+    }
+
+    #[test]
+    fn zipf_hit_rates_are_sane_and_policies_comparable() {
+        let runs = small_runs("zipf");
+        for r in &runs {
+            assert!(
+                (0.15..0.95).contains(&r.outcome.hit_rate),
+                "{} zipf hit rate {:.2} out of plausible range",
+                r.outcome.policy,
+                r.outcome.hit_rate
+            );
+        }
+        // Without scans the four policies should be within shouting
+        // distance of each other (the ABL9 null result, at scale).
+        let rates: Vec<f64> = runs.iter().map(|r| r.outcome.hit_rate).collect();
+        let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+            - rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.15, "zipf spread {spread:.2} suspiciously wide");
+    }
+
+    #[test]
+    fn scan_resistant_policies_beat_lru_under_scan() {
+        let runs = small_runs("scan");
+        let get = |label: &str| {
+            runs.iter()
+                .find(|r| r.outcome.policy == label)
+                .unwrap()
+                .outcome
+                .hit_rate
+        };
+        let lru = get("lru");
+        let best = get("slru").max(get("2q"));
+        assert!(
+            best > lru,
+            "scan resistance absent: lru {lru:.3} vs best segmented {best:.3}"
+        );
+    }
+
+    #[test]
+    fn digests_differ_across_policies() {
+        let runs = small_runs("scan");
+        let mut digests: Vec<u64> = runs.iter().map(|r| r.outcome.digest).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(
+            digests.len(),
+            runs.len(),
+            "policies produced identical timelines"
+        );
+    }
+
+    #[test]
+    fn curve_covers_the_run() {
+        let r = run(&EvsimConfig::small(EvictionPolicy::Lru, "zipf", 5));
+        assert!(!r.curve.is_empty());
+        assert_eq!(r.curve.last().unwrap().reads, r.outcome.reads);
+        for p in &r.curve {
+            assert!((0.0..=1.0).contains(&p.window_hit_rate));
+        }
+    }
+
+    #[test]
+    fn events_are_counted() {
+        let r = run(&EvsimConfig::small(EvictionPolicy::Lru, "zipf", 5));
+        // One event per op per client (closed loop): exactly clients*ops.
+        assert_eq!(r.outcome.events, 400 * 25);
+    }
+}

@@ -22,6 +22,10 @@
 //!   an 8-client closed-loop mixed workload over the deterministic
 //!   virtual-time arm simulation, comparing FIFO/SCAN/SPTF, plus the
 //!   coalescing on/off knee on sequential creates.
+//! * [`evsim`] — the virtual-time event-engine cache ablation (ABL16):
+//!   10k+ simulated clients over ~1M files on one [`amoeba_sim::EventQueue`],
+//!   squeezing the real `FileCache` through LRU/FIFO/SegmentedLRU/2Q
+//!   under Zipf and scan-injection workloads.
 //!
 //! Binaries (see DESIGN.md's experiment index):
 //! `fig1_layout`, `fig2_bullet`, `fig3_nfs`, `comparison`,
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod evsim;
 pub mod faults;
 pub mod rig;
 pub mod schedbench;
@@ -39,6 +44,7 @@ pub mod table;
 pub mod workload;
 
 pub use check::CheckError;
+pub use evsim::{EvsimConfig, EvsimOutcome, EvsimRun};
 pub use faults::{CampaignOutcome, FaultClass, Invariant};
 pub use rig::{BulletRig, NfsRig, SchedSummary};
 pub use schedbench::{KneeRow, MixedRun, PolicyOutcome};

@@ -105,6 +105,7 @@ impl BulletRig {
             repair: bullet_core::table::RepairPolicy::Fail,
             max_age: 8,
             eviction: bullet_core::EvictionPolicy::Lru,
+            eviction_seed: 0,
             segment_size: 64 * 1024,
             pipeline: true,
             readahead_segments: u32::MAX,

@@ -122,6 +122,30 @@ pub const CACHE_EVICTIONS: &str = "cache_evictions";
 /// Arena compactions run to coalesce free space for an insert.
 pub const CACHE_COMPACTIONS: &str = "cache_compactions";
 
+/// Re-referenced files promoted into the protected/Am segment (a
+/// SegmentedLru probation hit, or a TwoQ ghost-list readmission) — the
+/// scan filter admitting a file to the scan-proof part of the cache.
+pub const CACHE_SCAN_PROMOTIONS: &str = "cache_scan_promotions";
+
+/// Evictions taken from the probation (SegmentedLru) / A1in (TwoQ)
+/// segment — churn absorbed by the scan zone instead of the working set.
+pub const CACHE_PROBATION_EVICTIONS: &str = "cache_probation_evictions";
+
+/// SegmentedLru protected-LRU entries demoted back to probation because
+/// the protected segment outgrew its byte cap.
+pub const CACHE_PROTECTED_DEMOTIONS: &str = "cache_protected_demotions";
+
+/// TwoQ inserts whose inode was found on the A1out ghost list (the 2Q
+/// "second reference after eviction" admission signal).
+pub const CACHE_GHOST_HITS: &str = "cache_ghost_hits";
+
+/// Events processed by the virtual-time event engine across an evsim run.
+pub const EVSIM_EVENTS: &str = "evsim_events";
+
+/// Maximum concurrent simulated clients an evsim run drove (high-water
+/// mark across the matrix).
+pub const EVSIM_CLIENTS_MAX: &str = "evsim_clients_max";
+
 /// Acquisitions of the inode-table read lock.
 pub const LOCK_TABLE_READ: &str = "lock_table_read";
 /// Contended acquisitions (try-lock misses) of the inode-table read lock.
@@ -203,6 +227,12 @@ pub const ALL: &[&str] = &[
     CACHE_INSERTS,
     CACHE_EVICTIONS,
     CACHE_COMPACTIONS,
+    CACHE_SCAN_PROMOTIONS,
+    CACHE_PROBATION_EVICTIONS,
+    CACHE_PROTECTED_DEMOTIONS,
+    CACHE_GHOST_HITS,
+    EVSIM_EVENTS,
+    EVSIM_CLIENTS_MAX,
     LOCK_TABLE_READ,
     LOCK_CONTENDED_TABLE_READ,
     LOCK_TABLE_WRITE,
@@ -248,6 +278,20 @@ mod tests {
             RPC_GIVEUPS,
             DEDUP_HITS,
             DEDUP_EVICTIONS,
+        ] {
+            assert!(ALL.contains(&name), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn cache_policy_and_evsim_counters_are_registered() {
+        for name in [
+            CACHE_SCAN_PROMOTIONS,
+            CACHE_PROBATION_EVICTIONS,
+            CACHE_PROTECTED_DEMOTIONS,
+            CACHE_GHOST_HITS,
+            EVSIM_EVENTS,
+            EVSIM_CLIENTS_MAX,
         ] {
             assert!(ALL.contains(&name), "{name} missing from ALL");
         }

@@ -77,6 +77,14 @@ pub struct ExtentAllocator {
     range_end: u64,
     /// Holes keyed by start unit → length.
     holes: BTreeMap<u64, u64>,
+    /// Cached sum of hole lengths, so [`free_units`](Self::free_units) is
+    /// O(1) — the cache insert loop polls it once per eviction.
+    free: u64,
+    /// Upper bound on the largest hole length.  Never below the true
+    /// maximum, so `len > max_hole_ub` proves no hole fits and a failing
+    /// first-fit probe costs O(1) instead of a full scan.  Tightened to
+    /// the exact maximum whenever a probe does scan everything and fail.
+    max_hole_ub: u64,
 }
 
 impl ExtentAllocator {
@@ -95,6 +103,8 @@ impl ExtentAllocator {
             range_start,
             range_end,
             holes,
+            free: range_end - range_start,
+            max_hole_ub: range_end - range_start,
         }
     }
 
@@ -117,6 +127,8 @@ impl ExtentAllocator {
             range_start,
             range_end,
             holes: BTreeMap::new(),
+            free: 0,
+            max_hole_ub: 0,
         };
         let mut cursor = range_start;
         for &(start, len) in &sorted {
@@ -141,17 +153,33 @@ impl ExtentAllocator {
         if cursor < range_end {
             alloc.holes.insert(cursor, range_end - cursor);
         }
+        alloc.free = alloc.holes.values().sum();
+        alloc.max_hole_ub = alloc.holes.values().copied().max().unwrap_or(0);
         Ok(alloc)
     }
 
     /// Allocates `len` contiguous units, first-fit.  Returns the start
     /// unit, or `None` if no hole is large enough.
     pub fn alloc(&mut self, len: u64) -> Option<u64> {
-        if len == 0 {
+        if len == 0 || len > self.max_hole_ub {
+            // `max_hole_ub` never underestimates, so this rejection is
+            // exactly what the full scan would conclude.
             return None;
         }
-        let (&start, &hole_len) = self.holes.iter().find(|&(_, &l)| l >= len)?;
+        let mut seen_max = 0u64;
+        let found = self.holes.iter().find(|&(_, &l)| {
+            seen_max = seen_max.max(l);
+            l >= len
+        });
+        let Some((&start, &hole_len)) = found else {
+            // The scan visited every hole: the bound is now exact, and
+            // further probes this large fail in O(1) until a free or a
+            // compaction grows a hole.
+            self.max_hole_ub = seen_max;
+            return None;
+        };
         self.holes.remove(&start);
+        self.free -= len;
         if hole_len > len {
             self.holes.insert(start + len, hole_len - len);
         }
@@ -166,7 +194,7 @@ impl ExtentAllocator {
     /// [`Placement::FirstFit`] is byte-identical to [`alloc`](Self::alloc),
     /// so the default policy changes nothing.
     pub fn alloc_placed(&mut self, len: u64, policy: Placement, hint: u64) -> Option<u64> {
-        if len == 0 {
+        if len == 0 || len > self.max_hole_ub {
             return None;
         }
         match policy {
@@ -311,6 +339,7 @@ impl ExtentAllocator {
     /// reinserting the remainders on either side.
     fn carve(&mut self, start: u64, hole_len: u64, at: u64, len: u64) {
         debug_assert!(at >= start && at + len <= start + hole_len);
+        self.free -= len;
         self.holes.remove(&start);
         if at > start {
             self.holes.insert(start, at - start);
@@ -402,12 +431,14 @@ impl ExtentAllocator {
             new_len += nlen;
         }
         self.holes.insert(new_start, new_len);
+        self.free += len;
+        self.max_hole_ub = self.max_hole_ub.max(new_len);
         Ok(())
     }
 
     /// Units currently free.
     pub fn free_units(&self) -> u64 {
-        self.holes.values().sum()
+        self.free
     }
 
     /// The managed range.
@@ -509,6 +540,8 @@ impl ExtentAllocator {
     pub fn rebuild_after_compaction(&mut self, used_units: u64) {
         self.holes.clear();
         let free_start = self.range_start + used_units;
+        self.free = self.range_end.saturating_sub(free_start);
+        self.max_hole_ub = self.free;
         if free_start < self.range_end {
             self.holes.insert(free_start, self.range_end - free_start);
         }
@@ -824,7 +857,80 @@ mod tests {
         }
     }
 
+    #[test]
+    fn failed_probe_recovers_after_coalescing_free() {
+        // Exercise the fail-fast bound: a failing probe tightens it, a
+        // coalescing free must loosen it again or the next alloc would be
+        // wrongly rejected in O(1).
+        let mut a = ExtentAllocator::new(0, 100);
+        let x = a.alloc(40).unwrap();
+        let y = a.alloc(40).unwrap();
+        assert_eq!(a.alloc(30), None); // scan fails, bound becomes 20
+        assert_eq!(a.alloc(25), None); // O(1) rejection via the bound
+        a.free(y, 40).unwrap(); // coalesces with the tail: hole of 60
+        assert_eq!(a.alloc(55), Some(40));
+        a.free(x, 40).unwrap();
+        assert_eq!(a.alloc(40), Some(0));
+    }
+
     proptest::proptest! {
+        /// The cached free counter and max-hole bound stay honest against
+        /// a from-scratch scan across arbitrary alloc/free/reserve walks,
+        /// and `alloc` succeeds exactly when a fitting hole exists (the
+        /// fail-fast bound never manufactures NoSpace).
+        #[test]
+        fn cached_accounting_matches_scan(
+            ops in proptest::collection::vec((0u8..4, 1u64..40, 0u64..200), 1..120),
+        ) {
+            let mut a = ExtentAllocator::new(0, 200);
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (kind, len, at) in ops {
+                match kind {
+                    0 => {
+                        let fits = a.holes.values().any(|&l| l >= len);
+                        match a.alloc(len) {
+                            Some(s) => {
+                                proptest::prop_assert!(fits, "alloc succeeded with no fitting hole");
+                                live.push((s, len));
+                            }
+                            None => proptest::prop_assert!(!fits, "alloc refused a fitting hole"),
+                        }
+                    }
+                    1 => {
+                        if !live.is_empty() {
+                            let (s, l) = live.swap_remove(at as usize % live.len());
+                            a.free(s, l).unwrap();
+                        }
+                    }
+                    2 => {
+                        if a.reserve(at, len).is_ok() {
+                            live.push((at, len));
+                        }
+                    }
+                    _ => {
+                        let plan = a.plan_compaction(&live);
+                        let mut cursor = a.range().0;
+                        for e in live.iter_mut() {
+                            // Apply the plan's packed layout to the model.
+                            e.0 = cursor;
+                            cursor += e.1;
+                        }
+                        drop(plan);
+                        let used: u64 = live.iter().map(|&(_, l)| l).sum();
+                        a.rebuild_after_compaction(used);
+                    }
+                }
+                let scan_free: u64 = a.holes.values().sum();
+                let scan_max = a.holes.values().copied().max().unwrap_or(0);
+                proptest::prop_assert_eq!(a.free_units(), scan_free, "free counter drifted");
+                proptest::prop_assert!(
+                    a.max_hole_ub >= scan_max,
+                    "max-hole bound {} below true max {}", a.max_hole_ub, scan_max
+                );
+                proptest::prop_assert_eq!(a.report().free, scan_free);
+            }
+        }
+
         /// The doc-comment claim on [`Move`], held to mechanically:
         /// front-to-back unit-wise application over overlapping source and
         /// target ranges preserves every live extent's bytes.

@@ -98,6 +98,9 @@ pub struct BulletConfig {
     pub max_age: u32,
     /// Cache eviction policy (LRU, as in the paper, by default).
     pub eviction: EvictionPolicy,
+    /// Victim-selection RNG seed for [`EvictionPolicy::Random`] (the
+    /// other policies ignore it).
+    pub eviction_seed: u64,
     /// Streaming transfer segment size in bytes.  Effective segments are
     /// clamped to a whole number of disk blocks (minimum one block).
     pub segment_size: u32,
@@ -164,6 +167,7 @@ impl BulletConfig {
             repair: RepairPolicy::Fail,
             max_age: 8,
             eviction: EvictionPolicy::Lru,
+            eviction_seed: 0,
             segment_size: 64 * 1024,
             pipeline: true,
             readahead_segments: u32::MAX,
@@ -438,7 +442,12 @@ impl BulletServer {
         // the mirror's replica spans, and the server's op spans all join
         // the same tree.
         let tracer = cfg.trace.tracer().clone();
-        let mut cache = FileCache::with_policy(cfg.cache_capacity, cfg.rnode_slots, cfg.eviction);
+        let mut cache = FileCache::with_policy_seeded(
+            cfg.cache_capacity,
+            cfg.rnode_slots,
+            cfg.eviction,
+            cfg.eviction_seed,
+        );
         cache.set_tracer(tracer.clone());
         storage.set_tracer(tracer.clone());
         BulletServer {

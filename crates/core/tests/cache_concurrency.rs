@@ -1,0 +1,193 @@
+//! Compaction racing concurrent lookups.
+//!
+//! The server serves cache hits under a read lock: `FileCache::get` takes
+//! `&self` and refreshes the rnode age (and, under SegmentedLru, the
+//! segment tag and protected-byte count) through atomics.  Compaction and
+//! eviction run under the write lock and rewrite arena offsets.  These
+//! tests race the two sides the way the server does — many readers
+//! hammering `get` between write-locked insert/remove/compact storms —
+//! and assert the map survives exactly: no entry lost, none double-freed
+//! (the arena's `free` panics on an invalid extent, so a double free
+//! cannot pass silently), byte accounting exact.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use bullet_core::{EvictionPolicy, FileCache};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use proptest::prelude::*;
+
+fn fill_for(inode: u32, len: usize) -> Bytes {
+    Bytes::from([inode as u8, len as u8].repeat(len / 2 + 1)[..len].to_vec())
+}
+
+/// The barrier race: readers age-refresh through `&self` while a writer
+/// compacts and churns under `&mut self`, exactly the server's locking.
+fn race(policy: EvictionPolicy, seed: u64) {
+    let cache = Arc::new(RwLock::new(FileCache::with_policy(64 * 1024, 64, policy)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(5)); // 4 readers + the writer
+
+    std::thread::scope(|s| {
+        for reader in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut rng = amoeba_sim::DetRng::new(seed ^ (reader + 1));
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let inode = rng.next_below(96) as u32;
+                    // A hit must always return the exact bytes that were
+                    // inserted for this inode, mid-compaction or not.
+                    if let Some(data) = cache.read().get(inode) {
+                        assert_eq!(data[0], inode as u8, "foreign bytes surfaced");
+                        assert_eq!(data[1], data.len() as u8, "truncated entry");
+                    }
+                }
+            });
+        }
+
+        // The writer drives churn sized to force both eviction (64 KB
+        // capacity, entries up to 2 KB) and fragmentation → compaction
+        // (removals punch holes; insert compacts when free bytes suffice
+        // but no hole is contiguous).
+        let mut rng = amoeba_sim::DetRng::new(seed);
+        let mut model: HashMap<u32, usize> = HashMap::new();
+        barrier.wait();
+        for i in 0..4_000u64 {
+            let mut c = cache.write();
+            match rng.next_below(10) {
+                0..=5 => {
+                    let inode = rng.next_below(96) as u32;
+                    let len = 64 + rng.next_below(2_000) as usize;
+                    let out = c.insert(inode, fill_for(inode, len)).unwrap();
+                    model.insert(inode, len);
+                    for victim in out.evicted {
+                        model.remove(&victim);
+                    }
+                }
+                6..=8 => {
+                    let inode = rng.next_below(96) as u32;
+                    let removed = c.remove(inode);
+                    assert_eq!(removed.is_some(), model.remove(&inode).is_some());
+                }
+                _ => {
+                    c.compact();
+                }
+            }
+            // Give readers lock air every few writes.
+            if i % 16 == 0 {
+                drop(c);
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        // Exactness: the cache holds the model, entry for entry.
+        let c = cache.read();
+        assert_eq!(c.len(), model.len(), "entries lost or duplicated");
+        let mut live_bytes = 0u64;
+        for (&inode, &len) in &model {
+            let data = c.peek(inode).expect("model entry missing from cache");
+            assert_eq!(data.len(), len);
+            assert_eq!(data, fill_for(inode, len));
+            live_bytes += (len as u64).max(1);
+        }
+        assert_eq!(c.used_bytes(), live_bytes, "arena accounting drifted");
+        assert!(
+            c.stats().get("cache_compactions") + c.stats().get("cache_evictions") > 0,
+            "the race never exercised the interesting paths"
+        );
+    });
+}
+
+#[test]
+fn compaction_races_concurrent_age_refreshes_lru() {
+    for seed in [1, 0xbeef, 0x5eed] {
+        race(EvictionPolicy::Lru, seed);
+    }
+}
+
+#[test]
+fn compaction_races_concurrent_promotions_slru() {
+    // SegmentedLru is the hard case: readers also flip segment tags and
+    // bump the protected-byte count under the read lock.
+    for seed in [2, 0xcafe, 0x7eed] {
+        race(EvictionPolicy::SegmentedLru, seed);
+    }
+}
+
+#[test]
+fn compaction_races_concurrent_lookups_twoq() {
+    for seed in [3, 0xdead, 0x9eed] {
+        race(EvictionPolicy::TwoQ, seed);
+    }
+}
+
+/// Single-threaded model equivalence across random op walks, per policy:
+/// whatever the policy evicts, the surviving map must match a shadow
+/// model exactly after every step (proptest shrinks any divergence to a
+/// minimal op sequence).
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert { inode: u32, len: usize },
+    Get(u32),
+    Remove(u32),
+    Compact,
+}
+
+fn arb_cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        5 => (0u32..48, 16usize..3_000).prop_map(|(inode, len)| CacheOp::Insert { inode, len }),
+        3 => (0u32..48).prop_map(CacheOp::Get),
+        2 => (0u32..48).prop_map(CacheOp::Remove),
+        1 => Just(CacheOp::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn policies_never_lose_or_double_free_entries(
+        ops in prop::collection::vec(arb_cache_op(), 1..200),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            EvictionPolicy::Lru,
+            EvictionPolicy::SegmentedLru,
+            EvictionPolicy::TwoQ,
+        ][policy_idx];
+        let mut c = FileCache::with_policy(32 * 1024, 32, policy);
+        let mut model: HashMap<u32, usize> = HashMap::new();
+        for op in &ops {
+            match *op {
+                CacheOp::Insert { inode, len } => {
+                    let out = c.insert(inode, fill_for(inode, len)).unwrap();
+                    model.insert(inode, len);
+                    for victim in out.evicted {
+                        prop_assert!(model.remove(&victim).is_some(), "evicted a non-entry");
+                    }
+                }
+                CacheOp::Get(inode) => {
+                    prop_assert_eq!(c.get(inode).is_some(), model.contains_key(&inode));
+                }
+                CacheOp::Remove(inode) => {
+                    prop_assert_eq!(c.remove(inode).is_some(), model.remove(&inode).is_some());
+                }
+                CacheOp::Compact => {
+                    c.compact();
+                }
+            }
+            prop_assert_eq!(c.len(), model.len());
+            let live: u64 = model.values().map(|&l| (l as u64).max(1)).sum();
+            prop_assert_eq!(c.used_bytes(), live);
+        }
+        for (&inode, &len) in &model {
+            let data = c.peek(inode).expect("model entry missing");
+            prop_assert_eq!(data, fill_for(inode, len));
+        }
+    }
+}

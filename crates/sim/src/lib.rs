@@ -14,6 +14,9 @@
 //!
 //! * [`DetRng`] — a tiny deterministic xorshift RNG so simulations are
 //!   reproducible independent of external crate versions,
+//! * [`EventQueue`] — a deterministic virtual-time discrete-event queue
+//!   (binary heap, FIFO among equal timestamps) that lets one real thread
+//!   drive tens of thousands of simulated clients (see [`event`]),
 //! * [`Stats`] — cheap named counters every component exports,
 //! * [`Histogram`] — a power-of-two latency histogram for the harness,
 //! * [`Tracer`] — simulated-clock span tracing over the whole data path,
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod event;
 pub mod hw;
 pub mod pipeline;
 pub mod rng;
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod trace;
 
 pub use clock::{capture, commit_max, ChargeLog, Nanos, SimClock};
+pub use event::EventQueue;
 pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
 pub use pipeline::Pipeline;
 pub use rng::DetRng;
