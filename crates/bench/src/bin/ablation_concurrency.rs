@@ -92,6 +92,8 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         log_batch_files: 32,
         log_batch_bytes: 256 * 1024,
         log_linger: amoeba_sim::Nanos::from_us(250),
+        telemetry: amoeba_sim::TelemetryConfig::off(),
+        accounting: bullet_core::ClientAccounting::off(),
     };
     let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
     (server, disk_clock)

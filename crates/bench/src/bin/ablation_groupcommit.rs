@@ -70,7 +70,7 @@ impl StormOutcome {
     fn p99(&self) -> Nanos {
         let mut c = self.completions.clone();
         c.sort_unstable();
-        c[(c.len() * 99 / 100).min(c.len() - 1)]
+        amoeba_sim::exact_quantile(&c, 99).expect("storm produced completions")
     }
 
     fn total(&self) -> Nanos {

@@ -18,8 +18,13 @@
 //! counters (baseline vs batched physical writes, log appends, flushes),
 //! the reduced ABL16 evsim matrix (every replacement policy's hit rate
 //! under Zipf and scan-injection workloads at the small cell size, with
-//! the scan-resistance margin), and the per-zone data-area
-//! fragmentation report after a deterministic churn.  Adding `--check`
+//! the scan-resistance margin), the ABL17 telemetry summary (flight
+//! recorder digest delta vs a bare run, ring population, and the SLO
+//! watchdog's detection lag under an injected fault burst), and the
+//! per-zone data-area fragmentation report after a deterministic churn.
+//! The document leads with a top-level `"schema_version"` key.  Adding
+//! `--check` first requires the committed baseline to carry the current
+//! schema version (a mismatch fails loudly, naming the version found),
 //! compares the fresh pipelined 1 MB cold-read bandwidth against the
 //! committed sequential baseline AND the fresh p99 tails against the
 //! committed ones (10 % headroom), requires every fresh fault-campaign
@@ -32,7 +37,10 @@
 //! collapse its writes (≤ 4 log appends, ≤ baseline/4 physical writes),
 //! requires the baseline to carry every `evsim`/`cache_policy` key and
 //! the fresh reduced matrix to keep the better segmented policy ahead of
-//! LRU under scan injection at Zipf parity,
+//! LRU under scan injection at Zipf parity, requires the baseline to
+//! carry every `telemetry` key and the fresh instrumented run to replay
+//! the bare timeline bit-identically (digest delta 0) with the watchdog
+//! flagging the fault burst within one sampling period,
 //! failing the run on any regression or on a baseline missing a gated
 //! key — the CI bench-smoke gate:
 //!
@@ -47,6 +55,7 @@ use amoeba_sim::{HwProfile, Nanos, TraceConfig};
 use bullet_bench::check::{self, CheckError};
 use bullet_bench::evsim::{self, EvsimConfig, EvsimRun};
 use bullet_bench::faults::{run_class, CampaignOutcome, FaultClass};
+use bullet_bench::monitor;
 use bullet_bench::rig::{BulletRig, NfsRig};
 use bullet_bench::schedbench::{coalesce_knee, run_policies, KneeRow, MixedRun, PR_SEED};
 use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
@@ -274,6 +283,34 @@ fn measure_evsim() -> EvsimMeasure {
     }
 }
 
+/// The ABL17 headline facts `--json` embeds: flight-recorder overhead
+/// (timeline digest XOR between bare and instrumented runs — 0 means the
+/// recorder is provably free in virtual time), ring population, and the
+/// SLO watchdog's reaction to an injected fault burst.
+struct TelemetryMeasure {
+    period_us: u64,
+    digest_delta: u64,
+    series_count: usize,
+    samples_total: usize,
+    slo_degraded: u64,
+    detection_lag_us: u64,
+}
+
+/// Runs the [`monitor`] triple at the small cell size (the full
+/// 10k-client gate is `ablation_monitor`).
+fn measure_telemetry() -> TelemetryMeasure {
+    let cfg = monitor::MonitorConfig::small(EVSIM_SEED);
+    let o = monitor::run_monitor(&cfg).outcome;
+    TelemetryMeasure {
+        period_us: cfg.period.as_us(),
+        digest_delta: o.bare.digest ^ o.clean.digest,
+        series_count: o.series_count,
+        samples_total: o.samples_total,
+        slo_degraded: o.slo_degraded,
+        detection_lag_us: o.detection_lag_us,
+    }
+}
+
 /// A deterministic create/delete churn on a fresh rig, then the
 /// per-zone fragmentation snapshot of the data area (plus the
 /// whole-area report the gate checks the zones partition).
@@ -310,8 +347,15 @@ fn render_json(
     sm: &SchedMeasure,
     gc: &GroupCommitMeasure,
     ev: &EvsimMeasure,
+    tm: &TelemetryMeasure,
 ) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"bullet streaming transfers\",\n");
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"schema_version\": {},",
+        check::REPORT_SCHEMA_VERSION
+    );
+    out.push_str("  \"benchmark\": \"bullet streaming transfers\",\n");
     let _ = writeln!(out, "  \"segment_size\": 65536,");
     let _ = writeln!(out, "  \"sizes\": [");
     for (i, (r, p)) in rows.iter().zip(pcts).enumerate() {
@@ -437,6 +481,17 @@ fn render_json(
     let best_scan = ev.scan[2].outcome.hit_rate.max(ev.scan[3].outcome.hit_rate);
     let _ = writeln!(out, "    \"scan_margin\": {:.4}", best_scan - lru_scan);
     out.push_str("  },\n");
+    // ABL17 headline facts: flight-recorder cost (digest delta 0 means
+    // the instrumented run replayed the bare timeline bit-identically)
+    // and the SLO watchdog's reaction to the injected fault burst.
+    let _ = writeln!(out, "  \"telemetry\": {{");
+    let _ = writeln!(out, "    \"sampling_period_us\": {},", tm.period_us);
+    let _ = writeln!(out, "    \"series_count\": {},", tm.series_count);
+    let _ = writeln!(out, "    \"samples_total\": {},", tm.samples_total);
+    let _ = writeln!(out, "    \"digest_delta\": {},", tm.digest_delta);
+    let _ = writeln!(out, "    \"slo_degraded_events\": {},", tm.slo_degraded);
+    let _ = writeln!(out, "    \"detection_lag_us\": {}", tm.detection_lag_us);
+    out.push_str("  },\n");
     // Per-zone fragmentation of the data area after a deterministic
     // create/delete churn.
     let _ = writeln!(out, "  \"zone_frag\": [");
@@ -496,10 +551,14 @@ fn gate(
     sm: &SchedMeasure,
     gc: &GroupCommitMeasure,
     ev: &EvsimMeasure,
+    tm: &TelemetryMeasure,
 ) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
     })?;
+    // Schema gate first: a baseline from a different schema generation
+    // fails loudly, naming the version found, before any value checks.
+    check::require_schema_version(&doc, path, check::REPORT_SCHEMA_VERSION)?;
     let mb = rows.last().expect("1 MB row");
     let fresh_pipe_bw = bandwidth_kb_s(mb.size, mb.cold_pipe);
     let fresh_seq_bw = bandwidth_kb_s(mb.size, mb.cold_seq);
@@ -677,6 +736,48 @@ fn gate(
         }
     }
     check::require_section_key(&doc, path, "cache_policy", "scan_margin")?;
+    // Telemetry gate, part 1 — schema: the committed baseline must carry
+    // every ABL17 key (a baseline from before the flight recorder fails
+    // loudly, naming the key, until regenerated).
+    for key in [
+        "sampling_period_us",
+        "series_count",
+        "samples_total",
+        "digest_delta",
+        "slo_degraded_events",
+        "detection_lag_us",
+    ] {
+        check::require_section_key(&doc, path, "telemetry", key)?;
+    }
+    // Telemetry gate, part 2 — the fresh run must uphold the PR's
+    // headline invariants: the recorder is free in virtual time (the
+    // instrumented digest equals the bare digest), and the watchdog
+    // flags the injected fault within one sampling period.
+    eprintln!(
+        "check: telemetry — {} series / {} samples, digest delta {}, {} degraded events, \
+         detection lag {} µs (period {} µs)",
+        tm.series_count,
+        tm.samples_total,
+        tm.digest_delta,
+        tm.slo_degraded,
+        tm.detection_lag_us,
+        tm.period_us
+    );
+    check::require_at_most(
+        "instrumented evsim digest delta (vs bare run)",
+        tm.digest_delta as f64,
+        0.0,
+    )?;
+    check::require_at_least(
+        "watchdog degraded events under fault burst",
+        tm.slo_degraded as f64,
+        1.0,
+    )?;
+    check::require_at_most(
+        "watchdog detection lag (µs, vs one sampling period)",
+        tm.detection_lag_us as f64,
+        tm.period_us as f64,
+    )?;
     // Evsim gate, part 2 — the fresh reduced matrix must uphold the PR's
     // headline invariants: the better segmented policy beats LRU under
     // scan injection, and scan resistance costs nothing under pure Zipf
@@ -730,13 +831,15 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     let gc = measure_group_commit();
     eprintln!("running reduced evsim matrix (4 policies × 2 workloads, small cells)…");
     let ev = measure_evsim();
+    eprintln!("running telemetry summary (bare vs instrumented vs fault-burst evsim)…");
+    let tm = measure_telemetry();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev, &tm) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm, &gc, &ev))?;
+    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm, &gc, &ev, &tm))?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -35,6 +35,16 @@ pub enum CheckError {
         /// The missing key.
         key: String,
     },
+    /// The committed baseline's top-level `"schema_version"` does not
+    /// match the version this binary writes (or is absent entirely).
+    SchemaVersion {
+        /// Path of the baseline file.
+        path: String,
+        /// The version this binary writes.
+        expected: u64,
+        /// The version found in the file (`None` when absent).
+        found: Option<u64>,
+    },
     /// A freshly measured number regressed past the committed baseline.
     Regression {
         /// What was compared (human-readable).
@@ -66,6 +76,22 @@ impl fmt::Display for CheckError {
                      regenerate it with `report --json {path}` to pick up the new schema"
                 )
             }
+            CheckError::SchemaVersion {
+                path,
+                expected,
+                found,
+            } => match found {
+                Some(found) => write!(
+                    f,
+                    "baseline {path} has schema_version {found} but this binary writes \
+                     {expected}; regenerate it with `report --json {path}`"
+                ),
+                None => write!(
+                    f,
+                    "baseline {path} has no top-level \"schema_version\" key (pre-versioning \
+                     schema); regenerate it with `report --json {path}` to stamp version {expected}"
+                ),
+            },
             CheckError::Regression { what, fresh, bound } => {
                 write!(
                     f,
@@ -154,6 +180,46 @@ pub fn require_section_key(
         path: path.to_string(),
         section: section.to_string(),
         key: key.to_string(),
+    })
+}
+
+/// The `"schema_version"` value `report --json` stamps at the top of
+/// every baseline it writes.  Bump it when a change makes old baselines
+/// unreadable by the gate (key renames, section moves) — `--check` then
+/// fails with a message telling the operator to regenerate, instead of
+/// mis-parsing.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Reads an integer-valued key from the document (line-oriented, like
+/// the other lookups — sufficient for the hand-rolled `render_json`
+/// output, whose `"schema_version"` appears exactly once).
+pub fn json_lookup_u64(doc: &str, key: &str) -> Option<u64> {
+    let line = doc
+        .lines()
+        .find(|l| l.trim_start().starts_with(&format!("\"{key}\":")))?;
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .ok()
+}
+
+/// Fails unless the baseline carries `"schema_version": expected`.
+///
+/// # Errors
+///
+/// [`CheckError::SchemaVersion`] naming the found version (or its
+/// absence) and the expected one.
+pub fn require_schema_version(doc: &str, path: &str, expected: u64) -> Result<(), CheckError> {
+    let found = json_lookup_u64(doc, "schema_version");
+    if found == Some(expected) {
+        return Ok(());
+    }
+    Err(CheckError::SchemaVersion {
+        path: path.to_string(),
+        expected,
+        found,
     })
 }
 
@@ -504,6 +570,32 @@ mod tests {
             require_key(DOC, "b.json", 1024, "cold_read_pipelined_p99_ms"),
             Ok(11.6)
         );
+    }
+
+    #[test]
+    fn schema_version_gate_matches_exact_version_only() {
+        let good = "{\n  \"schema_version\": 1,\n  \"sizes\": []\n}\n";
+        assert_eq!(require_schema_version(good, "b.json", 1), Ok(()));
+        // Wrong version: named in the message.
+        let err = require_schema_version(good, "b.json", 2).unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::SchemaVersion {
+                path: "b.json".to_string(),
+                expected: 2,
+                found: Some(1),
+            }
+        );
+        assert!(err.to_string().contains("schema_version 1"), "{err}");
+        assert!(err.to_string().contains("writes 2"), "{err}");
+        // Absent key: a pre-versioning baseline, with a clear message.
+        let old = "{\n  \"sizes\": []\n}\n";
+        let err = require_schema_version(old, "b.json", 1).unwrap_err();
+        assert!(
+            err.to_string().contains("no top-level \"schema_version\""),
+            "{err}"
+        );
+        assert!(err.to_string().contains("regenerate"), "{err}");
     }
 
     #[test]

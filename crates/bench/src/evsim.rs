@@ -35,8 +35,8 @@
 //!   exactly what LRU cannot tell from the working set and what the
 //!   segmented policies filter (probation / A1in absorb it).
 
-use amoeba_sim::{EventQueue, Histogram, HwProfile, Nanos, Stats};
-use bullet_core::{counters, EvictionPolicy, FileCache};
+use amoeba_sim::{DetRng, EventQueue, Histogram, HwProfile, Nanos, Stats, Telemetry};
+use bullet_core::{counters, ClientAccounting, EvictionPolicy, FileCache};
 use bytes::Bytes;
 
 use crate::workload::{SizeDistribution, ZipfSampler};
@@ -67,6 +67,27 @@ pub const SCAN_DENOM: usize = 10;
 /// The seed the PR gate runs under.
 pub const PR_SEED: u64 = 16;
 
+/// A mid-run fault burst: a lossy wire plus one failed mirror replica,
+/// active over a virtual-time window (the ABL17 degradation injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBurst {
+    /// Virtual time the burst opens.
+    pub start: Nanos,
+    /// Virtual time the burst closes.
+    pub end: Nanos,
+    /// Inside the window, one request in `drop_denom` loses its packet
+    /// and eats [`retry_delay`](Self::retry_delay).
+    pub drop_denom: u64,
+    /// Fixed retransmission penalty per dropped request.
+    pub retry_delay: Nanos,
+    /// Inside the window, reads homed on this disk fail over to its
+    /// mirror neighbour `(d + 1) % DISKS`, piling backlog onto it.
+    pub failed_disk: usize,
+    /// Seed of the dedicated fault RNG (never consumed outside the
+    /// window, so a clean run's draws are untouched).
+    pub seed: u64,
+}
+
 /// One ablation cell: a policy under a workload at a scale.
 #[derive(Debug, Clone)]
 pub struct EvsimConfig {
@@ -86,6 +107,15 @@ pub struct EvsimConfig {
     pub rnode_slots: usize,
     /// Base seed.
     pub seed: u64,
+    /// Flight-recorder handle ([`Telemetry::off`] by default).  Sampling
+    /// never advances virtual time, so an enabled run's timeline digest
+    /// equals the disabled run's — the ABL17 overhead gate.
+    pub telemetry: Telemetry,
+    /// Optional mid-run fault burst (`None` by default — byte-identical
+    /// to the pre-fault rig).
+    pub fault: Option<FaultBurst>,
+    /// Per-client accounting ([`ClientAccounting::off`] by default).
+    pub accounting: ClientAccounting,
 }
 
 impl EvsimConfig {
@@ -100,6 +130,9 @@ impl EvsimConfig {
             cache_bytes: CACHE_BYTES,
             rnode_slots: RNODE_SLOTS,
             seed,
+            telemetry: Telemetry::off(),
+            fault: None,
+            accounting: ClientAccounting::off(),
         }
     }
 
@@ -115,6 +148,9 @@ impl EvsimConfig {
             cache_bytes: 1 << 20,
             rnode_slots: 512,
             seed,
+            telemetry: Telemetry::off(),
+            fault: None,
+            accounting: ClientAccounting::off(),
         }
     }
 
@@ -156,6 +192,11 @@ pub struct EvsimOutcome {
     pub scan_promotions: u64,
     /// Events the engine processed.
     pub events: u64,
+    /// Requests that lost their packet to the fault burst's lossy wire
+    /// (0 without a [`FaultBurst`]).
+    pub retries: u64,
+    /// Miss reads rerouted off the burst's failed disk (0 without one).
+    pub failovers: u64,
     /// FNV-1a digest of the (seq, time, client, file, hit) timeline.
     pub digest: u64,
 }
@@ -268,8 +309,35 @@ pub fn run(cfg: &EvsimConfig) -> EvsimRun {
     let (mut window_reads, mut window_hits) = (0u64, 0u64);
     let mut curve = Vec::new();
     let mut makespan = Nanos::ZERO;
+    // Dedicated fault RNG: drawn only inside the burst window, so the
+    // clean run's timeline never sees it.
+    let mut fault_rng = DetRng::new(cfg.fault.map_or(0, |f| f.seed ^ 0xfa17));
+    let (mut retries, mut failovers) = (0u64, 0u64);
 
     while let Some((t, ci)) = q.pop() {
+        // Flight recorder: once per period, the event at the head of the
+        // queue samples every disk's backlog and the cache level.  The
+        // recorder never touches `when`, so the timeline digest of an
+        // instrumented run equals the bare run's — measured by ABL17.
+        if cfg.telemetry.tick(t) {
+            for (d, free) in disk_free.iter().enumerate() {
+                cfg.telemetry.gauge(
+                    counters::GAUGE_EVSIM_DISK_BACKLOG_US,
+                    d as u32,
+                    t,
+                    free.saturating_sub(t).as_us(),
+                );
+            }
+            cfg.telemetry
+                .gauge(counters::GAUGE_CACHE_USED_BYTES, 0, t, cache.used_bytes());
+            cfg.telemetry
+                .counter_delta(counters::GAUGE_EVSIM_RETRIES, 0, t, retries);
+            cfg.telemetry.sample_counters(
+                t,
+                cache.stats(),
+                &[counters::CACHE_HITS, counters::CACHE_MISSES],
+            );
+        }
         let c = &mut clients[ci as usize];
         let burst = match c.kind {
             ClientKind::Zipf => 1,
@@ -291,11 +359,29 @@ pub fn run(cfg: &EvsimConfig) -> EvsimRun {
             let size = file_sizes[file as usize] as u64;
             // Request packet + fixed request service.
             when = when + hw.net.one_way(64) + hw.cpu.request();
+            // Lossy wire inside the fault window: the request packet is
+            // lost and the client's RPC layer eats one retry delay.
+            if let Some(b) = &cfg.fault {
+                if when >= b.start && when < b.end && fault_rng.next_below(b.drop_denom) == 0 {
+                    when = when + b.retry_delay;
+                    retries += 1;
+                    cfg.accounting.charge(ci as u64, |u| u.retries += 1);
+                }
+            }
             let hit = cache.get(file as u32).is_some();
             if !hit {
                 // Miss: one I/O against the file's home disk, FIFO behind
                 // whatever that disk is already committed to.
-                let d = (file % DISKS as u64) as usize;
+                let mut d = (file % DISKS as u64) as usize;
+                // Mirror failure inside the window: reads homed on the
+                // failed replica reroute to its neighbour, whose queue
+                // absorbs both populations.
+                if let Some(b) = &cfg.fault {
+                    if when >= b.start && when < b.end && d == b.failed_disk {
+                        d = (d + 1) % DISKS;
+                        failovers += 1;
+                    }
+                }
                 let target = (file / DISKS as u64).wrapping_mul(9973) % (DISK_BLOCKS - 64);
                 let start = when.max(disk_free[d]);
                 let io = hw.disk.io_time(disk_head[d], target, DISK_BLOCKS, size);
@@ -315,6 +401,16 @@ pub fn run(cfg: &EvsimConfig) -> EvsimRun {
                 hits += 1;
                 window_hits += 1;
             }
+            cfg.accounting.charge(ci as u64, |u| {
+                u.requests += 1;
+                u.bytes_read += size;
+                if hit {
+                    u.cache_hits += 1;
+                } else {
+                    u.cache_misses += 1;
+                    u.disk_ios += 1;
+                }
+            });
             for word in [seq, when.as_ns(), ci as u64, file, hit as u64] {
                 digest = fnv1a(digest, word);
             }
@@ -361,6 +457,8 @@ pub fn run(cfg: &EvsimConfig) -> EvsimRun {
             scan_promotions: cs.get(counters::CACHE_SCAN_PROMOTIONS)
                 + cs.get(counters::CACHE_GHOST_HITS),
             events: stats.get(counters::EVSIM_EVENTS),
+            retries,
+            failovers,
             digest,
         },
         curve,
@@ -520,6 +618,68 @@ mod tests {
         assert_eq!(r.curve.last().unwrap().reads, r.outcome.reads);
         for p in &r.curve {
             assert!((0.0..=1.0).contains(&p.window_hit_rate));
+        }
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_the_timeline() {
+        let bare = run(&EvsimConfig::small(EvictionPolicy::TwoQ, "scan", 5));
+        let mut cfg = EvsimConfig::small(EvictionPolicy::TwoQ, "scan", 5);
+        cfg.telemetry = Telemetry::on(Nanos::from_ms(5), 256);
+        cfg.accounting = ClientAccounting::on();
+        let instrumented = run(&cfg);
+        assert_eq!(bare.outcome.digest, instrumented.outcome.digest);
+        assert_eq!(bare.outcome.p99_ms, instrumented.outcome.p99_ms);
+        // ... but it did record: every disk produced a backlog series.
+        for d in 0..DISKS as u32 {
+            assert!(
+                !cfg.telemetry
+                    .series(counters::GAUGE_EVSIM_DISK_BACKLOG_US, d)
+                    .is_empty(),
+                "disk {d} never sampled"
+            );
+        }
+        assert!(!cfg.accounting.is_empty());
+    }
+
+    #[test]
+    fn fault_burst_shows_up_and_replays_identically() {
+        let mut cfg = EvsimConfig::small(EvictionPolicy::Lru, "zipf", 5);
+        let clean = run(&EvsimConfig::small(EvictionPolicy::Lru, "zipf", 5));
+        cfg.fault = Some(FaultBurst {
+            start: Nanos::from_ms(200),
+            end: Nanos::from_ms(600),
+            drop_denom: 4,
+            retry_delay: Nanos::from_ms(2),
+            failed_disk: 3,
+            seed: 5,
+        });
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.outcome.digest, b.outcome.digest, "faulty run not pure");
+        assert_ne!(a.outcome.digest, clean.outcome.digest);
+        assert!(a.outcome.retries > 0, "lossy wire never fired");
+        assert!(a.outcome.failovers > 0, "failed disk never rerouted");
+        assert_eq!(clean.outcome.retries, 0);
+        assert_eq!(clean.outcome.failovers, 0);
+    }
+
+    #[test]
+    fn accounting_ranks_scanners_as_top_offenders() {
+        let mut cfg = EvsimConfig::small(EvictionPolicy::Lru, "scan", 5);
+        cfg.accounting = ClientAccounting::on();
+        run(&cfg);
+        // Clients 0..39 are the scanners (400 / SCAN_DENOM): they read
+        // SCAN_BURST cold files per op, so they dominate the cost board.
+        let scanners = 400 / SCAN_DENOM;
+        let top = cfg.accounting.top_k(5);
+        assert_eq!(top.len(), 5);
+        for (client, usage) in &top {
+            assert!(
+                (*client as usize) < scanners,
+                "non-scanner {client} out-spent the scanners"
+            );
+            assert!(usage.disk_ios > 0);
         }
     }
 

@@ -38,6 +38,7 @@
 pub mod check;
 pub mod evsim;
 pub mod faults;
+pub mod monitor;
 pub mod rig;
 pub mod schedbench;
 pub mod table;

@@ -115,11 +115,15 @@ impl BulletRig {
             log_batch_files: 32,
             log_batch_bytes: 256 * 1024,
             log_linger: amoeba_sim::Nanos::from_us(250),
+            telemetry: amoeba_sim::TelemetryConfig::off(),
+            accounting: bullet_core::ClientAccounting::off(),
         };
         tweak(&mut cfg);
         let tracer = cfg.trace.tracer().clone();
-        for d in &sched_disks {
+        let telemetry = cfg.telemetry.telemetry().clone();
+        for (i, d) in sched_disks.iter().enumerate() {
             d.set_tracer(tracer.clone());
+            d.set_telemetry(telemetry.clone(), i as u32);
         }
         let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
         let net = SimEthernet::with_load(clock.clone(), hw.net, 1.0);

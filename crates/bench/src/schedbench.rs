@@ -185,8 +185,9 @@ pub fn run_mixed(cfg: SchedConfig, seed: u64) -> MixedRun {
 
     latencies.sort_unstable();
     let pct = |p: usize| -> f64 {
-        let idx = (latencies.len() - 1) * p / 100;
-        latencies[idx].as_ms_f64()
+        amoeba_sim::exact_quantile(&latencies, p)
+            .expect("run produced latencies")
+            .as_ms_f64()
     };
     let makespan = sim.now();
     let st = sim.stats();

@@ -180,8 +180,8 @@ mod tests {
         let mut dist = SizeDistribution::unix_1984(7, 1 << 30);
         let mut sizes: Vec<u64> = (0..50_000).map(|_| dist.sample()).collect();
         sizes.sort_unstable();
-        let median = sizes[sizes.len() / 2];
-        let p99 = sizes[sizes.len() * 99 / 100];
+        let median = amoeba_sim::exact_quantile(&sizes, 50).unwrap();
+        let p99 = amoeba_sim::exact_quantile(&sizes, 99).unwrap();
         assert!(
             (700..1500).contains(&median),
             "median {median} should be ≈ 1 KB"

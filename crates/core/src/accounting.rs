@@ -1,0 +1,235 @@
+//! Per-client resource accounting keyed by the RPC transaction tag.
+//!
+//! The at-most-once layer (PR 4) stamps every request with a
+//! `(client, seq)` transaction id.  This module charges each request's
+//! resource use — bytes moved, physical I/Os, cache hits/misses, retries
+//! — to the *client* half of that tag, so an operator can ask the live
+//! server "who is hammering me?" through the `MONITOR` RPC.
+//!
+//! Like [`amoeba_sim::Telemetry`], accounting follows the zero-cost-
+//! when-disabled contract: the handle is an `Option<Arc<..>>`, and a
+//! disabled handle never allocates, locks, or touches shared state, so a
+//! server built without accounting is bit-identical to one that predates
+//! this module.
+//!
+//! The *scope* mechanism keeps the charge sites honest without threading
+//! a client id through every internal call: the RPC dispatcher opens a
+//! thread-local [`ClientScope`] for the duration of a request, and the
+//! server's data paths charge "whoever is current" via
+//! [`ClientAccounting::charge_current`].  Internal work (maintenance,
+//! recovery, direct in-process calls) runs with no scope open and is
+//! charged to nobody.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+thread_local! {
+    /// The client id the current thread is working for, if any.
+    static CURRENT_CLIENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Resource totals charged to one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientUsage {
+    /// Requests dispatched for this client (all op classes).
+    pub requests: u64,
+    /// Payload bytes returned by reads and section reads.
+    pub bytes_read: u64,
+    /// Payload bytes accepted by creates/modifies.
+    pub bytes_written: u64,
+    /// Physical disk I/Os this client's requests triggered (cold loads,
+    /// create write-throughs counted once per replica set).
+    pub disk_ios: u64,
+    /// Whole-file cache lookups that hit.
+    pub cache_hits: u64,
+    /// Whole-file cache lookups that missed.
+    pub cache_misses: u64,
+    /// Duplicate transactions absorbed by the at-most-once dedup window
+    /// (a high count means the client's RPC layer is retrying hard).
+    pub retries: u64,
+}
+
+impl ClientUsage {
+    /// A single scalar for ranking offenders: total bytes moved plus a
+    /// fixed charge per request and a heavy charge per physical I/O
+    /// (disk time is the scarce resource in the Bullet design).
+    pub fn cost(&self) -> u64 {
+        self.bytes_read + self.bytes_written + self.requests * 512 + self.disk_ios * 65_536
+    }
+}
+
+/// RAII guard marking the current thread as working for one client.
+///
+/// Dropped (typically at the end of RPC dispatch) it restores the
+/// previous scope, so nested dispatch — a server calling itself — still
+/// charges the outermost client.
+pub struct ClientScope {
+    prev: Option<u64>,
+}
+
+impl ClientScope {
+    /// Enters a client scope on this thread.
+    pub fn enter(client: u64) -> ClientScope {
+        let prev = CURRENT_CLIENT.with(|c| c.replace(Some(client)));
+        ClientScope { prev }
+    }
+
+    /// The client id the current thread is charging to, if any.
+    pub fn current() -> Option<u64> {
+        CURRENT_CLIENT.with(Cell::get)
+    }
+}
+
+impl Drop for ClientScope {
+    fn drop(&mut self) {
+        CURRENT_CLIENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// A shared per-client usage table (cheap to clone, `off()` by default).
+#[derive(Debug, Clone, Default)]
+pub struct ClientAccounting {
+    inner: Option<Arc<Mutex<HashMap<u64, ClientUsage>>>>,
+}
+
+impl ClientAccounting {
+    /// A disabled handle: every charge is a no-op.
+    pub fn off() -> ClientAccounting {
+        ClientAccounting { inner: None }
+    }
+
+    /// An enabled, empty table.
+    pub fn on() -> ClientAccounting {
+        ClientAccounting {
+            inner: Some(Arc::new(Mutex::new(HashMap::new()))),
+        }
+    }
+
+    /// True if charges are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Applies `f` to the usage row of an explicit client.
+    pub fn charge(&self, client: u64, f: impl FnOnce(&mut ClientUsage)) {
+        if let Some(inner) = &self.inner {
+            f(inner.lock().entry(client).or_default());
+        }
+    }
+
+    /// Applies `f` to the usage row of the thread's current
+    /// [`ClientScope`] client; a no-op outside any scope (internal work
+    /// is charged to nobody).
+    pub fn charge_current(&self, f: impl FnOnce(&mut ClientUsage)) {
+        if self.inner.is_some() {
+            if let Some(client) = ClientScope::current() {
+                self.charge(client, f);
+            }
+        }
+    }
+
+    /// The usage row for one client, if any charges landed.
+    pub fn usage(&self, client: u64) -> Option<ClientUsage> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.lock().get(&client).copied())
+    }
+
+    /// Number of distinct clients with charges.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.lock().len())
+    }
+
+    /// True if no charges have been recorded (or accounting is off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` clients with the highest [`ClientUsage::cost`], ties
+    /// broken by client id (deterministic for byte-compared reports).
+    pub fn top_k(&self, k: usize) -> Vec<(u64, ClientUsage)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut rows: Vec<(u64, ClientUsage)> =
+            inner.lock().iter().map(|(c, u)| (*c, *u)).collect();
+        rows.sort_by(|a, b| b.1.cost().cmp(&a.1.cost()).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows
+    }
+
+    /// All rows, ordered by client id (for full MONITOR dumps).
+    pub fn all(&self) -> Vec<(u64, ClientUsage)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut rows: Vec<(u64, ClientUsage)> =
+            inner.lock().iter().map(|(c, u)| (*c, *u)).collect();
+        rows.sort_by_key(|(c, _)| *c);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_charges_nothing() {
+        let acct = ClientAccounting::off();
+        assert!(!acct.enabled());
+        let _scope = ClientScope::enter(7);
+        acct.charge_current(|u| u.bytes_read += 100);
+        acct.charge(7, |u| u.requests += 1);
+        assert!(acct.is_empty());
+        assert_eq!(acct.usage(7), None);
+        assert!(acct.top_k(10).is_empty());
+    }
+
+    #[test]
+    fn scope_charges_current_client_and_restores() {
+        let acct = ClientAccounting::on();
+        assert_eq!(ClientScope::current(), None);
+        {
+            let _outer = ClientScope::enter(1);
+            acct.charge_current(|u| u.requests += 1);
+            {
+                let _inner = ClientScope::enter(2);
+                acct.charge_current(|u| u.requests += 1);
+            }
+            // Inner scope dropped: back to client 1.
+            acct.charge_current(|u| u.bytes_read += 64);
+        }
+        assert_eq!(ClientScope::current(), None);
+        // No scope open: charged to nobody.
+        acct.charge_current(|u| u.requests += 100);
+        assert_eq!(
+            acct.usage(1),
+            Some(ClientUsage {
+                requests: 1,
+                bytes_read: 64,
+                ..ClientUsage::default()
+            })
+        );
+        assert_eq!(acct.usage(2).unwrap().requests, 1);
+        assert_eq!(acct.len(), 2);
+    }
+
+    #[test]
+    fn top_k_ranks_by_cost_with_stable_ties() {
+        let acct = ClientAccounting::on();
+        acct.charge(10, |u| u.disk_ios += 4); // heavy: 4 * 65536
+        acct.charge(11, |u| u.bytes_read += 1_000);
+        acct.charge(12, |u| u.bytes_read += 1_000); // tie with 11 → id order
+        acct.charge(13, |u| u.requests += 1);
+        let top = acct.top_k(3);
+        assert_eq!(
+            top.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+        assert_eq!(acct.top_k(0), Vec::new());
+    }
+}

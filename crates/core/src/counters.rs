@@ -78,9 +78,6 @@ pub const DISK_QUEUE_DEPTH_MAX: &str = "disk_queue_depth_max";
 /// scheduler (charged transfer time only — no seek, no rotation).
 pub const DISK_COALESCED_IOS: &str = "disk_coalesced_ios";
 
-/// Total blocks of disk-arm travel charged across all replicas.
-pub const DISK_SEEK_BLOCKS_TOTAL: &str = "disk_seek_blocks_total";
-
 /// Queued requests granted by deadline aging instead of the arm policy
 /// (the scheduler's starvation bound firing).
 pub const SCHED_DEADLINE_PROMOTIONS: &str = "sched_deadline_promotions";
@@ -187,6 +184,68 @@ pub const LOCK_INFLIGHT: &str = "lock_inflight";
 /// Contended acquisitions of the in-flight registry lock.
 pub const LOCK_CONTENDED_INFLIGHT: &str = "lock_contended_inflight";
 
+/// Telemetry gauge: instantaneous per-disk request-queue depth, sampled
+/// by the disk scheduler once per telemetry period (instance = disk id).
+pub const GAUGE_DISK_QUEUE_DEPTH: &str = "disk_queue_depth";
+
+/// Telemetry gauge: the disk arm's current block position at sample time
+/// (instance = disk id).
+pub const GAUGE_DISK_ARM_BLOCK: &str = "disk_arm_block";
+
+/// Telemetry gauge: bytes of payload resident in the RAM cache.
+pub const GAUGE_CACHE_USED_BYTES: &str = "cache_used_bytes";
+
+/// Telemetry gauge: bytes held by the protected/Am segment of the
+/// scan-resistant cache policy (zero under plain LRU).
+pub const GAUGE_CACHE_PROTECTED_BYTES: &str = "cache_protected_bytes";
+
+/// Telemetry gauge: entries on the TwoQ A1out ghost list (zero for
+/// policies without a ghost list).
+pub const GAUGE_CACHE_GHOST_LEN: &str = "cache_ghost_len";
+
+/// Telemetry gauge: free allocation units in the extent allocator.
+pub const GAUGE_ALLOC_FREE_BLOCKS: &str = "alloc_free_blocks";
+
+/// Telemetry gauge: largest contiguous free hole (allocation units) —
+/// the allocator's fragmentation headline.
+pub const GAUGE_ALLOC_MAX_HOLE: &str = "alloc_max_hole";
+
+/// Telemetry gauge: files whose payload still lives in the group-commit
+/// log region (not yet migrated to a contiguous home).
+pub const GAUGE_LOG_RESIDENT_FILES: &str = "log_resident_files";
+
+/// Telemetry gauge: creates queued in the group committer awaiting a
+/// leader flush at sample time (batch occupancy).
+pub const GAUGE_GC_BATCH_OCCUPANCY: &str = "gc_batch_occupancy";
+
+/// Telemetry gauge (evsim rig): per-disk backlog in simulated µs — how
+/// far the disk's free time is ahead of the arriving request (instance =
+/// disk id).
+pub const GAUGE_EVSIM_DISK_BACKLOG_US: &str = "evsim_disk_backlog_us";
+
+/// Telemetry counter-delta series (evsim rig): requests that lost their
+/// packet to a lossy wire since the last sample — the SLO watchdog's
+/// fault-burst tripwire (any non-zero rate is a degradation).
+pub const GAUGE_EVSIM_RETRIES: &str = "evsim_retries";
+
+/// Every telemetry gauge name the workspace can sample, for exhaustive
+/// iteration (MONITOR snapshots, doc tables, the registry drift test).
+/// Counter-delta series reuse names from [`ALL`] and are not repeated
+/// here.
+pub const GAUGES: &[&str] = &[
+    GAUGE_DISK_QUEUE_DEPTH,
+    GAUGE_DISK_ARM_BLOCK,
+    GAUGE_CACHE_USED_BYTES,
+    GAUGE_CACHE_PROTECTED_BYTES,
+    GAUGE_CACHE_GHOST_LEN,
+    GAUGE_ALLOC_FREE_BLOCKS,
+    GAUGE_ALLOC_MAX_HOLE,
+    GAUGE_LOG_RESIDENT_FILES,
+    GAUGE_GC_BATCH_OCCUPANCY,
+    GAUGE_EVSIM_DISK_BACKLOG_US,
+    GAUGE_EVSIM_RETRIES,
+];
+
 /// Every counter name the core crate can emit, for exhaustive iteration
 /// (status dumps, doc tables, tests that no name is duplicated).
 pub const ALL: &[&str] = &[
@@ -214,7 +273,6 @@ pub const ALL: &[&str] = &[
     COMPACTION_PREEMPTIONS,
     DISK_QUEUE_DEPTH_MAX,
     DISK_COALESCED_IOS,
-    DISK_SEEK_BLOCKS_TOTAL,
     SCHED_DEADLINE_PROMOTIONS,
     AGED_OUT,
     LOG_APPENDS,
@@ -264,6 +322,9 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for name in ALL {
             assert!(seen.insert(*name), "duplicate counter name {name}");
+        }
+        for name in GAUGES {
+            assert!(seen.insert(*name), "gauge name {name} collides");
         }
     }
 

@@ -95,6 +95,17 @@ impl GroupCommitter {
         GroupCommitter::default()
     }
 
+    /// Payloads currently queued awaiting a leader flush (telemetry's
+    /// batch-occupancy gauge; racy by nature, read without blocking
+    /// submitters for long).
+    pub fn pending_len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pending
+            .len()
+    }
+
     /// Submits one payload and blocks until a leader commits it.
     ///
     /// `commit` receives a cap-bounded batch (this payload is in exactly

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod cache;
 pub mod counters;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod rpc_iface;
 pub mod server;
 pub mod table;
 
+pub use accounting::{ClientAccounting, ClientScope, ClientUsage};
 pub use cache::{EvictionPolicy, FileCache};
 pub use error::BulletError;
 pub use freelist::{ExtentAllocator, FragReport, Move, Placement};

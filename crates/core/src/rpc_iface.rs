@@ -5,6 +5,7 @@
 //! the §5 extensions.  Whole files travel as the bulk-data part of a
 //! single request or reply.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -13,6 +14,7 @@ use amoeba_cap::{Capability, Port, Rights, CAP_WIRE_LEN};
 use amoeba_rpc::fault::untag_request;
 use amoeba_rpc::{DedupCache, Reply, Request, RpcClient, RpcServer, Status, StreamWire};
 
+use crate::accounting::ClientScope;
 use crate::server::BulletServer;
 
 /// Command codes of the Bullet protocol.
@@ -130,7 +132,25 @@ impl RpcServer for BulletRpcServer {
     fn handle(&self, req: Request) -> Reply {
         let (req, txn) = untag_request(req);
         match txn {
-            Some(txn) => self.dedup.execute(txn, || self.dispatch(req)),
+            Some(txn) => {
+                // All server-side work for this request — including the
+                // data-path charges deep in `BulletServer` — bills to the
+                // transaction tag's client while the scope is open.
+                let _scope = ClientScope::enter(txn.client);
+                let executed = Cell::new(false);
+                let reply = self.dedup.execute(txn, || {
+                    executed.set(true);
+                    self.dispatch(req)
+                });
+                if !executed.get() {
+                    // Replayed from the at-most-once cache: the client's
+                    // RPC layer retransmitted.
+                    self.server
+                        .accounting()
+                        .charge(txn.client, |u| u.retries += 1);
+                }
+                reply
+            }
             None => self.dispatch(req),
         }
     }
@@ -138,9 +158,20 @@ impl RpcServer for BulletRpcServer {
     fn handle_streamed(&self, req: Request, wire: &StreamWire) -> Reply {
         let (req, txn) = untag_request(req);
         match txn {
-            Some(txn) => self
-                .dedup
-                .execute(txn, || self.dispatch_streamed(req, wire)),
+            Some(txn) => {
+                let _scope = ClientScope::enter(txn.client);
+                let executed = Cell::new(false);
+                let reply = self.dedup.execute(txn, || {
+                    executed.set(true);
+                    self.dispatch_streamed(req, wire)
+                });
+                if !executed.get() {
+                    self.server
+                        .accounting()
+                        .charge(txn.client, |u| u.retries += 1);
+                }
+                reply
+            }
             None => self.dispatch_streamed(req, wire),
         }
     }
@@ -152,6 +183,9 @@ impl BulletRpcServer {
         let result = match req.command {
             std_commands::INFO => return self.std_info(&req),
             std_commands::STATUS => return self.std_status(),
+            std_commands::MONITOR => {
+                return Reply::ok(Bytes::new(), Bytes::from(self.server.monitor_snapshot()))
+            }
             commands::CREATE => {
                 let Some(p) = read_u32(&req.params, 0) else {
                     return Reply::error(Status::BadParam);
@@ -422,6 +456,25 @@ impl BulletClient {
         cap_from_params(&reply.params)
     }
 
+    /// `STD_MONITOR`: fetches the server's live telemetry snapshot — a
+    /// versioned JSON object (top-level `"monitor_schema"` key) carrying
+    /// every counter, the tail of each time-series ring, the SLO
+    /// watchdog's event log, and the top per-client resource consumers.
+    /// See [`BulletServer::monitor_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// The server's status on failure.
+    pub fn monitor(&self) -> Result<String, Status> {
+        let reply = self.rpc.trans(
+            self.service_cap(),
+            amoeba_rpc::std_commands::MONITOR,
+            Bytes::new(),
+            Bytes::new(),
+        )?;
+        String::from_utf8(reply.data.to_vec()).map_err(|_| Status::BadParam)
+    }
+
     /// Flushes the server's background replica writes.
     ///
     /// # Errors
@@ -488,6 +541,63 @@ mod tests {
         client.delete(&cap).unwrap();
         assert_eq!(client.read(&cap).unwrap_err(), Status::NotFound);
         client.sync().unwrap();
+    }
+
+    #[test]
+    fn monitor_rpc_returns_versioned_snapshot() {
+        let mut cfg = BulletConfig::small_test();
+        let clock = SimClock::new();
+        cfg.clock = clock.clone();
+        cfg.telemetry = amoeba_sim::TelemetryConfig::enabled(amoeba_sim::Nanos::from_us(1), 64);
+        let server = Arc::new(BulletServer::format(cfg, 2).unwrap());
+        let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+        let dispatcher = Dispatcher::new(net);
+        dispatcher.register(BulletRpcServer::new(server.clone()));
+        let client = BulletClient::new(RpcClient::new(dispatcher), server.port());
+        let cap = client.create(Bytes::from_static(b"monitored"), 1).unwrap();
+        client.read(&cap).unwrap();
+        client.read(&cap).unwrap();
+        let snap = client.monitor().unwrap();
+        assert!(snap.starts_with("{\"monitor_schema\":1"), "{snap}");
+        assert!(snap.contains("\"counters\":{"), "{snap}");
+        // With a 1 µs period, the per-request tick fired and sampled the
+        // layer gauges into the rings.
+        assert!(snap.contains("\"series\":\"cache_used_bytes\""), "{snap}");
+        assert!(snap.contains("\"slo_events\":["), "{snap}");
+    }
+
+    #[test]
+    fn tagged_requests_charge_client_accounting() {
+        use amoeba_rpc::fault::{tag_request, TxnId};
+        let mut cfg = BulletConfig::small_test();
+        cfg.accounting = crate::ClientAccounting::on();
+        let server = Arc::new(BulletServer::format(cfg, 2).unwrap());
+        let rpc = BulletRpcServer::new(server.clone());
+        let cap = server.create(Bytes::from_static(b"abcde"), 1).unwrap();
+        let make = || Request {
+            cap,
+            command: commands::READ,
+            params: Bytes::new(),
+            data: Bytes::new(),
+        };
+        let txn = TxnId { client: 42, seq: 1 };
+        let first = rpc.handle(tag_request(make(), txn));
+        assert_eq!(first.status, Status::Ok);
+        let usage = server.accounting().usage(42).unwrap();
+        assert_eq!(usage.requests, 1);
+        assert_eq!(usage.bytes_read, 5);
+        // A retransmission of the same transaction replays from the
+        // dedup cache: no new work charged, one retry recorded.
+        let replay = rpc.handle(tag_request(make(), txn));
+        assert_eq!(replay.status, Status::Ok);
+        let usage = server.accounting().usage(42).unwrap();
+        assert_eq!(usage.requests, 1);
+        assert_eq!(usage.retries, 1);
+        // Untagged traffic is charged to nobody.
+        rpc.handle(make());
+        assert_eq!(server.accounting().len(), 1);
+        let snap = server.monitor_snapshot();
+        assert!(snap.contains("\"client\":42"), "{snap}");
     }
 
     #[test]

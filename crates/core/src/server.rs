@@ -50,9 +50,11 @@ use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port,
 use amoeba_disk::{BlockDevice, LogWindow, MirroredDisk, RamDisk};
 use amoeba_rpc::StreamWire;
 use amoeba_sim::{
-    AttrValue, CpuProfile, DetRng, Nanos, Pipeline, SimClock, SpanGuard, Stats, TraceConfig, Tracer,
+    AttrValue, CpuProfile, DetRng, Nanos, Pipeline, SimClock, SpanGuard, Stats, Telemetry,
+    TelemetryConfig, TraceConfig, Tracer,
 };
 
+use crate::accounting::ClientAccounting;
 use crate::cache::{EvictionPolicy, FileCache};
 use crate::counters;
 use crate::freelist::ExtentAllocator;
@@ -146,6 +148,20 @@ pub struct BulletConfig {
     /// time the flush leader waits for straggler creates to join the
     /// batch before issuing the append.
     pub log_linger: Nanos,
+    /// Time-series telemetry (see [`amoeba_sim::timeseries`]).
+    /// [`TelemetryConfig::off`], the default, is free — the data path
+    /// never reads the clock or allocates for it, so the timeline is
+    /// bit-identical to a build without telemetry.  Enabled, the server
+    /// samples layer gauges (cache occupancy, allocator fragmentation,
+    /// log residency, group-commit batch occupancy, per-disk queue depth
+    /// and arm position) into fixed-capacity ring buffers once per
+    /// period, readable live through the `MONITOR` RPC.
+    pub telemetry: TelemetryConfig,
+    /// Per-client resource accounting keyed by the at-most-once
+    /// transaction tag (see [`crate::accounting`]).  Off by default;
+    /// enabled, the RPC dispatcher charges each request's bytes, I/Os,
+    /// cache hits and retries to its client id.
+    pub accounting: ClientAccounting,
 }
 
 impl BulletConfig {
@@ -177,6 +193,8 @@ impl BulletConfig {
             log_batch_files: 32,
             log_batch_bytes: 256 * 1024,
             log_linger: Nanos::from_us(250),
+            telemetry: TelemetryConfig::off(),
+            accounting: ClientAccounting::off(),
         }
     }
 }
@@ -356,6 +374,10 @@ pub struct BulletServer {
     locks: Stats,
     /// Clone of `cfg.trace`'s tracer, hoisted out for the hot paths.
     tracer: Tracer,
+    /// Clone of `cfg.telemetry`'s handle, hoisted like the tracer.
+    telemetry: Telemetry,
+    /// Clone of `cfg.accounting`, hoisted like the tracer.
+    accounting: ClientAccounting,
 }
 
 impl std::fmt::Debug for BulletServer {
@@ -442,6 +464,8 @@ impl BulletServer {
         // the mirror's replica spans, and the server's op spans all join
         // the same tree.
         let tracer = cfg.trace.tracer().clone();
+        let telemetry = cfg.telemetry.telemetry().clone();
+        let accounting = cfg.accounting.clone();
         let mut cache = FileCache::with_policy_seeded(
             cfg.cache_capacity,
             cfg.rnode_slots,
@@ -473,6 +497,8 @@ impl BulletServer {
             stats: Stats::new(),
             locks: Stats::new(),
             tracer,
+            telemetry,
+            accounting,
         }
     }
 
@@ -684,6 +710,13 @@ impl BulletServer {
             size: data.len() as u64,
             cache_capacity: self.cfg.cache_capacity,
         })?;
+        // Charged here, on the request thread: the group-commit leader
+        // below may write *other* clients' payloads, which must not be
+        // billed to whoever happened to lead the flush.
+        self.accounting.charge_current(|u| {
+            u.bytes_written += size as u64;
+            u.disk_ios += p_factor.max(1) as u64;
+        });
         // Group-commit routing: small non-wire creates join the shared
         // batch and commit as one sequential log append.  Files above the
         // byte cap — and wire-fed creates, whose segment pipeline already
@@ -1331,11 +1364,20 @@ impl BulletServer {
         if let Some(data) = self.cache_read().get(idx) {
             self.stats.incr(counters::READS);
             op.attr("bytes", data.len());
+            self.accounting.charge_current(|u| {
+                u.cache_hits += 1;
+                u.bytes_read += data.len() as u64;
+            });
             return Ok(data);
         }
         let data = self.load_cold(cap, idx, Rights::READ, wire, 0, u64::MAX)?;
         self.stats.incr(counters::READS);
         op.attr("bytes", data.len());
+        self.accounting.charge_current(|u| {
+            u.cache_misses += 1;
+            u.disk_ios += 1;
+            u.bytes_read += data.len() as u64;
+        });
         Ok(data)
     }
 
@@ -1389,11 +1431,21 @@ impl BulletServer {
         // read lock must not live into the miss arm, whose load path takes
         // the cache write lock.
         let hit = self.cache_read().get(idx);
+        let was_hit = hit.is_some();
         let data = match hit {
             Some(d) => d.slice(offset as usize..end as usize),
             None => self.load_section_cold(cap, idx, offset, end, wire)?,
         };
         self.stats.incr(counters::SECTION_READS);
+        self.accounting.charge_current(|u| {
+            if was_hit {
+                u.cache_hits += 1;
+            } else {
+                u.cache_misses += 1;
+                u.disk_ios += 1;
+            }
+            u.bytes_read += data.len() as u64;
+        });
         Ok(data)
     }
 
@@ -1750,6 +1802,126 @@ impl BulletServer {
     /// companions counting acquisitions that had to wait, snapshotted.
     pub fn lock_stats(&self) -> Vec<(&'static str, u64)> {
         self.locks.snapshot()
+    }
+
+    /// The telemetry handle (disabled unless
+    /// [`BulletConfig::telemetry`] enabled it) — for flight-recorder
+    /// exports and tests.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The per-client accounting table (disabled unless
+    /// [`BulletConfig::accounting`] enabled it).
+    pub fn accounting(&self) -> &ClientAccounting {
+        &self.accounting
+    }
+
+    /// The live-monitoring snapshot behind the `MONITOR` RPC: one
+    /// versioned JSON object carrying every counter, the tail of each
+    /// telemetry ring, the SLO watchdog's event log, and the top
+    /// per-client resource consumers.
+    ///
+    /// The top-level `"monitor_schema"` key versions the wire format;
+    /// consumers must check it before parsing further (see DESIGN.md
+    /// §14.3).
+    pub fn monitor_snapshot(&self) -> String {
+        const TAIL: usize = 8;
+        const TOP_K: usize = 10;
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"monitor_schema\":1");
+        out.push_str(&format!(",\"now_ns\":{}", self.cfg.clock.now().as_ns()));
+        out.push_str(&format!(
+            ",\"telemetry_enabled\":{}",
+            self.telemetry.enabled()
+        ));
+        // Counters: server ops, then the cache's own stats, then locks —
+        // disjoint name sets, merged into one flat object.
+        out.push_str(",\"counters\":{");
+        let mut first = true;
+        for (name, value) in self
+            .stats
+            .snapshot()
+            .into_iter()
+            .chain(self.cache_stats())
+            .chain(self.lock_stats())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push('}');
+        // Gauge/delta series: ring metadata plus the last few samples.
+        out.push_str(",\"series\":[");
+        for (i, (name, instance, kind, len, dropped)) in
+            self.telemetry.series_index().into_iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let samples = self.telemetry.series(name, instance);
+            let tail = &samples[samples.len().saturating_sub(TAIL)..];
+            out.push_str(&format!(
+                "{{\"series\":\"{name}\",\"instance\":{instance},\"kind\":\"{}\",\
+                 \"points\":{len},\"dropped\":{dropped},\"tail\":[",
+                kind.label()
+            ));
+            for (j, s) in tail.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"t_ns\":{},\"v\":{}}}", s.at.as_ns(), s.value));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        // The SLO watchdog's degradation/recovery event log.
+        out.push_str(",\"slo_events\":[");
+        for (i, e) in self.telemetry.slo_events().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"kind\":\"{}\",\"slo\":\"{}\",\"series\":\"{}\",\
+                 \"instance\":{},\"value\":{},\"ceiling\":{}}}",
+                e.at.as_ns(),
+                e.kind.label(),
+                e.slo,
+                e.series,
+                e.instance,
+                e.value,
+                e.ceiling
+            ));
+        }
+        out.push(']');
+        // Per-client accounting: population size plus the top offenders
+        // by the cost metric (deterministic order; see `ClientUsage`).
+        out.push_str(&format!(
+            ",\"clients\":{{\"count\":{},\"top\":[",
+            self.accounting.len()
+        ));
+        for (i, (client, u)) in self.accounting.top_k(TOP_K).into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"client\":{client},\"requests\":{},\"bytes_read\":{},\
+                 \"bytes_written\":{},\"disk_ios\":{},\"cache_hits\":{},\
+                 \"cache_misses\":{},\"retries\":{},\"cost\":{}}}",
+                u.requests,
+                u.bytes_read,
+                u.bytes_written,
+                u.disk_ios,
+                u.cache_hits,
+                u.cache_misses,
+                u.retries,
+                u.cost()
+            ));
+        }
+        out.push_str("]}}");
+        out
     }
 
     /// The mirrored storage (for failover tests and admin tooling).
@@ -2273,8 +2445,86 @@ impl BulletServer {
     fn charge_request(&self) {
         self.requests_seen
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if self.telemetry.tick(self.cfg.clock.now()) {
+            self.sample_gauges();
+        }
+        self.accounting.charge_current(|u| u.requests += 1);
         let _s = self.tracer.span("cpu.request");
         self.cfg.clock.advance(self.cfg.cpu.request());
+    }
+
+    /// Samples the layer gauges into the telemetry rings (at most once
+    /// per telemetry period; see [`Telemetry::tick`]).
+    ///
+    /// Uses *try*-locks, taken one at a time and released before the
+    /// next: a gauge whose lock is busy (or already held by this thread
+    /// via a caller) is simply skipped this period, so sampling can
+    /// never deadlock or stall the request that happened to cross the
+    /// period boundary.
+    fn sample_gauges(&self) {
+        let now = self.cfg.clock.now();
+        if let Some(cache) = self.cache.try_read() {
+            let (used, protected, ghost) = (
+                cache.used_bytes(),
+                cache.protected_bytes(),
+                cache.ghost_len() as u64,
+            );
+            // Hit/miss deltas per period (the rings lock is a leaf, so
+            // sampling under the cache read guard is in lock order).
+            self.telemetry.sample_counters(
+                now,
+                cache.stats(),
+                &[
+                    counters::CACHE_HITS,
+                    counters::CACHE_MISSES,
+                    counters::CACHE_EVICTIONS,
+                ],
+            );
+            drop(cache);
+            self.telemetry
+                .gauge(counters::GAUGE_CACHE_USED_BYTES, 0, now, used);
+            self.telemetry
+                .gauge(counters::GAUGE_CACHE_PROTECTED_BYTES, 0, now, protected);
+            self.telemetry
+                .gauge(counters::GAUGE_CACHE_GHOST_LEN, 0, now, ghost);
+        }
+        if let Some(alloc) = self.alloc.try_lock() {
+            let report = alloc.extents.report();
+            drop(alloc);
+            self.telemetry
+                .gauge(counters::GAUGE_ALLOC_FREE_BLOCKS, 0, now, report.free);
+            self.telemetry
+                .gauge(counters::GAUGE_ALLOC_MAX_HOLE, 0, now, report.largest_hole);
+        }
+        if let Some(log) = &self.log {
+            if let Some(st) = log.try_lock() {
+                let resident = st.window.resident() as u64;
+                drop(st);
+                self.telemetry
+                    .gauge(counters::GAUGE_LOG_RESIDENT_FILES, 0, now, resident);
+            }
+            self.telemetry.gauge(
+                counters::GAUGE_GC_BATCH_OCCUPANCY,
+                0,
+                now,
+                self.gc.pending_len() as u64,
+            );
+        }
+        // Counter-delta series: op mix and cache behaviour per period.
+        self.telemetry.sample_counters(
+            now,
+            &self.stats,
+            &[
+                counters::READS,
+                counters::SECTION_READS,
+                counters::CREATES,
+                counters::DELETES,
+                counters::MODIFIES,
+                counters::BYTES_CREATED,
+                counters::LOG_APPENDS,
+                counters::GROUP_COMMIT_FLUSHES,
+            ],
+        );
     }
 
     /// Charges a `bytes`-long memory copy under a `cpu.memcpy` leaf span.

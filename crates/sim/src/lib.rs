@@ -20,7 +20,10 @@
 //! * [`Stats`] — cheap named counters every component exports,
 //! * [`Histogram`] — a power-of-two latency histogram for the harness,
 //! * [`Tracer`] — simulated-clock span tracing over the whole data path,
-//!   with JSONL and Chrome-trace exporters (see [`trace`]).
+//!   with JSONL and Chrome-trace exporters (see [`trace`]),
+//! * [`Telemetry`] — fixed-capacity ring-buffer time series (gauges and
+//!   counter deltas) on the simulated clock, with an SLO watchdog and
+//!   flight-recorder exporters (see [`timeseries`]).
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod hw;
 pub mod pipeline;
 pub mod rng;
 pub mod stats;
+pub mod timeseries;
 pub mod trace;
 
 pub use clock::{capture, commit_max, ChargeLog, Nanos, SimClock};
@@ -49,5 +53,6 @@ pub use event::EventQueue;
 pub use hw::{CpuProfile, DiskProfile, HwProfile, NetProfile};
 pub use pipeline::Pipeline;
 pub use rng::DetRng;
-pub use stats::{Histogram, Stats};
+pub use stats::{exact_quantile, Histogram, Stats};
+pub use timeseries::{Sample, SeriesKind, SloEvent, SloKind, Telemetry, TelemetryConfig};
 pub use trace::{AttrValue, SpanGuard, SpanRecord, TraceConfig, Tracer};

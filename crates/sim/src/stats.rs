@@ -173,9 +173,73 @@ impl Histogram {
     }
 }
 
+/// The workspace's one exact-quantile rule: nearest-rank over a sorted
+/// sample set with the `(len - 1) * pct / 100` index (so `pct = 0` is the
+/// minimum, `pct = 100` the maximum, and a single sample pins every
+/// quantile).  Every harness that holds raw samples — the scheduler
+/// bench, the group-commit storm, the SLO watchdog's windowed checks —
+/// shares this function instead of growing its own off-by-one variant;
+/// [`Histogram::quantile`] remains the bucketed estimate for cases where
+/// only the histogram survives.
+///
+/// Returns `None` on an empty slice. `pct` above 100 clamps to 100.
+pub fn exact_quantile<T: Copy>(sorted: &[T], pct: usize) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    Some(sorted[(sorted.len() - 1) * pct.min(100) / 100])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exact_quantile_of_empty_is_none() {
+        assert_eq!(exact_quantile::<u64>(&[], 50), None);
+        assert_eq!(exact_quantile::<u64>(&[], 0), None);
+        assert_eq!(exact_quantile::<u64>(&[], 100), None);
+    }
+
+    #[test]
+    fn exact_quantile_single_sample_pins_every_percentile() {
+        for pct in [0, 1, 50, 99, 100, 250] {
+            assert_eq!(exact_quantile(&[42u64], pct), Some(42));
+        }
+    }
+
+    #[test]
+    fn exact_quantile_all_equal_is_that_value() {
+        let v = [7u64; 64];
+        for pct in [0, 50, 99, 100] {
+            assert_eq!(exact_quantile(&v, pct), Some(7));
+        }
+    }
+
+    #[test]
+    fn exact_quantile_uses_the_nearest_rank_index() {
+        let v: Vec<u64> = (0..100).collect();
+        // (len - 1) * pct / 100: p0 = min, p100 = max, p99 = index 98.
+        assert_eq!(exact_quantile(&v, 0), Some(0));
+        assert_eq!(exact_quantile(&v, 50), Some(49));
+        assert_eq!(exact_quantile(&v, 99), Some(98));
+        assert_eq!(exact_quantile(&v, 100), Some(99));
+        // Out-of-range percentiles clamp to the maximum.
+        assert_eq!(exact_quantile(&v, 400), Some(99));
+    }
+
+    #[test]
+    fn exact_quantile_is_monotone_in_pct() {
+        let v: Vec<u64> = (0..37).map(|i| i * 13 % 101).collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let mut last = 0;
+        for pct in 0..=100 {
+            let q = exact_quantile(&sorted, pct).unwrap();
+            assert!(q >= last, "quantiles must not decrease");
+            last = q;
+        }
+    }
 
     #[test]
     fn counters_accumulate_and_reset() {
