@@ -2,6 +2,10 @@
 //! cited workload mix as the RAM cache shrinks from "all remaining
 //! memory" (the paper's design point) downward.
 //!
+//! Exit status is non-zero if the headline invariant goes red: the
+//! full-size cache must beat the smallest one on both hit ratio and
+//! mean read delay.
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_cache_size
 //! ```
@@ -53,11 +57,28 @@ fn main() {
         "  {:>12}  {:>10}  {:>16}",
         "cache", "hit ratio", "mean read (ms)"
     );
+    let mut rows = Vec::new();
     for &kb in &[512u64, 1024, 2048, 4096, 8192, 16_384] {
         let (ratio, mean) = run(kb << 10);
         println!("  {:>9} KB  {:>9.1}%  {:>16.1}", kb, 100.0 * ratio, mean);
+        rows.push((ratio, mean));
     }
     println!();
     println!("\"All of the server's remaining memory will be used for file caching\" (§3):");
     println!("the hit ratio — and with it Fig. 2's no-disk read path — is bought with RAM.");
+    let (small, large) = (rows.first().expect("rows"), rows.last().expect("rows"));
+    if large.0 <= small.0 {
+        eprintln!(
+            "ABL6 FAILED: full cache hit ratio {:.3} no better than smallest cache's {:.3}",
+            large.0, small.0
+        );
+        std::process::exit(1);
+    }
+    if large.1 >= small.1 {
+        eprintln!(
+            "ABL6 FAILED: full cache mean read {:.1} ms no better than smallest cache's {:.1} ms",
+            large.1, small.1
+        );
+        std::process::exit(1);
+    }
 }

@@ -22,6 +22,11 @@
 //! is a property of the wire, not of the server's locking, and is
 //! measured separately in ABL7 (`ablation_netload`).
 //!
+//! Exit status is non-zero if the headline invariant goes red:
+//! aggregate read throughput must never drop below the single-client
+//! baseline, and 4 clients must reach at least 2× it (the sharded read
+//! path scales until the spindles bind).
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_concurrency
 //! ```
@@ -94,6 +99,7 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         log_linger: amoeba_sim::Nanos::from_us(250),
         telemetry: amoeba_sim::TelemetryConfig::off(),
         accounting: bullet_core::ClientAccounting::off(),
+        shard: bullet_core::ShardSlot::solo(),
     };
     let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
     (server, disk_clock)
@@ -148,6 +154,7 @@ fn main() {
     );
 
     let mut base_rate = 0.0f64;
+    let mut reds: Vec<String> = Vec::new();
     for &clients in &[1usize, 2, 4, 8, 16] {
         let (server, disk_clock) = build(hw);
         // Populate and warm the pool: every file cache-resident.
@@ -184,6 +191,16 @@ fn main() {
         let rate = reads as f64 / (makespan.as_ns() as f64 / 1e9);
         if clients == 1 {
             base_rate = rate;
+        }
+        if rate < base_rate {
+            reds.push(format!(
+                "{clients} clients read {rate:.0}/s, below the 1-client baseline {base_rate:.0}/s"
+            ));
+        }
+        if clients == 4 && rate < 2.0 * base_rate {
+            reds.push(format!(
+                "4 clients read {rate:.0}/s, under 2x the 1-client baseline {base_rate:.0}/s"
+            ));
         }
         println!(
             "  {:>8}  {:>8.0}ms  {:>12.0}  {:>8.1}x  {:>9.1}  {:>9.1}  {:>10}",
@@ -223,4 +240,10 @@ fn main() {
     println!("Cache-hit reads take only shared locks and charge no disk time, so");
     println!("aggregate read throughput grows with the client count; the occasional");
     println!("mirrored creates are the serial resource that finally binds it.");
+    if !reds.is_empty() {
+        for r in &reds {
+            eprintln!("ABL10 FAILED: {r}");
+        }
+        std::process::exit(1);
+    }
 }

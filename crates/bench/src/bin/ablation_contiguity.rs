@@ -6,6 +6,9 @@
 //! Both sides run on an identical simulated SCSI drive; only the layout
 //! policy differs — this isolates the paper's core architectural bet.
 //!
+//! Exit status is non-zero if the headline invariant goes red: the
+//! contiguous fetch must beat the scattered one at every size.
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_contiguity
 //! ```
@@ -70,6 +73,7 @@ fn main() {
         "  {:>12}  {:>16}  {:>16}  {:>10}",
         "File Size", "contiguous (ms)", "scattered (ms)", "ratio"
     );
+    let mut reds: Vec<String> = Vec::new();
     for &size in &SIZES {
         let c = bullet_fetch(size);
         let s = blockfs_fetch(size);
@@ -80,8 +84,22 @@ fn main() {
             s.as_ms_f64(),
             s.as_ns() as f64 / c.as_ns() as f64
         );
+        if c >= s {
+            reds.push(format!(
+                "contiguous fetch no faster than scattered at {}: {:.1} ms vs {:.1} ms",
+                size_label(size),
+                c.as_ms_f64(),
+                s.as_ms_f64()
+            ));
+        }
     }
     println!();
     println!("One seek + one transfer versus a seek per scattered block: this gap is");
     println!("why the Bullet server stores files contiguously (§2).");
+    if !reds.is_empty() {
+        for r in &reds {
+            eprintln!("ABL2 FAILED: {r}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -4,6 +4,11 @@
 //! constrained cache.  (ABL16 re-runs this question at 10k-client
 //! event-engine scale, where the scan-resistant policies separate.)
 //!
+//! Exit status is non-zero if the headline invariant goes red: every
+//! policy must land within 5 points of the best hit ratio (the near-null
+//! result the paper's two-byte age field banks on), and every cell must
+//! actually hit the cache.
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_eviction
 //! ```
@@ -96,6 +101,7 @@ fn main() {
         "  {:>10}  {:>10}  {:>18}",
         "policy", "hit ratio", "workload time (s)"
     );
+    let mut ratios = Vec::new();
     for (name, policy) in [
         ("LRU", EvictionPolicy::Lru),
         ("FIFO", EvictionPolicy::Fifo),
@@ -105,6 +111,7 @@ fn main() {
     ] {
         let (ratio, secs) = run(policy);
         println!("  {:>10}  {:>9.1}%  {:>18.1}", name, 100.0 * ratio, secs);
+        ratios.push((name, ratio));
     }
     println!();
     println!("A near-null result: SLRU edges ahead and every policy lands within ~2 points,");
@@ -112,4 +119,22 @@ fn main() {
     println!("at all (ABL1, ABL6) — consistent with the paper spending two bytes per rnode");
     println!("on it and no more.  The gap only opens under one-touch scan pollution, which");
     println!("is exactly what ABL16 (`ablation_evsim`) measures at 10k-client scale.");
+    let best = ratios.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    let mut red = false;
+    for &(name, ratio) in &ratios {
+        if ratio <= 0.0 {
+            eprintln!("ABL9 FAILED: {name} never hit the cache");
+            red = true;
+        }
+        if ratio < best - 0.05 {
+            eprintln!(
+                "ABL9 FAILED: {name} hit ratio {:.3} more than 5 points behind the best {:.3}",
+                ratio, best
+            );
+            red = true;
+        }
+    }
+    if red {
+        std::process::exit(1);
+    }
 }

@@ -2,6 +2,10 @@
 //! fragmentation of the contiguous data area under a realistic
 //! create/delete churn, and what the "3 a.m." compaction buys back.
 //!
+//! Exit status is non-zero if the headline invariant goes red:
+//! compaction must leave the free space in at most one hole (every free
+//! block usable again).
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_fragmentation
 //! ```
@@ -114,4 +118,11 @@ fn main() {
         100.0 * before.external_fragmentation
     );
     println!("(the paper: buy an 800 MB disk to store 500 MB — a conscious trade for speed).");
+    if after.hole_count > 1 || after.largest_hole != after.free {
+        eprintln!(
+            "ABL4 FAILED: compaction left {} holes (largest {} of {} free blocks)",
+            after.hole_count, after.largest_hole, after.free
+        );
+        std::process::exit(1);
+    }
 }

@@ -6,6 +6,10 @@
 //! (`BULLET.APPEND`, a whole new file per append — quadratic total work)
 //! against the log server's segment chain (linear).
 //!
+//! Exit status is non-zero if the headline invariant goes red: the log
+//! server must beat the naive path in total, and read back every
+//! appended byte.
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_logserver
 //! ```
@@ -92,9 +96,30 @@ fn main() {
         log_total.as_ms_f64()
     );
     println!("because each naive append rewrites the whole log to disk (twice, mirrored).");
+    let read_back = logs.len(&log).expect("len");
     println!(
         "Log server sealed {} segments; read-back length {}.",
         logs.segment_count(&log).expect("count"),
-        logs.len(&log).expect("len")
+        read_back
     );
+    let mut red = false;
+    if log_total >= naive_total {
+        eprintln!(
+            "ABL5 FAILED: log server total {:.1} ms not below naive {:.1} ms",
+            log_total.as_ms_f64(),
+            naive_total.as_ms_f64()
+        );
+        red = true;
+    }
+    if read_back != (APPENDS * ENTRY) as u64 {
+        eprintln!(
+            "ABL5 FAILED: read-back length {} != {} appended bytes",
+            read_back,
+            APPENDS * ENTRY
+        );
+        red = true;
+    }
+    if red {
+        std::process::exit(1);
+    }
 }

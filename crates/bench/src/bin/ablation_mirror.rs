@@ -1,6 +1,10 @@
 //! Ablation ABL8 — the price of replication: CREATE+DELETE with one,
 //! two (the paper's configuration), and three mirrored disks.
 //!
+//! Exit status is non-zero if the headline invariant goes red: the
+//! parallel replica writes must keep 3 disks within 25 % of 1 disk at
+//! every size ("a relatively small increment", §3).
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_mirror
 //! ```
@@ -10,6 +14,7 @@ use bullet_bench::rig::BulletRig;
 use bullet_bench::table::{size_label, SIZES};
 
 fn main() {
+    let mut reds: Vec<String> = Vec::new();
     println!("ABL8 — CREATE+DELETE delay (ms) by replica count (P-FACTOR = disks)");
     println!(
         "  {:>12}  {:>10}  {:>10}  {:>10}",
@@ -38,6 +43,14 @@ fn main() {
             cols[1],
             cols[2]
         );
+        if cols[2] > cols[0] * 1.25 {
+            reds.push(format!(
+                "3-disk create+delete {:.1} ms more than 25% over 1-disk {:.1} ms at {}",
+                cols[2],
+                cols[0],
+                size_label(size)
+            ));
+        }
     }
     println!();
     println!("Replica writes are issued in parallel and the create returns when the");
@@ -45,4 +58,10 @@ fn main() {
     println!("write per spindle, visible under load — see ablation_concurrency) but");
     println!("almost no delay: \"a relatively small increment in total file server");
     println!("cost\" (§3) buys the availability story of the fault_tolerance example.");
+    if !reds.is_empty() {
+        for r in &reds {
+            eprintln!("ABL8 FAILED: {r}");
+        }
+        std::process::exit(1);
+    }
 }

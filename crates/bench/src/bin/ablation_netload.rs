@@ -2,6 +2,9 @@
 //! scales the Bullet read tables (the paper measured under real load; we
 //! sweep the load factor).
 //!
+//! Exit status is non-zero if the headline invariant goes red: read
+//! delay must grow monotonically with wire contention at every size.
+//!
 //! ```text
 //! cargo run -p bullet-bench --bin ablation_netload
 //! ```
@@ -55,16 +58,31 @@ fn read_delay_ms(load: f64, size: usize) -> (f64, f64) {
 }
 
 fn main() {
+    let mut reds: Vec<String> = Vec::new();
     println!("ABL7 — Ethernet load factor vs warm READ performance");
     for &size in &[512usize, 65_536, 1 << 20] {
         println!("  file size {}:", size_label(size));
         println!("  {:>8}  {:>12}  {:>14}", "load", "delay (ms)", "bw (KB/s)");
+        let mut prev = 0.0f64;
         for &load in &[1.0f64, 1.25, 1.5, 2.0, 3.0] {
             let (ms, bw) = read_delay_ms(load, size);
             println!("  {:>7.2}x  {:>12.1}  {:>14.1}", load, ms, bw);
+            if ms < prev {
+                reds.push(format!(
+                    "delay fell from {prev:.1} ms to {ms:.1} ms as load rose to {load:.2}x at {}",
+                    size_label(size)
+                ));
+            }
+            prev = ms;
         }
     }
     println!();
     println!("Delays scale linearly with wire contention; the Bullet advantage over the");
     println!("block baseline is load-independent because both ride the same Ethernet.");
+    if !reds.is_empty() {
+        for r in &reds {
+            eprintln!("ABL7 FAILED: {r}");
+        }
+        std::process::exit(1);
+    }
 }

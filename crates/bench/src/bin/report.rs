@@ -20,7 +20,10 @@
 //! under Zipf and scan-injection workloads at the small cell size, with
 //! the scan-resistance margin), the ABL17 telemetry summary (flight
 //! recorder digest delta vs a bare run, ring population, and the SLO
-//! watchdog's detection lag under an injected fault burst), and the
+//! watchdog's detection lag under an injected fault burst), the ABL18
+//! sharding summary (1- vs 2-shard aggregate cold-read bandwidth, the
+//! rebalance cell's extent count, and the kill-one-shard cell's refusal
+//! count — the full 8-shard matrix is `ablation_shard`), and the
 //! per-zone data-area fragmentation report after a deterministic churn.
 //! The document leads with a top-level `"schema_version"` key.  Adding
 //! `--check` first requires the committed baseline to carry the current
@@ -40,7 +43,10 @@
 //! LRU under scan injection at Zipf parity, requires the baseline to
 //! carry every `telemetry` key and the fresh instrumented run to replay
 //! the bare timeline bit-identically (digest delta 0) with the watchdog
-//! flagging the fault burst within one sampling period,
+//! flagging the fault burst within one sampling period, requires the
+//! baseline to carry every `sharding` key and the fresh reduced cells to
+//! uphold the ABL18 invariants (2-shard bandwidth ≥ 1.5× the baseline,
+//! rebalance and kill-shard cells fully green),
 //! failing the run on any regression or on a baseline missing a gated
 //! key — the CI bench-smoke gate:
 //!
@@ -58,6 +64,7 @@ use bullet_bench::faults::{run_class, CampaignOutcome, FaultClass};
 use bullet_bench::monitor;
 use bullet_bench::rig::{BulletRig, NfsRig};
 use bullet_bench::schedbench::{coalesce_knee, run_policies, KneeRow, MixedRun, PR_SEED};
+use bullet_bench::shardbench::{self, ShardOutcome};
 use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
 use bullet_core::FragReport;
 use bytes::Bytes;
@@ -311,6 +318,23 @@ fn measure_telemetry() -> TelemetryMeasure {
     }
 }
 
+/// The ABL18 summary `--json` embeds: the reduced 1-vs-2-shard scaling
+/// pair plus one rebalance and one kill-one-shard cell at the PR seed
+/// (the full 1–8 matrix and seed sweeps are `ablation_shard`).
+struct ShardMeasure {
+    scaling: Vec<ShardOutcome>,
+    rebalance: ShardOutcome,
+    kill: ShardOutcome,
+}
+
+fn measure_sharding() -> ShardMeasure {
+    ShardMeasure {
+        scaling: shardbench::run_scaling_suite(&[1, 2]),
+        rebalance: shardbench::run_rebalance(1),
+        kill: shardbench::run_kill_shard(1),
+    }
+}
+
 /// A deterministic create/delete churn on a fresh rig, then the
 /// per-zone fragmentation snapshot of the data area (plus the
 /// whole-area report the gate checks the zones partition).
@@ -340,6 +364,7 @@ fn measure_zone_frag() -> (Vec<FragReport>, FragReport) {
 /// Hand-rolled JSON (the workspace carries no serializer): one object
 /// per size with delays in milliseconds, latency percentiles, and
 /// cold-read bandwidths.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[StreamRow],
     pcts: &[PctRow],
@@ -348,6 +373,7 @@ fn render_json(
     gc: &GroupCommitMeasure,
     ev: &EvsimMeasure,
     tm: &TelemetryMeasure,
+    sh: &ShardMeasure,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(
@@ -492,6 +518,28 @@ fn render_json(
     let _ = writeln!(out, "    \"slo_degraded_events\": {},", tm.slo_degraded);
     let _ = writeln!(out, "    \"detection_lag_us\": {}", tm.detection_lag_us);
     out.push_str("  },\n");
+    // ABL18 headline facts: the reduced 1-vs-2-shard cold-read scaling
+    // pair and the green-ness of the rebalance and kill-shard cells.
+    let (base, two) = (&sh.scaling[0], &sh.scaling[1]);
+    let _ = writeln!(out, "  \"sharding\": {{");
+    let _ = writeln!(out, "    \"baseline_read_mb_s\": {:.3},", base.metric);
+    let _ = writeln!(out, "    \"two_shard_read_mb_s\": {:.3},", two.metric);
+    let _ = writeln!(
+        out,
+        "    \"shard_speedup\": {:.3},",
+        two.metric / base.metric
+    );
+    let _ = writeln!(
+        out,
+        "    \"rebalance_extents_moved\": {},",
+        sh.rebalance.metric as u64
+    );
+    let _ = writeln!(
+        out,
+        "    \"kill_shard_ops_refused\": {}",
+        sh.kill.metric as u64
+    );
+    out.push_str("  },\n");
     // Per-zone fragmentation of the data area after a deterministic
     // create/delete churn.
     let _ = writeln!(out, "  \"zone_frag\": [");
@@ -543,6 +591,7 @@ fn render_json(
 /// The `--check` gate: bandwidth floors and p99 ceilings against the
 /// committed baseline.  Strict about the baseline itself — a missing file
 /// or key is a failure naming what is missing, not a silent pass.
+#[allow(clippy::too_many_arguments)]
 fn gate(
     path: &str,
     rows: &[StreamRow],
@@ -552,6 +601,7 @@ fn gate(
     gc: &GroupCommitMeasure,
     ev: &EvsimMeasure,
     tm: &TelemetryMeasure,
+    sh: &ShardMeasure,
 ) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
@@ -794,6 +844,54 @@ fn gate(
             lru_zipf - 0.05,
         )?;
     }
+    // Sharding gate, part 1 — schema: the committed baseline must carry
+    // every ABL18 key (a baseline from before the sharded service fails
+    // loudly, naming the key, until regenerated).
+    for key in [
+        "baseline_read_mb_s",
+        "two_shard_read_mb_s",
+        "shard_speedup",
+        "rebalance_extents_moved",
+        "kill_shard_ops_refused",
+    ] {
+        check::require_section_key(&doc, path, "sharding", key)?;
+    }
+    // Sharding gate, part 2 — the fresh reduced cells must uphold the
+    // PR's headline invariants: two shards deliver at least 1.5× the
+    // one-shard aggregate cold-read bandwidth (the same 0.75/shard floor
+    // the full matrix holds at 8 shards), and the rebalance and
+    // kill-shard cells come back fully green.
+    let (base, two) = (&sh.scaling[0], &sh.scaling[1]);
+    eprintln!(
+        "check: sharding — 1 shard {:.2} MB/s, 2 shards {:.2} MB/s ({:.2}x); \
+         rebalance {}/{} green, kill-shard {}/{} green",
+        base.metric,
+        two.metric,
+        two.metric / base.metric,
+        sh.rebalance.invariants.iter().filter(|i| i.pass).count(),
+        sh.rebalance.invariants.len(),
+        sh.kill.invariants.iter().filter(|i| i.pass).count(),
+        sh.kill.invariants.len()
+    );
+    check::require_at_least(
+        "2-shard aggregate cold-read bandwidth (MB/s, vs 1.5x one shard)",
+        two.metric,
+        1.5 * base.metric,
+    )?;
+    for (cell, outcome) in [
+        ("scaling baseline", base),
+        ("scaling 2-shard", two),
+        ("rebalance", &sh.rebalance),
+        ("kill-shard", &sh.kill),
+    ] {
+        if let Some(red) = outcome.invariants.iter().find(|i| !i.pass) {
+            return Err(CheckError::Regression {
+                what: format!("sharding {cell} cell red: {} ({})", red.name, red.detail),
+                fresh: 0.0,
+                bound: 1.0,
+            });
+        }
+    }
     // Zone-frag gate: the per-zone reports must partition the data area
     // — zone free space sums to the whole-area free count.
     let zone_free: u64 = sm.zones.iter().map(|z| z.free).sum();
@@ -833,13 +931,18 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     let ev = measure_evsim();
     eprintln!("running telemetry summary (bare vs instrumented vs fault-burst evsim)…");
     let tm = measure_telemetry();
+    eprintln!("running sharding summary (1-vs-2-shard scaling + rebalance + kill-shard)…");
+    let sh = measure_sharding();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev, &tm) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev, &tm, &sh) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
-    std::fs::write(path, render_json(&rows, &pcts, &faults, &sm, &gc, &ev, &tm))?;
+    std::fs::write(
+        path,
+        render_json(&rows, &pcts, &faults, &sm, &gc, &ev, &tm, &sh),
+    )?;
     eprintln!("wrote {path}");
     Ok(())
 }

@@ -363,7 +363,7 @@ pub fn run(cfg: &EvsimConfig) -> EvsimRun {
             // lost and the client's RPC layer eats one retry delay.
             if let Some(b) = &cfg.fault {
                 if when >= b.start && when < b.end && fault_rng.next_below(b.drop_denom) == 0 {
-                    when = when + b.retry_delay;
+                    when += b.retry_delay;
                     retries += 1;
                     cfg.accounting.charge(ci as u64, |u| u.retries += 1);
                 }

@@ -26,6 +26,10 @@
 //!   10k+ simulated clients over ~1M files on one [`amoeba_sim::EventQueue`],
 //!   squeezing the real `FileCache` through LRU/FIFO/SegmentedLRU/2Q
 //!   under Zipf and scan-injection workloads.
+//! * [`shardbench`] — the sharded-service ablation (ABL18): aggregate
+//!   read bandwidth scaling across 1–8 shards behind the
+//!   [`amoeba_rpc::ShardRouter`], live-byte preservation under
+//!   rebalancing, and the kill-one-shard degraded-service cell.
 //!
 //! Binaries (see DESIGN.md's experiment index):
 //! `fig1_layout`, `fig2_bullet`, `fig3_nfs`, `comparison`,
@@ -41,6 +45,7 @@ pub mod faults;
 pub mod monitor;
 pub mod rig;
 pub mod schedbench;
+pub mod shardbench;
 pub mod table;
 pub mod workload;
 
@@ -49,5 +54,6 @@ pub use evsim::{EvsimConfig, EvsimOutcome, EvsimRun};
 pub use faults::{CampaignOutcome, FaultClass, Invariant};
 pub use rig::{BulletRig, NfsRig, SchedSummary};
 pub use schedbench::{KneeRow, MixedRun, PolicyOutcome};
+pub use shardbench::ShardOutcome;
 pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
 pub use workload::{small_file_storm, SizeDistribution, WorkloadMix, WorkloadOp, ZipfSampler};

@@ -117,6 +117,7 @@ impl BulletRig {
             log_linger: amoeba_sim::Nanos::from_us(250),
             telemetry: amoeba_sim::TelemetryConfig::off(),
             accounting: bullet_core::ClientAccounting::off(),
+            shard: bullet_core::ShardSlot::solo(),
         };
         tweak(&mut cfg);
         let tracer = cfg.trace.tracer().clone();

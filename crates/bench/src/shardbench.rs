@@ -1,0 +1,499 @@
+//! The sharded-service ablation (ABL18): scaling, rebalance, and
+//! degraded-shard behaviour of N Bullet servers behind one
+//! [`amoeba_rpc::ShardRouter`].
+//!
+//! Three cell families, each a deterministic function of its seed:
+//!
+//! * [`run_scaling_suite`] — aggregate *cold* read bandwidth over a
+//!   round-robin-placed pool as the shard count grows.  Costs settle in
+//!   virtual time on two kinds of clock: one shared CPU clock (client
+//!   lanes run in parallel, so the CPU side's makespan is the slowest
+//!   lane) and one disk clock **per shard** (each shard's mirrored pair
+//!   is its own serial resource).  `makespan = max(slowest lane, busiest
+//!   shard's disk demand)` — sharding wins exactly because the disk
+//!   demand splits across spindle sets, and the headline invariant is
+//!   the ISSUE's: 8 shards ≥ 6× the 1-shard bandwidth.
+//! * [`run_rebalance`] — moves a deterministic subset of live extents
+//!   between shards through [`BulletShards::rebalance`] and proves no
+//!   live byte went anywhere but between shards: the placement-
+//!   independent digest is unchanged, the per-shard
+//!   `shard_rebalance_extents` counters sum to exactly the moves made,
+//!   and every pre-move capability still reads back on its new home.
+//! * [`run_kill_shard`] — the ABL13-style fault cell: a full client
+//!   workload through the router, one shard marked down mid-run.  Its
+//!   objects must fail with [`Status::ShardDown`] (distinctly — never
+//!   wrong bytes, never `NotFound`), the other N−1 must keep serving
+//!   bit-identically, the router's per-shard accounting must match what
+//!   the client observed, and recovery must restore every byte.
+//!
+//! [`outcome_table`] renders the cells; the string is the determinism
+//! witness `ablation_shard` byte-compares across a full replay.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use amoeba_cap::{shard_of, Capability};
+use amoeba_disk::{BlockDevice, MirroredDisk, RamDisk, SimDisk};
+use amoeba_net::SimEthernet;
+use amoeba_rpc::{Dispatcher, RpcClient, RpcServer, ShardRouter, Status};
+use amoeba_sim::{capture, DetRng, HwProfile, Nanos, NetProfile, SimClock};
+use bullet_core::counters::SHARD_REBALANCE_EXTENTS;
+use bullet_core::{
+    BulletClient, BulletConfig, BulletRpcServer, BulletServer, BulletShards, ShardSlot,
+};
+
+use crate::faults::Invariant;
+
+/// The shard counts the on-push scaling suite sweeps.
+pub const SCALING_COUNTS: [u32; 4] = [1, 2, 4, 8];
+/// Files in the scaling pool (placed round-robin, so every shard holds
+/// an equal slice).
+const POOL: usize = 96;
+/// Size of each pool file.
+const FILE_SIZE: usize = 32 * 1024;
+/// Client lanes issuing reads in parallel (CPU side).
+const LANES: usize = 8;
+/// Required speedup per shard: N shards must deliver at least
+/// `N * SCALING_FLOOR` times the 1-shard bandwidth (6x at 8 shards, the
+/// ISSUE's acceptance bar).
+const SCALING_FLOOR: f64 = 0.75;
+
+/// The outcome of one ABL18 cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Cell family: `scaling`, `rebalance`, or `kill-shard`.
+    pub cell: &'static str,
+    /// Shard count the cell ran with.
+    pub shards: u32,
+    /// Seed that generated the workload (0 for the seedless scaling rows).
+    pub seed: u64,
+    /// Client operations issued.
+    pub ops: u64,
+    /// Name of the headline metric.
+    pub metric_name: &'static str,
+    /// The headline metric (MB/s, extents moved, ops refused).
+    pub metric: f64,
+    /// Simulated end time / makespan in milliseconds — the determinism
+    /// witness' most sensitive column.
+    pub end_ms: f64,
+    /// The invariants checked, in order.
+    pub invariants: Vec<Invariant>,
+}
+
+impl ShardOutcome {
+    /// True when every invariant held.
+    pub fn green(&self) -> bool {
+        self.invariants.iter().all(|i| i.pass)
+    }
+}
+
+fn inv(name: &'static str, pass: bool, detail: String) -> Invariant {
+    Invariant { name, pass, detail }
+}
+
+/// Deterministic pool-file fill byte.
+fn fill(n: usize) -> u8 {
+    (n as u8).wrapping_mul(37).wrapping_add(11)
+}
+
+// ---------------------------------------------------------------------
+// Scaling.
+// ---------------------------------------------------------------------
+
+/// One shard set on latency-modelled disks: a shared CPU clock plus one
+/// disk clock per shard.
+fn scaling_set(hw: HwProfile, count: u32) -> (BulletShards, Vec<SimClock>) {
+    let cpu_clock = SimClock::new();
+    let mut disk_clocks = Vec::with_capacity(count as usize);
+    let mut servers = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let disk_clock = SimClock::new();
+        let replicas: Vec<Arc<dyn BlockDevice>> = (0..2)
+            .map(|_| {
+                Arc::new(SimDisk::new(
+                    RamDisk::new(1024, 65_536),
+                    disk_clock.clone(),
+                    hw.disk,
+                )) as Arc<dyn BlockDevice>
+            })
+            .collect();
+        let storage = MirroredDisk::new(replicas).expect("replica set is valid");
+        let mut cfg = BulletConfig::small_test();
+        cfg.min_inodes = 2048;
+        cfg.cache_capacity = 12 << 20;
+        cfg.rnode_slots = 2048;
+        cfg.block_size = 1024;
+        cfg.disk_blocks = 65_536;
+        cfg.clock = cpu_clock.clone();
+        cfg.cpu = hw.cpu;
+        cfg.shard = ShardSlot::new(i, count);
+        servers.push(Arc::new(
+            BulletServer::format_on(cfg, storage).expect("formatting succeeds"),
+        ));
+        disk_clocks.push(disk_clock);
+    }
+    (
+        BulletShards::new(servers).expect("validated shard set"),
+        disk_clocks,
+    )
+}
+
+/// One scaling row: cold aggregate read bandwidth at `count` shards.
+fn run_scaling(hw: HwProfile, count: u32) -> (f64, ShardOutcome) {
+    let (shards, disk_clocks) = scaling_set(hw, count);
+
+    // Round-robin placement, exactly the router's service-cap policy:
+    // every shard ends up holding POOL / count files of its own stripe.
+    let caps: Vec<(usize, Capability)> = (0..POOL)
+        .map(|n| {
+            let home = n % count as usize;
+            let cap = shards
+                .shard(home)
+                .create(Bytes::from(vec![fill(n); FILE_SIZE]), 2)
+                .expect("pool create fits");
+            (home, cap)
+        })
+        .collect();
+    // Every read below must come off the platters.
+    for s in shards.iter() {
+        s.clear_cache();
+    }
+
+    // LANES client lanes, each reading its slice of the pool once; the
+    // disk component of every read is attributed to the owning shard's
+    // spindle pair.
+    let mut lane_totals = [Nanos::ZERO; LANES];
+    let mut shard_disk = vec![Nanos::ZERO; count as usize];
+    let mut mismatches = 0u64;
+    let mut reads = 0u64;
+    for (n, (home, cap)) in caps.iter().enumerate() {
+        assert_eq!(
+            shard_of(cap.object.value(), count) as usize,
+            *home,
+            "striped minting keeps objects routable"
+        );
+        let (data, log) = capture(|| shards.shard(*home).read(cap).expect("pool file exists"));
+        if !data.iter().all(|&b| b == fill(n)) {
+            mismatches += 1;
+        }
+        lane_totals[n % LANES] += log.total() + hw.cpu.memcpy(data.len() as u64);
+        shard_disk[*home] += log.charged_to(&disk_clocks[*home]);
+        reads += 1;
+    }
+
+    let slowest_lane = lane_totals.iter().copied().max().unwrap_or(Nanos::ZERO);
+    let busiest_disk = shard_disk.iter().copied().max().unwrap_or(Nanos::ZERO);
+    let makespan = slowest_lane.max(busiest_disk);
+    let mbps =
+        (reads as f64 * FILE_SIZE as f64 / (1 << 20) as f64) / (makespan.as_ns() as f64 / 1e9);
+
+    let outcome = ShardOutcome {
+        cell: "scaling",
+        shards: count,
+        seed: 0,
+        ops: reads,
+        metric_name: "read MB/s",
+        metric: mbps,
+        end_ms: makespan.as_ms_f64(),
+        invariants: vec![inv(
+            "every byte read back intact",
+            mismatches == 0,
+            format!("{mismatches} mismatched files"),
+        )],
+    };
+    (mbps, outcome)
+}
+
+/// The scaling suite: one row per entry of `counts` (which must start
+/// at 1 — the baseline every speedup is measured against).  Each row
+/// past the baseline carries the near-linear-scaling invariant:
+/// aggregate bandwidth ≥ `SCALING_FLOOR` × shards × baseline.
+pub fn run_scaling_suite(counts: &[u32]) -> Vec<ShardOutcome> {
+    assert_eq!(counts.first(), Some(&1), "the suite needs the baseline");
+    let hw = HwProfile::amoeba_1989();
+    let mut base = 0.0f64;
+    counts
+        .iter()
+        .map(|&count| {
+            let (mbps, mut outcome) = run_scaling(hw, count);
+            if count == 1 {
+                base = mbps;
+            } else {
+                let need = SCALING_FLOOR * count as f64;
+                outcome.invariants.push(inv(
+                    "aggregate bandwidth scales near-linearly",
+                    mbps >= need * base,
+                    format!(
+                        "{:.1} MB/s = {:.2}x baseline (need >= {:.2}x)",
+                        mbps,
+                        mbps / base,
+                        need
+                    ),
+                ));
+            }
+            outcome
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Rebalance.
+// ---------------------------------------------------------------------
+
+/// The rebalance cell: seeded workload onto 4 shards, then every third
+/// object migrates one shard to the right.  Proves byte preservation,
+/// counter accounting, and pre-move capability routing.
+pub fn run_rebalance(seed: u64) -> ShardOutcome {
+    const SHARDS: u32 = 4;
+    let clock = SimClock::new();
+    let mut cfg = BulletConfig::small_test();
+    cfg.clock = clock.clone();
+    let shards = BulletShards::format(&cfg, SHARDS, 2).expect("shard set formats");
+
+    let mut rng = DetRng::new(seed);
+    let mut model: Vec<(Capability, usize)> = Vec::new(); // (cap, current shard)
+    for n in 0..60usize {
+        let size = 1 + rng.next_below(4000) as usize;
+        let home = n % SHARDS as usize;
+        let cap = shards
+            .shard(home)
+            .create(Bytes::from(vec![fill(n); size]), 1)
+            .expect("pool create fits");
+        model.push((cap, home));
+    }
+    let digest_before = shards.live_digest().expect("digest");
+    let bytes_before = shards.total_live_bytes().expect("bytes");
+
+    let mut moved = 0u64;
+    for (n, (cap, at)) in model.iter_mut().enumerate() {
+        if n % 3 != 0 {
+            continue;
+        }
+        let to = (*at + 1) % SHARDS as usize;
+        shards
+            .rebalance(*at, to, cap.object.value())
+            .expect("rebalance succeeds");
+        *at = to;
+        moved += 1;
+    }
+
+    let digest_after = shards.live_digest().expect("digest");
+    let bytes_after = shards.total_live_bytes().expect("bytes");
+    let counted: u64 = (0..SHARDS as usize)
+        .map(|i| shards.shard(i).stats().get(SHARD_REBALANCE_EXTENTS))
+        .sum();
+    let mut misplaced = 0u64;
+    let mut mismatches = 0u64;
+    for (n, (cap, at)) in model.iter().enumerate() {
+        match shards.shard(*at).read(cap) {
+            Ok(data) if data.iter().all(|&b| b == fill(n)) => {}
+            Ok(_) => mismatches += 1,
+            Err(_) => misplaced += 1,
+        }
+    }
+
+    ShardOutcome {
+        cell: "rebalance",
+        shards: SHARDS,
+        seed,
+        ops: model.len() as u64,
+        metric_name: "extents moved",
+        metric: moved as f64,
+        end_ms: clock.now().as_ms_f64(),
+        invariants: vec![
+            inv(
+                "every live byte preserved",
+                digest_after == digest_before && bytes_after == bytes_before,
+                format!(
+                    "digest {:016x} -> {:016x}, bytes {} -> {}",
+                    digest_before, digest_after, bytes_before, bytes_after
+                ),
+            ),
+            inv(
+                "rebalance counters account every move",
+                counted == moved,
+                format!("counted={counted} moved={moved}"),
+            ),
+            inv(
+                "every pre-move capability still serves",
+                misplaced == 0 && mismatches == 0,
+                format!("misplaced={misplaced} mismatches={mismatches}"),
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kill-one-shard.
+// ---------------------------------------------------------------------
+
+/// The degraded-shard cell: a client workload through the router with
+/// one shard (chosen by the seed) marked down mid-run.
+pub fn run_kill_shard(seed: u64) -> ShardOutcome {
+    const SHARDS: u32 = 4;
+    let clock = SimClock::new();
+    let mut cfg = BulletConfig::small_test();
+    cfg.clock = clock.clone();
+    let shards = BulletShards::format(&cfg, SHARDS, 2).expect("shard set formats");
+    let router = Arc::new(ShardRouter::new(
+        shards
+            .iter()
+            .map(|s| BulletRpcServer::new(s.clone()) as Arc<dyn RpcServer>)
+            .collect(),
+    ));
+    let net = SimEthernet::new(clock.clone(), NetProfile::ethernet_10mbit());
+    let dispatcher = Dispatcher::new(net);
+    dispatcher.register(router.clone());
+    let client = BulletClient::new(RpcClient::new(dispatcher), shards.shard(0).port());
+
+    let mut rng = DetRng::new(seed ^ 0x5a5a);
+    let files: Vec<(Capability, Vec<u8>)> = (0..24usize)
+        .map(|n| {
+            let data = vec![fill(n); 64 + rng.next_below(2000) as usize];
+            let cap = client
+                .create(Bytes::from(data.clone()), 1)
+                .expect("create through the router");
+            (cap, data)
+        })
+        .collect();
+    let ops = files.len() as u64 * 3; // creates + degraded sweep + recovery sweep
+
+    let victim = (seed % SHARDS as u64) as usize;
+    router.set_down(victim, true);
+    let on_victim = |cap: &Capability| shard_of(cap.object.value(), SHARDS) as usize == victim;
+
+    let mut refused = 0u64;
+    let mut served = 0u64;
+    let mut wrong_status = 0u64;
+    let mut mismatches = 0u64;
+    for (cap, expect) in &files {
+        match (on_victim(cap), client.read(cap)) {
+            (true, Err(Status::ShardDown)) => refused += 1,
+            (true, _) => wrong_status += 1,
+            (false, Ok(data)) if data == *expect => served += 1,
+            (false, _) => mismatches += 1,
+        }
+    }
+    let expected_refused = files.iter().filter(|(c, _)| on_victim(c)).count() as u64;
+
+    router.set_down(victim, false);
+    let mut recovered = 0u64;
+    for (cap, expect) in &files {
+        if client.read(cap).is_ok_and(|d| d == *expect) {
+            recovered += 1;
+        }
+    }
+
+    ShardOutcome {
+        cell: "kill-shard",
+        shards: SHARDS,
+        seed,
+        ops,
+        metric_name: "ops refused",
+        metric: refused as f64,
+        end_ms: clock.now().as_ms_f64(),
+        invariants: vec![
+            inv(
+                "down shard fails distinctly",
+                refused == expected_refused && wrong_status == 0,
+                format!(
+                    "refused={refused} expected={expected_refused} wrong_status={wrong_status}"
+                ),
+            ),
+            inv(
+                "survivors serve bit-identically",
+                served == files.len() as u64 - expected_refused && mismatches == 0,
+                format!("served={served} mismatches={mismatches}"),
+            ),
+            inv(
+                "router accounting matches the client",
+                router.degraded(victim) == refused,
+                format!(
+                    "router_degraded={} client_refused={refused}",
+                    router.degraded(victim)
+                ),
+            ),
+            inv(
+                "recovery restores every byte",
+                recovered == files.len() as u64,
+                format!("recovered={recovered}/{}", files.len()),
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------
+
+/// Renders the cell table.  The string is ABL18's determinism witness:
+/// a replayed cell must reproduce its row byte for byte.
+pub fn outcome_table(outcomes: &[ShardOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>6} {:>12} {:<16} {:>10} {:>12}  {}\n",
+        "cell", "shards", "seed", "ops", "metric", "", "sim_ms", "invariants", "result"
+    ));
+    for o in outcomes {
+        let held = o.invariants.iter().filter(|i| i.pass).count();
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>6} {:>12.1} {:<16} {:>10.3} {:>9}/{:<2}  {}\n",
+            o.cell,
+            o.shards,
+            o.seed,
+            o.ops,
+            o.metric,
+            o.metric_name,
+            o.end_ms,
+            held,
+            o.invariants.len(),
+            if o.green() { "PASS" } else { "FAIL" },
+        ));
+    }
+    for o in outcomes.iter().filter(|o| !o.green()) {
+        for i in o.invariants.iter().filter(|i| !i.pass) {
+            out.push_str(&format!(
+                "  FAILED {} shards={} seed {}: {} ({})\n",
+                o.cell, o.shards, o.seed, i.name, i.detail
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_pair_is_green_and_deterministic() {
+        // The reduced CI cell: baseline plus one scaled point.
+        let a = run_scaling_suite(&[1, 2]);
+        assert!(a.iter().all(|o| o.green()), "{}", outcome_table(&a));
+        let b = run_scaling_suite(&[1, 2]);
+        assert_eq!(outcome_table(&a), outcome_table(&b));
+    }
+
+    #[test]
+    fn rebalance_cell_is_green_and_deterministic() {
+        let a = run_rebalance(1);
+        assert!(a.green(), "{}", outcome_table(std::slice::from_ref(&a)));
+        let b = run_rebalance(1);
+        assert_eq!(
+            outcome_table(std::slice::from_ref(&a)),
+            outcome_table(std::slice::from_ref(&b))
+        );
+    }
+
+    #[test]
+    fn kill_shard_cell_is_green_and_deterministic() {
+        let a = run_kill_shard(1);
+        assert!(a.green(), "{}", outcome_table(std::slice::from_ref(&a)));
+        let b = run_kill_shard(1);
+        assert_eq!(
+            outcome_table(std::slice::from_ref(&a)),
+            outcome_table(std::slice::from_ref(&b))
+        );
+    }
+}

@@ -118,6 +118,31 @@ pub fn mask48(v: u64) -> u64 {
     v & 0x0000_ffff_ffff_ffff
 }
 
+/// Maps an object number onto one of `shards` Bullet server instances.
+///
+/// Ports are location-independent, so several server instances can share
+/// one service port; what distinguishes them is which object numbers they
+/// own.  This is the routing function: an FNV-1a hash over the object
+/// number's little-endian bytes, reduced modulo the shard count.  It is a
+/// pure function of the capability's [`ObjNum`] — no table lookup, so a
+/// gateway can route without holding any per-object state, and any party
+/// holding a capability can compute where it lives.
+///
+/// `shards == 0` is treated as 1 (everything routes to shard 0), so a
+/// degenerate configuration can never panic on the routing path.
+#[inline]
+pub fn shard_of(object: u32, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in object.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +168,37 @@ mod tests {
     fn mask48_truncates() {
         assert_eq!(mask48(u64::MAX), 0x0000_ffff_ffff_ffff);
         assert_eq!(mask48(7), 7);
+    }
+
+    #[test]
+    fn shard_of_stays_in_range_and_is_stable() {
+        for shards in 1..=8u32 {
+            for obj in [0u32, 1, 2, 1000, ObjNum::MAX] {
+                let s = shard_of(obj, shards);
+                assert!(s < shards, "shard_of({obj}, {shards}) = {s}");
+                assert_eq!(s, shard_of(obj, shards), "routing must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_degenerate_counts_route_to_zero() {
+        assert_eq!(shard_of(123, 0), 0);
+        assert_eq!(shard_of(123, 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_consecutive_objects() {
+        // Inode slots are handed out low-first, so consecutive object
+        // numbers are the common case; they must not all pile onto one
+        // shard.
+        let shards = 4;
+        let mut counts = vec![0u32; shards as usize];
+        for obj in 1..=1000 {
+            counts[shard_of(obj, shards) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "shard {i} received no objects");
+        }
     }
 }

@@ -13,6 +13,13 @@
 //! counting acquisitions and try-lock misses.
 
 pub use amoeba_rpc::fault::{DEDUP_EVICTIONS, DEDUP_HITS, RPC_GIVEUPS, RPC_RETRIES, RPC_TIMEOUTS};
+pub use amoeba_rpc::shard::{
+    GAUGE_SHARD_DEGRADED_OPS, GAUGE_SHARD_ROUTED_OPS, SHARD_DEGRADED_OPS, SHARD_ROUTED_OPS,
+};
+
+/// Extents moved between shards by [`crate::shard::BulletShards::rebalance`]
+/// (counted on the destination shard's stats).
+pub const SHARD_REBALANCE_EXTENTS: &str = "shard_rebalance_extents";
 
 /// Inodes repaired (zeroed after a half-committed create) during
 /// [`crate::server::BulletServer::recover`].
@@ -244,6 +251,8 @@ pub const GAUGES: &[&str] = &[
     GAUGE_GC_BATCH_OCCUPANCY,
     GAUGE_EVSIM_DISK_BACKLOG_US,
     GAUGE_EVSIM_RETRIES,
+    GAUGE_SHARD_ROUTED_OPS,
+    GAUGE_SHARD_DEGRADED_OPS,
 ];
 
 /// Every counter name the core crate can emit, for exhaustive iteration
@@ -311,6 +320,9 @@ pub const ALL: &[&str] = &[
     LOCK_CONTENDED_MAINTENANCE_WRITE,
     LOCK_INFLIGHT,
     LOCK_CONTENDED_INFLIGHT,
+    SHARD_ROUTED_OPS,
+    SHARD_DEGRADED_OPS,
+    SHARD_REBALANCE_EXTENTS,
 ];
 
 #[cfg(test)]
@@ -355,6 +367,23 @@ mod tests {
             EVSIM_CLIENTS_MAX,
         ] {
             assert!(ALL.contains(&name), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn shard_counters_are_registered() {
+        // The routed/degraded names are declared by `amoeba_rpc::shard`
+        // (the router lives below the core crate) and re-exported here;
+        // the rebalance counter is the core rebalancer's own.
+        for name in [
+            SHARD_ROUTED_OPS,
+            SHARD_DEGRADED_OPS,
+            SHARD_REBALANCE_EXTENTS,
+        ] {
+            assert!(ALL.contains(&name), "{name} missing from ALL");
+        }
+        for name in [GAUGE_SHARD_ROUTED_OPS, GAUGE_SHARD_DEGRADED_OPS] {
+            assert!(GAUGES.contains(&name), "{name} missing from GAUGES");
         }
     }
 

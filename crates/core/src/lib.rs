@@ -57,6 +57,7 @@ pub mod groupcommit;
 pub mod layout;
 pub mod rpc_iface;
 pub mod server;
+pub mod shard;
 pub mod table;
 
 pub use accounting::{ClientAccounting, ClientScope, ClientUsage};
@@ -68,3 +69,4 @@ pub use groupcommit::{BatchCaps, GroupCommitter};
 pub use layout::{DiskDescriptor, Inode};
 pub use rpc_iface::{commands, BulletClient, BulletRpcServer};
 pub use server::{BulletConfig, BulletServer, CompactTick, LayoutEntry, SchemeKind};
+pub use shard::{BulletShards, ShardSlot};

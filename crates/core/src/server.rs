@@ -162,6 +162,13 @@ pub struct BulletConfig {
     /// enabled, the RPC dispatcher charges each request's bytes, I/Os,
     /// cache hits and retries to its client id.
     pub accounting: ClientAccounting,
+    /// This server's slot in a shard set (see [`crate::shard`]).
+    /// [`crate::shard::ShardSlot::solo`], the default, is the
+    /// single-server layout and
+    /// changes nothing.  A real slot `(index, count)` stripes the inode
+    /// free list so this instance only ever mints object numbers that
+    /// [`amoeba_cap::shard_of`] routes back to it.
+    pub shard: crate::shard::ShardSlot,
 }
 
 impl BulletConfig {
@@ -195,6 +202,7 @@ impl BulletConfig {
             log_linger: Nanos::from_us(250),
             telemetry: TelemetryConfig::off(),
             accounting: ClientAccounting::off(),
+            shard: crate::shard::ShardSlot::solo(),
         }
     }
 }
@@ -455,11 +463,15 @@ impl BulletServer {
     fn assemble(
         cfg: BulletConfig,
         storage: MirroredDisk,
-        table: InodeTable,
+        mut table: InodeTable,
         extents: ExtentAllocator,
         ages: HashMap<u32, u32>,
         log: Option<LogState>,
     ) -> BulletServer {
+        // Stripe the free list before the table is published: a sharded
+        // instance only ever mints object numbers that hash back to it,
+        // so the stripe must be in force before the first create.
+        table.set_stripe(cfg.shard.index, cfg.shard.count);
         // One tracer, shared by every layer: the cache's lookup instants,
         // the mirror's replica spans, and the server's op spans all join
         // the same tree.
@@ -1518,6 +1530,178 @@ impl BulletServer {
         Ok(())
     }
 
+    /// Reads a live object out for migration to another shard: its check
+    /// random (so the destination can honour every already-minted
+    /// capability) and its full payload.  Serves from cache when warm,
+    /// from the extent otherwise.  This is the first leg of
+    /// [`crate::shard::BulletShards::rebalance`].
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NotFound`] if `idx` is not live; disk errors.
+    pub fn export_object(&self, idx: u32) -> Result<(u64, Bytes), BulletError> {
+        let mut op = self.tracer.span("bullet.export_object");
+        op.attr("op", "export_object");
+        let _m = self.maint_read();
+        // The in-flight guard keeps the inode snapshot stable across the
+        // extent read: delete and compaction both need this guard.
+        let _busy = self.inflight_lock(idx);
+        let inode = {
+            let table = self.table_read();
+            *table.get(idx)?
+        };
+        if let Some(data) = self.cache_read().get(idx) {
+            op.attr("bytes", data.len());
+            return Ok((inode.random, data));
+        }
+        let block_size = self.desc.block_size;
+        let blocks = inode.blocks(block_size);
+        let mut buf = vec![0u8; (blocks * block_size as u64) as usize];
+        self.storage
+            .read_blocks(inode.start_block as u64, &mut buf)?;
+        buf.truncate(inode.size_bytes as usize);
+        op.attr("bytes", buf.len());
+        Ok((inode.random, Bytes::from(buf)))
+    }
+
+    /// Installs a migrated object at the *dictated* slot `idx` with the
+    /// *dictated* check `random` — the destination leg of a shard
+    /// rebalance.  Unlike [`create`](Self::create), which picks a fresh
+    /// slot and random, adoption must reproduce both exactly so that
+    /// every capability minted before the move keeps verifying.  The slot
+    /// may lie outside this server's own stripe; that is the point.
+    /// Adopted data is written through to every replica.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::Corrupt`] if slot `idx` is live here;
+    /// [`BulletError::NoSpace`] / disk errors as for create.  On error
+    /// the adoption is fully rolled back.
+    pub fn adopt_object(&self, idx: u32, random: u64, data: Bytes) -> Result<(), BulletError> {
+        let mut op = self.tracer.span("bullet.adopt_object");
+        op.attr("op", "adopt_object");
+        op.attr("bytes", data.len());
+        let size: u32 = data.len().try_into().map_err(|_| BulletError::TooLarge {
+            size: data.len() as u64,
+            cache_capacity: self.cfg.cache_capacity,
+        })?;
+        let block_size = self.desc.block_size;
+        let blocks = (size as u64).div_ceil(block_size as u64).max(1);
+        let _m = self.maint_read();
+        let start = {
+            let mut al = self.alloc_lock();
+            let hint = al.place_hint;
+            let start = al
+                .extents
+                .alloc_placed(blocks, self.cfg.placement, hint)
+                .ok_or(BulletError::NoSpace)?;
+            al.place_hint = start + blocks;
+            start
+        };
+        let inode = Inode {
+            random,
+            index: 0,
+            start_block: start as u32,
+            size_bytes: size,
+        };
+        {
+            let mut table = self.table_write();
+            if let Err(e) = table.install(idx, inode) {
+                drop(table);
+                self.alloc_lock()
+                    .extents
+                    .free(start, blocks)
+                    .expect("just allocated");
+                return Err(e);
+            }
+        }
+        let _busy = self.inflight_lock(idx);
+        {
+            let mut table = self.table_write();
+            let mut cache = self.cache_write();
+            if let Err(e) = self.cache_insert(&mut table, &mut cache, idx, data.clone()) {
+                let _ = table.clear(idx);
+                drop(cache);
+                drop(table);
+                self.alloc_lock()
+                    .extents
+                    .free(start, blocks)
+                    .expect("just allocated");
+                return Err(e);
+            }
+        }
+        self.ages_lock().insert(idx, self.cfg.max_age);
+        let k = self.storage.replica_count();
+        let write = self
+            .write_data_blocks(start, blocks, &data, k)
+            .and_then(|()| self.write_inode_block(idx, k));
+        if let Err(e) = write {
+            {
+                let mut table = self.table_write();
+                let mut cache = self.cache_write();
+                cache.remove(idx);
+                let _ = table.clear(idx);
+            }
+            self.ages_lock().remove(&idx);
+            let _ = self.alloc_lock().extents.free(start, blocks);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Removes a migrated-away object from this shard — the final leg of
+    /// a rebalance, after the destination's
+    /// [`adopt_object`](Self::adopt_object) is durable.  The full delete
+    /// protocol runs (seal-if-unsealed, zero, write-through, free the
+    /// extent) *except* that the slot is never returned to the free list:
+    /// the object number now lives on another shard, and re-minting it
+    /// here would collide with the router's override for it.
+    ///
+    /// # Errors
+    ///
+    /// [`BulletError::NotFound`] if `idx` is not live; disk errors.
+    pub fn retire_object(&self, idx: u32) -> Result<(), BulletError> {
+        let mut op = self.tracer.span("bullet.retire_object");
+        op.attr("op", "retire_object");
+        let _m = self.maint_read();
+        let mut logst = self.log.as_ref().map(|l| l.lock());
+        let _busy = self.inflight_lock(idx);
+        let (start, blocks, size) = {
+            let table = self.table_read();
+            let inode = *table.get(idx)?;
+            (
+                inode.start_block as u64,
+                inode.blocks(self.desc.block_size),
+                inode.size_bytes as u64,
+            )
+        };
+        let log_resident = self.log_range().is_some_and(|(ls, _)| start >= ls);
+        if let Some(st) = logst.as_mut() {
+            if st.window.is_unsealed(idx) {
+                self.log_seal_locked(st)?;
+            }
+        }
+        self.table_write().clear_keep_slot(idx)?;
+        self.cache_write().remove(idx);
+        self.ages_lock().remove(&idx);
+        let write = self.write_inode_block(idx, self.storage.replica_count());
+        // Deliberately no release_slot: the slot is tombstoned on this
+        // shard for the life of the process.
+        if log_resident {
+            let st = logst.as_mut().expect("log-resident implies log enabled");
+            if let Some((hs, hl)) = st.homes.remove(&idx) {
+                self.alloc_lock().extents.free(hs, hl)?;
+            }
+            if st.window.file_gone(size) {
+                st.window.reset();
+            }
+        } else {
+            self.alloc_lock().extents.free(start, blocks)?;
+        }
+        write?;
+        Ok(())
+    }
+
     /// §5 extension: derives a **new** immutable file from an existing one
     /// with `data` overlaid at `offset` (growing the file if needed),
     /// entirely server-side — "for a small modification it is not
@@ -1932,6 +2116,12 @@ impl BulletServer {
     /// The service port.
     pub fn port(&self) -> Port {
         self.cfg.port
+    }
+
+    /// This server's slot in its shard set ([`crate::shard::ShardSlot::solo`]
+    /// when unsharded).
+    pub fn shard_slot(&self) -> crate::shard::ShardSlot {
+        self.cfg.shard
     }
 
     /// Number of live files.
@@ -2498,7 +2688,7 @@ impl BulletServer {
         }
         if let Some(log) = &self.log {
             if let Some(st) = log.try_lock() {
-                let resident = st.window.resident() as u64;
+                let resident = st.window.resident();
                 drop(st);
                 self.telemetry
                     .gauge(counters::GAUGE_LOG_RESIDENT_FILES, 0, now, resident);

@@ -36,6 +36,14 @@ pub struct InodeTable {
     desc: DiskDescriptor,
     inodes: Vec<Inode>,
     free: Vec<u32>,
+    /// When set to `(index, count)`, this table belongs to shard `index`
+    /// of a `count`-wide shard set: only object numbers whose
+    /// [`amoeba_cap::shard_of`] hash lands on this shard may ever be
+    /// *minted* here, so a capability's object number alone names its
+    /// home shard.  Foreign-stripe slots can still be *installed*
+    /// (adoption during a rebalance) and cleared — they just never return
+    /// to the free list.
+    stripe: Option<(u32, u32)>,
 }
 
 impl InodeTable {
@@ -85,6 +93,7 @@ impl InodeTable {
             inodes: vec![Inode::default(); slots as usize],
             // Descending so that low object numbers are handed out first.
             free: (1..slots).rev().collect(),
+            stripe: None,
         }
     }
 
@@ -155,7 +164,12 @@ impl InodeTable {
             .filter(|&i| inodes[i as usize].is_free())
             .collect();
         Ok(LoadReport {
-            table: InodeTable { desc, inodes, free },
+            table: InodeTable {
+                desc,
+                inodes,
+                free,
+                stripe: None,
+            },
             repaired,
         })
     }
@@ -165,14 +179,45 @@ impl InodeTable {
         &self.desc
     }
 
+    /// Restricts this table to stripe `index` of a `count`-wide shard
+    /// set: every free slot whose object number hashes elsewhere is
+    /// dropped from the free list, so [`alloc`](Self::alloc) can only
+    /// mint capabilities the shard router would deliver back here.
+    /// `count <= 1` clears the stripe (the single-server layout).
+    pub fn set_stripe(&mut self, index: u32, count: u32) {
+        if count <= 1 {
+            self.stripe = None;
+            return;
+        }
+        self.stripe = Some((index, count));
+        self.free
+            .retain(|&i| amoeba_cap::shard_of(i, count) == index);
+    }
+
+    /// The `(index, count)` stripe, when sharded.
+    pub fn stripe(&self) -> Option<(u32, u32)> {
+        self.stripe
+    }
+
+    /// Whether object number `idx` belongs to this table's own stripe
+    /// (always true for an unsharded table).
+    pub fn owns_stripe(&self, idx: u32) -> bool {
+        match self.stripe {
+            None => true,
+            Some((index, count)) => amoeba_cap::shard_of(idx, count) == index,
+        }
+    }
+
     /// Number of free inode slots.
     pub fn free_count(&self) -> usize {
         self.free.len()
     }
 
-    /// Number of live files.
+    /// Number of live files.  Counted directly rather than derived from
+    /// the free-list length: a striped table drops foreign-stripe slots
+    /// from the free list without them being live.
     pub fn live_count(&self) -> usize {
-        self.inodes.len().saturating_sub(1) - self.free.len()
+        self.inodes.iter().skip(1).filter(|i| !i.is_free()).count()
     }
 
     /// Allocates a slot for `inode`, returning its index.
@@ -261,10 +306,15 @@ impl InodeTable {
     }
 
     /// Returns a slot zeroed by [`clear_keep_slot`](Self::clear_keep_slot)
-    /// to the free list, making it allocatable again.
+    /// to the free list, making it allocatable again.  A sharded table
+    /// silently retires foreign-stripe slots instead: an adopted object's
+    /// number must never be re-minted by a shard the router would not
+    /// deliver it to.
     pub fn release_slot(&mut self, idx: u32) {
         debug_assert!(self.inodes[idx as usize].is_free(), "slot still live");
-        self.free.push(idx);
+        if self.owns_stripe(idx) {
+            self.free.push(idx);
+        }
     }
 
     /// The control block containing inode `idx` (for write-through).

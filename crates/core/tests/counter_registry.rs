@@ -62,6 +62,22 @@ fn declared_consts() -> Vec<(String, String)> {
             counters::RPC_TIMEOUTS.to_string(),
         ),
         ("RPC_GIVEUPS".to_string(), counters::RPC_GIVEUPS.to_string()),
+        (
+            "SHARD_ROUTED_OPS".to_string(),
+            counters::SHARD_ROUTED_OPS.to_string(),
+        ),
+        (
+            "SHARD_DEGRADED_OPS".to_string(),
+            counters::SHARD_DEGRADED_OPS.to_string(),
+        ),
+        (
+            "GAUGE_SHARD_ROUTED_OPS".to_string(),
+            counters::GAUGE_SHARD_ROUTED_OPS.to_string(),
+        ),
+        (
+            "GAUGE_SHARD_DEGRADED_OPS".to_string(),
+            counters::GAUGE_SHARD_DEGRADED_OPS.to_string(),
+        ),
     ];
     for line in src.lines() {
         let Some(rest) = line.trim().strip_prefix("pub const ") else {

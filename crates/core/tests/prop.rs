@@ -198,6 +198,85 @@ proptest! {
     }
 
     #[test]
+    fn rebalance_preserves_every_live_byte(
+        files in proptest::collection::vec((1usize..4000, any::<u8>()), 1..24),
+        moves in proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+            1..16,
+        ),
+    ) {
+        use bullet_core::BulletShards;
+
+        let shards = BulletShards::format(&cfg(), 4, 2).unwrap();
+        let mut model: Vec<(Capability, Vec<u8>)> = Vec::new();
+        for (i, (size, fill)) in files.iter().enumerate() {
+            let data = vec![*fill; *size];
+            let home = i % shards.count();
+            match shards.shard(home).create(Bytes::from(data.clone()), 1) {
+                Ok(cap) => model.push((cap, data)),
+                Err(BulletError::NoSpace | BulletError::NoInodes) => {}
+                Err(e) => panic!("unexpected create failure: {e}"),
+            }
+        }
+        prop_assume!(!model.is_empty());
+        let digest = shards.live_digest().unwrap();
+        let bytes = shards.total_live_bytes().unwrap();
+        let mut at: Vec<usize> = model
+            .iter()
+            .map(|(c, _)| amoeba_cap::shard_of(c.object.value(), 4) as usize)
+            .collect();
+
+        for (which, dest) in &moves {
+            let n = which.index(model.len());
+            let to = dest.index(shards.count());
+            let from = at[n];
+            if from != to {
+                shards
+                    .rebalance(from, to, model[n].0.object.value())
+                    .unwrap();
+                at[n] = to;
+            }
+        }
+
+        // Counter accounting: every cross-shard move is counted, on the
+        // destination, exactly once.
+        let moved: u64 = (0..shards.count())
+            .map(|i| {
+                shards
+                    .shard(i)
+                    .stats()
+                    .get(bullet_core::counters::SHARD_REBALANCE_EXTENTS)
+            })
+            .sum();
+        let expected: u64 = moves
+            .iter()
+            .scan(
+                model
+                    .iter()
+                    .map(|(c, _)| amoeba_cap::shard_of(c.object.value(), 4) as usize)
+                    .collect::<Vec<_>>(),
+                |pos, (which, dest)| {
+                    let n = which.index(model.len());
+                    let to = dest.index(shards.count());
+                    let hop = (pos[n] != to) as u64;
+                    pos[n] = to;
+                    Some(hop)
+                },
+            )
+            .sum();
+        prop_assert_eq!(moved, expected);
+
+        // Every live byte survives, placement-independently, and every
+        // pre-move capability still reads back on its current shard.
+        prop_assert_eq!(shards.live_digest().unwrap(), digest);
+        prop_assert_eq!(shards.total_live_bytes().unwrap(), bytes);
+        prop_assert_eq!(shards.total_live_files(), model.len());
+        for (n, (cap, expect)) in model.iter().enumerate() {
+            prop_assert_eq!(&shards.shard(at[n]).read(cap).unwrap()[..], &expect[..]);
+        }
+    }
+
+    #[test]
     fn compaction_then_restart_preserves_everything(
         ops in proptest::collection::vec(arb_op(), 1..40),
     ) {

@@ -21,15 +21,21 @@ use crate::DirError;
 /// Durability used for each replica write.
 const STORE_PFACTOR: u32 = 1;
 
-/// A replicated file store over one or more Bullet servers.
+/// A replicated or sharded file store over one or more Bullet servers.
 ///
-/// Files created through the store exist once per server; the capability
-/// set (one per replica, in store order) travels together.  Reads fall
-/// over across replicas; deletes and touches are applied wherever the
-/// file still exists.
+/// In the replicated layout ([`BulletStore::replicated`]) files created
+/// through the store exist once per server; the capability set (one per
+/// replica, in store order) travels together.  In the sharded layout
+/// ([`BulletStore::sharded`]) the servers are stripes of *one* service
+/// — same port, partitioned object numbers — and a create places the
+/// file on exactly one of them, chosen by free space.  Reads fall over
+/// across every server answering the capability's port, which in the
+/// sharded layout also makes lookups robust against a concurrent shard
+/// migration: the old home answers NotFound and the new home serves.
 #[derive(Clone)]
 pub struct BulletStore {
     servers: Vec<Arc<BulletServer>>,
+    sharded: bool,
 }
 
 impl std::fmt::Debug for BulletStore {
@@ -45,6 +51,7 @@ impl BulletStore {
     pub fn single(server: Arc<BulletServer>) -> BulletStore {
         BulletStore {
             servers: vec![server],
+            sharded: false,
         }
     }
 
@@ -55,7 +62,36 @@ impl BulletStore {
     /// Panics if `servers` is empty.
     pub fn replicated(servers: Vec<Arc<BulletServer>>) -> BulletStore {
         assert!(!servers.is_empty(), "a store needs at least one server");
-        BulletStore { servers }
+        BulletStore {
+            servers,
+            sharded: false,
+        }
+    }
+
+    /// A store over the shards of one sharded Bullet service: a create
+    /// places each file on a single shard (the one with the most free
+    /// disk), instead of replicating it everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or the shards disagree on the service
+    /// port — shards are stripes of one service, not independent
+    /// services.
+    pub fn sharded(shards: Vec<Arc<BulletServer>>) -> BulletStore {
+        assert!(!shards.is_empty(), "a store needs at least one server");
+        assert!(
+            shards.iter().all(|s| s.port() == shards[0].port()),
+            "shards of one service must share its port"
+        );
+        BulletStore {
+            servers: shards,
+            sharded: true,
+        }
+    }
+
+    /// Whether this store places files on shards rather than replicating.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded
     }
 
     /// Number of replica servers.
@@ -73,14 +109,19 @@ impl BulletStore {
         self.servers.iter().any(|s| s.port() == cap.port)
     }
 
-    /// Creates `data` on every replica; returns one capability per
-    /// replica (store order).
+    /// Creates `data`: on every replica in the replicated layout (one
+    /// capability per replica, store order), on a single shard in the
+    /// sharded layout (one capability).
     ///
     /// # Errors
     ///
-    /// Fails if ANY replica cannot take the file (metadata must exist
-    /// everywhere); already-created replicas are rolled back.
+    /// Replicated: fails if ANY replica cannot take the file (metadata
+    /// must exist everywhere); already-created replicas are rolled back.
+    /// Sharded: fails only when no shard can take it.
     pub fn create(&self, data: Bytes) -> Result<Vec<Capability>, DirError> {
+        if self.sharded {
+            return self.create_on_a_shard(data);
+        }
         let mut caps = Vec::with_capacity(self.servers.len());
         for server in &self.servers {
             match server.create(data.clone(), STORE_PFACTOR) {
@@ -92,6 +133,22 @@ impl BulletStore {
             }
         }
         Ok(caps)
+    }
+
+    /// Sharded placement: shards ordered by free disk space, most free
+    /// first, falling over to the next candidate if the fullest choice
+    /// still cannot take the file.
+    fn create_on_a_shard(&self, data: Bytes) -> Result<Vec<Capability>, DirError> {
+        let mut order: Vec<usize> = (0..self.servers.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.servers[i].disk_frag_report().free));
+        let mut last = BulletError::NoSpace;
+        for i in order {
+            match self.servers[i].create(data.clone(), STORE_PFACTOR) {
+                Ok(cap) => return Ok(vec![cap]),
+                Err(e) => last = e,
+            }
+        }
+        Err(DirError::Bullet(last))
     }
 
     /// Reads from the first replica that answers.
@@ -223,5 +280,55 @@ mod tests {
         store.create(Bytes::from_static(b"2")).unwrap();
         assert_eq!(store.live_caps().len(), 4);
         assert_eq!(store.width(), 2);
+    }
+
+    fn shard_set(count: u32) -> (bullet_core::BulletShards, BulletStore) {
+        let shards = bullet_core::BulletShards::format(&BulletConfig::small_test(), count, 1)
+            .expect("shard set formats");
+        let store = BulletStore::sharded(shards.iter().cloned().collect());
+        (shards, store)
+    }
+
+    #[test]
+    fn sharded_create_places_on_exactly_one_shard() {
+        let (shards, store) = shard_set(4);
+        for n in 0..16u32 {
+            let caps = store.create(Bytes::from(format!("file {n}"))).unwrap();
+            assert_eq!(caps.len(), 1, "sharded placement is single-copy");
+            assert_eq!(store.read(&caps).unwrap(), Bytes::from(format!("file {n}")));
+        }
+        assert_eq!(shards.total_live_files(), 16);
+        // Free-space placement spreads equal-size files across the set.
+        let spread = (0..4).filter(|&i| shards.shard(i).live_files() > 0).count();
+        assert!(spread >= 2, "all 16 files piled onto {spread} shard(s)");
+    }
+
+    #[test]
+    fn sharded_lookup_survives_a_racing_shard_migration() {
+        let (shards, store) = shard_set(2);
+        let caps = store.create(Bytes::from_static(b"moving target")).unwrap();
+        let idx = caps[0].object.value();
+        let home = (0..2)
+            .find(|&i| shards.shard(i).read(&caps[0]).is_ok())
+            .expect("the file lives somewhere");
+        // A rebalance moves the extent between the directory server
+        // storing the capability and the next lookup: the old home now
+        // answers NotFound, and the store's port-matched fall-over walks
+        // on to the shard that adopted the object.
+        shards.rebalance(home, 1 - home, idx).unwrap();
+        assert_eq!(
+            store.read(&caps).unwrap(),
+            Bytes::from_static(b"moving target")
+        );
+        store.touch(&caps); // aging must also reach the new home
+        store.delete(&caps);
+        assert_eq!(shards.total_live_files(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share its port")]
+    fn sharded_store_rejects_mixed_ports() {
+        let (a, b, _) = two_servers();
+        let _ = BulletStore::sharded(vec![a, b]);
     }
 }

@@ -58,6 +58,7 @@ pub mod client;
 pub mod dispatch;
 pub mod fault;
 pub mod gateway;
+pub mod shard;
 pub mod stream;
 pub mod wire;
 
@@ -65,5 +66,6 @@ pub use client::{RemoteClient, RpcClient};
 pub use dispatch::{Dispatcher, RpcError, RpcServer};
 pub use fault::{DedupCache, FaultPlan, FaultyWire, RetryClient, RetryPolicy, TxnId};
 pub use gateway::Gateway;
+pub use shard::ShardRouter;
 pub use stream::{StreamWire, DEFAULT_SEGMENT};
 pub use wire::{std_commands, Reply, Request, Status, StreamFrame};

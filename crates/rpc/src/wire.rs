@@ -30,6 +30,10 @@ pub enum Status {
     Exists,
     /// A parameter was malformed.
     BadParam,
+    /// The shard that owns the addressed object is down; the rest of the
+    /// service keeps running.  Distinct from [`Status::NotFound`] so
+    /// clients can tell "never existed" from "temporarily unreachable".
+    ShardDown,
     /// An unrecognized (future) status code carried through verbatim.
     Other(i32),
 }
@@ -49,6 +53,7 @@ impl Status {
             Status::Denied => -8,
             Status::Exists => -9,
             Status::BadParam => -10,
+            Status::ShardDown => -11,
             Status::Other(c) => c,
         }
     }
@@ -67,6 +72,7 @@ impl Status {
             -8 => Status::Denied,
             -9 => Status::Exists,
             -10 => Status::BadParam,
+            -11 => Status::ShardDown,
             other => Status::Other(other),
         }
     }
@@ -91,6 +97,7 @@ impl std::fmt::Display for Status {
             Status::Denied => "permission denied",
             Status::Exists => "already exists",
             Status::BadParam => "bad parameter",
+            Status::ShardDown => "shard down",
             Status::Other(c) => return write!(f, "status {c}"),
         };
         write!(f, "{name}")
@@ -366,6 +373,7 @@ mod tests {
             Status::Denied,
             Status::Exists,
             Status::BadParam,
+            Status::ShardDown,
             Status::Other(-99),
         ] {
             assert_eq!(Status::from_code(s.code()), s);

@@ -1,0 +1,54 @@
+//! Distribution quality of the object-number routing hash: over large
+//! capability populations, no shard may receive more than twice its
+//! fair share — the bound the ABL18 scaling cell's near-linear speedup
+//! rests on (a hot shard caps aggregate bandwidth at `n/overload`).
+
+use amoeba_cap::shard_of;
+use proptest::prelude::*;
+
+fn fill(counts: &mut [u64], start: u32, n: u32) {
+    for obj in start..start.saturating_add(n) {
+        counts[shard_of(obj, counts.len() as u32) as usize] += 1;
+    }
+}
+
+/// One million consecutive object numbers — the shape a striped inode
+/// table actually mints — split over every power-of-two shard count the
+/// CI matrix runs.
+#[test]
+fn a_million_consecutive_capabilities_stay_within_twice_fair_share() {
+    const N: u32 = 1_000_000;
+    for shards in [2u32, 4, 8] {
+        let mut counts = vec![0u64; shards as usize];
+        fill(&mut counts, 1, N);
+        let fair = (N / shards) as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c <= 2 * fair,
+                "shard {i}/{shards} holds {c} of {N} (fair share {fair})"
+            );
+            assert!(c > 0, "shard {i}/{shards} received nothing");
+        }
+    }
+}
+
+proptest! {
+    /// Any window of the 24-bit object-number space, any shard count up
+    /// to twice the CI maximum: still within twice fair share.
+    #[test]
+    fn any_object_window_stays_within_twice_fair_share(
+        start in 0u32..=(0x00ff_ffff - 20_000),
+        shards in 2u32..=16,
+    ) {
+        let n = 20_000u32;
+        let mut counts = vec![0u64; shards as usize];
+        fill(&mut counts, start, n);
+        let fair = (n / shards) as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                c <= 2 * fair,
+                "shard {}/{} holds {} of {} (fair {})", i, shards, c, n, fair
+            );
+        }
+    }
+}

@@ -30,7 +30,7 @@
 //! the [`crate::trace`] contract — telemetry on or off, the simulated
 //! timeline is bit-identical (ABL17 proves it by digest).
 //!
-//! An [`SloWatchdog`] rides on the recording path: committed thresholds
+//! An SLO watchdog rides on the recording path: committed thresholds
 //! (a ceiling per series, or a latency-quantile ceiling checked against a
 //! [`Histogram`]) are evaluated as samples arrive, and crossings emit
 //! structured [`SloEvent`]s (degraded/recovered) into a bounded buffer —
@@ -389,6 +389,7 @@ impl Telemetry {
     /// latency histogram): quantile `q` above `ceiling` emits a
     /// degradation event attributed to `at`.  Stateless across calls —
     /// each check reports its own crossing.
+    #[allow(clippy::too_many_arguments)]
     pub fn check_quantile(
         &self,
         slo: &'static str,
