@@ -100,6 +100,11 @@ fn build(hw: HwProfile) -> (Arc<BulletServer>, SimClock) {
         telemetry: amoeba_sim::TelemetryConfig::off(),
         accounting: bullet_core::ClientAccounting::off(),
         shard: bullet_core::ShardSlot::solo(),
+        archive_blocks: 0,
+        tier_high_water_pct: 75,
+        tier_cold_age: 1,
+        maint_idle_request_delta: 0,
+        maint_moves_per_tick: 1,
     };
     let server = Arc::new(BulletServer::format_on(cfg, storage).expect("formatting succeeds"));
     (server, disk_clock)

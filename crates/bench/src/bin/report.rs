@@ -23,7 +23,11 @@
 //! watchdog's detection lag under an injected fault burst), the ABL18
 //! sharding summary (1- vs 2-shard aggregate cold-read bandwidth, the
 //! rebalance cell's extent count, and the kill-one-shard cell's refusal
-//! count — the full 8-shard matrix is `ablation_shard`), and the
+//! count — the full 8-shard matrix is `ablation_shard`), the ABL19
+//! tiering summary (the reduced aged-population pair: archived file and
+//! byte counts at the demoted steady state, migration counters, and the
+//! tiered vs baseline hot-set p99 — the full cell is
+//! `ablation_tiering`), and the
 //! per-zone data-area fragmentation report after a deterministic churn.
 //! The document leads with a top-level `"schema_version"` key.  Adding
 //! `--check` first requires the committed baseline to carry the current
@@ -46,7 +50,11 @@
 //! flagging the fault burst within one sampling period, requires the
 //! baseline to carry every `sharding` key and the fresh reduced cells to
 //! uphold the ABL18 invariants (2-shard bandwidth ≥ 1.5× the baseline,
-//! rebalance and kill-shard cells fully green),
+//! rebalance and kill-shard cells fully green), requires the baseline to
+//! carry every `tiering` key and the fresh reduced pair to uphold the
+//! ABL19 invariants (≥ 80 % of the aged population archived, the archive
+//! holding ≥ 4× the fast tier's bytes on ≥ 4× its capacity, tiered
+//! hot-set p99 within 1.15× of the archive-less baseline's),
 //! failing the run on any regression or on a baseline missing a gated
 //! key — the CI bench-smoke gate:
 //!
@@ -66,6 +74,7 @@ use bullet_bench::rig::{BulletRig, NfsRig};
 use bullet_bench::schedbench::{coalesce_knee, run_policies, KneeRow, MixedRun, PR_SEED};
 use bullet_bench::shardbench::{self, ShardOutcome};
 use bullet_bench::table::{bandwidth_kb_s, measure_bullet, measure_nfs, size_label, Claims, Row};
+use bullet_bench::tierbench::{self, TierConfig, TierOutcome};
 use bullet_core::FragReport;
 use bytes::Bytes;
 
@@ -335,6 +344,22 @@ fn measure_sharding() -> ShardMeasure {
     }
 }
 
+/// The ABL19 summary `--json` embeds: the reduced aged-population pair
+/// (archive-less baseline vs tiered) at the PR seed.  Demotion/recall
+/// byte-identity is asserted inside the runs; the full cell and the
+/// aging soak are `ablation_tiering`.
+struct TierMeasure {
+    base: TierOutcome,
+    tier: TierOutcome,
+}
+
+fn measure_tiering() -> TierMeasure {
+    TierMeasure {
+        base: tierbench::run_tier(&TierConfig::small(tierbench::TIER_SEED, false)),
+        tier: tierbench::run_tier(&TierConfig::small(tierbench::TIER_SEED, true)),
+    }
+}
+
 /// A deterministic create/delete churn on a fresh rig, then the
 /// per-zone fragmentation snapshot of the data area (plus the
 /// whole-area report the gate checks the zones partition).
@@ -374,6 +399,7 @@ fn render_json(
     ev: &EvsimMeasure,
     tm: &TelemetryMeasure,
     sh: &ShardMeasure,
+    tr: &TierMeasure,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(
@@ -540,6 +566,44 @@ fn render_json(
         sh.kill.metric as u64
     );
     out.push_str("  },\n");
+    // ABL19 headline facts: the reduced aged-population pair — how much
+    // of the population the maintenance scheduler demoted, the tier byte
+    // balance at that steady state, and what the migrations cost the
+    // hot-set p99 against the archive-less baseline.
+    let _ = writeln!(out, "  \"tiering\": {{");
+    let _ = writeln!(out, "    \"files\": {},", tr.tier.files);
+    let _ = writeln!(out, "    \"hot_files\": {},", tr.tier.hot_files);
+    let _ = writeln!(out, "    \"archived_files\": {},", tr.tier.archived_files);
+    let _ = writeln!(out, "    \"archive_bytes\": {},", tr.tier.archive_bytes);
+    let _ = writeln!(out, "    \"fast_bytes\": {},", tr.tier.fast_bytes);
+    let _ = writeln!(
+        out,
+        "    \"archive_capacity_blocks\": {},",
+        tr.tier.archive_capacity_blocks
+    );
+    let _ = writeln!(
+        out,
+        "    \"fast_capacity_blocks\": {},",
+        tr.tier.fast_capacity_blocks
+    );
+    let _ = writeln!(out, "    \"tier_demotions\": {},", tr.tier.demotions);
+    let _ = writeln!(out, "    \"tier_promotions\": {},", tr.tier.promotions);
+    let _ = writeln!(
+        out,
+        "    \"hot_p99_baseline_ms\": {:.3},",
+        tr.base.hot_p99.as_ms_f64()
+    );
+    let _ = writeln!(
+        out,
+        "    \"hot_p99_tiered_ms\": {:.3},",
+        tr.tier.hot_p99.as_ms_f64()
+    );
+    let _ = writeln!(
+        out,
+        "    \"hot_p99_ratio\": {:.4}",
+        tr.tier.hot_p99.as_ns() as f64 / tr.base.hot_p99.as_ns() as f64
+    );
+    out.push_str("  },\n");
     // Per-zone fragmentation of the data area after a deterministic
     // create/delete churn.
     let _ = writeln!(out, "  \"zone_frag\": [");
@@ -602,6 +666,7 @@ fn gate(
     ev: &EvsimMeasure,
     tm: &TelemetryMeasure,
     sh: &ShardMeasure,
+    tr: &TierMeasure,
 ) -> Result<(), CheckError> {
     let doc = std::fs::read_to_string(path).map_err(|_| CheckError::Unreadable {
         path: path.to_string(),
@@ -892,6 +957,72 @@ fn gate(
             });
         }
     }
+    // Tiering gate, part 1 — schema: the committed baseline must carry
+    // every ABL19 key (a baseline from before tiered storage fails
+    // loudly, naming the key, until regenerated).
+    for key in [
+        "files",
+        "hot_files",
+        "archived_files",
+        "archive_bytes",
+        "fast_bytes",
+        "archive_capacity_blocks",
+        "fast_capacity_blocks",
+        "tier_demotions",
+        "tier_promotions",
+        "hot_p99_baseline_ms",
+        "hot_p99_tiered_ms",
+        "hot_p99_ratio",
+    ] {
+        check::require_section_key(&doc, path, "tiering", key)?;
+    }
+    // Tiering gate, part 2 — the fresh reduced pair must uphold the PR's
+    // headline invariants: the aging sweep sends ≥ 80 % of the
+    // population to the archive, the archive then holds ≥ 4× the fast
+    // tier's bytes on ≥ 4× its capacity, the migration counters are
+    // alive, and the tiered hot-set p99 stays within 1.15× of the
+    // archive-less baseline's.  (Demotion/recall byte-identity is
+    // asserted inside the measurement itself.)
+    eprintln!(
+        "check: tiering — {} of {} files archived ({} bytes vs {} fast); \
+         hot p99 {:.2} ms tiered vs {:.2} ms baseline",
+        tr.tier.archived_files,
+        tr.tier.files,
+        tr.tier.archive_bytes,
+        tr.tier.fast_bytes,
+        tr.tier.hot_p99.as_ms_f64(),
+        tr.base.hot_p99.as_ms_f64()
+    );
+    check::require_at_least(
+        "archived share of the aged population (files, vs 80 %)",
+        tr.tier.archived_files as f64 * 5.0,
+        tr.tier.files as f64 * 4.0,
+    )?;
+    check::require_at_least(
+        "archive-resident bytes (vs 4x fast-resident)",
+        tr.tier.archive_bytes as f64,
+        4.0 * tr.tier.fast_bytes as f64,
+    )?;
+    check::require_at_least(
+        "archive capacity (blocks, vs 4x the fast data area)",
+        tr.tier.archive_capacity_blocks as f64,
+        4.0 * tr.tier.fast_capacity_blocks as f64,
+    )?;
+    check::require_at_least(
+        "tier demotions (vs archived file count)",
+        tr.tier.demotions as f64,
+        tr.tier.archived_files as f64,
+    )?;
+    check::require_at_least(
+        "tier promotions (recalls completed)",
+        tr.tier.promotions as f64,
+        1.0,
+    )?;
+    check::require_at_most(
+        "tiered hot-set p99 (ns, vs 1.15x baseline)",
+        tr.tier.hot_p99.as_ns() as f64,
+        1.15 * tr.base.hot_p99.as_ns() as f64,
+    )?;
     // Zone-frag gate: the per-zone reports must partition the data area
     // — zone free space sums to the whole-area free count.
     let zone_free: u64 = sm.zones.iter().map(|z| z.free).sum();
@@ -933,15 +1064,17 @@ fn run_json(path: &str, check: bool) -> std::io::Result<()> {
     let tm = measure_telemetry();
     eprintln!("running sharding summary (1-vs-2-shard scaling + rebalance + kill-shard)…");
     let sh = measure_sharding();
+    eprintln!("running tiering summary (aged-population pair, baseline vs archive)…");
+    let tr = measure_tiering();
     if check {
-        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev, &tm, &sh) {
+        if let Err(e) = gate(path, &rows, &pcts, &faults, &sm, &gc, &ev, &tm, &sh, &tr) {
             eprintln!("BENCH CHECK FAILED: {e}");
             std::process::exit(1);
         }
     }
     std::fs::write(
         path,
-        render_json(&rows, &pcts, &faults, &sm, &gc, &ev, &tm, &sh),
+        render_json(&rows, &pcts, &faults, &sm, &gc, &ev, &tm, &sh, &tr),
     )?;
     eprintln!("wrote {path}");
     Ok(())

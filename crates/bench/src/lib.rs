@@ -30,6 +30,10 @@
 //!   read bandwidth scaling across 1–8 shards behind the
 //!   [`amoeba_rpc::ShardRouter`], live-byte preservation under
 //!   rebalancing, and the kill-one-shard degraded-service cell.
+//! * [`tierbench`] — the tiered-storage ablation (ABL19): an aged Zipf
+//!   population demoted to the WORM archive by the ranked maintenance
+//!   scheduler, byte-identical demotion/recall, and the hot-set p99
+//!   interference gate against an archive-less baseline.
 //!
 //! Binaries (see DESIGN.md's experiment index):
 //! `fig1_layout`, `fig2_bullet`, `fig3_nfs`, `comparison`,
@@ -47,6 +51,7 @@ pub mod rig;
 pub mod schedbench;
 pub mod shardbench;
 pub mod table;
+pub mod tierbench;
 pub mod workload;
 
 pub use check::CheckError;
@@ -56,4 +61,5 @@ pub use rig::{BulletRig, NfsRig, SchedSummary};
 pub use schedbench::{KneeRow, MixedRun, PolicyOutcome};
 pub use shardbench::ShardOutcome;
 pub use table::{bandwidth_kb_s, Claims, Row, SIZES};
+pub use tierbench::{TierConfig, TierOutcome};
 pub use workload::{small_file_storm, SizeDistribution, WorkloadMix, WorkloadOp, ZipfSampler};

@@ -92,6 +92,33 @@ pub const SCHED_DEADLINE_PROMOTIONS: &str = "sched_deadline_promotions";
 /// Files removed by ageing (the garbage collector's touch-or-die rule).
 pub const AGED_OUT: &str = "aged_out";
 
+/// Maintenance-scheduler ticks that got past the idleness gate (preempted
+/// ticks count under [`COMPACTION_PREEMPTIONS`] instead).
+pub const MAINTENANCE_TICKS: &str = "maintenance_ticks";
+
+/// Ticks on which the log→home migration job reported nothing to do.
+pub const MAINT_SKIPS_LOG_MIGRATION: &str = "maint_skips_log_migration";
+
+/// Ticks on which the data-area packing job reported nothing to do.
+pub const MAINT_SKIPS_PACKING: &str = "maint_skips_packing";
+
+/// Ticks on which the archive-recall (promotion) job had an empty queue.
+pub const MAINT_SKIPS_RECALL: &str = "maint_skips_recall";
+
+/// Ticks on which the demotion job found no cold candidate (or the fast
+/// tier was under its high-water mark).
+pub const MAINT_SKIPS_DEMOTION: &str = "maint_skips_demotion";
+
+/// Cold files streamed from the fast tier to the WORM archive.
+pub const TIER_DEMOTIONS: &str = "tier_demotions";
+
+/// Archived files recalled to the fast tier after a read scheduled them.
+pub const TIER_PROMOTIONS: &str = "tier_promotions";
+
+/// Payload bytes burned onto the archive tier by demotion (WORM media:
+/// this total never decreases).
+pub const TIER_ARCHIVE_BYTES: &str = "tier_archive_bytes";
+
 /// Physical record appends to the group-commit log (batch commits plus
 /// the occasional one-block seal record written before deleting a file
 /// of the newest batch).
@@ -225,6 +252,13 @@ pub const GAUGE_LOG_RESIDENT_FILES: &str = "log_resident_files";
 /// leader flush at sample time (batch occupancy).
 pub const GAUGE_GC_BATCH_OCCUPANCY: &str = "gc_batch_occupancy";
 
+/// Telemetry gauge: write-once blocks burned on the archive tier (the
+/// WORM platter's occupancy; monotonic by construction).
+pub const GAUGE_TIER_ARCHIVE_BLOCKS: &str = "tier_archive_blocks";
+
+/// Telemetry gauge: archived files queued for recall to the fast tier.
+pub const GAUGE_TIER_RECALL_QUEUE: &str = "tier_recall_queue";
+
 /// Telemetry gauge (evsim rig): per-disk backlog in simulated µs — how
 /// far the disk's free time is ahead of the arriving request (instance =
 /// disk id).
@@ -249,6 +283,8 @@ pub const GAUGES: &[&str] = &[
     GAUGE_ALLOC_MAX_HOLE,
     GAUGE_LOG_RESIDENT_FILES,
     GAUGE_GC_BATCH_OCCUPANCY,
+    GAUGE_TIER_ARCHIVE_BLOCKS,
+    GAUGE_TIER_RECALL_QUEUE,
     GAUGE_EVSIM_DISK_BACKLOG_US,
     GAUGE_EVSIM_RETRIES,
     GAUGE_SHARD_ROUTED_OPS,
@@ -284,6 +320,14 @@ pub const ALL: &[&str] = &[
     DISK_COALESCED_IOS,
     SCHED_DEADLINE_PROMOTIONS,
     AGED_OUT,
+    MAINTENANCE_TICKS,
+    MAINT_SKIPS_LOG_MIGRATION,
+    MAINT_SKIPS_PACKING,
+    MAINT_SKIPS_RECALL,
+    MAINT_SKIPS_DEMOTION,
+    TIER_DEMOTIONS,
+    TIER_PROMOTIONS,
+    TIER_ARCHIVE_BYTES,
     LOG_APPENDS,
     GROUP_COMMIT_FLUSHES,
     LOG_BATCH_FILES,
@@ -383,6 +427,25 @@ mod tests {
             assert!(ALL.contains(&name), "{name} missing from ALL");
         }
         for name in [GAUGE_SHARD_ROUTED_OPS, GAUGE_SHARD_DEGRADED_OPS] {
+            assert!(GAUGES.contains(&name), "{name} missing from GAUGES");
+        }
+    }
+
+    #[test]
+    fn tiering_and_maintenance_counters_are_registered() {
+        for name in [
+            MAINTENANCE_TICKS,
+            MAINT_SKIPS_LOG_MIGRATION,
+            MAINT_SKIPS_PACKING,
+            MAINT_SKIPS_RECALL,
+            MAINT_SKIPS_DEMOTION,
+            TIER_DEMOTIONS,
+            TIER_PROMOTIONS,
+            TIER_ARCHIVE_BYTES,
+        ] {
+            assert!(ALL.contains(&name), "{name} missing from ALL");
+        }
+        for name in [GAUGE_TIER_ARCHIVE_BLOCKS, GAUGE_TIER_RECALL_QUEUE] {
             assert!(GAUGES.contains(&name), "{name} missing from GAUGES");
         }
     }

@@ -55,6 +55,7 @@ pub mod freelist;
 pub mod gclog;
 pub mod groupcommit;
 pub mod layout;
+pub mod maintenance;
 pub mod rpc_iface;
 pub mod server;
 pub mod shard;
@@ -67,6 +68,7 @@ pub use freelist::{ExtentAllocator, FragReport, Move, Placement};
 pub use gclog::{ChainScan, LogEntry, LogRecord};
 pub use groupcommit::{BatchCaps, GroupCommitter};
 pub use layout::{DiskDescriptor, Inode};
+pub use maintenance::{JobTick, MaintenanceJob};
 pub use rpc_iface::{commands, BulletClient, BulletRpcServer};
-pub use server::{BulletConfig, BulletServer, CompactTick, LayoutEntry, SchemeKind};
+pub use server::{ArchiveDevice, BulletConfig, BulletServer, CompactTick, LayoutEntry, SchemeKind};
 pub use shard::{BulletShards, ShardSlot};

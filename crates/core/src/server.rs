@@ -47,11 +47,11 @@ use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use amoeba_cap::{AmoebaScheme, Capability, CheckScheme, MacScheme, ObjNum, Port, Rights};
-use amoeba_disk::{BlockDevice, LogWindow, MirroredDisk, RamDisk};
+use amoeba_disk::{BlockDevice, LogWindow, MirroredDisk, RamDisk, SimDisk, WormDisk};
 use amoeba_rpc::StreamWire;
 use amoeba_sim::{
-    AttrValue, CpuProfile, DetRng, Nanos, Pipeline, SimClock, SpanGuard, Stats, Telemetry,
-    TelemetryConfig, TraceConfig, Tracer,
+    AttrValue, CpuProfile, DetRng, DiskProfile, Nanos, Pipeline, SimClock, SpanGuard, Stats,
+    Telemetry, TelemetryConfig, TraceConfig, Tracer,
 };
 
 use crate::accounting::ClientAccounting;
@@ -61,6 +61,7 @@ use crate::freelist::ExtentAllocator;
 use crate::gclog;
 use crate::groupcommit::{BatchCaps, GroupCommitter};
 use crate::layout::{DiskDescriptor, Inode};
+use crate::maintenance::{self, JobTick, MaintenanceJob};
 use crate::table::{InodeTable, RepairPolicy};
 use crate::BulletError;
 
@@ -169,6 +170,30 @@ pub struct BulletConfig {
     /// free list so this instance only ever mints object numbers that
     /// [`amoeba_cap::shard_of`] routes back to it.
     pub shard: crate::shard::ShardSlot,
+    /// Blocks on the WORM archive tier.  `0` (the default) disables
+    /// tiering entirely — no archive device exists and the maintenance
+    /// scheduler's demotion/recall jobs report zero urgency, leaving
+    /// behaviour byte-identical to earlier releases.  When enabled,
+    /// idle-time maintenance demotes cold files' extents onto a
+    /// write-once archive device and recalls them to the fast tier after
+    /// their first post-demotion read.
+    pub archive_blocks: u64,
+    /// Fast-tier occupancy percentage above which the demotion job
+    /// engages (the tier high-water mark).  Below it cold files stay on
+    /// the fast tier — there is nothing to reclaim.
+    pub tier_high_water_pct: u32,
+    /// Aging rounds ([`BulletServer::age_all`]) a file must survive
+    /// untouched before the demotion job may consider it cold.
+    pub tier_cold_age: u32,
+    /// The idleness gate's request-arrival threshold: a maintenance tick
+    /// preempts when more than this many foreground requests arrived
+    /// since the previous tick.  `0` (the default, and the historical
+    /// behaviour) preempts on any arrival at all.
+    pub maint_idle_request_delta: u64,
+    /// Bounded job increments one maintenance tick may perform once its
+    /// idleness gate passes.  `1` (the default, and the historical
+    /// behaviour) moves at most one extent per tick.
+    pub maint_moves_per_tick: u32,
 }
 
 impl BulletConfig {
@@ -203,6 +228,11 @@ impl BulletConfig {
             telemetry: TelemetryConfig::off(),
             accounting: ClientAccounting::off(),
             shard: crate::shard::ShardSlot::solo(),
+            archive_blocks: 0,
+            tier_high_water_pct: 75,
+            tier_cold_age: 1,
+            maint_idle_request_delta: 0,
+            maint_moves_per_tick: 1,
         }
     }
 }
@@ -254,6 +284,21 @@ struct AllocState {
 struct LogState {
     window: LogWindow,
     homes: HashMap<u32, (u64, u64)>,
+}
+
+/// The WORM archive tier's device stack: a write-once wrapper (no exempt
+/// region — the inode table stays on the fast tier) over a simulated
+/// drive on the shared clock, so archive I/O charges real simulated time
+/// at its own device's speed.
+pub type ArchiveDevice = WormDisk<SimDisk<RamDisk>>;
+
+/// The archive tier: the write-once device plus the recall queue —
+/// archived files whose first post-demotion read scheduled a promotion
+/// back to the fast tier.  The queue mutex is a leaf: it is never held
+/// across another lock acquisition.
+struct ArchiveState {
+    dev: Arc<ArchiveDevice>,
+    recall_q: Mutex<BTreeSet<u32>>,
 }
 
 /// The per-inode in-flight table: at most one request at a time may be in
@@ -366,6 +411,8 @@ pub struct BulletServer {
     log: Option<Mutex<LogState>>,
     /// The create-batching coordinator feeding the log.
     gc: GroupCommitter,
+    /// The WORM archive tier (`None` when `cfg.archive_blocks == 0`).
+    archive: Option<ArchiveState>,
     /// Serializes inode-block write-through so that the order block
     /// images are snapshotted equals the order they reach the disks: two
     /// files sharing a control block can never clobber each other's inode
@@ -431,6 +478,8 @@ impl BulletServer {
             desc.data_start(),
             log_start.unwrap_or_else(|| desc.data_end()),
         );
+        Self::check_archive_geometry(&cfg, &desc)?;
+        let archive = Self::build_archive(&cfg, desc.block_size);
         Ok(BulletServer::assemble(
             cfg,
             storage,
@@ -438,7 +487,43 @@ impl BulletServer {
             alloc,
             HashMap::new(),
             log,
+            archive,
         ))
+    }
+
+    /// Validates `cfg.archive_blocks` against the formatted geometry: an
+    /// archived file's inode encodes its archive block as
+    /// `data_end + block`, which must fit the 32-bit start field.
+    fn check_archive_geometry(
+        cfg: &BulletConfig,
+        desc: &DiskDescriptor,
+    ) -> Result<(), BulletError> {
+        if cfg.archive_blocks > 0 && desc.data_end() + cfg.archive_blocks > u32::MAX as u64 {
+            return Err(BulletError::Corrupt(format!(
+                "archive of {} blocks overflows the inode start field",
+                cfg.archive_blocks
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh archive tier when the configuration enables one.
+    /// The whole device is write-once (exempt prefix 0 — inodes stay on
+    /// the fast tier), segmented at the streaming segment size so
+    /// fully-burned segments can be sealed.
+    fn build_archive(cfg: &BulletConfig, block_size: u32) -> Option<ArchiveState> {
+        (cfg.archive_blocks > 0).then(|| ArchiveState {
+            dev: Arc::new(WormDisk::with_segments(
+                SimDisk::new(
+                    RamDisk::new(block_size, cfg.archive_blocks),
+                    cfg.clock.clone(),
+                    DiskProfile::scsi_1989(),
+                ),
+                0,
+                (cfg.segment_size as u64 / block_size as u64).max(1),
+            )),
+            recall_q: Mutex::new(BTreeSet::new()),
+        })
     }
 
     /// Validates `cfg.log_blocks` against the formatted geometry and
@@ -467,6 +552,7 @@ impl BulletServer {
         extents: ExtentAllocator,
         ages: HashMap<u32, u32>,
         log: Option<LogState>,
+        archive: Option<ArchiveState>,
     ) -> BulletServer {
         // Stripe the free list before the table is published: a sharded
         // instance only ever mints object numbers that hash back to it,
@@ -500,6 +586,7 @@ impl BulletServer {
             inflight: InflightTable::new(),
             log: log.map(Mutex::new),
             gc: GroupCommitter::new(),
+            archive,
             inode_io: Mutex::new(()),
             maintenance: RwLock::new(()),
             requests_seen: std::sync::atomic::AtomicU64::new(0),
@@ -539,8 +626,47 @@ impl BulletServer {
     ///
     /// Disk errors; [`BulletError::Corrupt`] under [`RepairPolicy::Fail`]
     /// if any inode is out of bounds or files overlap.
+    ///
+    /// With `cfg.archive_blocks > 0` a *fresh* (empty) archive device is
+    /// built: archived inodes stay valid and the append cursor is
+    /// restored past their extents, but their bytes are gone — WORM media
+    /// survives a crash physically, so a real restart re-adopts the
+    /// platter via [`recover_with_archive`](Self::recover_with_archive).
     pub fn recover(cfg: BulletConfig, storage: MirroredDisk) -> Result<BulletServer, BulletError> {
-        let report = InodeTable::load(&storage, cfg.repair)?;
+        Self::recover_inner(cfg, storage, None)
+    }
+
+    /// [`recover`](Self::recover), re-adopting a surviving WORM archive
+    /// device (grabbed via [`archive_device`](Self::archive_device)
+    /// before the crash): archived files keep their bytes, and the
+    /// append cursor can only move forward.
+    ///
+    /// # Errors
+    ///
+    /// As [`recover`](Self::recover); additionally
+    /// [`BulletError::Corrupt`] if the device's geometry does not match
+    /// `cfg.archive_blocks`.
+    pub fn recover_with_archive(
+        cfg: BulletConfig,
+        storage: MirroredDisk,
+        archive: Arc<ArchiveDevice>,
+    ) -> Result<BulletServer, BulletError> {
+        if cfg.archive_blocks == 0 || archive.num_blocks() != cfg.archive_blocks {
+            return Err(BulletError::Corrupt(format!(
+                "archive device has {} blocks, configuration says {}",
+                archive.num_blocks(),
+                cfg.archive_blocks
+            )));
+        }
+        Self::recover_inner(cfg, storage, Some(archive))
+    }
+
+    fn recover_inner(
+        cfg: BulletConfig,
+        storage: MirroredDisk,
+        archive_dev: Option<Arc<ArchiveDevice>>,
+    ) -> Result<BulletServer, BulletError> {
+        let report = InodeTable::load_with_archive(&storage, cfg.repair, cfg.archive_blocks)?;
         let mut table = report.table;
         let desc = *table.descriptor();
         let log_start = Self::check_log_geometry(&cfg, &desc)?;
@@ -584,9 +710,13 @@ impl BulletServer {
                     storage.write_sync_k(b, &table.block_image(b), storage.replica_count())?;
                 }
             }
+            // Archived extents also start past `ls` (they encode as
+            // `data_end + block`); only starts inside the window proper
+            // are log-resident.
             let (resident, resident_bytes) =
                 table.live().fold((0u64, 0u64), |(n, by), (_, ino)| {
-                    if (ino.start_block as u64) >= ls {
+                    let start = ino.start_block as u64;
+                    if start >= ls && start < desc.data_end() {
                         (n + 1, by + ino.size_bytes as u64)
                     } else {
                         (n, by)
@@ -639,8 +769,33 @@ impl BulletServer {
             },
         };
 
+        Self::check_archive_geometry(&cfg, &desc)?;
+        let archive = match archive_dev {
+            Some(dev) => Some(ArchiveState {
+                dev,
+                recall_q: Mutex::new(BTreeSet::new()),
+            }),
+            None => Self::build_archive(&cfg, desc.block_size),
+        };
+        if let Some(arch) = &archive {
+            // The append cursor must clear every archived extent the
+            // table still references — even on a fresh device, so future
+            // demotions never burn over a slot recovery believes is
+            // taken.  `restore_append_pos` never rewinds, so a surviving
+            // device keeps its own (equal or later) cursor.
+            let past_used = table
+                .live()
+                .filter(|(_, ino)| (ino.start_block as u64) >= desc.data_end())
+                .map(|(_, ino)| {
+                    ino.start_block as u64 - desc.data_end() + ino.blocks(desc.block_size)
+                })
+                .max()
+                .unwrap_or(0);
+            arch.dev.restore_append_pos(past_used);
+        }
+
         let ages = table.live().map(|(i, _)| (i, cfg.max_age)).collect();
-        let server = BulletServer::assemble(cfg, storage, table, alloc, ages, log);
+        let server = BulletServer::assemble(cfg, storage, table, alloc, ages, log, archive);
         server
             .stats
             .add(counters::RECOVERY_REPAIRED_INODES, report.repaired as u64);
@@ -1270,11 +1425,17 @@ impl BulletServer {
         let Some((ls, _)) = self.log_range() else {
             return Ok(None);
         };
+        let data_end = self.desc.data_end();
         let picked = {
             let table = self.table_read();
             table
                 .live()
-                .filter(|&(_, inode)| (inode.start_block as u64) >= ls)
+                .filter(|&(_, inode)| {
+                    let start = inode.start_block as u64;
+                    // Archived extents also start past `ls` (they encode
+                    // as `data_end + block`) but are not log-resident.
+                    start >= ls && start < data_end
+                })
                 .min_by_key(|&(_, inode)| inode.start_block)
                 .map(|(i, inode)| (i, *inode))
         };
@@ -1491,7 +1652,11 @@ impl BulletServer {
                 inode.size_bytes as u64,
             )
         };
-        let log_resident = self.log_range().is_some_and(|(ls, _)| start >= ls);
+        // Classify the extent *before* the log test: archived extents
+        // encode as `data_end + block` and would otherwise read as
+        // log-resident.
+        let archive_resident = self.archive.is_some() && start >= self.desc.data_end();
+        let log_resident = !archive_resident && self.log_range().is_some_and(|(ls, _)| start >= ls);
         // Deleting a file of the *newest* log record must seal the chain
         // first: once the inode is zeroed on disk, a crash replay would
         // otherwise see a free slot named by a valid record and
@@ -1511,7 +1676,15 @@ impl BulletServer {
         // longer references them, and recovery rebuilds from disk).
         let write = self.write_inode_block(idx, self.storage.replica_count());
         self.table_write().release_slot(idx);
-        if log_resident {
+        if archive_resident {
+            // WORM space is never reclaimed — the burned blocks keep the
+            // dead version forever; just forget any pending recall.
+            let arch = self
+                .archive
+                .as_ref()
+                .expect("archive-resident implies tiering");
+            arch.recall_q.lock().remove(&idx);
+        } else if log_resident {
             // A log-resident file owns no allocator extent — it owns its
             // preallocated migration home; free that instead, and let an
             // emptied window rewind for reuse.
@@ -1557,8 +1730,14 @@ impl BulletServer {
         let block_size = self.desc.block_size;
         let blocks = inode.blocks(block_size);
         let mut buf = vec![0u8; (blocks * block_size as u64) as usize];
-        self.storage
-            .read_blocks(inode.start_block as u64, &mut buf)?;
+        let start = inode.start_block as u64;
+        match self.archive.as_ref() {
+            Some(arch) if start >= self.desc.data_end() => {
+                arch.dev
+                    .read_blocks(start - self.desc.data_end(), &mut buf)?;
+            }
+            _ => self.storage.read_blocks(start, &mut buf)?,
+        }
         buf.truncate(inode.size_bytes as usize);
         op.attr("bytes", buf.len());
         Ok((inode.random, Bytes::from(buf)))
@@ -1675,7 +1854,8 @@ impl BulletServer {
                 inode.size_bytes as u64,
             )
         };
-        let log_resident = self.log_range().is_some_and(|(ls, _)| start >= ls);
+        let archive_resident = self.archive.is_some() && start >= self.desc.data_end();
+        let log_resident = !archive_resident && self.log_range().is_some_and(|(ls, _)| start >= ls);
         if let Some(st) = logst.as_mut() {
             if st.window.is_unsealed(idx) {
                 self.log_seal_locked(st)?;
@@ -1687,7 +1867,13 @@ impl BulletServer {
         let write = self.write_inode_block(idx, self.storage.replica_count());
         // Deliberately no release_slot: the slot is tombstoned on this
         // shard for the life of the process.
-        if log_resident {
+        if archive_resident {
+            let arch = self
+                .archive
+                .as_ref()
+                .expect("archive-resident implies tiering");
+            arch.recall_q.lock().remove(&idx);
+        } else if log_resident {
             let st = logst.as_mut().expect("log-resident implies log enabled");
             if let Some((hs, hl)) = st.homes.remove(&idx) {
                 self.alloc_lock().extents.free(hs, hl)?;
@@ -1810,9 +1996,10 @@ impl BulletServer {
                 .map(|(i, inode)| (inode.start_block as u64, i))
                 .collect();
             let mut used = table.used_extents();
-            if let Some((ls, _)) = self.log_range() {
-                used.retain(|&(s, _)| s < ls);
-            }
+            // Exclude log-window *and* archived extents: the plan only
+            // understands allocator-range extents.
+            let alloc_end = self.log_range().map_or(self.desc.data_end(), |(ls, _)| ls);
+            used.retain(|&(s, _)| s < alloc_end);
             let plan = self.alloc_lock().extents.plan_compaction(&used);
             (by_start, used, plan)
         };
@@ -1840,21 +2027,29 @@ impl BulletServer {
         Ok(moved)
     }
 
-    /// One increment of idle-time compaction: moves at most one extent,
-    /// and only when the server has been idle since the previous tick.
+    /// One increment of idle-time maintenance, and only when the server
+    /// has been idle since the previous tick.
     ///
     /// The paper runs compaction "every morning at say 3 am" as one long
-    /// exclusive pass; with the seek-aware scheduler it becomes a
-    /// background activity that yields to foreground traffic.  Each tick:
+    /// exclusive pass; here it is a ranked background scheduler (see
+    /// [`crate::maintenance`]) that yields to foreground traffic.  Each
+    /// tick:
     ///
-    /// 1. If any request arrived since the last tick, or foreground work
+    /// 1. If more than [`BulletConfig::maint_idle_request_delta`]
+    ///    requests arrived since the last tick, or foreground work
     ///    currently holds the maintenance lock, the tick *preempts* —
     ///    it does nothing, counts a preemption, and re-arms.
-    /// 2. Otherwise the tick recomputes the packing plan, applies its
-    ///    first move (via RAM, on every replica, inode updated on disk
-    ///    before returning — the same consistency as
-    ///    [`compact_disk`](Self::compact_disk)), and reports how many
-    ///    moves remain.
+    /// 2. Otherwise the jobs are consulted in rank order — group-commit
+    ///    log migration, data-area packing, archive recall, cold-file
+    ///    demotion — and the first with work performs one bounded
+    ///    increment ([`BulletConfig::maint_moves_per_tick`] increments
+    ///    per tick; every move lands on every replica with the inode
+    ///    updated on disk before the tick returns, the same consistency
+    ///    as [`compact_disk`](Self::compact_disk)).
+    ///
+    /// With tiering off (`archive_blocks == 0`) the recall and demotion
+    /// jobs report zero urgency and the tick behaves exactly as earlier
+    /// releases: migrate one log file, else pack one extent, else idle.
     ///
     /// Drive it from an idle loop until it returns [`CompactTick::Idle`].
     ///
@@ -1863,11 +2058,13 @@ impl BulletServer {
     /// Disk errors; an interrupted tick leaves every file consistent.
     pub fn compact_tick(&self) -> Result<CompactTick, BulletError> {
         use std::sync::atomic::Ordering;
-        // Idleness gate: any foreground arrival since the previous tick
-        // preempts this one.  (The swap also re-arms the gate, so the
-        // next tick runs if the server has gone quiet.)
+        // Idleness gate: foreground arrivals beyond the configured
+        // threshold since the previous tick preempt this one.  (The swap
+        // also re-arms the gate, so the next tick runs if the server has
+        // gone quiet.)
         let seen = self.requests_seen.load(Ordering::Relaxed);
-        if self.compact_mark.swap(seen, Ordering::Relaxed) != seen {
+        let mark = self.compact_mark.swap(seen, Ordering::Relaxed);
+        if seen.saturating_sub(mark) > self.cfg.maint_idle_request_delta {
             self.stats.incr(counters::COMPACTION_PREEMPTIONS);
             return Ok(CompactTick::Preempted);
         }
@@ -1880,31 +2077,45 @@ impl BulletServer {
             return Ok(CompactTick::Preempted);
         };
         self.locks.incr(counters::LOCK_MAINTENANCE_WRITE);
+        self.stats.incr(counters::MAINTENANCE_TICKS);
 
-        // Ranked job 1: migrate one log-resident file to its contiguous
-        // home.  Draining the group-commit window ranks above packing the
-        // data area — it is what keeps the window available for future
-        // batches and restores `Placement`-chosen locality.
-        if let Some(logmx) = &self.log {
-            let mut st = logmx.lock();
-            if st.window.resident() > 0 && self.migrate_one_log_file(&mut st)?.is_some() {
-                let remaining = st.window.resident();
-                return Ok(CompactTick::Moved { remaining });
+        // The ranked job table, highest rank first: draining the
+        // group-commit window keeps it available for future batches;
+        // packing restores the one-hole invariant; recall serves files
+        // the read path already asked for; demotion is pure space
+        // reclamation and goes last.
+        let migration = LogMigrationJob(self);
+        let packing = PackingJob(self);
+        let recall = RecallJob(self);
+        let demotion = DemotionJob(self);
+        let jobs: [&dyn MaintenanceJob; 4] = [&migration, &packing, &recall, &demotion];
+        let mut outcome = CompactTick::Idle;
+        for _ in 0..self.cfg.maint_moves_per_tick.max(1) {
+            match maintenance::run_ranked(&jobs, &self.stats)? {
+                JobTick::Idle => break,
+                JobTick::Progressed { remaining } => outcome = CompactTick::Moved { remaining },
             }
         }
+        Ok(outcome)
+    }
 
-        // Ranked job 2: pack the data area (log extents are not the
-        // allocator's to plan over — they are excluded).
+    /// One increment of data-area packing — the historical
+    /// `compact_tick` body, now the [`PackingJob`] increment: recompute
+    /// the sliding plan, apply its first move.  Returns the remaining
+    /// move count, or `None` when the area is fully packed.
+    fn pack_one(&self) -> Result<Option<u64>, BulletError> {
         let block_size = self.desc.block_size;
         let (idx, m, remaining) = {
             let table = self.table_read();
             let mut used = table.used_extents();
-            if let Some((ls, _)) = self.log_range() {
-                used.retain(|&(s, _)| s < ls);
-            }
+            // Log-window extents are bump-allocated and archived extents
+            // live on another device entirely: neither is the
+            // allocator's to plan over.
+            let alloc_end = self.log_range().map_or(self.desc.data_end(), |(ls, _)| ls);
+            used.retain(|&(s, _)| s < alloc_end);
             let plan = self.alloc_lock().extents.plan_compaction(&used);
             let Some(&m) = plan.first() else {
-                return Ok(CompactTick::Idle);
+                return Ok(None);
             };
             let idx = table
                 .live()
@@ -1945,7 +2156,209 @@ impl BulletServer {
         }
         self.alloc_lock().extents.free(m.to + m.len, shift)?;
         self.stats.incr(counters::DISK_COMPACTION_MOVES);
-        Ok(CompactTick::Moved { remaining })
+        Ok(Some(remaining))
+    }
+
+    // ------------------------------------------------------------------
+    // The storage tiers: RAM → mirrored disk → WORM archive.
+    // ------------------------------------------------------------------
+
+    /// Demotes one cold file's extent to the WORM archive tier — the
+    /// [`DemotionJob`] increment.  Candidates are live, uncached,
+    /// allocator-range (neither log-resident nor already archived) files
+    /// that survived [`BulletConfig::tier_cold_age`] aging rounds
+    /// untouched; among them the size-tiered bucketing of
+    /// [`maintenance::size_tiered_pick`] chooses.  The extent streams to
+    /// the archive through the low-priority disk lane, the inode flips
+    /// to the archive encoding (`data_end + archive_block`), and the
+    /// fast-tier extent returns to the allocator.  Returns the demoted
+    /// index, or `None` when nothing qualifies.
+    fn demote_one(&self) -> Result<Option<u32>, BulletError> {
+        let Some(arch) = &self.archive else {
+            return Ok(None);
+        };
+        let data_end = self.desc.data_end();
+        let alloc_end = self.log_range().map_or(data_end, |(ls, _)| ls);
+        let block_size = self.desc.block_size;
+        let candidates: Vec<(u32, u64)> = {
+            let table = self.table_read();
+            let ages = self.ages_lock();
+            table
+                .live()
+                .filter(|&(idx, ino)| {
+                    ino.index == 0
+                        && (ino.start_block as u64) < alloc_end
+                        && ages.get(&idx).is_some_and(|&a| {
+                            self.cfg.max_age.saturating_sub(a) >= self.cfg.tier_cold_age
+                        })
+                })
+                .map(|(idx, ino)| (idx, ino.blocks(block_size)))
+                .collect()
+        };
+        let Some(idx) = maintenance::size_tiered_pick(&candidates) else {
+            return Ok(None);
+        };
+        let _busy = self.inflight_lock(idx);
+        // Re-check under the guard: a read may have re-warmed the file
+        // into the cache, or a delete may have claimed the slot.
+        let inode = {
+            let table = self.table_read();
+            match table.get(idx) {
+                Ok(i) => *i,
+                Err(_) => return Ok(None),
+            }
+        };
+        if inode.index != 0 || (inode.start_block as u64) >= alloc_end {
+            return Ok(None);
+        }
+        let blocks = inode.blocks(block_size);
+        // The reservation is permanent — a burner can never unburn — so
+        // a full archive simply ends demotion, and a failure mid-stream
+        // wastes the run (nothing else changed: full rollback).
+        let Ok(dst) = arch.dev.append_reserve(blocks) else {
+            return Ok(None);
+        };
+        self.copy_extent_to_archive(inode.start_block as u64, blocks, dst, &arch.dev)?;
+        self.table_write().get_mut(idx)?.start_block = (data_end + dst) as u32;
+        if let Err(e) = self.write_inode_block(idx, self.storage.replica_count()) {
+            self.table_write().get_mut(idx)?.start_block = inode.start_block;
+            return Err(e);
+        }
+        // Committed: the fast-tier extent returns to the allocator, and
+        // fully-burned archive segments seal behind the cursor.
+        self.alloc_lock()
+            .extents
+            .free(inode.start_block as u64, blocks)?;
+        arch.dev.seal_full_segments();
+        self.stats.incr(counters::TIER_DEMOTIONS);
+        self.stats
+            .add(counters::TIER_ARCHIVE_BYTES, inode.size_bytes as u64);
+        Ok(Some(idx))
+    }
+
+    /// Streams a fast-tier extent to the archive device segment by
+    /// segment through the two-lane pipeline: lane 0 reads segment `k`
+    /// off the fast tier — on the disk scheduler's *low-priority* lane,
+    /// so a foreground request waking mid-stream is never stuck behind
+    /// archive traffic — while lane 1 burns segment `k-1` onto the
+    /// archive.
+    fn copy_extent_to_archive(
+        &self,
+        src: u64,
+        blocks: u64,
+        dst: u64,
+        dev: &ArchiveDevice,
+    ) -> Result<(), BulletError> {
+        let block_size = self.desc.block_size as u64;
+        let seg = self.segment_bytes();
+        let total = blocks * block_size;
+        let mut pipe =
+            Pipeline::with_trace(self.tracer.clone(), &["archive_read", "archive_write"]);
+        let mut off = 0u64;
+        while off < total {
+            let end = (off + seg).min(total);
+            let mut buf = vec![0u8; (end - off) as usize];
+            pipe.begin_segment();
+            let read = pipe.stage(0, || {
+                self.storage
+                    .read_blocks_low(src + off / block_size, &mut buf)
+            });
+            if let Err(e) = read {
+                // Drop settles the charges accrued so far.
+                drop(pipe);
+                return Err(e.into());
+            }
+            let write = pipe.stage(1, || dev.write_blocks(dst + off / block_size, &buf));
+            if let Err(e) = write {
+                drop(pipe);
+                return Err(e.into());
+            }
+            off = end;
+        }
+        Ok(())
+    }
+
+    /// Recalls one archived file back to the fast tier — the
+    /// [`RecallJob`] increment, completing the promotion an archived
+    /// read scheduled.  The copy runs under the file's in-flight guard
+    /// with full rollback (the fast-tier extent is freed and the index
+    /// requeued on error); the burned archive blocks are never reclaimed
+    /// — WORM media keeps the old version forever.  Returns the recalled
+    /// index, or `None` when the queue is empty (or the fast tier is too
+    /// full — the index is requeued and the demotion job gets its turn).
+    fn recall_one(&self) -> Result<Option<u32>, BulletError> {
+        let Some(arch) = &self.archive else {
+            return Ok(None);
+        };
+        let data_end = self.desc.data_end();
+        loop {
+            let picked = arch.recall_q.lock().iter().next().copied();
+            let Some(idx) = picked else {
+                return Ok(None);
+            };
+            arch.recall_q.lock().remove(&idx);
+            let _busy = self.inflight_lock(idx);
+            let inode = {
+                let table = self.table_read();
+                match table.get(idx) {
+                    Ok(i) => *i,
+                    Err(_) => continue, // deleted while queued
+                }
+            };
+            let start = inode.start_block as u64;
+            if start < data_end {
+                continue; // already recalled, or the slot was reused
+            }
+            let blocks = inode.blocks(self.desc.block_size);
+            let home = {
+                let mut al = self.alloc_lock();
+                let hint = al.place_hint;
+                match al.extents.alloc_placed(blocks, self.cfg.placement, hint) {
+                    Some(s) => {
+                        al.place_hint = s + blocks;
+                        s
+                    }
+                    None => {
+                        // Fast tier full: requeue and yield to the
+                        // demotion job (next rank), which makes room.
+                        arch.recall_q.lock().insert(idx);
+                        return Ok(None);
+                    }
+                }
+            };
+            let staged = (|| {
+                let mut buf = vec![0u8; (blocks * self.desc.block_size as u64) as usize];
+                arch.dev.read_blocks(start - data_end, &mut buf)?;
+                self.storage
+                    .write_sync_k(home, &buf, self.storage.replica_count())?;
+                self.table_write().get_mut(idx)?.start_block = home as u32;
+                if let Err(e) = self.write_inode_block(idx, self.storage.replica_count()) {
+                    self.table_write().get_mut(idx)?.start_block = inode.start_block;
+                    return Err(e);
+                }
+                Ok(())
+            })();
+            if let Err(e) = staged {
+                self.alloc_lock().extents.free(home, blocks)?;
+                arch.recall_q.lock().insert(idx);
+                return Err(e);
+            }
+            self.stats.incr(counters::TIER_PROMOTIONS);
+            return Ok(Some(idx));
+        }
+    }
+
+    /// The WORM archive device (`None` when tiering is off) — grab it
+    /// before [`crash`](Self::crash) to re-adopt the surviving platter
+    /// via [`recover_with_archive`](Self::recover_with_archive).
+    pub fn archive_device(&self) -> Option<Arc<ArchiveDevice>> {
+        self.archive.as_ref().map(|a| Arc::clone(&a.dev))
+    }
+
+    /// Archived files whose promotion back to the fast tier is still
+    /// pending (scheduled by their first post-demotion read).
+    pub fn tier_recall_backlog(&self) -> usize {
+        self.archive.as_ref().map_or(0, |a| a.recall_q.lock().len())
     }
 
     /// Compacts the RAM cache arena; returns bytes moved.
@@ -2226,7 +2639,9 @@ impl BulletServer {
                     Err(_) => continue,
                 }
             };
-            let log_resident = self.log_range().is_some_and(|(ls, _)| start >= ls);
+            let archive_resident = self.archive.is_some() && start >= self.desc.data_end();
+            let log_resident =
+                !archive_resident && self.log_range().is_some_and(|(ls, _)| start >= ls);
             if let Some(st) = logst.as_mut() {
                 if st.window.is_unsealed(idx) {
                     self.log_seal_locked(st)?;
@@ -2236,7 +2651,13 @@ impl BulletServer {
             self.cache_write().remove(idx);
             let write = self.write_inode_block(idx, self.storage.replica_count());
             self.table_write().release_slot(idx);
-            if log_resident {
+            if archive_resident {
+                let arch = self
+                    .archive
+                    .as_ref()
+                    .expect("archive-resident implies tiering");
+                arch.recall_q.lock().remove(&idx);
+            } else if log_resident {
                 let st = logst.as_mut().expect("log-resident implies log enabled");
                 if let Some((hs, hl)) = st.homes.remove(&idx) {
                     self.alloc_lock().extents.free(hs, hl)?;
@@ -2351,6 +2772,26 @@ impl BulletServer {
         let blocks = inode.blocks(block_size);
         let mut buf = vec![0u8; (blocks * block_size as u64) as usize];
         let size = inode.size_bytes as u64;
+        if let Some(arch) = &self.archive {
+            let start = inode.start_block as u64;
+            if start >= self.desc.data_end() {
+                // Archive tier: serve the read *from the archive device*
+                // — no foreground stall waiting for a copy-back — and
+                // schedule the promotion; the recall job moves the file
+                // to the fast tier on a later idle tick.
+                arch.dev
+                    .read_blocks(start - self.desc.data_end(), &mut buf)?;
+                buf.truncate(inode.size_bytes as usize);
+                let data = Bytes::from(buf);
+                {
+                    let mut table = self.table_write();
+                    let mut cache = self.cache_write();
+                    self.cache_insert(&mut table, &mut cache, idx, data.clone())?;
+                }
+                arch.recall_q.lock().insert(idx);
+                return Ok(data);
+            }
+        }
         self.read_extent(
             inode.start_block as u64,
             0,
@@ -2394,6 +2835,14 @@ impl BulletServer {
             let table = self.table_read();
             *self.verify(&table, cap, Rights::READ)?
         };
+        if self.archive.is_some() && (inode.start_block as u64) >= self.desc.data_end() {
+            // Archived: partial loads would fight the recall job over
+            // the same extent — take the whole-file archive path (which
+            // also schedules the promotion).
+            drop(_busy);
+            let data = self.load_cold(cap, idx, Rights::READ, wire, offset as u64, end as u64)?;
+            return Ok(data.slice(offset as usize..end as usize));
+        }
         let block_size = self.desc.block_size as u64;
         let total = inode.blocks(self.desc.block_size) * block_size;
         let size = inode.size_bytes as u64;
@@ -2700,6 +3149,18 @@ impl BulletServer {
                 self.gc.pending_len() as u64,
             );
         }
+        if let Some(arch) = &self.archive {
+            self.telemetry.gauge(
+                counters::GAUGE_TIER_ARCHIVE_BLOCKS,
+                0,
+                now,
+                arch.dev.burned_blocks(),
+            );
+            if let Some(q) = arch.recall_q.try_lock() {
+                self.telemetry
+                    .gauge(counters::GAUGE_TIER_RECALL_QUEUE, 0, now, q.len() as u64);
+            }
+        }
         // Counter-delta series: op mix and cache behaviour per period.
         self.telemetry.sample_counters(
             now,
@@ -2861,6 +3322,131 @@ impl BulletServer {
         self.tracer
             .instant("lock.inflight", &[("contended", AttrValue::Bool(waited))]);
         guard
+    }
+}
+
+// ----------------------------------------------------------------------
+// The ranked maintenance jobs (see `crate::maintenance`).  Urgency checks
+// use raw *uncounted* try-locks by design: they are advisory peeks taken
+// every tick, and must not perturb the counted lock telemetry of the real
+// work paths (nor deadlock — a busy lock just means "guess").
+// ----------------------------------------------------------------------
+
+/// Rank 0: migrate one group-commit log file to its contiguous home.
+/// Draining the window keeps it available for future batches.
+struct LogMigrationJob<'a>(&'a BulletServer);
+
+impl MaintenanceJob for LogMigrationJob<'_> {
+    fn name(&self) -> &'static str {
+        "log_migration"
+    }
+    fn skip_counter(&self) -> &'static str {
+        counters::MAINT_SKIPS_LOG_MIGRATION
+    }
+    fn urgency(&self) -> u64 {
+        self.0
+            .log
+            .as_ref()
+            .map_or(0, |l| l.lock().window.resident())
+    }
+    fn increment(&self) -> Result<JobTick, BulletError> {
+        let Some(logmx) = &self.0.log else {
+            return Ok(JobTick::Idle);
+        };
+        let mut st = logmx.lock();
+        if st.window.resident() > 0 && self.0.migrate_one_log_file(&mut st)?.is_some() {
+            return Ok(JobTick::Progressed {
+                remaining: st.window.resident(),
+            });
+        }
+        Ok(JobTick::Idle)
+    }
+}
+
+/// Rank 1: pack the data area by one extent move.
+struct PackingJob<'a>(&'a BulletServer);
+
+impl MaintenanceJob for PackingJob<'_> {
+    fn name(&self) -> &'static str {
+        "packing"
+    }
+    fn skip_counter(&self) -> &'static str {
+        counters::MAINT_SKIPS_PACKING
+    }
+    fn urgency(&self) -> u64 {
+        // Advisory: any live file may leave a hole worth packing; the
+        // increment computes the real plan and reports Idle when the
+        // area is already packed.
+        self.0.table.try_read().map_or(1, |t| t.live_count() as u64)
+    }
+    fn increment(&self) -> Result<JobTick, BulletError> {
+        Ok(match self.0.pack_one()? {
+            Some(remaining) => JobTick::Progressed { remaining },
+            None => JobTick::Idle,
+        })
+    }
+}
+
+/// Rank 2: recall one archived file the read path asked for.  Ranked
+/// above demotion: a pending recall is a client actually waiting on
+/// archive latency, demotion is only space reclamation.
+struct RecallJob<'a>(&'a BulletServer);
+
+impl MaintenanceJob for RecallJob<'_> {
+    fn name(&self) -> &'static str {
+        "recall"
+    }
+    fn skip_counter(&self) -> &'static str {
+        counters::MAINT_SKIPS_RECALL
+    }
+    fn urgency(&self) -> u64 {
+        self.0
+            .archive
+            .as_ref()
+            .map_or(0, |a| a.recall_q.lock().len() as u64)
+    }
+    fn increment(&self) -> Result<JobTick, BulletError> {
+        Ok(match self.0.recall_one()? {
+            Some(_) => JobTick::Progressed {
+                remaining: self.urgency(),
+            },
+            None => JobTick::Idle,
+        })
+    }
+}
+
+/// Rank 3: demote one cold file to the archive tier, but only while the
+/// fast tier sits above its high-water mark.
+struct DemotionJob<'a>(&'a BulletServer);
+
+impl MaintenanceJob for DemotionJob<'_> {
+    fn name(&self) -> &'static str {
+        "demotion"
+    }
+    fn skip_counter(&self) -> &'static str {
+        counters::MAINT_SKIPS_DEMOTION
+    }
+    fn urgency(&self) -> u64 {
+        let s = self.0;
+        if s.archive.is_none() {
+            return 0;
+        }
+        // Occupancy against the high-water mark.  A contended allocator
+        // means "assume urgent" — the increment re-checks everything
+        // under its own locks.
+        let Some(al) = s.alloc.try_lock() else {
+            return 1;
+        };
+        let report = al.extents.report();
+        drop(al);
+        let used = report.total - report.free;
+        u64::from(used * 100 > report.total.max(1) * s.cfg.tier_high_water_pct as u64)
+    }
+    fn increment(&self) -> Result<JobTick, BulletError> {
+        Ok(match self.0.demote_one()? {
+            Some(_) => JobTick::Progressed { remaining: 0 },
+            None => JobTick::Idle,
+        })
     }
 }
 
@@ -3851,5 +4437,178 @@ mod tests {
         // And the space came back.
         let report = s2.disk_frag_report();
         assert_eq!(report.free, report.total);
+    }
+
+    // ------------------------------------------------------------------
+    // Tiered storage: demotion to the WORM archive, recall, and the
+    // configurable idleness gate.
+
+    fn tiered_cfg() -> BulletConfig {
+        let mut cfg = BulletConfig::small_test();
+        cfg.archive_blocks = 8192;
+        cfg.tier_high_water_pct = 0; // any occupancy sits "above water"
+        cfg.tier_cold_age = 1;
+        cfg
+    }
+
+    /// Ticks maintenance until the scheduler reports idle; returns how
+    /// many ticks made progress.
+    fn drain_maintenance(s: &BulletServer) -> u64 {
+        let mut progressed = 0;
+        loop {
+            match s.compact_tick().unwrap() {
+                CompactTick::Moved { .. } => progressed += 1,
+                CompactTick::Idle => return progressed,
+                CompactTick::Preempted => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cold_files_demote_to_the_archive_and_recall_on_read() {
+        let s = BulletServer::format(tiered_cfg(), 2).unwrap();
+        let cap = s.create(payload(3 * 512 + 17, 9), 2).unwrap();
+        s.clear_cache(); // cold = uncached…
+        s.age_all().unwrap(); // …and one aging round untouched
+        assert!(drain_maintenance(&s) >= 1);
+        assert_eq!(s.stats().get(counters::TIER_DEMOTIONS), 1);
+        let (desc, rows) = s.describe_layout();
+        assert!(
+            rows[0].start_block as u64 >= desc.data_end(),
+            "file lives on the archive tier"
+        );
+        let arch = s.archive_device().unwrap();
+        assert_eq!(arch.burned_blocks(), 4);
+        // The fast-tier extent came back whole.
+        let report = s.disk_frag_report();
+        assert_eq!(report.free, report.total);
+
+        // First read after demotion is served from the archive — no
+        // foreground stall — and merely *schedules* the promotion.
+        assert_eq!(s.read(&cap).unwrap(), payload(3 * 512 + 17, 9));
+        assert_eq!(s.tier_recall_backlog(), 1);
+        assert_eq!(s.stats().get(counters::TIER_PROMOTIONS), 0);
+
+        // Idle ticks complete the recall.
+        drain_maintenance(&s);
+        assert_eq!(s.stats().get(counters::TIER_PROMOTIONS), 1);
+        assert_eq!(s.tier_recall_backlog(), 0);
+        let (desc, rows) = s.describe_layout();
+        assert!(
+            (rows[0].start_block as u64) < desc.data_end(),
+            "file is home again"
+        );
+        s.clear_cache();
+        assert_eq!(s.read(&cap).unwrap(), payload(3 * 512 + 17, 9));
+        // WORM media: the archived copy's blocks stay burned forever.
+        assert_eq!(arch.burned_blocks(), 4);
+    }
+
+    #[test]
+    fn archived_files_survive_a_crash_via_the_surviving_platter() {
+        let s = BulletServer::format(tiered_cfg(), 2).unwrap();
+        let cap = s.create(payload(2000, 5), 2).unwrap();
+        s.clear_cache();
+        s.age_all().unwrap();
+        drain_maintenance(&s);
+        assert_eq!(s.stats().get(counters::TIER_DEMOTIONS), 1);
+        let arch = s.archive_device().unwrap();
+        let storage = s.crash();
+        let s2 = BulletServer::recover_with_archive(tiered_cfg(), storage, arch).unwrap();
+        assert_eq!(s2.read(&cap).unwrap(), payload(2000, 5));
+        let arch2 = s2.archive_device().unwrap();
+        assert_eq!(
+            arch2.append_pos(),
+            4,
+            "adopted cursor sits past the survivor"
+        );
+    }
+
+    #[test]
+    fn plain_recover_restores_the_append_cursor_past_archived_extents() {
+        let s = BulletServer::format(tiered_cfg(), 2).unwrap();
+        s.create(payload(2000, 5), 2).unwrap();
+        s.clear_cache();
+        s.age_all().unwrap();
+        drain_maintenance(&s);
+        let storage = s.crash();
+        // A *fresh* platter: the archived inode stays valid and the
+        // cursor is restored past its extent, so later demotions can
+        // never land on top of it.
+        let s2 = BulletServer::recover(tiered_cfg(), storage).unwrap();
+        assert_eq!(s2.live_files(), 1);
+        assert_eq!(s2.archive_device().unwrap().append_pos(), 4);
+    }
+
+    #[test]
+    fn deleting_an_archived_file_frees_no_fast_tier_space_twice() {
+        let s = BulletServer::format(tiered_cfg(), 2).unwrap();
+        let cap = s.create(payload(1500, 3), 2).unwrap();
+        s.clear_cache();
+        s.age_all().unwrap();
+        drain_maintenance(&s);
+        assert_eq!(s.stats().get(counters::TIER_DEMOTIONS), 1);
+        let before = s.disk_frag_report();
+        assert_eq!(
+            before.free, before.total,
+            "demotion already freed the home extent"
+        );
+        s.delete(&cap).unwrap();
+        assert_eq!(s.live_files(), 0);
+        let after = s.disk_frag_report();
+        assert_eq!(after.free, after.total);
+        // The WORM blocks stay burned: the cursor never rewinds.
+        assert_eq!(s.archive_device().unwrap().append_pos(), 3);
+    }
+
+    #[test]
+    fn idle_gate_request_delta_tolerates_light_traffic() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.disk_blocks = 256;
+        cfg.maint_idle_request_delta = 2;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let caps: Vec<Capability> = (0..6)
+            .map(|i| s.create(payload(5 * 512, i as u8), 1).unwrap())
+            .collect();
+        for cap in caps.iter().step_by(2) {
+            s.delete(cap).unwrap();
+        }
+        // First tick re-arms the mark after the setup burst.
+        assert_eq!(s.compact_tick().unwrap(), CompactTick::Preempted);
+        // Two requests between ticks stay within the tolerated delta.
+        s.read(&caps[1]).unwrap();
+        s.read(&caps[3]).unwrap();
+        assert!(matches!(
+            s.compact_tick().unwrap(),
+            CompactTick::Moved { .. }
+        ));
+        // Three requests exceed it: the tick yields.
+        s.read(&caps[1]).unwrap();
+        s.read(&caps[3]).unwrap();
+        s.read(&caps[5]).unwrap();
+        assert_eq!(s.compact_tick().unwrap(), CompactTick::Preempted);
+    }
+
+    #[test]
+    fn moves_per_tick_batches_maintenance_increments() {
+        let mut cfg = BulletConfig::small_test();
+        cfg.disk_blocks = 256;
+        cfg.maint_moves_per_tick = 16;
+        let s = BulletServer::format(cfg, 2).unwrap();
+        let caps: Vec<Capability> = (0..10)
+            .map(|i| s.create(payload(5 * 512, i as u8), 1).unwrap())
+            .collect();
+        for cap in caps.iter().step_by(2) {
+            s.delete(cap).unwrap();
+        }
+        assert!(s.disk_frag_report().external_fragmentation > 0.0);
+        assert_eq!(s.compact_tick().unwrap(), CompactTick::Preempted);
+        // One idle tick performs up to 16 increments: the whole plan.
+        assert!(matches!(
+            s.compact_tick().unwrap(),
+            CompactTick::Moved { .. }
+        ));
+        assert!(s.stats().get(counters::DISK_COMPACTION_MOVES) > 1);
+        assert_eq!(s.disk_frag_report().external_fragmentation, 0.0);
     }
 }

@@ -106,6 +106,23 @@ impl InodeTable {
     /// Disk errors, a corrupt descriptor, or — under
     /// [`RepairPolicy::Fail`] — any inode pointing outside the data area.
     pub fn load(dev: &dyn BlockDevice, policy: RepairPolicy) -> Result<LoadReport, BulletError> {
+        InodeTable::load_with_archive(dev, policy, 0)
+    }
+
+    /// [`load`](Self::load) for a server with a WORM archive tier of
+    /// `archive_blocks` blocks: an inode whose extent lies wholly within
+    /// `[data_end, data_end + archive_blocks)` encodes an archive-resident
+    /// file (the archive device block is `start_block - data_end`) and
+    /// passes the consistency scan.
+    ///
+    /// # Errors
+    ///
+    /// As [`load`](Self::load).
+    pub fn load_with_archive(
+        dev: &dyn BlockDevice,
+        policy: RepairPolicy,
+        archive_blocks: u64,
+    ) -> Result<LoadReport, BulletError> {
         let bs = dev.block_size() as usize;
         let mut block0 = vec![0u8; bs];
         dev.read_blocks(0, &mut block0)?;
@@ -142,7 +159,10 @@ impl InodeTable {
             if !parsed.is_free() {
                 let start = parsed.start_block as u64;
                 let end = start + parsed.blocks(desc.block_size);
-                if start < desc.data_start() || end > desc.data_end() {
+                let in_data = start >= desc.data_start() && end <= desc.data_end();
+                let in_archive =
+                    start >= desc.data_end() && end <= desc.data_end() + archive_blocks;
+                if !in_data && !in_archive {
                     match policy {
                         RepairPolicy::Fail => {
                             return Err(BulletError::Corrupt(format!(
@@ -506,6 +526,30 @@ mod tests {
         let r = InodeTable::load(&d, RepairPolicy::ZeroBad).unwrap();
         assert_eq!(r.repaired, 1);
         assert_eq!(r.table.live_count(), 0);
+    }
+
+    #[test]
+    fn load_with_archive_accepts_archive_range_extents() {
+        let d = dev();
+        let mut t = InodeTable::format(&d, 10).unwrap();
+        let data_end = t.descriptor().data_end() as u32;
+        let idx = t
+            .alloc(Inode {
+                random: 9,
+                index: 0,
+                start_block: data_end + 2, // archive block 2
+                size_bytes: 512,
+            })
+            .unwrap();
+        d.write_blocks(t.block_of(idx), &t.block_image(t.block_of(idx)))
+            .unwrap();
+
+        // Without archive geometry the extent is out of area.
+        assert!(InodeTable::load(&d, RepairPolicy::Fail).is_err());
+        let r = InodeTable::load_with_archive(&d, RepairPolicy::Fail, 8).unwrap();
+        assert_eq!(r.table.get(idx).unwrap().start_block, data_end + 2);
+        // An archive too small for the extent still rejects it.
+        assert!(InodeTable::load_with_archive(&d, RepairPolicy::Fail, 2).is_err());
     }
 
     #[test]

@@ -42,6 +42,20 @@ pub trait BlockDevice: Send + Sync {
     /// Device failure errors.
     fn sync(&self) -> Result<(), DiskError>;
 
+    /// Reads blocks at *background* priority: scheduling wrappers
+    /// ([`crate::SchedDisk`]) park the request in a low-priority lane
+    /// that only gets the arm when no foreground request is queued, so
+    /// bulk maintenance streams (archive demotion, resync) never starve
+    /// interactive grants.  Devices without a scheduler treat it as an
+    /// ordinary read — the default simply delegates.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_blocks`](BlockDevice::read_blocks).
+    fn read_blocks_low(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.read_blocks(first_block, buf)
+    }
+
     /// Total capacity in bytes.
     fn capacity_bytes(&self) -> u64 {
         self.num_blocks() * self.block_size() as u64
@@ -92,6 +106,13 @@ impl<T: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<T> {
 
     fn sync(&self) -> Result<(), DiskError> {
         (**self).sync()
+    }
+
+    // Forwarded explicitly: the provided default would route through
+    // `Arc`'s `read_blocks` and silently drop the inner device's
+    // low-priority override.
+    fn read_blocks_low(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        (**self).read_blocks_low(first_block, buf)
     }
 }
 

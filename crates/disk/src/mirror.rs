@@ -408,6 +408,33 @@ impl BlockDevice for MirroredDisk {
         }
     }
 
+    fn read_blocks_low(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        // Same consistency protocol as `read_blocks`; only the replica's
+        // scheduling lane differs (background, so maintenance streams
+        // never starve foreground grants).
+        let tracer = self.tracer();
+        let mut span = tracer.span("disk.read_low");
+        span.attr("bytes", buf.len());
+        loop {
+            let Some(i) = self.pick_live() else {
+                return Err(DiskError::AllReplicasFailed);
+            };
+            self.drain_replica(i);
+            match self.replicas[i].read_blocks_low(first_block, buf) {
+                Ok(()) => {
+                    span.attr("replica", i);
+                    self.primary.store(i, Ordering::SeqCst);
+                    return Ok(());
+                }
+                Err(DiskError::OutOfRange { .. }) | Err(DiskError::UnalignedBuffer { .. }) => {
+                    // Caller error, not a device fault: do not fail over.
+                    return self.replicas[i].read_blocks_low(first_block, buf);
+                }
+                Err(_) => self.mark_dead(i),
+            }
+        }
+    }
+
     fn write_blocks(&self, first_block: u64, data: &[u8]) -> Result<(), DiskError> {
         // Plain writes are fully synchronous to every live replica.
         self.write_sync_k(first_block, data, self.replicas.len())

@@ -456,6 +456,12 @@ struct Grant {
 struct SchedState {
     next_id: u64,
     pending: Vec<QueuedReq>,
+    /// The background lane: requests here are only granted the arm when
+    /// `pending` is empty, oldest first.  Maintenance streams (archive
+    /// demotion, resync) queue here so they never starve foreground
+    /// grants; a background request can still be *continued* by
+    /// foreground traffic that lands adjacent to where it parked the arm.
+    low_pending: Vec<QueuedReq>,
     /// True while some granted request is between grant and completion.
     busy: bool,
     /// The stable pick for the current free-arm period; `None` until the
@@ -527,6 +533,7 @@ impl<D: BlockDevice> SchedDisk<D> {
             state: StdMutex::new(SchedState {
                 next_id: 0,
                 pending: Vec::new(),
+                low_pending: Vec::new(),
                 busy: false,
                 grant: None,
                 head: 0,
@@ -564,6 +571,11 @@ impl<D: BlockDevice> SchedDisk<D> {
     /// Requests currently queued (granted-but-incomplete excluded).
     pub fn queue_len(&self) -> usize {
         self.lock_state().pending.len()
+    }
+
+    /// Background-lane requests currently queued.
+    pub fn low_queue_len(&self) -> usize {
+        self.lock_state().low_pending.len()
     }
 
     /// Installs the span tracer recording per-grant `disk.sched`
@@ -616,6 +628,7 @@ impl<D: BlockDevice> SchedDisk<D> {
         kind: ReqKind,
         first_block: u64,
         len: u64,
+        low: bool,
         io: impl FnOnce() -> Result<(), DiskError>,
     ) -> Result<(), DiskError> {
         let blocks = len.div_ceil(self.inner.block_size() as u64);
@@ -624,16 +637,26 @@ impl<D: BlockDevice> SchedDisk<D> {
             let mut st = self.lock_state();
             let id = st.next_id;
             st.next_id += 1;
-            st.pending.push(QueuedReq {
+            let req = QueuedReq {
                 id,
                 kind,
                 first_block,
                 blocks,
                 arrival,
-            });
-            self.stats
-                .set_max("disk_queue_depth_max", st.pending.len() as u64);
-            self.sample_gauges(arrival, st.pending.len() as u64, st.head);
+            };
+            if low {
+                st.low_pending.push(req);
+                self.stats.incr("sched_low_queued");
+            } else {
+                st.pending.push(req);
+                self.stats
+                    .set_max("disk_queue_depth_max", st.pending.len() as u64);
+            }
+            self.sample_gauges(
+                arrival,
+                (st.pending.len() + st.low_pending.len()) as u64,
+                st.head,
+            );
             id
         };
         self.cv.notify_all();
@@ -654,17 +677,35 @@ impl<D: BlockDevice> SchedDisk<D> {
                     let g = match st.grant {
                         Some(g) => g,
                         None => {
-                            let c = choose(
-                                &st.pending,
-                                st.head,
-                                st.sweep_up,
-                                self.clock.now(),
-                                &self.cfg,
-                            );
-                            let g = Grant {
-                                id: st.pending[c.index].id,
-                                promoted: c.promoted,
-                                sweep_up: c.sweep_up,
+                            let g = if st.pending.is_empty() {
+                                // Foreground lane drained: the arm is
+                                // free for background traffic, oldest
+                                // request first (the evaluator's own
+                                // request guarantees the lane is
+                                // non-empty here).
+                                let r = st
+                                    .low_pending
+                                    .iter()
+                                    .min_by_key(|r| r.id)
+                                    .expect("some waiter queued a request");
+                                Grant {
+                                    id: r.id,
+                                    promoted: false,
+                                    sweep_up: st.sweep_up,
+                                }
+                            } else {
+                                let c = choose(
+                                    &st.pending,
+                                    st.head,
+                                    st.sweep_up,
+                                    self.clock.now(),
+                                    &self.cfg,
+                                );
+                                Grant {
+                                    id: st.pending[c.index].id,
+                                    promoted: c.promoted,
+                                    sweep_up: c.sweep_up,
+                                }
                             };
                             st.grant = Some(g);
                             if g.id != id {
@@ -679,13 +720,17 @@ impl<D: BlockDevice> SchedDisk<D> {
                         st.grant = None;
                         st.sweep_up = g.sweep_up;
                         st.busy = true;
-                        let depth = st.pending.len();
-                        let index = st
-                            .pending
-                            .iter()
-                            .position(|r| r.id == id)
-                            .expect("a granted id is pending");
-                        st.pending.remove(index);
+                        let depth = st.pending.len() + st.low_pending.len();
+                        if let Some(index) = st.pending.iter().position(|r| r.id == id) {
+                            st.pending.remove(index);
+                        } else {
+                            let index = st
+                                .low_pending
+                                .iter()
+                                .position(|r| r.id == id)
+                                .expect("a granted id is pending");
+                            st.low_pending.remove(index);
+                        }
                         let continuation = self.cfg.coalesce
                             && st.continuations.contains(&id)
                             && st.last_end == Some((kind, first_block));
@@ -762,7 +807,7 @@ impl<D: BlockDevice> BlockDevice for SchedDisk<D> {
 
     fn read_blocks(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
         let len = buf.len() as u64;
-        self.run_io(ReqKind::Read, first_block, len, || {
+        self.run_io(ReqKind::Read, first_block, len, false, || {
             self.inner.read_blocks(first_block, buf)
         })?;
         self.stats.incr("disk_reads");
@@ -772,11 +817,21 @@ impl<D: BlockDevice> BlockDevice for SchedDisk<D> {
 
     fn write_blocks(&self, first_block: u64, data: &[u8]) -> Result<(), DiskError> {
         let len = data.len() as u64;
-        self.run_io(ReqKind::Write, first_block, len, || {
+        self.run_io(ReqKind::Write, first_block, len, false, || {
             self.inner.write_blocks(first_block, data)
         })?;
         self.stats.incr("disk_writes");
         self.stats.add("disk_bytes_written", len);
+        Ok(())
+    }
+
+    fn read_blocks_low(&self, first_block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        let len = buf.len() as u64;
+        self.run_io(ReqKind::Read, first_block, len, true, || {
+            self.inner.read_blocks(first_block, buf)
+        })?;
+        self.stats.incr("disk_reads");
+        self.stats.add("disk_bytes_read", len);
         Ok(())
     }
 
@@ -1242,6 +1297,85 @@ mod tests {
             disk.stats().get("disk_seek_blocks"),
             5_000 + (40_000 - 5_016) + (40_008 - 100)
         );
+    }
+
+    #[test]
+    fn background_lane_yields_to_foreground() {
+        let clock = SimClock::new();
+        let disk = Arc::new(SchedDisk::new(
+            GateDisk::new(RamDisk::new(1024, 65_536)),
+            clock.clone(),
+            DiskProfile::scsi_1989(),
+            SchedConfig::default(),
+        ));
+
+        // Seize the arm at block 5 000; the gate holds the I/O open.
+        let d0 = disk.clone();
+        let t0 = std::thread::spawn(move || d0.write_blocks(5_000, &vec![1u8; 1024]).unwrap());
+        while disk.inner().order.lock().unwrap().is_empty() {
+            std::thread::yield_now();
+        }
+
+        // A background read lands *adjacent to where the arm will stop*
+        // (zero seek — SPTF/SCAN would love it), then two foreground
+        // writes far away queue behind it.
+        let d1 = disk.clone();
+        let bg = std::thread::spawn(move || {
+            let mut buf = vec![0u8; 1024];
+            d1.read_blocks_low(5_001, &mut buf).unwrap();
+        });
+        while disk.low_queue_len() < 1 {
+            std::thread::yield_now();
+        }
+        let mut workers = Vec::new();
+        for b in [40_000u64, 100] {
+            let d = disk.clone();
+            workers.push(std::thread::spawn(move || {
+                d.write_blocks(b, &vec![2u8; 1024]).unwrap();
+            }));
+            while disk.queue_len() < workers.len() {
+                std::thread::yield_now();
+            }
+        }
+
+        disk.inner().release();
+        t0.join().unwrap();
+        bg.join().unwrap();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        // Both foreground writes beat the background read even though the
+        // read was queued first and sits nearest the head.
+        let order = disk.inner().order.lock().unwrap().clone();
+        assert_eq!(order, vec![5_000, 40_000, 100, 5_001]);
+        assert_eq!(disk.stats().get("sched_low_queued"), 1);
+        assert_eq!(disk.queue_len(), 0);
+        assert_eq!(disk.low_queue_len(), 0);
+    }
+
+    #[test]
+    fn low_priority_read_matches_plain_read_when_idle() {
+        // With nothing else queued the background lane charges exactly
+        // what a foreground read would: same arm, same profile.
+        let run = |low: bool| {
+            let c = SimClock::new();
+            let d = SchedDisk::new(
+                RamDisk::new(1024, 10_000),
+                c.clone(),
+                DiskProfile::scsi_1989(),
+                SchedConfig::default(),
+            );
+            d.write_blocks(500, &[7u8; 2048]).unwrap();
+            let mut buf = [0u8; 2048];
+            if low {
+                d.read_blocks_low(500, &mut buf).unwrap();
+            } else {
+                d.read_blocks(500, &mut buf).unwrap();
+            }
+            (c.now(), d.stats().get("disk_reads"))
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use amoeba_disk::{BlockDevice, CrashDisk, MirroredDisk, RamDisk, SimDisk};
+use amoeba_disk::{BlockDevice, CrashDisk, MirroredDisk, RamDisk, SimDisk, WormDisk};
 use amoeba_sim::{DiskProfile, SimClock};
 use proptest::prelude::*;
 
@@ -100,6 +100,47 @@ proptest! {
         let m = MirroredDisk::new(vec![a.clone(), b.clone()]).unwrap();
         check_device_matches_model(&m, &ops);
         prop_assert_eq!(a.clone_contents(), b.clone_contents());
+    }
+
+    #[test]
+    fn wormdisk_fully_exempt_behaves_like_byte_array(
+        ops in proptest::collection::vec(arb_write(), 0..40),
+    ) {
+        // With the whole device exempt the WORM wrapper is transparent:
+        // overwrites pass straight through to the inner disk.
+        let d = WormDisk::new(RamDisk::new(BS as u32, BLOCKS), BLOCKS);
+        check_device_matches_model(&d, &ops);
+        prop_assert_eq!(d.burned_blocks(), 0);
+    }
+
+    #[test]
+    fn wormdisk_first_write_wins_and_reads_stay_stable(
+        ops in proptest::collection::vec(arb_write(), 1..40),
+    ) {
+        // Write-once region: a write is either accepted whole or rejected
+        // whole.  The device must match a model that applies only the
+        // accepted writes, forever — the append-only invariant.
+        let d = WormDisk::new(RamDisk::new(BS as u32, BLOCKS), 0);
+        let mut model = vec![0u8; (BLOCKS as usize) * BS];
+        let mut accepted = 0u64;
+        for op in &ops {
+            if d.write_blocks(op.first_block, &op.data).is_ok() {
+                let off = op.first_block as usize * BS;
+                model[off..off + op.data.len()].copy_from_slice(&op.data);
+                accepted += op.data.len() as u64 / BS as u64;
+            }
+        }
+        let mut actual = vec![0u8; model.len()];
+        d.read_blocks(0, &mut actual).unwrap();
+        prop_assert_eq!(&actual, &model);
+        prop_assert_eq!(d.burned_blocks(), accepted);
+        // Every later overwrite of a burned block is rejected and the
+        // contents do not move.
+        for op in &ops {
+            let _ = d.write_blocks(op.first_block, &op.data);
+        }
+        d.read_blocks(0, &mut actual).unwrap();
+        prop_assert_eq!(actual, model);
     }
 
     #[test]
